@@ -1,0 +1,220 @@
+//! Programme material by genre — the stand-in for the paper's four local
+//! FM stations (§5.2: "news, mixed, pop music, rock music").
+//!
+//! The genre determines two things the experiments depend on:
+//!
+//! * **mono-band occupancy** — how much interference the host programme
+//!   injects into overlay backscatter (speech has pauses and little energy
+//!   above 4 kHz; rock fills the band);
+//! * **stereo correlation** — news plays the same speech on both channels
+//!   ("the energy in the stereo stream is often low … because the same
+//!   human speech signal is played on both the left and right speakers",
+//!   §3.3.1), while music carries genuine L−R content. Fig. 5 is the CDF
+//!   of exactly this.
+
+use crate::music::{generate_music, MusicConfig};
+use crate::speech::{generate_speech, SpeechConfig};
+use serde::{Deserialize, Serialize};
+
+/// The paper's four programme genres plus silence (for the
+/// single-tone-host microbenchmarks of §5.1, where the USRP transmits
+/// `FM_audio = 0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProgramKind {
+    /// News / information: speech, identical on L and R.
+    News,
+    /// Mixed speech and music.
+    Mixed,
+    /// Pop music.
+    PopMusic,
+    /// Rock music.
+    RockMusic,
+    /// No programme (unmodulated host carrier).
+    Silence,
+}
+
+impl ProgramKind {
+    /// All four broadcast genres of Fig. 5 / §5.2.
+    pub const BROADCAST_GENRES: [ProgramKind; 4] = [
+        ProgramKind::News,
+        ProgramKind::Mixed,
+        ProgramKind::PopMusic,
+        ProgramKind::RockMusic,
+    ];
+
+    /// Display name matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProgramKind::News => "News, information",
+            ProgramKind::Mixed => "Mixed",
+            ProgramKind::PopMusic => "Pop music",
+            ProgramKind::RockMusic => "Rock music",
+            ProgramKind::Silence => "Silence",
+        }
+    }
+}
+
+/// A block of stereo programme audio.
+#[derive(Debug, Clone)]
+pub struct StereoProgram {
+    /// Left channel.
+    pub left: Vec<f64>,
+    /// Right channel.
+    pub right: Vec<f64>,
+    /// Sample rate in Hz.
+    pub sample_rate: f64,
+    /// The genre this was generated as.
+    pub kind: ProgramKind,
+}
+
+impl StereoProgram {
+    /// The mono (L+R)/2 mix.
+    pub fn mono(&self) -> Vec<f64> {
+        self.left
+            .iter()
+            .zip(self.right.iter())
+            .map(|(l, r)| (l + r) / 2.0)
+            .collect()
+    }
+
+    /// The stereo difference (L−R)/2.
+    pub fn difference(&self) -> Vec<f64> {
+        self.left
+            .iter()
+            .zip(self.right.iter())
+            .map(|(l, r)| (l - r) / 2.0)
+            .collect()
+    }
+
+    /// Duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.left.len() as f64 / self.sample_rate
+    }
+}
+
+/// Deterministic programme generator.
+#[derive(Debug, Clone, Copy)]
+pub struct ProgramGenerator {
+    /// Output sample rate.
+    pub sample_rate: f64,
+    /// Seed for deterministic generation.
+    pub seed: u64,
+}
+
+impl ProgramGenerator {
+    /// Creates a generator.
+    pub fn new(sample_rate: f64, seed: u64) -> Self {
+        ProgramGenerator { sample_rate, seed }
+    }
+
+    /// Generates `seconds` of stereo programme of the given genre.
+    pub fn generate(&self, kind: ProgramKind, seconds: f64) -> StereoProgram {
+        let n = (self.sample_rate * seconds).round() as usize;
+        let (left, right) = match kind {
+            ProgramKind::Silence => (vec![0.0; n], vec![0.0; n]),
+            ProgramKind::News => {
+                // Same announcer on both channels (mono content in a
+                // stereo transmission).
+                let s = generate_speech(SpeechConfig::announcer(self.sample_rate), n, self.seed);
+                (s.clone(), s)
+            }
+            ProgramKind::PopMusic => generate_music(MusicConfig::pop(self.sample_rate), n, self.seed),
+            ProgramKind::RockMusic => {
+                generate_music(MusicConfig::rock(self.sample_rate), n, self.seed)
+            }
+            ProgramKind::Mixed => {
+                // Alternate 2 s speech (mono) and 2 s pop (stereo).
+                let seg = (2.0 * self.sample_rate) as usize;
+                let speech =
+                    generate_speech(SpeechConfig::announcer(self.sample_rate), n, self.seed);
+                let (ml, mr) = generate_music(MusicConfig::pop(self.sample_rate), n, self.seed + 1);
+                let mut left = Vec::with_capacity(n);
+                let mut right = Vec::with_capacity(n);
+                for i in 0..n {
+                    if (i / seg) % 2 == 0 {
+                        left.push(speech[i]);
+                        right.push(speech[i]);
+                    } else {
+                        left.push(ml[i]);
+                        right.push(mr[i]);
+                    }
+                }
+                (left, right)
+            }
+        };
+        StereoProgram {
+            left,
+            right,
+            sample_rate: self.sample_rate,
+            kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmbs_dsp::stats::{power, rms};
+
+    const FS: f64 = 48_000.0;
+
+    #[test]
+    fn news_has_empty_difference_channel() {
+        let p = ProgramGenerator::new(FS, 1).generate(ProgramKind::News, 4.0);
+        assert_eq!(rms(&p.difference()), 0.0);
+        assert!(rms(&p.mono()) > 0.02);
+    }
+
+    #[test]
+    fn music_fills_difference_channel() {
+        let p = ProgramGenerator::new(FS, 1).generate(ProgramKind::RockMusic, 4.0);
+        let diff_power = power(&p.difference());
+        let mono_power = power(&p.mono());
+        assert!(
+            diff_power > 0.01 * mono_power,
+            "diff {diff_power} vs mono {mono_power}"
+        );
+    }
+
+    #[test]
+    fn genre_stereo_utilisation_ordering() {
+        // The Fig. 5 ordering: news ≤ mixed ≤ music in L−R power fraction.
+        let gen = ProgramGenerator::new(FS, 3);
+        let frac = |k: ProgramKind| {
+            let p = gen.generate(k, 6.0);
+            power(&p.difference()) / power(&p.mono()).max(1e-12)
+        };
+        let news = frac(ProgramKind::News);
+        let mixed = frac(ProgramKind::Mixed);
+        let rock = frac(ProgramKind::RockMusic);
+        assert!(news < mixed, "news {news} < mixed {mixed}");
+        assert!(mixed < rock, "mixed {mixed} < rock {rock}");
+    }
+
+    #[test]
+    fn silence_is_silent() {
+        let p = ProgramGenerator::new(FS, 1).generate(ProgramKind::Silence, 1.0);
+        assert_eq!(rms(&p.left), 0.0);
+        assert_eq!(rms(&p.right), 0.0);
+    }
+
+    #[test]
+    fn duration_and_rates() {
+        let p = ProgramGenerator::new(FS, 1).generate(ProgramKind::PopMusic, 2.5);
+        assert!((p.duration_s() - 2.5).abs() < 1e-9);
+        assert_eq!(p.left.len(), p.right.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ProgramGenerator::new(FS, 5).generate(ProgramKind::Mixed, 1.0);
+        let b = ProgramGenerator::new(FS, 5).generate(ProgramKind::Mixed, 1.0);
+        assert_eq!(a.left, b.left);
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(ProgramKind::News.label(), "News, information");
+        assert_eq!(ProgramKind::BROADCAST_GENRES.len(), 4);
+    }
+}

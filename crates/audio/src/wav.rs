@@ -1,0 +1,186 @@
+//! Minimal 16-bit PCM WAV read/write.
+//!
+//! The example binaries emit listenable artefacts (the quickstart writes
+//! the received composite audio, mirroring the paper's demo clips). Only
+//! the subset of the format we produce is supported: PCM, 16-bit, 1–2
+//! channels.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Audio read back from a WAV file.
+#[derive(Debug, Clone)]
+pub struct WavData {
+    /// Channel-major samples in [-1, 1]: `channels[0]` is left/mono.
+    pub channels: Vec<Vec<f64>>,
+    /// Sample rate in Hz.
+    pub sample_rate: u32,
+}
+
+fn clamp_i16(x: f64) -> i16 {
+    (x.clamp(-1.0, 1.0) * 32_767.0).round() as i16
+}
+
+/// Writes mono or stereo audio to a 16-bit PCM WAV file.
+///
+/// `channels` must contain one or two equal-length channels with samples
+/// in [-1, 1] (values outside are clipped, as a DAC would).
+pub fn write_wav<P: AsRef<Path>>(
+    path: P,
+    channels: &[&[f64]],
+    sample_rate: u32,
+) -> io::Result<()> {
+    assert!(
+        channels.len() == 1 || channels.len() == 2,
+        "only mono/stereo supported"
+    );
+    let n = channels[0].len();
+    for c in channels {
+        assert_eq!(c.len(), n, "channels must be equal length");
+    }
+    let n_ch = channels.len() as u16;
+    let byte_rate = sample_rate * n_ch as u32 * 2;
+    let block_align = n_ch * 2;
+    let data_len = (n * n_ch as usize * 2) as u32;
+
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(b"RIFF")?;
+    f.write_all(&(36 + data_len).to_le_bytes())?;
+    f.write_all(b"WAVE")?;
+    f.write_all(b"fmt ")?;
+    f.write_all(&16u32.to_le_bytes())?;
+    f.write_all(&1u16.to_le_bytes())?; // PCM
+    f.write_all(&n_ch.to_le_bytes())?;
+    f.write_all(&sample_rate.to_le_bytes())?;
+    f.write_all(&byte_rate.to_le_bytes())?;
+    f.write_all(&block_align.to_le_bytes())?;
+    f.write_all(&16u16.to_le_bytes())?; // bits per sample
+    f.write_all(b"data")?;
+    f.write_all(&data_len.to_le_bytes())?;
+    let mut buf = Vec::with_capacity(data_len as usize);
+    for i in 0..n {
+        for c in channels {
+            buf.extend_from_slice(&clamp_i16(c[i]).to_le_bytes());
+        }
+    }
+    f.write_all(&buf)
+}
+
+/// Reads a 16-bit PCM WAV file written by [`write_wav`] (or compatible).
+pub fn read_wav<P: AsRef<Path>>(path: P) -> io::Result<WavData> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if bytes.len() < 44 || &bytes[0..4] != b"RIFF" || &bytes[8..12] != b"WAVE" {
+        return Err(bad("not a RIFF/WAVE file"));
+    }
+    // Walk chunks to find fmt and data.
+    let mut pos = 12usize;
+    let mut fmt: Option<(u16, u32, u16)> = None; // channels, rate, bits
+    let mut data: Option<(usize, usize)> = None;
+    while pos + 8 <= bytes.len() {
+        let id = &bytes[pos..pos + 4];
+        let len = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap()) as usize;
+        let body = pos + 8;
+        if body + len > bytes.len() {
+            return Err(bad("truncated chunk"));
+        }
+        match id {
+            b"fmt " => {
+                if len < 16 {
+                    return Err(bad("short fmt chunk"));
+                }
+                let audio_format = u16::from_le_bytes(bytes[body..body + 2].try_into().unwrap());
+                if audio_format != 1 {
+                    return Err(bad("only PCM supported"));
+                }
+                let n_ch = u16::from_le_bytes(bytes[body + 2..body + 4].try_into().unwrap());
+                let rate = u32::from_le_bytes(bytes[body + 4..body + 8].try_into().unwrap());
+                let bits = u16::from_le_bytes(bytes[body + 14..body + 16].try_into().unwrap());
+                fmt = Some((n_ch, rate, bits));
+            }
+            b"data" => data = Some((body, len)),
+            _ => {}
+        }
+        pos = body + len + (len & 1);
+    }
+    let (n_ch, rate, bits) = fmt.ok_or_else(|| bad("missing fmt chunk"))?;
+    let (dstart, dlen) = data.ok_or_else(|| bad("missing data chunk"))?;
+    if bits != 16 {
+        return Err(bad("only 16-bit supported"));
+    }
+    if n_ch == 0 || n_ch > 2 {
+        return Err(bad("only mono/stereo supported"));
+    }
+    let n_frames = dlen / (2 * n_ch as usize);
+    let mut channels = vec![Vec::with_capacity(n_frames); n_ch as usize];
+    for i in 0..n_frames {
+        for (c, chan) in channels.iter_mut().enumerate() {
+            let off = dstart + (i * n_ch as usize + c) * 2;
+            let v = i16::from_le_bytes(bytes[off..off + 2].try_into().unwrap());
+            chan.push(v as f64 / 32_767.0);
+        }
+    }
+    Ok(WavData {
+        channels,
+        sample_rate: rate,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("fmbs_wav_test_{name}.wav"))
+    }
+
+    #[test]
+    fn mono_round_trip() {
+        let sig: Vec<f64> = (0..1_000)
+            .map(|i| (i as f64 * 0.05).sin() * 0.7)
+            .collect();
+        let path = tmp("mono");
+        write_wav(&path, &[&sig], 48_000).unwrap();
+        let back = read_wav(&path).unwrap();
+        assert_eq!(back.sample_rate, 48_000);
+        assert_eq!(back.channels.len(), 1);
+        for (a, b) in sig.iter().zip(back.channels[0].iter()) {
+            assert!((a - b).abs() < 1.0 / 32_000.0);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn stereo_round_trip() {
+        let l: Vec<f64> = (0..500).map(|i| (i as f64 * 0.1).sin() * 0.5).collect();
+        let r: Vec<f64> = (0..500).map(|i| (i as f64 * 0.2).cos() * 0.5).collect();
+        let path = tmp("stereo");
+        write_wav(&path, &[&l, &r], 44_100).unwrap();
+        let back = read_wav(&path).unwrap();
+        assert_eq!(back.channels.len(), 2);
+        for (a, b) in r.iter().zip(back.channels[1].iter()) {
+            assert!((a - b).abs() < 1.0 / 32_000.0);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn clipping_is_bounded() {
+        let sig = vec![2.0, -2.0, 0.0];
+        let path = tmp("clip");
+        write_wav(&path, &[&sig], 8_000).unwrap();
+        let back = read_wav(&path).unwrap();
+        assert!((back.channels[0][0] - 1.0).abs() < 1e-3);
+        assert!((back.channels[0][1] + 1.0).abs() < 1e-3);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"not a wav at all").unwrap();
+        assert!(read_wav(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,52 @@
+//! Ablation / substrate throughput: the DSP blocks every experiment rests
+//! on, plus the square-wave-vs-cosine subcarrier ablation (DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fmbs_core::tag::{Tag, TagConfig};
+use fmbs_dsp::complex::Complex;
+use fmbs_dsp::fft::Fft;
+use fmbs_dsp::fir::FirDesign;
+use fmbs_dsp::goertzel::goertzel_power;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dsp_throughput");
+    let n = 1 << 14;
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("fft_16k", |b| {
+        let fft = Fft::new(n);
+        let mut buf: Vec<Complex> =
+            (0..n).map(|i| Complex::from_angle(i as f64 * 0.1)).collect();
+        b.iter(|| {
+            fft.forward(&mut buf);
+            fft.inverse(&mut buf);
+        })
+    });
+    g.bench_function("fir_127tap_16k", |b| {
+        let mut fir = FirDesign::default().lowpass(48_000.0, 4_000.0);
+        let sig: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        b.iter(|| std::hint::black_box(fir.process(&sig)))
+    });
+    g.bench_function("goertzel_16k", |b| {
+        let sig: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        b.iter(|| std::hint::black_box(goertzel_power(&sig, 48_000.0, 8_000.0)))
+    });
+    // Ablation: square-wave switch vs ideal cosine subcarrier.
+    let incident = vec![Complex::ONE; n];
+    let baseband = vec![0.3; n];
+    g.bench_function("tag_square_switch", |b| {
+        b.iter(|| {
+            let mut tag = Tag::new(TagConfig::paper_default(2_560_000.0));
+            std::hint::black_box(tag.backscatter(&incident, &baseband))
+        })
+    });
+    g.bench_function("tag_cosine_ablation", |b| {
+        b.iter(|| {
+            let mut tag = Tag::new(TagConfig::paper_default(2_560_000.0));
+            std::hint::black_box(tag.backscatter_cosine(&incident, &baseband))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

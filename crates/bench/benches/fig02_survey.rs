@@ -1,0 +1,21 @@
+//! Times the Fig. 2 survey regeneration: the drive survey (2a) and the
+//! 24 h temporal survey (2b).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmbs_survey::drive::DriveSurvey;
+use fmbs_survey::temporal::TemporalSurvey;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig02_survey");
+    g.sample_size(10);
+    g.bench_function("fig2a_drive_survey", |b| {
+        b.iter(|| std::hint::black_box(DriveSurvey::seattle_like().run()))
+    });
+    g.bench_function("fig2b_temporal_survey", |b| {
+        b.iter(|| std::hint::black_box(TemporalSurvey::paper_default().run()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

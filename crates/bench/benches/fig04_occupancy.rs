@@ -1,0 +1,28 @@
+//! Times the Fig. 4 channel-occupancy analysis: city station tables and
+//! the minimum-shift CDF.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmbs_survey::occupancy::{min_shift_cdf, pooled_median_shift_hz};
+use fmbs_survey::stations::{City, CityStations};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig04_occupancy");
+    g.sample_size(20);
+    g.bench_function("fig4a_station_tables", |b| {
+        b.iter(|| {
+            for city in City::ALL {
+                std::hint::black_box(CityStations::generate(city));
+            }
+        })
+    });
+    g.bench_function("fig4b_min_shift_cdf", |b| {
+        b.iter(|| std::hint::black_box(min_shift_cdf(City::Seattle)))
+    });
+    g.bench_function("fig4b_pooled_median", |b| {
+        b.iter(|| std::hint::black_box(pooled_median_shift_hz()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Times one Fig. 6 frequency-response point (single-tone fast-sim run +
+//! tone-SNR measurement).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmbs_audio::program::ProgramKind;
+use fmbs_core::sim::fast::{FastSim, FAST_AUDIO_RATE};
+use fmbs_core::sim::scenario::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig06_freq_response");
+    g.sample_size(10);
+    let scenario = Scenario::bench(-20.0, 4.0, ProgramKind::Silence);
+    let n = (FAST_AUDIO_RATE * 0.5) as usize;
+    let payload: Vec<f64> = (0..n)
+        .map(|i| 0.9 * (fmbs_dsp::TAU * 5_000.0 * i as f64 / FAST_AUDIO_RATE).sin())
+        .collect();
+    g.bench_function("tone_point_mono_band", |b| {
+        b.iter(|| {
+            let out = FastSim::new(scenario).run(&payload, false);
+            std::hint::black_box(fmbs_audio::metrics::tone_snr_db(
+                &out.mono,
+                FAST_AUDIO_RATE,
+                5_000.0,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Times the Fig. 7 link-budget sweep and one measured SNR point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmbs_channel::backscatter_link::BackscatterLink;
+use fmbs_channel::units::Dbm;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig07_snr_distance");
+    g.bench_function("budget_sweep_5x10", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for p in [-20.0, -30.0, -40.0, -50.0, -60.0] {
+                let link = BackscatterLink::smartphone(Dbm(p));
+                for d in 1..=10 {
+                    acc += link.budget_at_feet(2.0 * d as f64).audio_snr.0;
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Times one Fig. 8 BER point at each bit rate (encode + fast sim +
+//! non-coherent decode).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmbs_audio::program::ProgramKind;
+use fmbs_core::modem::encoder::test_bits;
+use fmbs_core::modem::Bitrate;
+use fmbs_core::sim::fast::FastSim;
+use fmbs_core::sim::scenario::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig08_ber_overlay");
+    g.sample_size(10);
+    let bits = test_bits(200, 1);
+    for rate in Bitrate::ALL {
+        g.bench_function(format!("{:?}", rate), |b| {
+            let sim = FastSim::new(Scenario::bench(-40.0, 8.0, ProgramKind::News));
+            b.iter(|| std::hint::black_box(sim.overlay_data_ber(&bits, rate)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

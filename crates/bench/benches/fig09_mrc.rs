@@ -1,0 +1,26 @@
+//! Times a Fig. 9 MRC point: N simulated recordings combined and decoded.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmbs_audio::program::ProgramKind;
+use fmbs_core::modem::Bitrate;
+use fmbs_core::overlay::OverlayData;
+use fmbs_core::sim::scenario::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig09_mrc");
+    g.sample_size(10);
+    for n in [1usize, 2, 4] {
+        g.bench_function(format!("mrc_{n}x"), |b| {
+            let exp = OverlayData::new(
+                Scenario::bench(-40.0, 16.0, ProgramKind::RockMusic),
+                Bitrate::Kbps1_6,
+                200,
+            );
+            b.iter(|| std::hint::black_box(exp.run_ber_mrc(n)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Times a Fig. 10 stereo-backscatter BER point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmbs_audio::program::ProgramKind;
+use fmbs_core::modem::Bitrate;
+use fmbs_core::sim::scenario::Scenario;
+use fmbs_core::stereo_bs::{StereoBackscatter, StereoHost};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_stereo_ber");
+    g.sample_size(10);
+    g.bench_function("stereo_ber_point", |b| {
+        let exp = StereoBackscatter::new(
+            Scenario::bench(-30.0, 3.0, ProgramKind::News),
+            StereoHost::StereoNews,
+        );
+        b.iter(|| std::hint::black_box(exp.run_ber(Bitrate::Kbps1_6, 200)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Times a Fig. 11 overlay-PESQ point (speech payload + fast sim +
+//! PESQ-like scoring).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmbs_audio::program::ProgramKind;
+use fmbs_core::overlay::OverlayAudio;
+use fmbs_core::sim::scenario::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_pesq_overlay");
+    g.sample_size(10);
+    g.bench_function("pesq_point_2s", |b| {
+        let exp = OverlayAudio::new(Scenario::bench(-30.0, 10.0, ProgramKind::News), 2.0);
+        b.iter(|| std::hint::black_box(exp.run_pesq()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

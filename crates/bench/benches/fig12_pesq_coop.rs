@@ -1,0 +1,20 @@
+//! Times a Fig. 12 cooperative-backscatter point (two phones, 10x
+//! resample, cross-correlation alignment, cancellation, PESQ).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmbs_audio::program::ProgramKind;
+use fmbs_core::coop::CoopSession;
+use fmbs_core::sim::scenario::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_pesq_coop");
+    g.sample_size(10);
+    g.bench_function("coop_point_2s", |b| {
+        let session = CoopSession::new(Scenario::bench(-30.0, 8.0, ProgramKind::News), 2.0);
+        b.iter(|| std::hint::black_box(session.run_pesq()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

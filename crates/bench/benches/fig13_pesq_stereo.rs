@@ -1,0 +1,27 @@
+//! Times a Fig. 13 stereo-backscatter PESQ point for both host kinds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmbs_audio::program::ProgramKind;
+use fmbs_core::sim::scenario::Scenario;
+use fmbs_core::stereo_bs::{StereoBackscatter, StereoHost};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_pesq_stereo");
+    g.sample_size(10);
+    for (name, host) in [
+        ("stereo_news_host", StereoHost::StereoNews),
+        ("mono_host", StereoHost::MonoStation),
+    ] {
+        g.bench_function(name, |b| {
+            let exp = StereoBackscatter::new(
+                Scenario::bench(-30.0, 6.0, ProgramKind::News),
+                host,
+            );
+            b.iter(|| std::hint::black_box(exp.run_pesq(2.0)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

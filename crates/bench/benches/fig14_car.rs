@@ -1,0 +1,19 @@
+//! Times a Fig. 14 car-receiver point (cabin chain included).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmbs_audio::program::ProgramKind;
+use fmbs_core::overlay::OverlayAudio;
+use fmbs_core::sim::scenario::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_car");
+    g.sample_size(10);
+    g.bench_function("car_pesq_point_40ft", |b| {
+        let exp = OverlayAudio::new(Scenario::car(-30.0, 40.0, ProgramKind::News), 2.0);
+        b.iter(|| std::hint::black_box(exp.run_pesq()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Times a Fig. 17b smart-fabric BER point per motion profile.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmbs_channel::fading::MotionProfile;
+use fmbs_core::modem::Bitrate;
+use fmbs_core::overlay::OverlayData;
+use fmbs_core::sim::scenario::Scenario;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig17_fabric");
+    g.sample_size(10);
+    for m in [
+        MotionProfile::Standing,
+        MotionProfile::Walking,
+        MotionProfile::Running,
+    ] {
+        g.bench_function(format!("{m:?}"), |b| {
+            let exp = OverlayData::new(Scenario::fabric(m), Bitrate::Bps100, 100);
+            b.iter(|| std::hint::black_box(exp.run_ber()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Times the §4 power-model evaluation (and records its outputs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fmbs_core::power::{IcPowerModel, PAPER_OPERATING_POINT};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("power_model");
+    g.bench_function("breakdown_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for f in (1..=10).map(|i| i as f64 * 100_000.0) {
+                let m = IcPowerModel {
+                    f_back_hz: f,
+                    ..PAPER_OPERATING_POINT
+                };
+                acc += m.total_uw();
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro                 # all experiments, quick grids
+//! repro --full          # the paper's dense grids (slow)
+//! repro fig8a fig11     # a subset
+//! repro --json out/     # also write one JSON file per experiment
+//! ```
+
+use fmbs_bench::experiments::{self, Grid};
+use fmbs_bench::report::Experiment;
+use fmbs_core::modem::Bitrate;
+use fmbs_core::stereo_bs::StereoHost;
+
+fn by_id(id: &str, grid: Grid) -> Option<Experiment> {
+    Some(match id {
+        "fig2a" => experiments::fig2a(grid),
+        "fig2b" => experiments::fig2b(grid),
+        "fig4a" => experiments::fig4a(grid),
+        "fig4b" => experiments::fig4b(grid),
+        "fig5" => experiments::fig5(grid),
+        "fig6" => experiments::fig6(grid),
+        "fig7" => experiments::fig7(grid),
+        "fig8a" => experiments::fig8(grid, Bitrate::Bps100),
+        "fig8b" => experiments::fig8(grid, Bitrate::Kbps1_6),
+        "fig8c" => experiments::fig8(grid, Bitrate::Kbps3_2),
+        "fig9" => experiments::fig9(grid),
+        "fig10" => experiments::fig10(grid),
+        "fig11" => experiments::fig11(grid),
+        "fig12" => experiments::fig12(grid),
+        "fig13a" => experiments::fig13(grid, StereoHost::StereoNews),
+        "fig13b" => experiments::fig13(grid, StereoHost::MonoStation),
+        "fig14" => experiments::fig14(grid),
+        "fig17" | "fig17b" => experiments::fig17(grid),
+        "power" => experiments::power_table(grid),
+        "ablation" => experiments::ablation(grid),
+        "rates" => experiments::rates_table(grid),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let grid = if args.iter().any(|a| a == "--full") {
+        Grid::Full
+    } else {
+        Grid::Quick
+    };
+    let json_dir = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| json_dir.as_deref() != Some(a.as_str()))
+        .cloned()
+        .collect();
+
+    let results: Vec<Experiment> = if ids.is_empty() {
+        eprintln!("regenerating all experiments ({grid:?} grid)...");
+        experiments::all(grid)
+    } else {
+        ids.iter()
+            .map(|id| {
+                by_id(id, grid).unwrap_or_else(|| {
+                    eprintln!("unknown experiment id: {id}");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    for e in &results {
+        println!("{}", e.render_text());
+    }
+
+    if let Some(dir) = json_dir {
+        std::fs::create_dir_all(&dir).expect("create json output dir");
+        for e in &results {
+            let path = format!("{dir}/{}.json", e.id);
+            std::fs::write(&path, serde_json::to_string_pretty(e).unwrap())
+                .expect("write json");
+            eprintln!("wrote {path}");
+        }
+    }
+}

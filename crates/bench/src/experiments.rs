@@ -1,0 +1,766 @@
+//! One regeneration function per table/figure of the paper.
+//!
+//! Each function reproduces the *workload and measurement* of the
+//! corresponding experiment on the simulated substrate. Parameter grids
+//! default to slightly coarser versions of the paper's sweeps so the whole
+//! set completes in minutes on one core; pass `--full` to the `repro`
+//! binary for the dense grids.
+
+use crate::report::{Experiment, Series};
+use fmbs_audio::program::ProgramKind;
+use fmbs_core::modem::Bitrate;
+use fmbs_core::coop::CoopSession;
+use fmbs_core::overlay::{OverlayAudio, OverlayData};
+use fmbs_core::power::{comparisons, IcPowerModel, PAPER_OPERATING_POINT};
+use fmbs_core::sim::fast::{FastSim, FAST_AUDIO_RATE};
+use fmbs_core::sim::scenario::Scenario;
+use fmbs_core::stereo_bs::{StereoBackscatter, StereoHost};
+use fmbs_dsp::TAU;
+use fmbs_survey::drive::DriveSurvey;
+use fmbs_survey::occupancy;
+use fmbs_survey::stations::City;
+use fmbs_survey::stereo_util;
+use fmbs_survey::temporal::TemporalSurvey;
+
+/// Grid density selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grid {
+    /// Coarse but faithful (default).
+    Quick,
+    /// The paper's dense sweeps.
+    Full,
+}
+
+impl Grid {
+    fn distances_ft(self) -> Vec<f64> {
+        match self {
+            Grid::Quick => vec![2.0, 6.0, 10.0, 14.0, 18.0],
+            Grid::Full => (1..=10).map(|i| 2.0 * i as f64).collect(),
+        }
+    }
+
+    fn powers_dbm(self) -> Vec<f64> {
+        vec![-20.0, -30.0, -40.0, -50.0, -60.0]
+    }
+
+    fn data_bits(self) -> usize {
+        match self {
+            Grid::Quick => 400,
+            Grid::Full => 1_600,
+        }
+    }
+
+    fn audio_secs(self) -> f64 {
+        match self {
+            Grid::Quick => 2.0,
+            Grid::Full => 8.0,
+        }
+    }
+
+    fn repeats(self) -> usize {
+        match self {
+            Grid::Quick => 2,
+            Grid::Full => 6,
+        }
+    }
+}
+
+/// Fig. 2a — CDF of FM power across a city.
+pub fn fig2a(_grid: Grid) -> Experiment {
+    let cdf = DriveSurvey::seattle_like().cdf();
+    Experiment {
+        id: "fig2a".into(),
+        title: "Survey of FM radio signals across a major US city".into(),
+        x_label: "Power (dBm)".into(),
+        y_label: "CDF".into(),
+        series: vec![Series::new("city grid cells", cdf.sampled_points(24))],
+        paper_expectation:
+            "power spans ~-55..-10 dBm; median -35.15 dBm; all cells well above FM sensitivity"
+                .into(),
+    }
+}
+
+/// Fig. 2b — CDF of power at a fixed location over 24 h.
+pub fn fig2b(_grid: Grid) -> Experiment {
+    let cdf = TemporalSurvey::paper_default().cdf();
+    Experiment {
+        id: "fig2b".into(),
+        title: "FM power at a fixed location across 24 hours".into(),
+        x_label: "Power (dBm)".into(),
+        y_label: "CDF".into(),
+        series: vec![Series::new("per-minute samples", cdf.sampled_points(24))],
+        paper_expectation: "roughly constant: sigma = 0.7 dB within -35..-30 dBm".into(),
+    }
+}
+
+/// Fig. 4a — licensed vs detectable stations in five cities.
+pub fn fig4a(_grid: Grid) -> Experiment {
+    let mut licensed = Vec::new();
+    let mut detectable = Vec::new();
+    for (i, city) in City::ALL.iter().enumerate() {
+        let (l, d) = city.station_counts();
+        licensed.push((i as f64, l as f64));
+        detectable.push((i as f64, d as f64));
+    }
+    Experiment {
+        id: "fig4a".into(),
+        title: "Usage of FM channels in US cities (x: SFO, Seattle, Boston, Chicago, LA)".into(),
+        x_label: "city index".into(),
+        y_label: "station count".into(),
+        series: vec![
+            Series::new("Licensed", licensed),
+            Series::new("Detectable", detectable),
+        ],
+        paper_expectation:
+            "20-70 stations per city; Seattle detects more than licensed (neighbouring markets)"
+                .into(),
+    }
+}
+
+/// Fig. 4b — CDF of the minimum shift frequency to a free channel.
+pub fn fig4b(_grid: Grid) -> Experiment {
+    let series = City::ALL
+        .iter()
+        .map(|city| {
+            let cdf = occupancy::min_shift_cdf(*city);
+            let pts = cdf
+                .points()
+                .into_iter()
+                .map(|(x, y)| (x / 1_000.0, y)) // kHz
+                .collect();
+            Series::new(city.label(), pts)
+        })
+        .collect();
+    Experiment {
+        id: "fig4b".into(),
+        title: "Minimum frequency shift from licensed stations to a free channel".into(),
+        x_label: "Minimum shift frequency (kHz)".into(),
+        y_label: "CDF".into(),
+        series,
+        paper_expectation: "median 200 kHz; worst case under ~800 kHz".into(),
+    }
+}
+
+/// Fig. 5 — CDF of stereo-band power over guard-band power, per genre.
+pub fn fig5(grid: Grid) -> Experiment {
+    let windows = match grid {
+        Grid::Quick => 8,
+        Grid::Full => 24,
+    };
+    let series = ProgramKind::BROADCAST_GENRES
+        .iter()
+        .map(|kind| {
+            let cdf = stereo_util::stereo_utilisation_cdf(*kind, windows, 17);
+            Series::new(kind.label(), cdf.points())
+        })
+        .collect();
+    Experiment {
+        id: "fig5".into(),
+        title: "Signal power broadcast in the stereo band of FM stations".into(),
+        x_label: "P_stereo/P_guard (dB)".into(),
+        y_label: "CDF".into(),
+        series,
+        paper_expectation: "news/talk lowest (same speech on L/R); music genres highest".into(),
+    }
+}
+
+/// Fig. 6 — receiver SNR versus backscattered tone frequency.
+pub fn fig6(grid: Grid) -> Experiment {
+    let freqs: Vec<f64> = match grid {
+        Grid::Quick => vec![
+            500.0, 1_000.0, 2_000.0, 4_000.0, 6_000.0, 8_000.0, 10_000.0, 12_000.0, 13_000.0,
+            14_000.0, 15_000.0,
+        ],
+        Grid::Full => (1..=30).map(|i| 500.0 * i as f64).collect(),
+    };
+    let scenario = Scenario::bench(-20.0, 4.0, ProgramKind::Silence);
+    let secs = grid.audio_secs().min(2.0);
+    let run_band = |stereo_band: bool| -> Vec<(f64, f64)> {
+        freqs
+            .iter()
+            .map(|&f| {
+                let n = (FAST_AUDIO_RATE * secs) as usize;
+                let payload: Vec<f64> =
+                    (0..n).map(|i| 0.9 * (TAU * f * i as f64 / FAST_AUDIO_RATE).sin()).collect();
+                let out = FastSim::new(scenario).run(&payload, stereo_band);
+                let audio = if stereo_band { &out.difference } else { &out.mono };
+                let skip = audio.len() / 4;
+                (f / 1_000.0, fmbs_audio::metrics::tone_snr_db(&audio[skip..], FAST_AUDIO_RATE, f))
+            })
+            .collect()
+    };
+    Experiment {
+        id: "fig6".into(),
+        title: "Received SNR vs backscattered audio frequency (Moto G1 model)".into(),
+        x_label: "frequency (kHz)".into(),
+        y_label: "SNR (dB)".into(),
+        series: vec![
+            Series::new("Mono band", run_band(false)),
+            Series::new("Stereo band", run_band(true)),
+        ],
+        paper_expectation: "good response below 13 kHz, sharp drop after (capture chain)".into(),
+    }
+}
+
+/// Fig. 7 — SNR versus power and distance (1 kHz tone).
+pub fn fig7(grid: Grid) -> Experiment {
+    let distances = grid.distances_ft();
+    let series = grid
+        .powers_dbm()
+        .iter()
+        .map(|&p| {
+            let pts = distances
+                .iter()
+                .map(|&d| {
+                    let scenario = Scenario::bench(p, d, ProgramKind::Silence);
+                    let n = (FAST_AUDIO_RATE * 0.5) as usize;
+                    let payload: Vec<f64> = (0..n)
+                        .map(|i| 0.9 * (TAU * 1_000.0 * i as f64 / FAST_AUDIO_RATE).sin())
+                        .collect();
+                    let out = FastSim::new(scenario).run(&payload, false);
+                    let skip = out.mono.len() / 4;
+                    (
+                        d,
+                        fmbs_audio::metrics::tone_snr_db(&out.mono[skip..], FAST_AUDIO_RATE, 1_000.0),
+                    )
+                })
+                .collect();
+            Series::new(format!("{p} dBm"), pts)
+        })
+        .collect();
+    Experiment {
+        id: "fig7".into(),
+        title: "SNR vs receiving power and distance".into(),
+        x_label: "distance (ft)".into(),
+        y_label: "SNR (dB)".into(),
+        series,
+        paper_expectation:
+            "20 ft reach at -30 dBm (SNR > 20 dB); usable close-in even at -50 dBm".into(),
+    }
+}
+
+fn ber_series(grid: Grid, bitrate: Bitrate) -> Vec<Series> {
+    let distances = grid.distances_ft();
+    grid.powers_dbm()
+        .iter()
+        .map(|&p| {
+            let pts = distances
+                .iter()
+                .map(|&d| {
+                    // Average over genre hosts and repeats, as the paper
+                    // loops four station clips.
+                    let genres = [ProgramKind::News, ProgramKind::RockMusic];
+                    let mut acc = 0.0;
+                    let mut count = 0;
+                    for (gi, g) in genres.iter().enumerate() {
+                        for r in 0..grid.repeats() {
+                            let s = Scenario::bench(p, d, *g)
+                                .with_seed(0x8E5 + gi as u64 * 97 + r as u64 * 7919);
+                            acc += OverlayData::new(s, bitrate, grid.data_bits()).run_ber();
+                            count += 1;
+                        }
+                    }
+                    (d, acc / count as f64)
+                })
+                .collect();
+            Series::new(format!("{p} dBm"), pts)
+        })
+        .collect()
+}
+
+/// Fig. 8a/b/c — BER of overlay backscatter at the three bit rates.
+pub fn fig8(grid: Grid, bitrate: Bitrate) -> Experiment {
+    let id = match bitrate {
+        Bitrate::Bps100 => "fig8a",
+        Bitrate::Kbps1_6 => "fig8b",
+        Bitrate::Kbps3_2 => "fig8c",
+    };
+    Experiment {
+        id: id.into(),
+        title: format!("BER with overlay backscatter — {}", bitrate.label()),
+        x_label: "distance (ft)".into(),
+        y_label: "Bit-error rate".into(),
+        series: ber_series(grid, bitrate),
+        paper_expectation: match bitrate {
+            Bitrate::Bps100 => {
+                "near zero to 6 ft at all powers (-20..-60 dBm); >12 ft above -60 dBm".into()
+            }
+            Bitrate::Kbps1_6 => "low to 16 ft above -40 dBm; 3-6 ft at -60/-50 dBm".into(),
+            Bitrate::Kbps3_2 => "works above -40 dBm; fails at -50/-60 dBm".into(),
+        },
+    }
+}
+
+/// Fig. 9 — BER with maximal-ratio combining (1.6 kbps).
+///
+/// The paper runs this at −40 dBm, where its errors come from the looped
+/// *off-air* station audio interfering with the FDM tones. Our synthetic
+/// programme generators are spectrally cleaner than real broadcasts, so
+/// at −40 dBm the substrate produces no errors to combine away; the MRC
+/// mechanism is therefore exercised in the noise/click-limited regime at
+/// −60 dBm, where repetitions see independent impairments exactly as
+/// §3.4 assumes. Documented in EXPERIMENTS.md.
+pub fn fig9(grid: Grid) -> Experiment {
+    let distances = [8.0, 10.0, 12.0, 13.0, 14.0];
+    let series = [1usize, 2, 3, 4]
+        .iter()
+        .map(|&n| {
+            let pts = distances
+                .iter()
+                .map(|&d| {
+                    let s = Scenario::bench(-60.0, d, ProgramKind::RockMusic);
+                    let exp = OverlayData::new(s, Bitrate::Kbps1_6, grid.data_bits().max(800));
+                    (d, exp.run_ber_mrc(n))
+                })
+                .collect();
+            let label = if n == 1 {
+                "No MRC".to_string()
+            } else {
+                format!("{n}x MRC")
+            };
+            Series::new(label, pts)
+        })
+        .collect();
+    Experiment {
+        id: "fig9".into(),
+        title: "BER with MRC (overlay, 1.6 kbps, -60 dBm; see EXPERIMENTS.md)".into(),
+        x_label: "distance (ft)".into(),
+        y_label: "Bit-error rate".into(),
+        series,
+        paper_expectation: "2x combining already reduces BER significantly".into(),
+    }
+}
+
+/// Fig. 10 — overlay vs stereo backscatter BER at −30 dBm.
+pub fn fig10(grid: Grid) -> Experiment {
+    let distances = [1.0, 2.0, 3.0, 4.0];
+    let mut series = Vec::new();
+    for bitrate in [Bitrate::Kbps1_6, Bitrate::Kbps3_2] {
+        let overlay_pts = distances
+            .iter()
+            .map(|&d| {
+                let s = Scenario::bench(-30.0, d, ProgramKind::News);
+                (d, OverlayData::new(s, bitrate, grid.data_bits()).run_ber())
+            })
+            .collect();
+        let stereo_pts = distances
+            .iter()
+            .map(|&d| {
+                let s = Scenario::bench(-30.0, d, ProgramKind::News);
+                let out = StereoBackscatter::new(s, StereoHost::StereoNews)
+                    .run_ber(bitrate, grid.data_bits());
+                (d, out.value().unwrap_or(0.5))
+            })
+            .collect();
+        let rate = if bitrate == Bitrate::Kbps1_6 {
+            "1.6kbps"
+        } else {
+            "3.2kbps"
+        };
+        series.push(Series::new(format!("Overlay  {rate}"), overlay_pts));
+        series.push(Series::new(format!("Stereo  {rate}"), stereo_pts));
+    }
+    Experiment {
+        id: "fig10".into(),
+        title: "BER: overlay vs stereo backscatter (-30 dBm)".into(),
+        x_label: "distance (ft)".into(),
+        y_label: "Bit-error rate".into(),
+        series,
+        paper_expectation: "stereo backscatter significantly lowers BER vs overlay".into(),
+    }
+}
+
+/// Fig. 11 — PESQ of overlay audio backscatter.
+pub fn fig11(grid: Grid) -> Experiment {
+    let distances = grid.distances_ft();
+    let series = grid
+        .powers_dbm()
+        .iter()
+        .map(|&p| {
+            let pts = distances
+                .iter()
+                .map(|&d| {
+                    let s = Scenario::bench(p, d, ProgramKind::News);
+                    (d, OverlayAudio::new(s, grid.audio_secs()).run_pesq())
+                })
+                .collect();
+            Series::new(format!("{p} dBm"), pts)
+        })
+        .collect();
+    Experiment {
+        id: "fig11".into(),
+        title: "PESQ with overlay backscatter".into(),
+        x_label: "distance (ft)".into(),
+        y_label: "PESQ score".into(),
+        series,
+        paper_expectation:
+            "consistently ~2 for -20..-40 dBm up to 20 ft; -50 dBm good to 12 ft".into(),
+    }
+}
+
+/// Fig. 12 — PESQ of cooperative backscatter.
+pub fn fig12(grid: Grid) -> Experiment {
+    let distances = grid.distances_ft();
+    let series = [-20.0, -30.0, -40.0, -50.0]
+        .iter()
+        .map(|&p| {
+            let pts = distances
+                .iter()
+                .map(|&d| {
+                    let s = Scenario::bench(p, d, ProgramKind::News);
+                    (d, CoopSession::new(s, grid.audio_secs()).run_pesq())
+                })
+                .collect();
+            Series::new(format!("{p} dBm"), pts)
+        })
+        .collect();
+    Experiment {
+        id: "fig12".into(),
+        title: "PESQ with cooperative backscatter (two-phone cancellation)".into(),
+        x_label: "distance (ft)".into(),
+        y_label: "PESQ score".into(),
+        series,
+        paper_expectation: "around 4 for -20..-50 dBm (cancellation removes the programme)".into(),
+    }
+}
+
+/// Fig. 13a/b — PESQ of stereo backscatter on a stereo news station (a)
+/// and a mono station converted to stereo (b).
+pub fn fig13(grid: Grid, host: StereoHost) -> Experiment {
+    let (id, title) = match host {
+        StereoHost::StereoNews => ("fig13a", "PESQ, stereo backscatter on a stereo news station"),
+        StereoHost::MonoStation => ("fig13b", "PESQ, mono station converted to stereo"),
+    };
+    let distances = grid.distances_ft();
+    let series = [-20.0, -30.0, -40.0]
+        .iter()
+        .map(|&p| {
+            let pts = distances
+                .iter()
+                .map(|&d| {
+                    let s = Scenario::bench(p, d, ProgramKind::News);
+                    let out = StereoBackscatter::new(s, host).run_pesq(grid.audio_secs());
+                    (d, out.value().unwrap_or(0.0))
+                })
+                .collect();
+            Series::new(format!("{p} dBm"), pts)
+        })
+        .collect();
+    Experiment {
+        id: id.into(),
+        title: title.into(),
+        x_label: "distance (ft)".into(),
+        y_label: "PESQ score".into(),
+        series,
+        paper_expectation:
+            "beats overlay at high power; needs strong signal (pilot detect); mono host cleanest"
+                .into(),
+    }
+}
+
+/// Fig. 14 — car receiver: SNR (a) and PESQ (b) versus range.
+pub fn fig14(grid: Grid) -> Experiment {
+    let distances = [20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0];
+    let mut series = Vec::new();
+    for &p in &[-20.0, -30.0] {
+        let snr_pts: Vec<(f64, f64)> = distances
+            .iter()
+            .map(|&d| {
+                let scenario = Scenario::car(p, d, ProgramKind::Silence);
+                let n = (FAST_AUDIO_RATE * 0.5) as usize;
+                let payload: Vec<f64> = (0..n)
+                    .map(|i| 0.9 * (TAU * 1_000.0 * i as f64 / FAST_AUDIO_RATE).sin())
+                    .collect();
+                let out = FastSim::new(scenario).run(&payload, false);
+                let skip = out.mono.len() / 4;
+                (
+                    d,
+                    fmbs_audio::metrics::tone_snr_db(&out.mono[skip..], FAST_AUDIO_RATE, 1_000.0),
+                )
+            })
+            .collect();
+        let pesq_pts: Vec<(f64, f64)> = distances
+            .iter()
+            .map(|&d| {
+                let s = Scenario::car(p, d, ProgramKind::News);
+                (d, OverlayAudio::new(s, grid.audio_secs()).run_pesq())
+            })
+            .collect();
+        series.push(Series::new(format!("SNR {p} dBm"), snr_pts));
+        series.push(Series::new(format!("PESQ {p} dBm"), pesq_pts));
+    }
+    Experiment {
+        id: "fig14".into(),
+        title: "Overlay backscatter into a car receiver".into(),
+        x_label: "distance (ft)".into(),
+        y_label: "SNR (dB) / PESQ".into(),
+        series,
+        paper_expectation: "works well up to 60 ft at -20/-30 dBm (car antenna advantage)".into(),
+    }
+}
+
+/// Fig. 17b — smart-fabric BER across mobility.
+pub fn fig17(grid: Grid) -> Experiment {
+    use fmbs_channel::fading::MotionProfile;
+    let motions = [
+        MotionProfile::Standing,
+        MotionProfile::Walking,
+        MotionProfile::Running,
+    ];
+    let mut s100 = Vec::new();
+    let mut s1600 = Vec::new();
+    for (i, &m) in motions.iter().enumerate() {
+        let mut acc100 = 0.0;
+        let mut acc1600 = 0.0;
+        let reps = grid.repeats().max(2);
+        for r in 0..reps {
+            let s = Scenario::fabric(m).with_seed(0xFAB + r as u64 * 1009);
+            acc100 += OverlayData::new(s, Bitrate::Bps100, grid.data_bits().min(300)).run_ber();
+            // The paper reports 1.6 kbps *with 2x MRC* for the shirt.
+            acc1600 += OverlayData::new(s, Bitrate::Kbps1_6, grid.data_bits()).run_ber_mrc(2);
+        }
+        s100.push((i as f64, acc100 / reps as f64));
+        s1600.push((i as f64, acc1600 / reps as f64));
+    }
+    Experiment {
+        id: "fig17b".into(),
+        title: "Smart fabric BER (x: standing, walking, running)".into(),
+        x_label: "motion index".into(),
+        y_label: "Bit-error rate".into(),
+        series: vec![
+            Series::new("100bps", s100),
+            Series::new("1.6kbps w/ 2x MRC", s1600),
+        ],
+        paper_expectation:
+            "100 bps < 0.005 even running; 1.6 kbps+2xMRC ~0.02 standing, rising with motion"
+                .into(),
+    }
+}
+
+/// §4's power table and §2's battery-life comparison.
+pub fn power_table(_grid: Grid) -> Experiment {
+    let b = PAPER_OPERATING_POINT.breakdown();
+    let series = vec![
+        Series::new(
+            "IC power (uW): baseband, modulator, switch, total",
+            vec![
+                (0.0, b.baseband_uw),
+                (1.0, b.modulator_uw),
+                (2.0, b.switch_uw),
+                (3.0, b.total_uw()),
+            ],
+        ),
+        Series::new(
+            "battery life (hours on 225 mAh): FM chip vs backscatter",
+            vec![
+                (
+                    0.0,
+                    fmbs_core::power::battery_life_hours(
+                        comparisons::COIN_CELL_MAH,
+                        comparisons::FM_CHIP_TX_MA,
+                    ),
+                ),
+                (
+                    1.0,
+                    fmbs_core::power::battery_life_hours(
+                        comparisons::COIN_CELL_MAH,
+                        fmbs_core::power::current_ma(PAPER_OPERATING_POINT.total_uw(), 1.0),
+                    ),
+                ),
+            ],
+        ),
+        Series::new(
+            "power vs f_back (kHz -> uW)",
+            [200.0, 400.0, 600.0, 800.0]
+                .iter()
+                .map(|&f| {
+                    let m = IcPowerModel {
+                        f_back_hz: f * 1_000.0,
+                        ..PAPER_OPERATING_POINT
+                    };
+                    (f, m.total_uw())
+                })
+                .collect(),
+        ),
+    ];
+    Experiment {
+        id: "power".into(),
+        title: "IC power model (TSMC 65 nm) and battery-life economics".into(),
+        x_label: "item".into(),
+        y_label: "uW / hours".into(),
+        series,
+        paper_expectation:
+            "1.0 + 9.94 + 0.13 = 11.07 uW; FM chip <12 h on a coin cell vs ~3 years backscatter"
+                .into(),
+    }
+}
+
+/// §3.4's rate ceiling: BER versus symbol rate at a fixed good link.
+pub fn rates_table(grid: Grid) -> Experiment {
+    let pts = Bitrate::ALL
+        .iter()
+        .map(|&b| {
+            let s = Scenario::bench(-50.0, 10.0, ProgramKind::News);
+            (
+                b.symbol_rate(),
+                OverlayData::new(s, b, grid.data_bits()).run_ber(),
+            )
+        })
+        .collect();
+    Experiment {
+        id: "rates".into(),
+        title: "BER vs symbol rate at -50 dBm / 10 ft".into(),
+        x_label: "symbols per second".into(),
+        y_label: "Bit-error rate".into(),
+        series: vec![Series::new("overlay", pts)],
+        paper_expectation: "degrades significantly above 400 sym/s; 3.2 kbps is the ceiling".into(),
+    }
+}
+
+/// Ablation (DESIGN.md): the square-wave subcarrier approximation versus
+/// an ideal cosine and the four-state SSB switch, through the *physical*
+/// simulator. Reports the received 1 kHz tone SNR and the image-sideband
+/// leakage for each switch architecture.
+pub fn ablation(_grid: Grid) -> Experiment {
+    use fmbs_core::sim::physical::{PhysicalSim, PhysicalSimConfig};
+    use fmbs_core::tag::{Tag, TagConfig};
+    use fmbs_dsp::complex::Complex;
+
+    // (a) Audio SNR through the full physical chain, square switch, at a
+    //     noise-limited point.
+    let audio_rate = 48_000.0;
+    let payload: Vec<f64> = (0..(audio_rate * 0.3) as usize)
+        .map(|i| 0.9 * (TAU * 1_000.0 * i as f64 / audio_rate).sin())
+        .collect();
+    let silence = vec![0.0; payload.len()];
+    let sim = PhysicalSim::new(PhysicalSimConfig::bench(-50.0, 10.0));
+    let mut station = fmbs_fm::transmitter::StationConfig::mono();
+    station.preemphasis = false;
+    let out = sim.run(station, &silence, &silence, audio_rate, &payload, false);
+    let skip = out.backscatter_rx.mono.len() / 3;
+    let square_snr = fmbs_audio::metrics::tone_snr_db(
+        &out.backscatter_rx.mono[skip..],
+        out.backscatter_rx.sample_rate,
+        1_000.0,
+    );
+
+    // (b) Sideband structure per switch architecture (tone carrier).
+    let fs = 2_560_000.0;
+    let n = 1 << 16;
+    let incident = vec![Complex::ONE; n];
+    let flat = vec![0.0; n];
+    let fft = fmbs_dsp::fft::Fft::new(n);
+    let sideband_powers = |iq: Vec<Complex>| -> (f64, f64) {
+        let mut buf = iq;
+        fft.forward(&mut buf);
+        let bin = fs / n as f64;
+        let grab = |f: f64| {
+            let k = ((f / bin).round() as isize).rem_euclid(n as isize) as usize;
+            (k.saturating_sub(2)..(k + 3).min(n))
+                .map(|i| buf[i].norm_sqr())
+                .sum::<f64>()
+                / (n as f64 * n as f64)
+        };
+        (grab(600_000.0), grab(-600_000.0))
+    };
+    let cfg = TagConfig {
+        f_back_hz: 600_000.0,
+        deviation_hz: 75_000.0,
+        sample_rate: fs,
+    };
+    let (sq_up, sq_img) = sideband_powers(Tag::new(cfg).backscatter(&incident, &flat));
+    let (cos_up, cos_img) = sideband_powers(Tag::new(cfg).backscatter_cosine(&incident, &flat));
+    let (ssb_up, ssb_img) = sideband_powers(Tag::new(cfg).backscatter_ssb(&incident, &flat));
+    let db = |p: f64| 10.0 * p.max(1e-30).log10();
+
+    Experiment {
+        id: "ablation".into(),
+        title: "Switch-architecture ablation: square vs cosine vs SSB".into(),
+        x_label: "0=square 1=cosine 2=ssb".into(),
+        y_label: "dB".into(),
+        series: vec![
+            Series::new(
+                "upper sideband power (dBc)",
+                vec![(0.0, db(sq_up)), (1.0, db(cos_up)), (2.0, db(ssb_up))],
+            ),
+            Series::new(
+                "image sideband power (dBc)",
+                vec![(0.0, db(sq_img)), (1.0, db(cos_img)), (2.0, db(ssb_img))],
+            ),
+            Series::new(
+                "physical-chain 1 kHz tone SNR, square switch (dB)",
+                vec![(0.0, square_snr)],
+            ),
+        ],
+        paper_expectation:
+            "square fundamental ~-3.9 dBc per sideband; SSB suppresses the image (footnote 2)"
+                .into(),
+    }
+}
+
+/// Every experiment, in paper order.
+pub fn all(grid: Grid) -> Vec<Experiment> {
+    vec![
+        fig2a(grid),
+        fig2b(grid),
+        fig4a(grid),
+        fig4b(grid),
+        fig5(grid),
+        fig6(grid),
+        fig7(grid),
+        fig8(grid, Bitrate::Bps100),
+        fig8(grid, Bitrate::Kbps1_6),
+        fig8(grid, Bitrate::Kbps3_2),
+        fig9(grid),
+        fig10(grid),
+        fig11(grid),
+        fig12(grid),
+        fig13(grid, StereoHost::StereoNews),
+        fig13(grid, StereoHost::MonoStation),
+        fig14(grid),
+        fig17(grid),
+        power_table(grid),
+        rates_table(grid),
+        ablation(grid),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each experiment's *shape* assertions live in the crates that own the
+    // models; here we smoke-test that the harness functions produce
+    // non-degenerate series quickly.
+
+    #[test]
+    fn fig2a_has_69_cells_summarised() {
+        let e = fig2a(Grid::Quick);
+        assert_eq!(e.series.len(), 1);
+        assert!(e.series[0].points.len() >= 10);
+    }
+
+    #[test]
+    fn fig4a_matches_city_count() {
+        let e = fig4a(Grid::Quick);
+        assert_eq!(e.series[0].points.len(), 5);
+        assert_eq!(e.series[1].points.len(), 5);
+    }
+
+    #[test]
+    fn fig7_series_cover_all_powers() {
+        let e = fig7(Grid::Quick);
+        assert_eq!(e.series.len(), 5);
+        // SNR at -20 dBm close-in beats -60 dBm far-out.
+        let strong = e.series[0].points[0].1;
+        let weak = e.series[4].points.last().unwrap().1;
+        assert!(strong > weak + 10.0, "strong {strong} weak {weak}");
+    }
+
+    #[test]
+    fn power_table_totals() {
+        let e = power_table(Grid::Quick);
+        let total = e.series[0].points[3].1;
+        assert!((total - 11.07).abs() < 1e-9);
+    }
+}

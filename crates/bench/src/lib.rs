@@ -1,0 +1,12 @@
+//! # fmbs-bench — the experiment harness
+//!
+//! One function per table/figure of the paper's evaluation, each returning
+//! an [`report::Experiment`] with the same series the paper plots. The
+//! `repro` binary prints/serialises them; the Criterion benches in
+//! `benches/` time representative points of each.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;

@@ -1,0 +1,131 @@
+//! Antenna models for every antenna in the paper.
+//!
+//! §6.1 builds a 40″×60″ half-wave dipole and a 24″×36″ bowtie from copper
+//! tape on poster paper; §6.2 machine-sews a meander dipole in stainless
+//! conductive thread on a cotton shirt; receivers use headphone-wire
+//! antennas (phones) or a roof whip over the car's ground plane (§5.4).
+//! Each model carries a gain and an efficiency; the body-worn antenna adds
+//! the proximity loss that wearable systems suffer ("losses such as poor
+//! antenna performance in close proximity to the human body", §6.2).
+
+use crate::units::Db;
+use serde::{Deserialize, Serialize};
+
+/// The antennas used in the paper's prototypes and receivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Antenna {
+    /// Half-wavelength copper-tape dipole on a 40″×60″ bus-stop poster.
+    PosterDipole,
+    /// Bowtie on a 24″×36″ Super-A1 poster (broader band, slightly less
+    /// gain, shorter than λ/2 at FM frequencies).
+    PosterBowtie,
+    /// Meander dipole sewn in conductive thread on a T-shirt, worn on the
+    /// body.
+    ShirtMeander,
+    /// Smartphone receiver using the headphone cable as its antenna.
+    HeadphoneWire,
+    /// Car whip antenna over the vehicle ground plane.
+    CarWhip,
+    /// Reference quarter-wave monopole (the survey's SRH789).
+    ReferenceMonopole,
+    /// Ideal isotropic radiator (for calibration).
+    Isotropic,
+}
+
+impl Antenna {
+    /// Directivity gain in dBi (free-space, matched).
+    pub fn gain_dbi(self) -> Db {
+        match self {
+            Antenna::PosterDipole => Db(2.15),
+            Antenna::PosterBowtie => Db(1.5),
+            Antenna::ShirtMeander => Db(0.5),
+            Antenna::HeadphoneWire => Db(-3.0),
+            Antenna::CarWhip => Db(1.5),
+            Antenna::ReferenceMonopole => Db(2.15),
+            Antenna::Isotropic => Db(0.0),
+        }
+    }
+
+    /// Implementation losses in dB: conductor/mismatch losses, and for
+    /// body-worn fabric antennas the proximity/detuning loss. Positive
+    /// numbers are losses.
+    pub fn implementation_loss_db(self) -> Db {
+        match self {
+            Antenna::PosterDipole => Db(0.5),
+            Antenna::PosterBowtie => Db(1.0),
+            // Conductive-thread resistance + body absorption.
+            Antenna::ShirtMeander => Db(4.0),
+            // Headphone cables are poorly matched and orientation-random.
+            Antenna::HeadphoneWire => Db(3.0),
+            // Car antennas are well matched with a large ground plane
+            // (§5.4: "we expect the RF performance of the car's antenna …
+            // to be significantly better than the average smartphone").
+            Antenna::CarWhip => Db(0.0),
+            Antenna::ReferenceMonopole => Db(0.3),
+            Antenna::Isotropic => Db(0.0),
+        }
+    }
+
+    /// Net effective gain: directivity minus implementation loss.
+    pub fn effective_gain_db(self) -> Db {
+        self.gain_dbi() - self.implementation_loss_db()
+    }
+
+    /// Human-readable description.
+    pub fn description(self) -> &'static str {
+        match self {
+            Antenna::PosterDipole => "40\"x60\" copper-tape half-wave dipole (bus-stop poster)",
+            Antenna::PosterBowtie => "24\"x36\" copper-tape bowtie (Super A1 poster)",
+            Antenna::ShirtMeander => "conductive-thread meander dipole on cotton T-shirt",
+            Antenna::HeadphoneWire => "smartphone headphone-wire antenna",
+            Antenna::CarWhip => "car whip antenna over vehicle ground plane",
+            Antenna::ReferenceMonopole => "quarter-wave reference monopole (SRH789)",
+            Antenna::Isotropic => "ideal isotropic radiator",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dipole_has_textbook_gain() {
+        assert_eq!(Antenna::PosterDipole.gain_dbi(), Db(2.15));
+    }
+
+    #[test]
+    fn car_beats_headphone_wire() {
+        // §5.4's premise: the car's RF chain is significantly better than
+        // the phone's.
+        let car = Antenna::CarWhip.effective_gain_db();
+        let phone = Antenna::HeadphoneWire.effective_gain_db();
+        assert!((car - phone).0 >= 6.0, "car {car} vs phone {phone}");
+    }
+
+    #[test]
+    fn shirt_antenna_pays_body_penalty() {
+        let shirt = Antenna::ShirtMeander.effective_gain_db();
+        let poster = Antenna::PosterDipole.effective_gain_db();
+        assert!(shirt.0 < poster.0);
+    }
+
+    #[test]
+    fn effective_gain_is_gain_minus_loss() {
+        for a in [
+            Antenna::PosterDipole,
+            Antenna::PosterBowtie,
+            Antenna::ShirtMeander,
+            Antenna::HeadphoneWire,
+            Antenna::CarWhip,
+            Antenna::ReferenceMonopole,
+            Antenna::Isotropic,
+        ] {
+            assert_eq!(
+                a.effective_gain_db().0,
+                a.gain_dbi().0 - a.implementation_loss_db().0
+            );
+            assert!(!a.description().is_empty());
+        }
+    }
+}

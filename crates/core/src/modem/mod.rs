@@ -1,0 +1,146 @@
+//! The data layer of §3.4.
+//!
+//! "We use a form of FSK modulation in combination with a computationally
+//! simple frequency division multiplexing algorithm": three bit rates, one
+//! symbol clock, all tones inside the audio band an FM receiver hands to
+//! software:
+//!
+//! | rate     | scheme    | tones                      | symbol rate |
+//! |----------|-----------|----------------------------|-------------|
+//! | 100 bps  | 2-FSK     | 8 kHz / 12 kHz             | 100 sym/s   |
+//! | 1.6 kbps | FDM-4FSK  | 16 tones, 800 Hz–12.8 kHz  | 200 sym/s   |
+//! | 3.2 kbps | FDM-4FSK  | same                       | 400 sym/s   |
+//!
+//! The FDM grid is split into four consecutive groups of four tones; each
+//! group carries two bits by activating one of its four tones, so a symbol
+//! carries 8 bits with only 4 simultaneous tones ("to reduce the
+//! transmitter complexity").
+
+pub mod decoder;
+pub mod encoder;
+pub mod fec;
+pub mod frame;
+pub mod mrc;
+
+use serde::{Deserialize, Serialize};
+
+/// 2-FSK tone for a `0` bit (§3.4).
+pub const FSK_ZERO_HZ: f64 = 8_000.0;
+/// 2-FSK tone for a `1` bit (§3.4).
+pub const FSK_ONE_HZ: f64 = 12_000.0;
+/// FDM grid spacing and base: tones at `800·k` Hz for k = 1…16.
+pub const FDM_BASE_HZ: f64 = 800.0;
+/// Number of FDM tones.
+pub const FDM_TONES: usize = 16;
+/// Number of FDM groups (each carrying 2 bits per symbol).
+pub const FDM_GROUPS: usize = 4;
+
+/// The three bit rates evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Bitrate {
+    /// 100 bps binary FSK.
+    Bps100,
+    /// 1.6 kbps FDM-4FSK at 200 symbols/s.
+    Kbps1_6,
+    /// 3.2 kbps FDM-4FSK at 400 symbols/s.
+    Kbps3_2,
+}
+
+impl Bitrate {
+    /// Symbols per second.
+    pub fn symbol_rate(self) -> f64 {
+        match self {
+            Bitrate::Bps100 => 100.0,
+            Bitrate::Kbps1_6 => 200.0,
+            Bitrate::Kbps3_2 => 400.0,
+        }
+    }
+
+    /// Bits per symbol.
+    pub fn bits_per_symbol(self) -> usize {
+        match self {
+            Bitrate::Bps100 => 1,
+            Bitrate::Kbps1_6 | Bitrate::Kbps3_2 => 8,
+        }
+    }
+
+    /// Net bit rate in bits per second.
+    pub fn bits_per_second(self) -> f64 {
+        self.symbol_rate() * self.bits_per_symbol() as f64
+    }
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Bitrate::Bps100 => "BFSK @ 100bps",
+            Bitrate::Kbps1_6 => "FDM-4FSK @ 1.6kbps",
+            Bitrate::Kbps3_2 => "FDM-4FSK @ 3.2kbps",
+        }
+    }
+
+    /// All three rates.
+    pub const ALL: [Bitrate; 3] = [Bitrate::Bps100, Bitrate::Kbps1_6, Bitrate::Kbps3_2];
+}
+
+/// The FDM tone frequency for tone index `k` (0-based, 0…15).
+pub fn fdm_tone_hz(k: usize) -> f64 {
+    assert!(k < FDM_TONES);
+    FDM_BASE_HZ * (k + 1) as f64
+}
+
+/// Counts bit errors between two equal-length bit slices.
+pub fn count_bit_errors(a: &[bool], b: &[bool]) -> usize {
+    assert_eq!(a.len(), b.len(), "BER comparison needs equal lengths");
+    a.iter().zip(b.iter()).filter(|(x, y)| x != y).count()
+}
+
+/// Bit-error rate between transmitted and received bits; compares the
+/// common prefix if lengths differ (missing bits count as errors).
+pub fn bit_error_rate(sent: &[bool], received: &[bool]) -> f64 {
+    if sent.is_empty() {
+        return 0.0;
+    }
+    let n = sent.len().min(received.len());
+    let errors = count_bit_errors(&sent[..n], &received[..n]) + (sent.len() - n);
+    errors as f64 / sent.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_match_paper() {
+        assert_eq!(Bitrate::Bps100.bits_per_second(), 100.0);
+        assert_eq!(Bitrate::Kbps1_6.bits_per_second(), 1_600.0);
+        assert_eq!(Bitrate::Kbps3_2.bits_per_second(), 3_200.0);
+    }
+
+    #[test]
+    fn fdm_grid_is_800hz_to_12_8khz() {
+        assert_eq!(fdm_tone_hz(0), 800.0);
+        assert_eq!(fdm_tone_hz(15), 12_800.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fdm_tone_out_of_range_panics() {
+        let _ = fdm_tone_hz(16);
+    }
+
+    #[test]
+    fn ber_counts_correctly() {
+        let a = [true, false, true, true];
+        let b = [true, true, true, false];
+        assert_eq!(count_bit_errors(&a, &b), 2);
+        assert_eq!(bit_error_rate(&a, &b), 0.5);
+    }
+
+    #[test]
+    fn ber_penalises_missing_bits() {
+        let sent = [true, true, true, true];
+        let recv = [true, true];
+        assert_eq!(bit_error_rate(&sent, &recv), 0.5);
+        assert_eq!(bit_error_rate(&[], &recv), 0.0);
+    }
+}

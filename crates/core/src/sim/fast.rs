@@ -1,0 +1,371 @@
+//! The fast audio-domain simulator.
+//!
+//! §3.3's central identity says an FM receiver tuned to `fc + f_back`
+//! outputs `FM_audio(t) + FM_back(t)`. The fast simulator works directly in
+//! that audio domain:
+//!
+//! ```text
+//!   audio_rx(t) = h(t)·[FM_audio(t) + FM_back(t)]  ⊕  n(t)  → receiver chain
+//! ```
+//!
+//! where `n(t)` is FM post-detection noise whose level comes from the link
+//! budget's CNR (including the threshold collapse), `h(t)` is the motion
+//! fading process (scaling CNR, not the audio — both programme and payload
+//! ride the same backscattered carrier), and the receiver chain applies the
+//! capture roll-off (phone) or cabin acoustics (car). The physical
+//! simulator validates this identity; integration tests in `tests/` assert
+//! the two tiers agree.
+
+use super::scenario::{ReceiverKind, Scenario};
+use crate::modem::decoder::DataDecoder;
+use crate::modem::encoder::DataEncoder;
+use crate::modem::{bit_error_rate, Bitrate};
+use fmbs_audio::program::ProgramGenerator;
+use fmbs_channel::backscatter_link::{audio_snr_from_cnr, LinkBudget};
+use fmbs_channel::car::CabinChain;
+use fmbs_channel::fading::JakesFader;
+use fmbs_channel::pathloss::gaussian;
+use fmbs_dsp::fir::{Fir, FirDesign};
+use fmbs_dsp::windows::Window;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Audio sample rate of the fast simulator.
+pub const FAST_AUDIO_RATE: f64 = 48_000.0;
+
+/// Backscatter RSSI (dBm) below which the receiver blends to mono and
+/// never engages stereo decoding — consumer FM chips gate stereo on
+/// signal strength, which is why stereo backscatter needs ≳ −40 dBm
+/// ambient power (§5.3) while overlay data still decodes at −60 dBm.
+pub const PILOT_DETECT_RSSI_DBM: f64 = -78.0;
+
+/// Extra post-detection noise in the stereo (L−R) channel relative to the
+/// mono channel (stereo FM's classic noise penalty).
+pub const STEREO_NOISE_PENALTY_DB: f64 = 6.0;
+
+/// RMS level tag payloads are loudness-processed to (relative to
+/// full-scale deviation). The tag uses the maximum allowable deviation
+/// (§3.2), so its payload is fully modulated.
+pub const BROADCAST_RMS: f64 = 0.25;
+
+/// RMS level of the *host programme* audio. Broadcast processing is loud
+/// but keeps modulation headroom, so the programme sits a few dB below
+/// the tag's fully-modulated payload — the mixture that lands overlay
+/// backscatter at its PESQ ≈ 2 operating point (Fig. 11).
+pub const HOST_RMS: f64 = 0.2;
+
+/// Peak FM-click rate scale (clicks/s) and its CNR decay constant: below
+/// ~20 dB CNR the discriminator starts producing impulsive clicks whose
+/// rate grows exponentially as the carrier weakens — the mechanism that
+/// breaks the short-symbol 3.2 kbps mode first (§3.4's 400 sym/s limit).
+pub const CLICK_RATE_SCALE: f64 = 2_500.0;
+/// E-folding of the click rate in dB of CNR.
+pub const CLICK_RATE_DECAY_DB: f64 = 2.8;
+/// CNR at which the click rate reaches its scale value.
+pub const CLICK_RATE_KNEE_DB: f64 = 4.0;
+
+/// Output of one fast-simulation run.
+#[derive(Debug, Clone)]
+pub struct FastSimOutput {
+    /// The mono audio the receiver outputs (host + payload + noise).
+    pub mono: Vec<f64>,
+    /// The L−R difference channel (stereo payload path); zeros when the
+    /// pilot was not detected.
+    pub difference: Vec<f64>,
+    /// Whether the pilot was detected (stereo decoding engaged).
+    pub pilot_detected: bool,
+    /// The link budget at this geometry.
+    pub budget: LinkBudget,
+    /// Audio sample rate.
+    pub sample_rate: f64,
+    /// The host programme's mono audio as generated (pre-noise, pre-
+    /// filter) — what a second receiver tuned to the *host* channel would
+    /// hear nearly cleanly. Cooperative backscatter builds its second
+    /// phone from this.
+    pub host_mono: Vec<f64>,
+}
+
+/// The fast simulator.
+#[derive(Debug, Clone)]
+pub struct FastSim {
+    scenario: Scenario,
+}
+
+impl FastSim {
+    /// Creates a simulator for a scenario.
+    pub fn new(scenario: Scenario) -> Self {
+        FastSim { scenario }
+    }
+
+    /// The scenario.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Runs the overlay pipeline: the receiver (tuned to the backscatter
+    /// channel) hears host programme + `payload` + noise.
+    ///
+    /// `payload` is the tag's mono-band baseband (audio or FSK waveform)
+    /// at [`FAST_AUDIO_RATE`], peak ≤ 1. `host_in_stereo_band` selects
+    /// whether the payload instead rides the L−R band (stereo
+    /// backscatter).
+    pub fn run(&self, payload: &[f64], payload_in_stereo_band: bool) -> FastSimOutput {
+        let s = &self.scenario;
+        let budget = s.link().budget_at_feet(s.distance_ft);
+        let n = payload.len();
+
+        // Host programme as decoded audio, loudness-processed to the
+        // broadcast RMS. Silence genre ⇒ zero interference, the §5.1
+        // bench case.
+        let host = ProgramGenerator::new(FAST_AUDIO_RATE, s.seed ^ 0xA5)
+            .generate(s.program, n as f64 / FAST_AUDIO_RATE);
+        let mut host_mono = host.mono();
+        let mut host_diff = host.difference();
+        fmbs_audio::speech::normalise_rms(&mut host_mono, HOST_RMS, 1.0);
+        // Scale L−R with the same gain class (its own RMS is genre-
+        // dependent; normalise relative to the mono loudness).
+        let diff_rms = fmbs_dsp::stats::rms(&host_diff);
+        let mono_raw_rms = fmbs_dsp::stats::rms(&host.mono());
+        if mono_raw_rms > 0.0 && diff_rms > 0.0 {
+            let k = HOST_RMS / mono_raw_rms;
+            for x in host_diff.iter_mut() {
+                *x = (*x * k).clamp(-1.0, 1.0);
+            }
+        }
+
+        // Motion fading: per-block CNR scaling. A *static* scenario's
+        // channel realisation is a property of the geometry, not of the
+        // run seed — back-to-back repetitions (MRC) see the same standing
+        // channel but fresh noise. Moving wearers re-randomise per run.
+        let fader_seed = match s.motion {
+            fmbs_channel::fading::MotionProfile::Standing => {
+                (s.distance_ft * 1_000.0) as u64 ^ ((s.ambient_at_tag.0.abs() * 10.0) as u64)
+            }
+            _ => s.seed,
+        };
+        let mut fader =
+            JakesFader::for_motion(FAST_AUDIO_RATE, s.link().f_hz, s.motion, fader_seed);
+        let block = (FAST_AUDIO_RATE * 0.01) as usize; // 10 ms blocks
+        let mut rng = StdRng::seed_from_u64(s.seed.wrapping_mul(0x9E37).wrapping_add(7));
+
+        let pilot_detected = budget.backscatter_at_rx.0 > PILOT_DETECT_RSSI_DBM;
+
+        let mut mono = Vec::with_capacity(n);
+        let mut difference = Vec::with_capacity(n);
+        // Click state: a decaying impulse excited at Poisson arrivals.
+        let mut click_level = 0.0f64;
+        let mut i = 0usize;
+        while i < n {
+            let len = block.min(n - i);
+            // One fading draw per block (gain applied to carrier power).
+            let h = fader.next_gain().abs();
+            let cnr_block = budget.cnr.0 + 20.0 * h.log10();
+            // Below the FM threshold the weak carrier loses the capture
+            // battle: the *signal* is suppressed (not just buried), which
+            // is what audio_snr_from_cnr's quadratic collapse models.
+            let deficit = (fmbs_channel::backscatter_link::FM_THRESHOLD_CNR_DB - cnr_block)
+                .max(0.0);
+            let sig_gain = 10f64.powf(-1.5 * deficit * deficit / 20.0);
+            let linear_snr = audio_snr_from_cnr(cnr_block.max(
+                fmbs_channel::backscatter_link::FM_THRESHOLD_CNR_DB,
+            ));
+            let noise_rms = 10f64.powf(-linear_snr / 20.0);
+            let stereo_noise_rms =
+                10f64.powf(-(linear_snr - STEREO_NOISE_PENALTY_DB) / 20.0);
+            // FM click process for this block.
+            let click_rate = CLICK_RATE_SCALE
+                * (-(cnr_block - CLICK_RATE_KNEE_DB) / CLICK_RATE_DECAY_DB).exp();
+            let p_click = (click_rate / FAST_AUDIO_RATE).min(0.5);
+            for k in 0..len {
+                let idx = i + k;
+                let hm = host_mono.get(idx).copied().unwrap_or(0.0);
+                let hd = host_diff.get(idx).copied().unwrap_or(0.0);
+                let p = payload[idx];
+                // Excite/decay the click impulse.
+                if rng.gen::<f64>() < p_click {
+                    let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                    click_level += sign * (2.0 + 1.2 * rng.gen::<f64>());
+                }
+                click_level *= 0.82; // ~12-sample decay
+                let n_mono = noise_rms * gaussian(&mut rng) + click_level;
+                if payload_in_stereo_band {
+                    mono.push(sig_gain * hm + n_mono);
+                    if pilot_detected {
+                        let n_st = stereo_noise_rms * gaussian(&mut rng) + click_level;
+                        difference.push(sig_gain * (hd + 0.9 * p) + n_st);
+                    } else {
+                        difference.push(0.0);
+                    }
+                } else {
+                    mono.push(sig_gain * (hm + p) + n_mono);
+                    if pilot_detected {
+                        let n_st = stereo_noise_rms * gaussian(&mut rng) + click_level;
+                        difference.push(sig_gain * hd + n_st);
+                    } else {
+                        difference.push(0.0);
+                    }
+                }
+            }
+            i += len;
+        }
+
+        // Receiver audio chain.
+        let (mono, difference) = match s.receiver {
+            ReceiverKind::Smartphone => {
+                let mut lpf = phone_capture_filter();
+                let m = lpf.filter_aligned(&mono);
+                let mut lpf2 = phone_capture_filter();
+                let d = lpf2.filter_aligned(&difference);
+                (m, d)
+            }
+            ReceiverKind::Car => {
+                let chain = CabinChain::default_at(FAST_AUDIO_RATE);
+                (chain.apply(&mono, s.seed ^ 0xCA7), difference)
+            }
+        };
+
+        FastSimOutput {
+            mono,
+            difference,
+            pilot_detected,
+            budget,
+            sample_rate: FAST_AUDIO_RATE,
+            host_mono,
+        }
+    }
+
+    /// Convenience: full overlay-data run — encode `bits`, simulate,
+    /// decode, return the BER.
+    pub fn overlay_data_ber(&self, bits: &[bool], bitrate: Bitrate) -> f64 {
+        let enc = DataEncoder::new(FAST_AUDIO_RATE, bitrate);
+        let wave = enc.encode(bits);
+        let out = self.run(&wave, false);
+        let dec = DataDecoder::new(FAST_AUDIO_RATE, bitrate);
+        let rx = dec.decode(&out.mono, 0, bits.len());
+        bit_error_rate(bits, &rx)
+    }
+
+    /// Convenience: stereo-backscatter data run (payload decoded from the
+    /// L−R channel). Returns `None` when the pilot was not detected (the
+    /// receiver stayed in mono mode — no stereo stream at all).
+    pub fn stereo_data_ber(&self, bits: &[bool], bitrate: Bitrate) -> Option<f64> {
+        let enc = DataEncoder::new(FAST_AUDIO_RATE, bitrate);
+        let wave = enc.encode(bits);
+        let out = self.run(&wave, true);
+        if !out.pilot_detected {
+            return None;
+        }
+        let dec = DataDecoder::new(FAST_AUDIO_RATE, bitrate);
+        let rx = dec.decode(&out.difference, 0, bits.len());
+        Some(bit_error_rate(bits, &rx))
+    }
+}
+
+/// The phone capture chain's ~13 kHz low-pass (Fig. 6's cliff), at the
+/// fast simulator's audio rate.
+pub fn phone_capture_filter() -> Fir {
+    FirDesign {
+        taps: 301,
+        window: Window::Blackman,
+    }
+    .lowpass(FAST_AUDIO_RATE, 13_500.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modem::encoder::test_bits;
+    use fmbs_audio::program::ProgramKind;
+    use fmbs_channel::fading::MotionProfile;
+
+    fn tone(f: f64, secs: f64, amp: f64) -> Vec<f64> {
+        (0..(FAST_AUDIO_RATE * secs) as usize)
+            .map(|i| amp * (fmbs_dsp::TAU * f * i as f64 / FAST_AUDIO_RATE).sin())
+            .collect()
+    }
+
+    #[test]
+    fn strong_link_passes_payload_tone() {
+        let sim = FastSim::new(Scenario::bench(-20.0, 4.0, ProgramKind::Silence));
+        let out = sim.run(&tone(1_000.0, 0.5, 0.9), false);
+        let snr = fmbs_audio::metrics::tone_snr_db(&out.mono[4_800..], FAST_AUDIO_RATE, 1_000.0);
+        assert!(snr > 35.0, "strong-link tone SNR {snr}");
+    }
+
+    #[test]
+    fn weak_link_buries_payload() {
+        let sim = FastSim::new(Scenario::bench(-60.0, 20.0, ProgramKind::Silence));
+        let out = sim.run(&tone(1_000.0, 0.5, 0.9), false);
+        let snr = fmbs_audio::metrics::tone_snr_db(&out.mono[4_800..], FAST_AUDIO_RATE, 1_000.0);
+        assert!(snr < 10.0, "weak-link tone SNR {snr}");
+    }
+
+    #[test]
+    fn overlay_ber_increases_with_rate() {
+        // Fig. 8's headline shape at a mid-strength operating point.
+        let scenario = Scenario::bench(-50.0, 8.0, ProgramKind::News);
+        let bits = test_bits(400, 3);
+        let ber100 = FastSim::new(scenario).overlay_data_ber(&bits, Bitrate::Bps100);
+        let ber3200 = FastSim::new(scenario).overlay_data_ber(&bits, Bitrate::Kbps3_2);
+        assert!(
+            ber100 <= ber3200,
+            "100 bps BER {ber100} should not exceed 3.2 kbps BER {ber3200}"
+        );
+        assert!(ber100 < 0.05, "100 bps should be reliable here: {ber100}");
+    }
+
+    #[test]
+    fn pilot_detection_gates_stereo_mode() {
+        let strong = FastSim::new(Scenario::bench(-30.0, 4.0, ProgramKind::News));
+        let weak = FastSim::new(Scenario::bench(-60.0, 4.0, ProgramKind::News));
+        let payload = tone(2_000.0, 0.3, 0.9);
+        assert!(strong.run(&payload, true).pilot_detected);
+        assert!(!weak.run(&payload, true).pilot_detected);
+    }
+
+    #[test]
+    fn stereo_band_payload_avoids_news_interference() {
+        // Fig. 10: at −30 dBm, stereo backscatter beats overlay because
+        // the news host leaves L−R almost empty.
+        let scenario = Scenario::bench(-30.0, 4.0, ProgramKind::News);
+        let bits = test_bits(800, 5);
+        let overlay = FastSim::new(scenario).overlay_data_ber(&bits, Bitrate::Kbps3_2);
+        let stereo = FastSim::new(scenario)
+            .stereo_data_ber(&bits, Bitrate::Kbps3_2)
+            .expect("pilot must be detected at -30 dBm");
+        assert!(
+            stereo <= overlay,
+            "stereo BER {stereo} should not exceed overlay BER {overlay}"
+        );
+    }
+
+    #[test]
+    fn motion_degrades_ber() {
+        let bits = test_bits(1600, 7);
+        // Operate near the margin so fading has something to break.
+        let standing = FastSim::new(Scenario::fabric(MotionProfile::Standing));
+        let running = FastSim::new(Scenario::fabric(MotionProfile::Running));
+        let ber_stand = standing.overlay_data_ber(&bits, Bitrate::Kbps1_6);
+        let ber_run = running.overlay_data_ber(&bits, Bitrate::Kbps1_6);
+        assert!(
+            ber_run >= ber_stand,
+            "running BER {ber_run} below standing BER {ber_stand}"
+        );
+    }
+
+    #[test]
+    fn car_output_carries_cabin_noise() {
+        let sim = FastSim::new(Scenario::car(-30.0, 30.0, ProgramKind::Silence));
+        let out = sim.run(&vec![0.0; 24_000], false);
+        // Engine noise present even with silent programme and payload.
+        assert!(fmbs_dsp::stats::rms(&out.mono[4_800..]) > 0.005);
+    }
+
+    #[test]
+    fn output_length_matches_payload() {
+        let sim = FastSim::new(Scenario::bench(-30.0, 4.0, ProgramKind::News));
+        let out = sim.run(&vec![0.0; 12_345], false);
+        assert_eq!(out.mono.len(), 12_345);
+        assert_eq!(out.difference.len(), 12_345);
+    }
+}

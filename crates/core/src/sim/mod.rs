@@ -1,0 +1,19 @@
+//! End-to-end simulation tiers.
+//!
+//! * [`physical`] — RF-rate simulation: real FM multiplex, real square-wave
+//!   switch multiplication, real discriminator. Slow (≈ 10⁶ samples per
+//!   simulated second) but honest; it validates the multiplication→addition
+//!   identity of §3.3 and calibrates the fast tier.
+//! * [`fast`] — the audio-domain equivalence the paper derives: the
+//!   receiver tuned to `fc + f_back` hears `FM_audio + FM_back` plus FM
+//!   post-detection noise set by the link budget. Runs the large BER/PESQ
+//!   sweeps (Figs. 7–14, 17) in milliseconds per point.
+//! * [`scenario`] — shared experiment descriptions (power, distance,
+//!   receiver, programme, motion).
+//! * [`stream`] — a bounded producer/consumer pipeline for running large
+//!   parameter sweeps with constant memory.
+
+pub mod fast;
+pub mod physical;
+pub mod scenario;
+pub mod stream;

@@ -1,0 +1,145 @@
+//! Experiment scenario descriptions shared by both simulators and the
+//! benchmark harness.
+
+use fmbs_audio::program::ProgramKind;
+use fmbs_channel::backscatter_link::BackscatterLink;
+use fmbs_channel::fading::MotionProfile;
+use fmbs_channel::units::Dbm;
+use serde::{Deserialize, Serialize};
+
+/// Which receiver the experiment uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReceiverKind {
+    /// Moto G1-class smartphone with headphone-wire antenna and ~13 kHz
+    /// capture roll-off.
+    Smartphone,
+    /// 2010 Honda CRV-class car stereo: whip antenna, cabin acoustic
+    /// re-recording (§5.4).
+    Car,
+}
+
+/// Which side carries the tag antenna.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TagKind {
+    /// Poster dipole (the default §5 prototype).
+    Poster,
+    /// Conductive-thread shirt antenna (§6.2).
+    SmartFabric,
+}
+
+/// A complete experiment point: the knobs every figure sweeps.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Ambient FM power at the tag (−20 … −60 dBm in the paper).
+    pub ambient_at_tag: Dbm,
+    /// Tag→receiver distance in feet.
+    pub distance_ft: f64,
+    /// Receiver device.
+    pub receiver: ReceiverKind,
+    /// Tag device.
+    pub tag: TagKind,
+    /// Host programme genre.
+    pub program: ProgramKind,
+    /// Wearer motion (fabric experiments; `Standing` ≈ static poster).
+    pub motion: MotionProfile,
+    /// RNG seed (noise, programme generation, fading).
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A §5 bench scenario: poster tag, smartphone receiver, standing.
+    pub fn bench(ambient_dbm: f64, distance_ft: f64, program: ProgramKind) -> Self {
+        Scenario {
+            ambient_at_tag: Dbm(ambient_dbm),
+            distance_ft,
+            receiver: ReceiverKind::Smartphone,
+            tag: TagKind::Poster,
+            program,
+            motion: MotionProfile::Standing,
+            seed: 0x5EED,
+        }
+    }
+
+    /// With a different seed (for repetition averaging).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The §5.4 car scenario.
+    pub fn car(ambient_dbm: f64, distance_ft: f64, program: ProgramKind) -> Self {
+        Scenario {
+            receiver: ReceiverKind::Car,
+            ..Scenario::bench(ambient_dbm, distance_ft, program)
+        }
+    }
+
+    /// The §6.2 smart-fabric scenario (outdoor ambient −35 … −40 dBm).
+    pub fn fabric(motion: MotionProfile) -> Self {
+        Scenario {
+            tag: TagKind::SmartFabric,
+            motion,
+            distance_ft: 2.0, // phone in hand/pocket near the shirt
+            ..Scenario::bench(-37.0, 2.0, ProgramKind::News)
+        }
+    }
+
+    /// Builds the matching link-budget model.
+    pub fn link(&self) -> BackscatterLink {
+        let mut link = match (self.receiver, self.tag) {
+            (ReceiverKind::Smartphone, TagKind::Poster) => {
+                BackscatterLink::smartphone(self.ambient_at_tag)
+            }
+            (ReceiverKind::Car, TagKind::Poster) => BackscatterLink::car(self.ambient_at_tag),
+            (ReceiverKind::Smartphone, TagKind::SmartFabric) => {
+                BackscatterLink::smart_fabric(self.ambient_at_tag)
+            }
+            (ReceiverKind::Car, TagKind::SmartFabric) => BackscatterLink {
+                rx_antenna: fmbs_channel::antenna::Antenna::CarWhip,
+                ..BackscatterLink::smart_fabric(self.ambient_at_tag)
+            },
+        };
+        link.host_at_rx = self.ambient_at_tag;
+        link
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_scenario_defaults() {
+        let s = Scenario::bench(-30.0, 10.0, ProgramKind::News);
+        assert_eq!(s.receiver, ReceiverKind::Smartphone);
+        assert_eq!(s.tag, TagKind::Poster);
+        assert_eq!(s.ambient_at_tag, Dbm(-30.0));
+    }
+
+    #[test]
+    fn car_scenario_outranges_phone() {
+        let phone = Scenario::bench(-30.0, 40.0, ProgramKind::News);
+        let car = Scenario::car(-30.0, 40.0, ProgramKind::News);
+        let b_phone = phone.link().budget_at_feet(40.0);
+        let b_car = car.link().budget_at_feet(40.0);
+        assert!(b_car.audio_snr.0 > b_phone.audio_snr.0 + 5.0);
+    }
+
+    #[test]
+    fn fabric_uses_shirt_antenna() {
+        let s = Scenario::fabric(MotionProfile::Running);
+        assert_eq!(s.tag, TagKind::SmartFabric);
+        assert_eq!(s.motion, MotionProfile::Running);
+        let poster = Scenario::bench(-37.0, 2.0, ProgramKind::News);
+        assert!(
+            s.link().budget_at_feet(2.0).audio_snr.0
+                < poster.link().budget_at_feet(2.0).audio_snr.0
+        );
+    }
+
+    #[test]
+    fn seed_override() {
+        let s = Scenario::bench(-30.0, 5.0, ProgramKind::News).with_seed(99);
+        assert_eq!(s.seed, 99);
+    }
+}

@@ -1,0 +1,132 @@
+//! Streaming sweep driver: a bounded producer/consumer pipeline for large
+//! parameter sweeps.
+//!
+//! The figure regenerations sweep hundreds of (power, distance, rate)
+//! points, each of which synthesises seconds of audio. Running them
+//! naively either holds every waveform in memory or serialises synthesis
+//! and decoding. This driver pipelines the two stages over a *bounded*
+//! crossbeam channel (following the guide's smoltcp-style discipline of
+//! bounded buffering): a producer thread synthesises and simulates; the
+//! consumer decodes and accumulates results under a `parking_lot` mutex.
+//! On a single core this bounds peak memory to two in-flight waveforms;
+//! on multicore hosts the stages overlap.
+
+use crate::modem::decoder::DataDecoder;
+use crate::modem::encoder::{test_bits, DataEncoder};
+use crate::modem::{bit_error_rate, Bitrate};
+use crate::sim::fast::{FastSim, FAST_AUDIO_RATE};
+use crate::sim::scenario::Scenario;
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+/// One point of a BER sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// The scenario.
+    pub scenario: Scenario,
+    /// Bit rate under test.
+    pub bitrate: Bitrate,
+    /// Payload bits.
+    pub n_bits: usize,
+}
+
+/// A completed sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepResult {
+    /// Index into the input list.
+    pub index: usize,
+    /// The point.
+    pub point: SweepPoint,
+    /// Measured bit-error rate.
+    pub ber: f64,
+}
+
+/// Runs a BER sweep through the bounded pipeline, returning results in
+/// input order.
+pub fn run_ber_sweep(points: &[SweepPoint]) -> Vec<SweepResult> {
+    let results = Mutex::new(Vec::with_capacity(points.len()));
+    // Bounded to 2 in-flight simulated waveforms.
+    let (tx, rx) = channel::bounded::<(usize, SweepPoint, Vec<f64>, Vec<bool>)>(2);
+
+    std::thread::scope(|scope| {
+        // Producer: synthesise + simulate. `tx` is moved in so the channel
+        // closes when the producer finishes.
+        scope.spawn(move || {
+            for (i, &p) in points.iter().enumerate() {
+                let bits = test_bits(p.n_bits, p.scenario.seed ^ 0xDA7A);
+                let enc = DataEncoder::new(FAST_AUDIO_RATE, p.bitrate);
+                let wave = enc.encode(&bits);
+                let out = FastSim::new(p.scenario).run(&wave, false);
+                if tx.send((i, p, out.mono, bits)).is_err() {
+                    return; // consumer gone
+                }
+            }
+        });
+
+        // Consumer: decode + accumulate. Runs on this thread.
+        for _ in 0..points.len() {
+            let (index, point, audio, bits) = match rx.recv() {
+                Ok(v) => v,
+                Err(_) => break,
+            };
+            let dec = DataDecoder::new(FAST_AUDIO_RATE, point.bitrate);
+            let rx_bits = dec.decode(&audio, 0, bits.len());
+            let ber = bit_error_rate(&bits, &rx_bits);
+            results.lock().push(SweepResult { index, point, ber });
+        }
+    });
+
+    let mut out = results.into_inner();
+    out.sort_by_key(|r| r.index);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmbs_audio::program::ProgramKind;
+
+    #[test]
+    fn sweep_matches_direct_computation() {
+        let points: Vec<SweepPoint> = [(-30.0, 4.0), (-50.0, 10.0), (-60.0, 16.0)]
+            .iter()
+            .map(|&(p, d)| SweepPoint {
+                scenario: Scenario::bench(p, d, ProgramKind::News),
+                bitrate: Bitrate::Kbps1_6,
+                n_bits: 160,
+            })
+            .collect();
+        let piped = run_ber_sweep(&points);
+        assert_eq!(piped.len(), 3);
+        for (i, r) in piped.iter().enumerate() {
+            assert_eq!(r.index, i);
+            let direct =
+                crate::overlay::OverlayData::new(points[i].scenario, points[i].bitrate, 160)
+                    .run_ber();
+            assert!(
+                (r.ber - direct).abs() < 1e-12,
+                "point {i}: piped {} vs direct {direct}",
+                r.ber
+            );
+        }
+    }
+
+    #[test]
+    fn results_arrive_in_input_order() {
+        let points: Vec<SweepPoint> = (0..6)
+            .map(|i| SweepPoint {
+                scenario: Scenario::bench(-30.0, 2.0 + i as f64 * 3.0, ProgramKind::News),
+                bitrate: Bitrate::Bps100,
+                n_bits: 40,
+            })
+            .collect();
+        let res = run_ber_sweep(&points);
+        let indices: Vec<usize> = res.iter().map(|r| r.index).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        assert!(run_ber_sweep(&[]).is_empty());
+    }
+}

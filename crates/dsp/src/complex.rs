@@ -1,0 +1,306 @@
+//! A minimal `f64` complex-number type.
+//!
+//! The workspace's dependency surface is restricted to an offline allow-list
+//! that does not include `num-complex`, so we carry our own implementation.
+//! Only the operations the simulator actually needs are provided; the type is
+//! `Copy` and all operations are `#[inline]` so the optimiser treats IQ
+//! buffers exactly like pairs of `f64`.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + i·im` over `f64`.
+///
+/// Used throughout the workspace to represent complex-baseband IQ samples.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real (in-phase) part.
+    pub re: f64,
+    /// Imaginary (quadrature) part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a complex number on the unit circle, `e^{iθ}`.
+    #[inline]
+    pub fn from_angle(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex { re: c, im: s }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex {
+            re: r * c,
+            im: r * s,
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `|z|²` (avoids the square root of [`Complex::abs`]).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// Returns `z / |z|`, or zero for the zero input (used by amplitude
+    /// limiters in the FM receiver, where a zero sample must stay zero
+    /// instead of becoming NaN).
+    #[inline]
+    pub fn normalized_or_zero(self) -> Self {
+        let n = self.abs();
+        if n > 0.0 {
+            self.scale(1.0 / n)
+        } else {
+            Complex::ZERO
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sqr();
+        Complex {
+            re: (self.re * rhs.re + self.im * rhs.im) / d,
+            im: (self.im * rhs.re - self.re * rhs.im) / d,
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Self {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a - b).abs() < EPS
+    }
+
+    #[test]
+    fn addition_and_subtraction() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        assert!(close(a + b, Complex::new(-2.0, 2.5)));
+        assert!(close(a - b, Complex::new(4.0, 1.5)));
+        assert!(close((a + b) - b, a));
+    }
+
+    #[test]
+    fn multiplication_matches_expansion() {
+        let a = Complex::new(2.0, 3.0);
+        let b = Complex::new(-1.0, 4.0);
+        // (2+3i)(-1+4i) = -2 + 8i - 3i + 12i² = -14 + 5i
+        assert!(close(a * b, Complex::new(-14.0, 5.0)));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(Complex::I * Complex::I, -Complex::ONE));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(0.7, -1.3);
+        let b = Complex::new(2.5, 1.1);
+        assert!(close((a * b) / b, a));
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let a = Complex::new(3.0, -4.0);
+        assert_eq!(a.conj(), Complex::new(3.0, 4.0));
+        assert!((a * a.conj()).im.abs() < EPS);
+        assert!(((a * a.conj()).re - a.norm_sqr()).abs() < EPS);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::from_polar(2.0, 1.234);
+        assert!((z.abs() - 2.0).abs() < EPS);
+        assert!((z.arg() - 1.234).abs() < EPS);
+    }
+
+    #[test]
+    fn from_angle_is_unit_magnitude() {
+        for k in 0..16 {
+            let theta = k as f64 * 0.3927;
+            let z = Complex::from_angle(theta);
+            assert!((z.abs() - 1.0).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn normalized_or_zero_handles_zero() {
+        assert_eq!(Complex::ZERO.normalized_or_zero(), Complex::ZERO);
+        let z = Complex::new(3.0, 4.0).normalized_or_zero();
+        assert!((z.abs() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn sum_of_unit_circle_is_zero() {
+        let n = 16;
+        let s: Complex = (0..n)
+            .map(|k| Complex::from_angle(crate::TAU * k as f64 / n as f64))
+            .sum();
+        assert!(s.abs() < 1e-10);
+    }
+
+    #[test]
+    fn arg_quadrants() {
+        assert!((Complex::new(1.0, 0.0).arg() - 0.0).abs() < EPS);
+        assert!((Complex::new(0.0, 1.0).arg() - std::f64::consts::FRAC_PI_2).abs() < EPS);
+        assert!((Complex::new(-1.0, 0.0).arg() - std::f64::consts::PI).abs() < EPS);
+        assert!((Complex::new(0.0, -1.0).arg() + std::f64::consts::FRAC_PI_2).abs() < EPS);
+    }
+}

@@ -1,0 +1,379 @@
+//! FIR filtering and windowed-sinc design.
+//!
+//! The FM receiver chain uses FIR low-pass filters for channel selection
+//! (≈100 kHz at the IQ rate) and audio band-limiting (15 kHz at the audio
+//! rate); the stereo decoder band-passes the 23–53 kHz L−R region. All of
+//! them are designed here with the windowed-sinc method, which is simple,
+//! numerically robust and linear-phase — matching the smoltcp guidance of
+//! preferring simplicity over cleverness.
+
+use crate::complex::Complex;
+use crate::windows::Window;
+
+/// Specification for a windowed-sinc FIR design.
+#[derive(Debug, Clone, Copy)]
+pub struct FirDesign {
+    /// Number of taps (made odd internally so the filter has a symmetric
+    /// centre tap and an integral group delay).
+    pub taps: usize,
+    /// Window applied to the ideal impulse response.
+    pub window: Window,
+}
+
+impl Default for FirDesign {
+    fn default() -> Self {
+        FirDesign {
+            taps: 129,
+            window: Window::Hamming,
+        }
+    }
+}
+
+impl FirDesign {
+    fn odd_taps(&self) -> usize {
+        if self.taps % 2 == 0 {
+            self.taps + 1
+        } else {
+            self.taps
+        }
+    }
+
+    /// Designs a low-pass filter with cut-off `fc` Hz at `fs` Hz sampling.
+    pub fn lowpass(&self, fs: f64, fc: f64) -> Fir {
+        let n = self.odd_taps();
+        let m = (n - 1) as f64 / 2.0;
+        let w = self.window.coefficients(n);
+        let fc_n = fc / fs; // normalised cutoff in cycles/sample
+        let mut h: Vec<f64> = (0..n)
+            .map(|i| {
+                let x = i as f64 - m;
+                let sinc = if x == 0.0 {
+                    2.0 * fc_n
+                } else {
+                    (std::f64::consts::TAU * fc_n * x).sin() / (std::f64::consts::PI * x)
+                };
+                sinc * w[i]
+            })
+            .collect();
+        // Normalise to unity DC gain.
+        let sum: f64 = h.iter().sum();
+        for v in h.iter_mut() {
+            *v /= sum;
+        }
+        Fir::new(h)
+    }
+
+    /// Designs a high-pass filter with cut-off `fc` Hz via spectral
+    /// inversion of the complementary low-pass.
+    pub fn highpass(&self, fs: f64, fc: f64) -> Fir {
+        let lp = self.lowpass(fs, fc);
+        let n = lp.taps.len();
+        let mid = (n - 1) / 2;
+        let mut h: Vec<f64> = lp.taps.iter().map(|&t| -t).collect();
+        h[mid] += 1.0;
+        Fir::new(h)
+    }
+
+    /// Designs a band-pass filter passing `[f_lo, f_hi]` Hz as the
+    /// difference of two low-pass designs.
+    pub fn bandpass(&self, fs: f64, f_lo: f64, f_hi: f64) -> Fir {
+        assert!(f_lo < f_hi, "bandpass requires f_lo < f_hi");
+        let lp_hi = self.lowpass(fs, f_hi);
+        let lp_lo = self.lowpass(fs, f_lo);
+        let h: Vec<f64> = lp_hi
+            .taps
+            .iter()
+            .zip(lp_lo.taps.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        Fir::new(h)
+    }
+}
+
+/// A direct-form FIR filter over real samples, with streaming state.
+#[derive(Debug, Clone)]
+pub struct Fir {
+    taps: Vec<f64>,
+    // Circular delay line.
+    state: Vec<f64>,
+    pos: usize,
+}
+
+impl Fir {
+    /// Creates a filter from raw tap coefficients.
+    pub fn new(taps: Vec<f64>) -> Self {
+        assert!(!taps.is_empty(), "FIR needs at least one tap");
+        let n = taps.len();
+        Fir {
+            taps,
+            state: vec![0.0; n],
+            pos: 0,
+        }
+    }
+
+    /// The tap coefficients.
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// Group delay in samples (taps are symmetric by construction).
+    pub fn group_delay(&self) -> usize {
+        (self.taps.len() - 1) / 2
+    }
+
+    /// Processes one sample, returning the filtered output.
+    #[inline]
+    pub fn push(&mut self, x: f64) -> f64 {
+        let n = self.taps.len();
+        self.state[self.pos] = x;
+        let mut acc = 0.0;
+        let mut idx = self.pos;
+        for &t in &self.taps {
+            acc += t * self.state[idx];
+            idx = if idx == 0 { n - 1 } else { idx - 1 };
+        }
+        self.pos = (self.pos + 1) % n;
+        acc
+    }
+
+    /// Filters a whole buffer (streaming: state persists across calls).
+    pub fn process(&mut self, input: &[f64]) -> Vec<f64> {
+        input.iter().map(|&x| self.push(x)).collect()
+    }
+
+    /// Filters a buffer and compensates the group delay by discarding the
+    /// first `group_delay()` outputs and flushing with zeros, so the output
+    /// aligns with the input. Resets state first: this is a whole-signal
+    /// (non-streaming) operation.
+    pub fn filter_aligned(&mut self, input: &[f64]) -> Vec<f64> {
+        self.reset();
+        let d = self.group_delay();
+        let mut out = Vec::with_capacity(input.len());
+        for (i, &x) in input.iter().enumerate() {
+            let y = self.push(x);
+            if i >= d {
+                out.push(y);
+            }
+        }
+        for _ in 0..d {
+            out.push(self.push(0.0));
+        }
+        out
+    }
+
+    /// Clears the delay line.
+    pub fn reset(&mut self) {
+        self.state.iter_mut().for_each(|v| *v = 0.0);
+        self.pos = 0;
+    }
+
+    /// Magnitude response at frequency `f` Hz for sample rate `fs`.
+    pub fn magnitude_at(&self, fs: f64, f: f64) -> f64 {
+        let omega = std::f64::consts::TAU * f / fs;
+        let z: Complex = self
+            .taps
+            .iter()
+            .enumerate()
+            .map(|(k, &t)| Complex::from_angle(-omega * k as f64).scale(t))
+            .sum();
+        z.abs()
+    }
+}
+
+/// A direct-form FIR filter over complex (IQ) samples.
+///
+/// Shares tap designs with [`Fir`]; used for channel selection on the
+/// complex-baseband RF stream.
+#[derive(Debug, Clone)]
+pub struct ComplexFir {
+    taps: Vec<f64>,
+    state: Vec<Complex>,
+    pos: usize,
+}
+
+impl ComplexFir {
+    /// Creates a complex-input filter from real tap coefficients.
+    pub fn new(taps: Vec<f64>) -> Self {
+        assert!(!taps.is_empty(), "FIR needs at least one tap");
+        let n = taps.len();
+        ComplexFir {
+            taps,
+            state: vec![Complex::ZERO; n],
+            pos: 0,
+        }
+    }
+
+    /// Builds from an existing real design.
+    pub fn from_fir(fir: &Fir) -> Self {
+        ComplexFir::new(fir.taps().to_vec())
+    }
+
+    /// Processes one IQ sample.
+    #[inline]
+    pub fn push(&mut self, x: Complex) -> Complex {
+        let n = self.taps.len();
+        self.state[self.pos] = x;
+        let mut acc = Complex::ZERO;
+        let mut idx = self.pos;
+        for &t in &self.taps {
+            acc += self.state[idx].scale(t);
+            idx = if idx == 0 { n - 1 } else { idx - 1 };
+        }
+        self.pos = (self.pos + 1) % n;
+        acc
+    }
+
+    /// Filters a whole IQ buffer (streaming).
+    pub fn process(&mut self, input: &[Complex]) -> Vec<Complex> {
+        input.iter().map(|&x| self.push(x)).collect()
+    }
+
+    /// Clears the delay line.
+    pub fn reset(&mut self) {
+        self.state.iter_mut().for_each(|v| *v = Complex::ZERO);
+        self.pos = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TAU;
+
+    fn tone(fs: f64, f: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| (TAU * f * i as f64 / fs).sin()).collect()
+    }
+
+    fn rms(x: &[f64]) -> f64 {
+        (x.iter().map(|v| v * v).sum::<f64>() / x.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn lowpass_passes_passband_and_stops_stopband() {
+        let fs = 48_000.0;
+        let mut lp = FirDesign {
+            taps: 127,
+            window: Window::Hamming,
+        }
+        .lowpass(fs, 4_000.0);
+        let pass = lp.filter_aligned(&tone(fs, 1_000.0, 4_800));
+        lp.reset();
+        let stop = lp.filter_aligned(&tone(fs, 12_000.0, 4_800));
+        // Skip edges to avoid transients.
+        let p = rms(&pass[1000..3800]);
+        let s = rms(&stop[1000..3800]);
+        assert!(p > 0.65, "passband rms {p}");
+        assert!(s < 0.01, "stopband rms {s}");
+    }
+
+    #[test]
+    fn lowpass_dc_gain_is_unity() {
+        let lp = FirDesign::default().lowpass(48_000.0, 5_000.0);
+        let sum: f64 = lp.taps().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((lp.magnitude_at(48_000.0, 0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn highpass_blocks_dc() {
+        let mut hp = FirDesign {
+            taps: 201,
+            window: Window::Hamming,
+        }
+        .highpass(48_000.0, 2_000.0);
+        let dc = vec![1.0; 4_800];
+        let out = hp.filter_aligned(&dc);
+        assert!(rms(&out[1000..3800]) < 0.01);
+        hp.reset();
+        let high = hp.filter_aligned(&tone(48_000.0, 10_000.0, 4_800));
+        assert!(rms(&high[1000..3800]) > 0.6);
+    }
+
+    #[test]
+    fn bandpass_selects_band() {
+        let fs = 200_000.0;
+        // The stereo L-R band of the FM multiplex: 23–53 kHz.
+        let mut bp = FirDesign {
+            taps: 255,
+            window: Window::Hamming,
+        }
+        .bandpass(fs, 23_000.0, 53_000.0);
+        let inside = bp.filter_aligned(&tone(fs, 38_000.0, 20_000));
+        bp.reset();
+        let below = bp.filter_aligned(&tone(fs, 10_000.0, 20_000));
+        bp.reset();
+        let above = bp.filter_aligned(&tone(fs, 70_000.0, 20_000));
+        assert!(rms(&inside[4000..16_000]) > 0.6);
+        assert!(rms(&below[4000..16_000]) < 0.02);
+        assert!(rms(&above[4000..16_000]) < 0.02);
+    }
+
+    #[test]
+    fn even_tap_request_is_made_odd() {
+        let lp = FirDesign {
+            taps: 64,
+            window: Window::Hamming,
+        }
+        .lowpass(48_000.0, 1_000.0);
+        assert_eq!(lp.taps().len(), 65);
+    }
+
+    #[test]
+    fn impulse_response_equals_taps() {
+        let taps = vec![0.25, 0.5, 0.25];
+        let mut fir = Fir::new(taps.clone());
+        let mut impulse = vec![0.0; 5];
+        impulse[0] = 1.0;
+        let out = fir.process(&impulse);
+        assert!((out[0] - 0.25).abs() < 1e-15);
+        assert!((out[1] - 0.5).abs() < 1e-15);
+        assert!((out[2] - 0.25).abs() < 1e-15);
+        assert!(out[3].abs() < 1e-15);
+    }
+
+    #[test]
+    fn linearity_of_filtering() {
+        let mut f1 = FirDesign::default().lowpass(48_000.0, 8_000.0);
+        let a = tone(48_000.0, 2_000.0, 1000);
+        let b = tone(48_000.0, 5_000.0, 1000);
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let ya = f1.filter_aligned(&a);
+        let yb = f1.filter_aligned(&b);
+        let ysum = f1.filter_aligned(&sum);
+        for i in 0..1000 {
+            assert!((ysum[i] - (ya[i] + yb[i])).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn complex_fir_matches_real_on_real_input() {
+        let design = FirDesign::default().lowpass(48_000.0, 6_000.0);
+        let mut re_fir = design.clone();
+        let mut cx_fir = ComplexFir::from_fir(&design);
+        let sig = tone(48_000.0, 3_000.0, 500);
+        let re_out = re_fir.process(&sig);
+        let cx_out: Vec<Complex> = sig
+            .iter()
+            .map(|&x| cx_fir.push(Complex::new(x, 0.0)))
+            .collect();
+        for (r, c) in re_out.iter().zip(cx_out.iter()) {
+            assert!((r - c.re).abs() < 1e-12);
+            assert!(c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn streaming_equals_batch() {
+        let mut f1 = FirDesign::default().lowpass(48_000.0, 8_000.0);
+        let mut f2 = f1.clone();
+        let sig = tone(48_000.0, 2_000.0, 300);
+        let batch = f1.process(&sig);
+        let mut streamed = Vec::new();
+        for chunk in sig.chunks(7) {
+            streamed.extend(f2.process(chunk));
+        }
+        for (a, b) in batch.iter().zip(streamed.iter()) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+}

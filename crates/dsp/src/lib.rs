@@ -1,0 +1,63 @@
+//! # fmbs-dsp — DSP primitives for the FM backscatter simulator
+//!
+//! This crate provides the signal-processing building blocks that every other
+//! crate in the `fm-backscatter-rs` workspace is built on:
+//!
+//! * [`Complex`] — a minimal `f64` complex number (the workspace keeps its
+//!   dependency surface to the offline allow-list, so we implement our own).
+//! * [`fft`] — an iterative radix-2 FFT/IFFT with pre-computed twiddles,
+//!   plus power-spectrum helpers.
+//! * [`goertzel`] — single-bin tone power detection, the workhorse of the
+//!   non-coherent FSK receivers in `fmbs-core`.
+//! * [`fir`] / [`iir`] — windowed-sinc FIR design and RBJ biquads, plus the
+//!   FM de-emphasis network.
+//! * [`osc`] — numerically-controlled oscillators, including the square-wave
+//!   FM subcarrier oscillator that models the backscatter tag's DCO.
+//! * [`resample`] — linear and integer-factor polyphase resamplers (the
+//!   cooperative decoder resamples receiver audio by 10× before alignment).
+//! * [`corr`] — cross-correlation and lag estimation.
+//! * [`pll`] — a second-order phase-locked loop used by the stereo decoder
+//!   to track the 19 kHz pilot.
+//! * [`stats`] — dB conversions, percentiles and empirical CDFs used by the
+//!   survey crate and the benchmark harness.
+//!
+//! ## Design notes
+//!
+//! Following the smoltcp-style guidance for production networking Rust, the
+//! crate avoids clever type-level tricks, performs no allocation in
+//! steady-state processing paths (filters and FFTs use pre-allocated
+//! scratch), and forbids `unsafe` entirely.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod corr;
+pub mod fft;
+pub mod fir;
+pub mod goertzel;
+pub mod iir;
+pub mod osc;
+pub mod pll;
+pub mod resample;
+pub mod stats;
+pub mod windows;
+
+pub use complex::Complex;
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::complex::Complex;
+    pub use crate::corr::{cross_correlate, find_lag};
+    pub use crate::fft::Fft;
+    pub use crate::fir::{Fir, FirDesign};
+    pub use crate::goertzel::goertzel_power;
+    pub use crate::iir::Biquad;
+    pub use crate::osc::{Nco, SquareFmOscillator};
+    pub use crate::resample::{resample_linear, Upsampler};
+    pub use crate::stats::{db_to_linear, linear_to_db, Cdf};
+    pub use crate::windows::Window;
+}
+
+/// The circle constant `τ = 2π`, used pervasively in phase arithmetic.
+pub const TAU: f64 = std::f64::consts::TAU;

@@ -1,0 +1,267 @@
+//! Resampling.
+//!
+//! The cooperative decoder of §3.3 resamples both phones' audio "in
+//! software, by a factor of ten" before cross-correlating, so that the time
+//! alignment resolves to a tenth of an audio sample. [`Upsampler`] provides
+//! that integer-factor interpolation (zero-stuff + polyphase low-pass);
+//! [`resample_linear`] serves rate conversions where sub-sample fidelity is
+//! not critical (e.g. converting between simulator rates for metrics).
+
+use crate::fir::FirDesign;
+use crate::windows::Window;
+
+/// Linear-interpolation resampler from `rate_in` to `rate_out` Hz.
+///
+/// Output length is `ceil(len · rate_out / rate_in)`.
+pub fn resample_linear(input: &[f64], rate_in: f64, rate_out: f64) -> Vec<f64> {
+    assert!(rate_in > 0.0 && rate_out > 0.0);
+    if input.is_empty() {
+        return Vec::new();
+    }
+    let ratio = rate_in / rate_out;
+    let out_len = ((input.len() as f64) / ratio).ceil() as usize;
+    (0..out_len)
+        .map(|i| {
+            let src = i as f64 * ratio;
+            let i0 = src.floor() as usize;
+            let frac = src - i0 as f64;
+            if i0 + 1 < input.len() {
+                input[i0] * (1.0 - frac) + input[i0 + 1] * frac
+            } else {
+                input[input.len() - 1]
+            }
+        })
+        .collect()
+}
+
+/// Integer-factor polyphase upsampler.
+///
+/// Zero-stuffs by `factor` and low-passes at the original Nyquist with a
+/// windowed-sinc anti-imaging filter whose gain compensates the stuffing
+/// loss.
+#[derive(Debug, Clone)]
+pub struct Upsampler {
+    factor: usize,
+    // Polyphase branches: taps[phase][k] applied to the original-rate
+    // delay line.
+    branches: Vec<Vec<f64>>,
+    delay: Vec<f64>,
+    pos: usize,
+}
+
+impl Upsampler {
+    /// Creates an upsampler by `factor` with a `taps_per_branch·factor`-tap
+    /// prototype filter.
+    pub fn new(factor: usize, taps_per_branch: usize) -> Self {
+        assert!(factor >= 1);
+        let proto_len = (taps_per_branch * factor) | 1; // odd
+        let proto = FirDesign {
+            taps: proto_len,
+            window: Window::Hamming,
+        }
+        // Cut-off at the *input* Nyquist expressed at the output rate:
+        // fs_out = factor, input Nyquist = 0.5 (normalised) => fc = 0.5/factor
+        // of the output rate. Using fs = 1.0, fc = 0.5 / factor.
+        .lowpass(1.0, 0.5 / factor as f64);
+        // Gain compensation: zero-stuffing divides energy by factor.
+        let taps: Vec<f64> = proto.taps().iter().map(|t| t * factor as f64).collect();
+        let branch_len = taps.len().div_ceil(factor);
+        let mut branches = vec![vec![0.0; branch_len]; factor];
+        for (i, &t) in taps.iter().enumerate() {
+            branches[i % factor][i / factor] = t;
+        }
+        Upsampler {
+            factor,
+            delay: vec![0.0; branch_len],
+            branches,
+            pos: 0,
+        }
+    }
+
+    /// The upsampling factor.
+    pub fn factor(&self) -> usize {
+        self.factor
+    }
+
+    /// Pushes one input sample and returns `factor` output samples.
+    pub fn push(&mut self, x: f64) -> Vec<f64> {
+        let n = self.delay.len();
+        self.delay[self.pos] = x;
+        let mut out = Vec::with_capacity(self.factor);
+        for branch in &self.branches {
+            let mut acc = 0.0;
+            let mut idx = self.pos;
+            for &t in branch {
+                acc += t * self.delay[idx];
+                idx = if idx == 0 { n - 1 } else { idx - 1 };
+            }
+            out.push(acc);
+        }
+        self.pos = (self.pos + 1) % n;
+        out
+    }
+
+    /// Upsamples an entire buffer, returning `input.len() · factor`
+    /// samples. Resets state first.
+    pub fn process(&mut self, input: &[f64]) -> Vec<f64> {
+        self.reset();
+        let mut out = Vec::with_capacity(input.len() * self.factor);
+        for &x in input {
+            out.extend(self.push(x));
+        }
+        out
+    }
+
+    /// Clears the delay line.
+    pub fn reset(&mut self) {
+        self.delay.iter_mut().for_each(|v| *v = 0.0);
+        self.pos = 0;
+    }
+}
+
+/// Integer-factor decimator: low-pass at the output Nyquist then keep every
+/// `factor`-th sample.
+#[derive(Debug, Clone)]
+pub struct Decimator {
+    factor: usize,
+    filter: crate::fir::Fir,
+    phase: usize,
+}
+
+impl Decimator {
+    /// Creates a decimator by `factor` with a `taps`-tap anti-alias filter.
+    pub fn new(factor: usize, taps: usize) -> Self {
+        assert!(factor >= 1);
+        let filter = FirDesign {
+            taps,
+            window: Window::Hamming,
+        }
+        .lowpass(1.0, 0.45 / factor as f64);
+        Decimator {
+            factor,
+            filter,
+            phase: 0,
+        }
+    }
+
+    /// The decimation factor.
+    pub fn factor(&self) -> usize {
+        self.factor
+    }
+
+    /// Pushes one sample; returns `Some(output)` every `factor` samples.
+    #[inline]
+    pub fn push(&mut self, x: f64) -> Option<f64> {
+        let y = self.filter.push(x);
+        self.phase += 1;
+        if self.phase == self.factor {
+            self.phase = 0;
+            Some(y)
+        } else {
+            None
+        }
+    }
+
+    /// Decimates an entire buffer (streaming).
+    pub fn process(&mut self, input: &[f64]) -> Vec<f64> {
+        input.iter().filter_map(|&x| self.push(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TAU;
+
+    fn tone(fs: f64, f: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| (TAU * f * i as f64 / fs).sin()).collect()
+    }
+
+    fn steady_rms(x: &[f64]) -> f64 {
+        let a = x.len() / 4;
+        let b = 3 * x.len() / 4;
+        (x[a..b].iter().map(|v| v * v).sum::<f64>() / (b - a) as f64).sqrt()
+    }
+
+    #[test]
+    fn linear_resample_preserves_length_ratio() {
+        let out = resample_linear(&vec![0.0; 1000], 48_000.0, 44_100.0);
+        assert_eq!(out.len(), 919); // ceil(1000 * 44100/48000)
+    }
+
+    #[test]
+    fn linear_resample_identity_when_rates_equal() {
+        let input: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let out = resample_linear(&input, 8_000.0, 8_000.0);
+        for (a, b) in input.iter().zip(out.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn linear_resample_preserves_tone_frequency() {
+        let fs_in = 48_000.0;
+        let fs_out = 32_000.0;
+        let sig = tone(fs_in, 1_000.0, 48_000);
+        let out = resample_linear(&sig, fs_in, fs_out);
+        let crossings = out.windows(2).filter(|w| w[0] * w[1] < 0.0).count();
+        let measured = crossings as f64 / 2.0 * fs_out / out.len() as f64;
+        assert!((measured - 1_000.0).abs() < 5.0, "measured {measured}");
+    }
+
+    #[test]
+    fn upsampler_by_ten_preserves_tone() {
+        // The cooperative decoder's 10x resample (§3.3).
+        let fs = 48_000.0;
+        let sig = tone(fs, 1_000.0, 4_800);
+        let mut up = Upsampler::new(10, 8);
+        let out = up.process(&sig);
+        assert_eq!(out.len(), sig.len() * 10);
+        let crossings = out.windows(2).filter(|w| w[0] * w[1] < 0.0).count();
+        let measured = crossings as f64 / 2.0 * (fs * 10.0) / out.len() as f64;
+        // Zero-crossing counting picks up a couple of spurious crossings in
+        // the filter's start-up transient, hence the ~2 % tolerance.
+        assert!((measured - 1_000.0).abs() < 25.0, "measured {measured}");
+        // Amplitude preserved (within filter ripple).
+        assert!((steady_rms(&out) - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05);
+    }
+
+    #[test]
+    fn upsampler_factor_one_is_near_identity() {
+        let sig = tone(8_000.0, 500.0, 800);
+        let mut up = Upsampler::new(1, 16);
+        let out = up.process(&sig);
+        assert_eq!(out.len(), sig.len());
+        assert!((steady_rms(&out) - steady_rms(&sig)).abs() < 0.03);
+    }
+
+    #[test]
+    fn decimator_preserves_low_tone() {
+        let fs = 480_000.0;
+        let sig = tone(fs, 1_000.0, 480_000);
+        let mut dec = Decimator::new(10, 127);
+        let out = dec.process(&sig);
+        assert_eq!(out.len(), 48_000);
+        let crossings = out.windows(2).filter(|w| w[0] * w[1] < 0.0).count();
+        let measured = crossings as f64 / 2.0 * (fs / 10.0) / out.len() as f64;
+        assert!((measured - 1_000.0).abs() < 5.0);
+        assert!((steady_rms(&out) - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05);
+    }
+
+    #[test]
+    fn decimator_rejects_aliasing_tone() {
+        let fs = 480_000.0;
+        // 100 kHz would alias to 4 kHz after /10 without filtering.
+        let sig = tone(fs, 100_000.0, 480_000);
+        let mut dec = Decimator::new(10, 255);
+        let out = dec.process(&sig);
+        assert!(steady_rms(&out) < 0.01, "alias rms {}", steady_rms(&out));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        assert!(resample_linear(&[], 1.0, 2.0).is_empty());
+        let mut up = Upsampler::new(4, 8);
+        assert!(up.process(&[]).is_empty());
+    }
+}

@@ -1,0 +1,275 @@
+//! Statistics, dB conversions and empirical CDFs.
+//!
+//! The survey figures (Fig. 2, Fig. 4b, Fig. 5) are all CDFs of measured
+//! quantities; [`Cdf`] reproduces them. The dB helpers are used by every
+//! link-budget computation in `fmbs-channel`.
+
+/// Converts a power ratio to decibels. Returns `-inf` for zero and NaN for
+/// negative input (propagating misuse loudly).
+#[inline]
+pub fn linear_to_db(ratio: f64) -> f64 {
+    10.0 * ratio.log10()
+}
+
+/// Converts decibels to a power ratio.
+#[inline]
+pub fn db_to_linear(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts an amplitude ratio to decibels (20·log10).
+#[inline]
+pub fn amplitude_to_db(ratio: f64) -> f64 {
+    20.0 * ratio.log10()
+}
+
+/// Converts decibels to an amplitude ratio.
+#[inline]
+pub fn db_to_amplitude(db: f64) -> f64 {
+    10f64.powf(db / 20.0)
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance; 0 for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Root-mean-square value.
+pub fn rms(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        (xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt()
+    }
+}
+
+/// Mean power (mean of squares).
+pub fn power(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Linear-interpolated percentile, `p` in [0, 100].
+///
+/// # Panics
+/// Panics on an empty slice or `p` outside [0, 100].
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// An empirical cumulative distribution function.
+///
+/// # Example
+/// ```
+/// use fmbs_dsp::stats::Cdf;
+/// let cdf = Cdf::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(cdf.fraction_below(2.5), 0.5);
+/// assert_eq!(cdf.quantile(0.5), 2.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds the CDF from raw samples.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or contains NaN.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "CDF of empty sample set");
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "CDF samples contain NaN"
+        );
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Cdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when there are no samples (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples strictly below `x`, in [0, 1].
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v < x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (q in [0, 1]) with linear interpolation.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        let rank = q * (self.sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// The median.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().unwrap()
+    }
+
+    /// Emits `(x, F(x))` points suitable for plotting, one per sample.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+
+    /// Emits the CDF evaluated at `k` evenly spaced x-values covering the
+    /// sample range — the form the benchmark harness prints.
+    pub fn sampled_points(&self, k: usize) -> Vec<(f64, f64)> {
+        assert!(k >= 2);
+        let lo = self.min();
+        let hi = self.max();
+        (0..k)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (k - 1) as f64;
+                // fraction at-or-below for plotting (reaches 1.0 at max)
+                let idx = self.sorted.partition_point(|&v| v <= x);
+                (x, idx as f64 / self.sorted.len() as f64)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_round_trips() {
+        for db in [-60.0, -3.0, 0.0, 10.0, 33.3] {
+            assert!((linear_to_db(db_to_linear(db)) - db).abs() < 1e-12);
+            assert!((amplitude_to_db(db_to_amplitude(db)) - db).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn db_anchor_values() {
+        assert!((linear_to_db(2.0) - 3.0103).abs() < 1e-3);
+        assert!((db_to_linear(-30.0) - 0.001).abs() < 1e-12);
+        assert!((amplitude_to_db(10.0) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_variance_known_values() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rms_of_unit_sine_is_sqrt_half() {
+        let xs: Vec<f64> = (0..10_000)
+            .map(|i| (std::f64::consts::TAU * i as f64 / 100.0).sin())
+            .collect();
+        assert!((rms(&xs) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 25.0), 2.0);
+        assert!((percentile(&xs, 10.0) - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_fraction_and_quantile_are_consistent() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let cdf = Cdf::from_samples(&samples);
+        assert_eq!(cdf.fraction_below(50.5), 0.5);
+        assert!((cdf.median() - 50.5).abs() < 1e-12);
+        assert_eq!(cdf.min(), 1.0);
+        assert_eq!(cdf.max(), 100.0);
+    }
+
+    #[test]
+    fn cdf_points_are_monotone() {
+        let cdf = Cdf::from_samples(&[3.0, 1.0, 2.0, 2.0, 5.0]);
+        let pts = cdf.points();
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn sampled_points_cover_range() {
+        let cdf = Cdf::from_samples(&[-10.0, 0.0, 10.0]);
+        let pts = cdf.sampled_points(5);
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0].0, -10.0);
+        assert_eq!(pts[4].0, 10.0);
+        assert_eq!(pts[4].1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_cdf_panics() {
+        let _ = Cdf::from_samples(&[]);
+    }
+
+    #[test]
+    fn empty_slices_are_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(rms(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Automatic gain control.
+//!
+//! §3.3's cooperative backscatter has to calibrate amplitudes precisely
+//! because "on the second phone, hardware gain control alters the
+//! amplitude of FM_audio(t) in the presence of FM_back(t)". This module
+//! provides that hardware behaviour: an envelope-tracking AGC with
+//! asymmetric attack/release, applied to receiver audio. The cooperative
+//! experiments use it to generate realistic inter-phone gain mismatch and
+//! the 13 kHz-pilot / least-squares calibration undoes it.
+
+use fmbs_dsp::iir::FirstOrder;
+
+/// A feed-forward audio AGC.
+#[derive(Debug, Clone)]
+pub struct Agc {
+    target_rms: f64,
+    max_gain: f64,
+    attack: FirstOrder,
+    envelope: f64,
+}
+
+impl Agc {
+    /// Creates an AGC normalising toward `target_rms`, with envelope time
+    /// constant `tau_s` seconds and a gain ceiling `max_gain` (receivers
+    /// stop amplifying into silence).
+    pub fn new(sample_rate: f64, target_rms: f64, tau_s: f64, max_gain: f64) -> Self {
+        assert!(target_rms > 0.0 && max_gain >= 1.0);
+        let alpha = (1.0 / (tau_s * sample_rate)).clamp(1e-6, 1.0);
+        Agc {
+            target_rms,
+            max_gain,
+            attack: FirstOrder::smoother(alpha),
+            envelope: target_rms, // assume nominal level until measured
+        }
+    }
+
+    /// A smartphone-receiver-like AGC: 50 ms envelope, 20 dB max gain,
+    /// nominal output level 0.25 RMS.
+    pub fn smartphone(sample_rate: f64) -> Self {
+        Agc::new(sample_rate, 0.25, 0.05, 10.0)
+    }
+
+    /// Current applied gain.
+    pub fn gain(&self) -> f64 {
+        (self.target_rms / self.envelope.max(1e-9)).min(self.max_gain)
+    }
+
+    /// Processes one sample.
+    #[inline]
+    pub fn push(&mut self, x: f64) -> f64 {
+        // Track the RMS envelope (smoothed square root of power).
+        let p = self.attack.push(x * x);
+        self.envelope = p.max(0.0).sqrt();
+        x * self.gain()
+    }
+
+    /// Processes a buffer (streaming).
+    pub fn process(&mut self, input: &[f64]) -> Vec<f64> {
+        input.iter().map(|&x| self.push(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmbs_dsp::stats::rms;
+    use fmbs_dsp::TAU;
+
+    const FS: f64 = 48_000.0;
+
+    fn tone(amp: f64, secs: f64) -> Vec<f64> {
+        (0..(FS * secs) as usize)
+            .map(|i| amp * (TAU * 1_000.0 * i as f64 / FS).sin())
+            .collect()
+    }
+
+    #[test]
+    fn levels_quiet_and_loud_inputs_to_target() {
+        for amp in [0.05, 0.2, 0.8] {
+            let mut agc = Agc::smartphone(FS);
+            let out = agc.process(&tone(amp, 1.0));
+            let settled = rms(&out[24_000..]);
+            assert!(
+                (settled - 0.25).abs() < 0.05,
+                "amp {amp}: settled RMS {settled}"
+            );
+        }
+    }
+
+    #[test]
+    fn gain_is_capped_for_silence() {
+        let mut agc = Agc::smartphone(FS);
+        let out = agc.process(&tone(0.001, 1.0));
+        // 0.001 amplitude × max gain 10 ⇒ tiny output, no explosion.
+        assert!(rms(&out[24_000..]) < 0.02);
+        assert!(agc.gain() <= 10.0 + 1e-12);
+    }
+
+    #[test]
+    fn responds_to_level_steps() {
+        // The paper's coop problem: payload arrival changes the composite
+        // level, so the receiver's gain moves. Verify the gain drops when
+        // the input gets louder.
+        let mut agc = Agc::smartphone(FS);
+        let quiet = tone(0.1, 0.5);
+        let loud = tone(0.6, 0.5);
+        agc.process(&quiet);
+        let g_before = agc.gain();
+        agc.process(&loud);
+        let g_after = agc.gain();
+        assert!(
+            g_after < g_before * 0.6,
+            "gain {g_before} → {g_after} did not drop on the loud step"
+        );
+    }
+
+    #[test]
+    fn output_follows_input_shape() {
+        // AGC scales; it must not distort (a slow gain is transparent to
+        // the waveform shape over short windows).
+        let mut agc = Agc::smartphone(FS);
+        let sig = tone(0.4, 1.0);
+        let out = agc.process(&sig);
+        let a = &sig[40_000..40_480];
+        let b = &out[40_000..40_480];
+        let corr = fmbs_dsp::corr::correlation_coefficient(a, b);
+        assert!(corr > 0.999, "waveform correlation {corr}");
+    }
+}

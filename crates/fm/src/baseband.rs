@@ -1,0 +1,273 @@
+//! The FM stereo multiplex (MPX) baseband of Fig. 3.
+//!
+//! A broadcast FM station frequency-modulates a composite baseband signal:
+//!
+//! ```text
+//!   0……15 kHz   mono (L+R)
+//!   19 kHz      pilot tone (presence ⇒ receiver decodes stereo)
+//!   23……53 kHz  stereo (L−R), DSB-SC about 38 kHz
+//!   56……58 kHz  RDS, BPSK about 57 kHz
+//! ```
+//!
+//! [`MpxComposer`] builds that composite from left/right audio at an
+//! arbitrary sample rate; the tag in `fmbs-core` reuses it to synthesise
+//! *backscatter* basebands with the same structure (which is the paper's
+//! central trick — the backscattered signal must look like an FM baseband
+//! so any FM receiver can decode it).
+
+use crate::PILOT_HZ;
+use fmbs_dsp::osc::Nco;
+use serde::{Deserialize, Serialize};
+
+/// Injection levels for the MPX components, as fractions of full-scale
+/// deviation. US practice: L+R and L−R each up to 45 %, pilot 8–10 %, RDS a
+/// few percent.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MpxLevels {
+    /// Mono (L+R)/2 injection.
+    pub mono: f64,
+    /// Pilot injection (paper's stereo backscatter uses 0.1).
+    pub pilot: f64,
+    /// Stereo (L−R)/2 injection.
+    pub stereo: f64,
+    /// RDS injection.
+    pub rds: f64,
+}
+
+impl Default for MpxLevels {
+    fn default() -> Self {
+        MpxLevels {
+            mono: 0.45,
+            pilot: 0.1,
+            stereo: 0.45,
+            rds: 0.04,
+        }
+    }
+}
+
+impl MpxLevels {
+    /// Levels for a mono-only station (no pilot, no stereo, no RDS).
+    pub fn mono_only() -> Self {
+        MpxLevels {
+            mono: 0.9,
+            pilot: 0.0,
+            stereo: 0.0,
+            rds: 0.0,
+        }
+    }
+
+    /// The paper's stereo-backscatter mix (§3.3.1): 90 % payload in the
+    /// stereo band, 10 % pilot.
+    pub fn stereo_backscatter() -> Self {
+        MpxLevels {
+            mono: 0.0,
+            pilot: 0.1,
+            stereo: 0.9,
+            rds: 0.0,
+        }
+    }
+}
+
+/// Streaming composer of the FM multiplex.
+///
+/// Feed per-sample left/right audio (already band-limited to 15 kHz and
+/// normalised to [-1, 1]); receive the composite MPX sample, normalised so
+/// that |MPX| ≤ mono + pilot + stereo + rds.
+#[derive(Debug, Clone)]
+pub struct MpxComposer {
+    levels: MpxLevels,
+    pilot_nco: Nco,
+    sample_rate: f64,
+}
+
+impl MpxComposer {
+    /// Creates a composer at `sample_rate` Hz (must exceed twice the
+    /// highest multiplex frequency, 58 kHz, to be representable).
+    pub fn new(sample_rate: f64, levels: MpxLevels) -> Self {
+        assert!(
+            sample_rate > 2.0 * 58_000.0,
+            "MPX sample rate {sample_rate} too low for the 58 kHz multiplex"
+        );
+        MpxComposer {
+            levels,
+            pilot_nco: Nco::new(sample_rate, PILOT_HZ),
+            sample_rate,
+        }
+    }
+
+    /// The configured sample rate.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// The configured levels.
+    pub fn levels(&self) -> MpxLevels {
+        self.levels
+    }
+
+    /// Composes one MPX sample from left/right audio and an optional RDS
+    /// baseband value (±1 BPSK shaped; 0 when RDS is off).
+    ///
+    /// The stereo subcarrier is derived from the pilot phase (38 kHz =
+    /// 2 × 19 kHz, phase-locked) exactly as a real exciter does, so a
+    /// receiver regenerating the carrier from the pilot demodulates L−R
+    /// coherently.
+    #[inline]
+    pub fn compose(&mut self, left: f64, right: f64, rds: f64) -> f64 {
+        let pilot_phase = self.pilot_nco.phase();
+        let pilot = pilot_phase.sin();
+        let sub38 = (2.0 * pilot_phase).sin();
+        let sub57 = (3.0 * pilot_phase).cos();
+        self.pilot_nco.next_cos(); // advance
+        let mono = (left + right) / 2.0;
+        let diff = (left - right) / 2.0;
+        self.levels.mono * mono
+            + self.levels.pilot * pilot
+            + self.levels.stereo * diff * sub38
+            + self.levels.rds * rds * sub57
+    }
+
+    /// Composes a whole buffer of stereo audio into MPX samples.
+    pub fn compose_buffer(&mut self, left: &[f64], right: &[f64], rds: &[f64]) -> Vec<f64> {
+        let n = left.len().min(right.len());
+        (0..n)
+            .map(|i| {
+                let r = rds.get(i).copied().unwrap_or(0.0);
+                self.compose(left[i], right[i], r)
+            })
+            .collect()
+    }
+
+    /// Resets oscillator phases.
+    pub fn reset(&mut self) {
+        self.pilot_nco.set_phase(0.0);
+    }
+}
+
+/// Measures the power of each MPX region of a composite baseband — the
+/// measurement behind Fig. 5 (stereo-band utilisation) and the receiver's
+/// mode decisions. All values are linear power.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MpxBandPowers {
+    /// 30 Hz–15 kHz (mono programme).
+    pub mono: f64,
+    /// 18.8–19.2 kHz (pilot).
+    pub pilot: f64,
+    /// 23–53 kHz (stereo programme).
+    pub stereo: f64,
+    /// 16–18 kHz — the guard region the paper uses as its noise reference
+    /// in Fig. 5 ("the empty frequencies in Fig. 3").
+    pub guard: f64,
+    /// 56–58 kHz (RDS).
+    pub rds: f64,
+}
+
+/// Computes [`MpxBandPowers`] from an MPX capture via Welch PSD.
+pub fn measure_band_powers(mpx: &[f64], sample_rate: f64) -> MpxBandPowers {
+    let psd = fmbs_dsp::fft::welch_psd(mpx, 4096.min(mpx.len().next_power_of_two()));
+    let bp = |lo: f64, hi: f64| fmbs_dsp::fft::band_power(&psd, sample_rate, lo, hi);
+    MpxBandPowers {
+        mono: bp(30.0, 15_000.0),
+        pilot: bp(18_800.0, 19_200.0),
+        stereo: bp(23_000.0, 53_000.0),
+        guard: bp(16_000.0, 18_000.0),
+        rds: bp(56_000.0, 58_000.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmbs_dsp::TAU;
+
+    const FS: f64 = 200_000.0;
+
+    fn tone(f: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| (TAU * f * i as f64 / FS).sin()).collect()
+    }
+
+    #[test]
+    fn identical_lr_puts_no_power_in_stereo_band() {
+        // News stations: same speech on both channels ⇒ empty L−R (Fig. 5).
+        let n = 100_000;
+        let l = tone(1_000.0, n);
+        let mut comp = MpxComposer::new(FS, MpxLevels::default());
+        let mpx = comp.compose_buffer(&l, &l, &[]);
+        let p = measure_band_powers(&mpx, FS);
+        assert!(p.mono > 100.0 * p.stereo, "mono {} stereo {}", p.mono, p.stereo);
+        assert!(p.pilot > 10.0 * p.guard);
+    }
+
+    #[test]
+    fn opposite_lr_fills_stereo_band() {
+        let n = 100_000;
+        let l = tone(1_000.0, n);
+        let r: Vec<f64> = l.iter().map(|x| -x).collect();
+        let mut comp = MpxComposer::new(FS, MpxLevels::default());
+        let mpx = comp.compose_buffer(&l, &r, &[]);
+        let p = measure_band_powers(&mpx, FS);
+        assert!(p.stereo > 100.0 * p.mono, "mono {} stereo {}", p.mono, p.stereo);
+    }
+
+    #[test]
+    fn mono_only_levels_have_no_pilot() {
+        let n = 50_000;
+        let l = tone(2_000.0, n);
+        let mut comp = MpxComposer::new(FS, MpxLevels::mono_only());
+        let mpx = comp.compose_buffer(&l, &l, &[]);
+        let p = measure_band_powers(&mpx, FS);
+        assert!(p.pilot < p.mono / 1_000.0);
+    }
+
+    #[test]
+    fn pilot_is_at_19_khz() {
+        let mut comp = MpxComposer::new(FS, MpxLevels::default());
+        let n = 100_000;
+        let silence = vec![0.0; n];
+        let mpx = comp.compose_buffer(&silence, &silence, &[]);
+        let p_pilot = fmbs_dsp::goertzel::goertzel_power(&mpx, FS, 19_000.0);
+        let p_off = fmbs_dsp::goertzel::goertzel_power(&mpx, FS, 17_000.0);
+        assert!(p_pilot > 1_000.0 * p_off.max(1e-18));
+        // Pilot amplitude is levels.pilot = 0.1 ⇒ power 0.1²/4 = 0.0025.
+        assert!((p_pilot - 0.0025).abs() < 3e-4, "pilot power {p_pilot}");
+    }
+
+    #[test]
+    fn stereo_subcarrier_is_dsb_suppressed_carrier() {
+        // With L−R a 1 kHz tone, energy appears at 37 and 39 kHz but NOT at
+        // the 38 kHz carrier itself.
+        let n = 200_000;
+        let l = tone(1_000.0, n);
+        let r: Vec<f64> = l.iter().map(|x| -x).collect();
+        let mut comp = MpxComposer::new(
+            FS,
+            MpxLevels {
+                mono: 0.0,
+                pilot: 0.0,
+                stereo: 0.9,
+                rds: 0.0,
+            },
+        );
+        let mpx = comp.compose_buffer(&l, &r, &[]);
+        let at = |f: f64| fmbs_dsp::goertzel::goertzel_power(&mpx, FS, f);
+        assert!(at(37_000.0) > 100.0 * at(38_000.0).max(1e-18));
+        assert!(at(39_000.0) > 100.0 * at(38_000.0).max(1e-18));
+    }
+
+    #[test]
+    fn composite_respects_total_injection_bound() {
+        let n = 50_000;
+        let l = tone(800.0, n);
+        let r = tone(1_300.0, n);
+        let mut comp = MpxComposer::new(FS, MpxLevels::default());
+        let mpx = comp.compose_buffer(&l, &r, &vec![1.0; n]);
+        let bound = 0.45 + 0.1 + 0.45 + 0.04 + 1e-9;
+        assert!(mpx.iter().all(|x| x.abs() <= bound));
+    }
+
+    #[test]
+    #[should_panic(expected = "too low")]
+    fn low_sample_rate_panics() {
+        let _ = MpxComposer::new(100_000.0, MpxLevels::default());
+    }
+}

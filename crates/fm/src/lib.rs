@@ -1,0 +1,87 @@
+//! # fmbs-fm — the broadcast-FM substrate
+//!
+//! The paper's tag and receivers ride on ordinary broadcast FM. This crate
+//! implements that substrate end to end, faithful to §3.2 of the paper:
+//!
+//! * [`band`] — the 88.1–108.1 MHz / 200 kHz-spaced US channel grid.
+//! * [`baseband`] — the stereo multiplex (MPX): mono L+R (30 Hz–15 kHz),
+//!   19 kHz pilot, DSB-SC L−R at 38 kHz, RDS at 57 kHz (Fig. 3).
+//! * [`modulator`] / [`demodulator`] — Eq. 1 frequency modulation to
+//!   complex-baseband IQ, and the limiter + quadrature-discriminator
+//!   receiver front end.
+//! * [`stereo`] — pilot-PLL stereo decoding with mono fallback, including
+//!   the pilot-detection threshold that gates the paper's *stereo
+//!   backscatter* mode at low signal power.
+//! * [`rds`] — a Radio Data System encoder/decoder (57 kHz BPSK, block
+//!   checkwords, 0A program-service groups).
+//! * [`agc`] — the receiver hardware gain control whose level shifts
+//!   cooperative backscatter must calibrate away (§3.3).
+//! * [`transmitter`] / [`receiver`] — a full FM station and a full FM
+//!   receiver (tune → channel filter → discriminate → MPX decode →
+//!   de-emphasis → audio), the software stand-ins for the paper's USRP
+//!   transmitter and Moto G1 / car receivers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agc;
+pub mod band;
+pub mod baseband;
+pub mod demodulator;
+pub mod modulator;
+pub mod rds;
+pub mod receiver;
+pub mod stereo;
+pub mod transmitter;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::band::{Channel, FM_CHANNEL_SPACING_HZ};
+    pub use crate::baseband::{MpxComposer, MpxLevels};
+    pub use crate::demodulator::Discriminator;
+    pub use crate::modulator::FmModulator;
+    pub use crate::receiver::{FmReceiver, ReceiverConfig, StereoAudio};
+    pub use crate::transmitter::{FmTransmitter, StationConfig, StationMode};
+}
+
+/// Peak FM deviation used by US broadcast stations (±75 kHz, 47 CFR §73).
+pub const BROADCAST_DEVIATION_HZ: f64 = 75_000.0;
+
+/// De-emphasis time constant in the Americas (75 µs).
+pub const DEEMPHASIS_TAU_US: f64 = 75e-6;
+
+/// The 19 kHz stereo pilot frequency (Fig. 3).
+pub const PILOT_HZ: f64 = 19_000.0;
+
+/// Centre of the DSB-SC stereo (L−R) subcarrier: 38 kHz = 2 × pilot.
+pub const STEREO_SUBCARRIER_HZ: f64 = 2.0 * PILOT_HZ;
+
+/// Centre of the RDS subcarrier: 57 kHz = 3 × pilot.
+pub const RDS_SUBCARRIER_HZ: f64 = 3.0 * PILOT_HZ;
+
+/// Upper edge of the mono audio band (15 kHz).
+pub const MONO_AUDIO_MAX_HZ: f64 = 15_000.0;
+
+/// Carson-rule occupied bandwidth `2·(Δf + f_max)` for a deviation and a
+/// maximum baseband frequency (§3.2 computes 266 kHz for Δf = 75 kHz and
+/// 58 kHz of multiplex).
+pub fn carson_bandwidth(deviation_hz: f64, max_baseband_hz: f64) -> f64 {
+    2.0 * (deviation_hz + max_baseband_hz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carson_matches_paper_value() {
+        // §3.2: Δf = 75 kHz, multiplex to 58 kHz ⇒ 266 kHz.
+        assert_eq!(carson_bandwidth(75_000.0, 58_000.0), 266_000.0);
+    }
+
+    #[test]
+    fn subcarriers_are_pilot_harmonics() {
+        assert_eq!(STEREO_SUBCARRIER_HZ, 38_000.0);
+        assert_eq!(RDS_SUBCARRIER_HZ, 57_000.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Frequency modulation to complex-baseband IQ (Eq. 1 of the paper).
+//!
+//! `FM_RF(t) = cos(2π·fc·t + 2π·Δf·∫ m(τ) dτ)` — at complex baseband (the
+//! representation a software radio works in) this is
+//! `exp(i·2π·(f_off·t + Δf·∫ m))`, where `f_off` is the offset of the
+//! station from the simulation's centre frequency.
+
+use fmbs_dsp::complex::Complex;
+use fmbs_dsp::TAU;
+
+/// A streaming FM modulator producing unit-amplitude IQ samples.
+#[derive(Debug, Clone)]
+pub struct FmModulator {
+    phase: f64,
+    offset_inc: f64, // carrier offset per sample, radians
+    dev_scale: f64,  // 2π·Δf / fs
+}
+
+impl FmModulator {
+    /// Creates a modulator.
+    ///
+    /// * `sample_rate` — IQ rate in Hz.
+    /// * `offset_hz` — carrier offset from the simulation centre (0 if the
+    ///   simulation is centred on this station).
+    /// * `deviation_hz` — peak deviation Δf for a baseband value of ±1.
+    pub fn new(sample_rate: f64, offset_hz: f64, deviation_hz: f64) -> Self {
+        assert!(
+            offset_hz.abs() + deviation_hz < sample_rate / 2.0,
+            "carrier offset {offset_hz} + deviation {deviation_hz} exceeds Nyquist of {sample_rate}"
+        );
+        FmModulator {
+            phase: 0.0,
+            offset_inc: TAU * offset_hz / sample_rate,
+            dev_scale: TAU * deviation_hz / sample_rate,
+        }
+    }
+
+    /// Modulates one baseband sample `m` (normalised to [-1, 1]) into an
+    /// IQ sample.
+    #[inline]
+    pub fn push(&mut self, m: f64) -> Complex {
+        let out = Complex::from_angle(self.phase);
+        self.phase += self.offset_inc + self.dev_scale * m;
+        // Keep phase bounded for numerical hygiene on long runs.
+        if self.phase >= TAU {
+            self.phase -= TAU;
+        } else if self.phase < -TAU {
+            self.phase += TAU;
+        }
+        out
+    }
+
+    /// Modulates a whole baseband buffer.
+    pub fn process(&mut self, baseband: &[f64]) -> Vec<Complex> {
+        baseband.iter().map(|&m| self.push(m)).collect()
+    }
+
+    /// Resets the phase accumulator.
+    pub fn reset(&mut self) {
+        self.phase = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmbs_dsp::fft::{band_power, welch_psd};
+
+    #[test]
+    fn output_is_unit_amplitude() {
+        let mut m = FmModulator::new(1_000_000.0, 0.0, 75_000.0);
+        for i in 0..10_000 {
+            let z = m.push((i as f64 * 0.001).sin());
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unmodulated_carrier_sits_at_offset() {
+        let fs = 1_000_000.0;
+        let mut m = FmModulator::new(fs, 200_000.0, 75_000.0);
+        let iq = m.process(&vec![0.0; 100_000]);
+        // Measure instantaneous frequency via phase differences.
+        let mut f_sum = 0.0;
+        for w in iq.windows(2) {
+            f_sum += (w[1] * w[0].conj()).arg();
+        }
+        let f_mean = f_sum / (iq.len() - 1) as f64 * fs / TAU;
+        assert!((f_mean - 200_000.0).abs() < 10.0, "mean {f_mean}");
+    }
+
+    #[test]
+    fn constant_input_deviates_by_delta_f() {
+        let fs = 1_000_000.0;
+        let mut m = FmModulator::new(fs, 0.0, 75_000.0);
+        let iq = m.process(&vec![1.0; 100_000]);
+        let mut f_sum = 0.0;
+        for w in iq.windows(2) {
+            f_sum += (w[1] * w[0].conj()).arg();
+        }
+        let f_mean = f_sum / (iq.len() - 1) as f64 * fs / TAU;
+        assert!((f_mean - 75_000.0).abs() < 10.0, "mean {f_mean}");
+    }
+
+    #[test]
+    fn occupied_bandwidth_respects_carson_rule() {
+        let fs = 2_000_000.0;
+        let f_audio = 15_000.0;
+        let dev = 75_000.0;
+        let mut m = FmModulator::new(fs, 0.0, dev);
+        let baseband: Vec<f64> = (0..400_000)
+            .map(|i| (TAU * f_audio * i as f64 / fs).sin())
+            .collect();
+        let iq = m.process(&baseband);
+        // Real projection doubles the spectrum symmetrically; measure power
+        // within and outside Carson bandwidth on |I| spectrum.
+        let re: Vec<f64> = iq.iter().map(|z| z.re).collect();
+        let psd = welch_psd(&re, 8192);
+        let carson = crate::carson_bandwidth(dev, f_audio); // 180 kHz
+        let inside = band_power(&psd, fs, 0.0, carson / 2.0 + 20_000.0);
+        let outside = band_power(&psd, fs, carson / 2.0 + 20_000.0, fs / 2.0);
+        assert!(
+            inside > 50.0 * outside,
+            "inside {inside} outside {outside}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "Nyquist")]
+    fn offset_past_nyquist_panics() {
+        let _ = FmModulator::new(400_000.0, 300_000.0, 75_000.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! A complete FM broadcast station.
+//!
+//! The software stand-in for the paper's signal sources: both the real
+//! ambient stations of the deployment experiments (§6) and the USRP that
+//! "retransmits audio signals recorded from local FM radio stations" in the
+//! controlled experiments (§5.2). Given left/right programme audio it
+//! produces the complex-baseband IQ stream of Eq. 1.
+
+use crate::baseband::{MpxComposer, MpxLevels};
+use crate::modulator::FmModulator;
+use crate::rds::{encode_ps_name, modulate_bits};
+use crate::BROADCAST_DEVIATION_HZ;
+use fmbs_dsp::complex::Complex;
+use fmbs_dsp::iir::FirstOrder;
+use fmbs_dsp::resample::resample_linear;
+use serde::{Deserialize, Serialize};
+
+/// Broadcast mode of a station.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StationMode {
+    /// Mono: single audio stream, no pilot (some stations — §3.3.1 case 1).
+    Mono,
+    /// Stereo: L+R, pilot, and L−R streams (Fig. 3).
+    Stereo,
+}
+
+/// Station configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StationConfig {
+    /// Mono or stereo operation.
+    pub mode: StationMode,
+    /// Peak deviation in Hz (75 kHz for US broadcast).
+    pub deviation_hz: f64,
+    /// Apply 75 µs pre-emphasis to programme audio (standard practice).
+    pub preemphasis: bool,
+    /// Optional RDS program-service broadcast: (PI code, PTY, name).
+    pub rds_ps: Option<(u16, u8, String)>,
+    /// Multiplex injection levels; `None` selects standard levels for the
+    /// mode.
+    pub levels: Option<MpxLevels>,
+}
+
+impl StationConfig {
+    /// A standard stereo music/news station.
+    pub fn stereo() -> Self {
+        StationConfig {
+            mode: StationMode::Stereo,
+            deviation_hz: BROADCAST_DEVIATION_HZ,
+            preemphasis: true,
+            rds_ps: None,
+            levels: None,
+        }
+    }
+
+    /// A mono-only station (no pilot) — the host for the paper's
+    /// mono-to-stereo backscatter (§3.3.1).
+    pub fn mono() -> Self {
+        StationConfig {
+            mode: StationMode::Mono,
+            deviation_hz: BROADCAST_DEVIATION_HZ,
+            preemphasis: true,
+            rds_ps: None,
+            levels: None,
+        }
+    }
+
+    fn effective_levels(&self) -> MpxLevels {
+        if let Some(l) = self.levels {
+            return l;
+        }
+        match self.mode {
+            StationMode::Mono => MpxLevels::mono_only(),
+            StationMode::Stereo => {
+                let mut l = MpxLevels::default();
+                if self.rds_ps.is_none() {
+                    l.rds = 0.0;
+                }
+                l
+            }
+        }
+    }
+}
+
+/// A complete FM transmitter: programme audio in, IQ out.
+#[derive(Debug)]
+pub struct FmTransmitter {
+    cfg: StationConfig,
+    iq_rate: f64,
+    offset_hz: f64,
+}
+
+impl FmTransmitter {
+    /// Creates a transmitter emitting IQ at `iq_rate`, with its carrier at
+    /// `offset_hz` relative to the simulation centre frequency.
+    pub fn new(cfg: StationConfig, iq_rate: f64, offset_hz: f64) -> Self {
+        FmTransmitter {
+            cfg,
+            iq_rate,
+            offset_hz,
+        }
+    }
+
+    /// The station configuration.
+    pub fn config(&self) -> &StationConfig {
+        &self.cfg
+    }
+
+    /// Generates the multiplex baseband at the IQ rate from stereo
+    /// programme audio sampled at `audio_rate`.
+    pub fn generate_mpx(&self, left: &[f64], right: &[f64], audio_rate: f64) -> Vec<f64> {
+        let mut l = resample_linear(left, audio_rate, self.iq_rate);
+        let mut r = resample_linear(right, audio_rate, self.iq_rate);
+        if self.cfg.preemphasis {
+            let mut pre_l =
+                FirstOrder::preemphasis(self.iq_rate, crate::DEEMPHASIS_TAU_US, 80_000.0);
+            let mut pre_r =
+                FirstOrder::preemphasis(self.iq_rate, crate::DEEMPHASIS_TAU_US, 80_000.0);
+            l = pre_l.process(&l);
+            r = pre_r.process(&r);
+            // Pre-emphasis boosts highs; clamp to keep deviation legal, as
+            // a broadcast limiter would.
+            for v in l.iter_mut().chain(r.iter_mut()) {
+                *v = v.clamp(-1.0, 1.0);
+            }
+        }
+        let rds = match &self.cfg.rds_ps {
+            Some((pi, pty, name)) => {
+                let bits = encode_ps_name(*pi, *pty, name);
+                let one_pass = modulate_bits(&bits, self.iq_rate);
+                // Loop the RDS stream to cover the programme length.
+                let mut stream = Vec::with_capacity(l.len());
+                while stream.len() < l.len() {
+                    let take = (l.len() - stream.len()).min(one_pass.len());
+                    stream.extend_from_slice(&one_pass[..take]);
+                }
+                stream
+            }
+            None => Vec::new(),
+        };
+        let mut composer = MpxComposer::new(self.iq_rate, self.cfg.effective_levels());
+        composer.compose_buffer(&l, &r, &rds)
+    }
+
+    /// Generates unit-amplitude IQ for stereo programme audio sampled at
+    /// `audio_rate`. Channel scaling (transmit power, path loss) is the
+    /// business of `fmbs-channel`.
+    pub fn modulate(&self, left: &[f64], right: &[f64], audio_rate: f64) -> Vec<Complex> {
+        let mpx = self.generate_mpx(left, right, audio_rate);
+        let mut modulator = FmModulator::new(self.iq_rate, self.offset_hz, self.cfg.deviation_hz);
+        modulator.process(&mpx)
+    }
+
+    /// Convenience for mono programme material.
+    pub fn modulate_mono(&self, audio: &[f64], audio_rate: f64) -> Vec<Complex> {
+        self.modulate(audio, audio, audio_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseband::measure_band_powers;
+    use fmbs_dsp::TAU;
+
+    const IQ_RATE: f64 = 1_000_000.0;
+    const AUDIO_RATE: f64 = 48_000.0;
+
+    fn tone(f: f64, secs: f64) -> Vec<f64> {
+        let n = (AUDIO_RATE * secs) as usize;
+        (0..n)
+            .map(|i| 0.8 * (TAU * f * i as f64 / AUDIO_RATE).sin())
+            .collect()
+    }
+
+    #[test]
+    fn stereo_station_mpx_has_pilot_and_both_bands() {
+        let tx = FmTransmitter::new(StationConfig::stereo(), IQ_RATE, 0.0);
+        let l = tone(1_000.0, 0.2);
+        let r = tone(3_000.0, 0.2);
+        let mpx = tx.generate_mpx(&l, &r, AUDIO_RATE);
+        let p = measure_band_powers(&mpx, IQ_RATE);
+        assert!(p.pilot > 10.0 * p.guard, "pilot {} guard {}", p.pilot, p.guard);
+        assert!(p.mono > 1e-4);
+        assert!(p.stereo > 1e-4);
+    }
+
+    #[test]
+    fn mono_station_mpx_has_no_pilot() {
+        let tx = FmTransmitter::new(StationConfig::mono(), IQ_RATE, 0.0);
+        let audio = tone(2_000.0, 0.2);
+        let mpx = tx.generate_mpx(&audio, &audio, AUDIO_RATE);
+        let p = measure_band_powers(&mpx, IQ_RATE);
+        assert!(p.pilot < p.mono / 100.0, "pilot {} mono {}", p.pilot, p.mono);
+        assert!(p.stereo < p.mono / 100.0);
+    }
+
+    #[test]
+    fn iq_is_unit_amplitude() {
+        let tx = FmTransmitter::new(StationConfig::stereo(), IQ_RATE, 0.0);
+        let iq = tx.modulate_mono(&tone(1_000.0, 0.05), AUDIO_RATE);
+        for z in &iq {
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rds_station_fills_rds_band() {
+        let mut cfg = StationConfig::stereo();
+        cfg.rds_ps = Some((0x1234, 5, "KEXP".to_string()));
+        let tx = FmTransmitter::new(cfg, IQ_RATE, 0.0);
+        let silence = vec![0.0; (AUDIO_RATE * 0.3) as usize];
+        let mpx = tx.generate_mpx(&silence, &silence, AUDIO_RATE);
+        let p = measure_band_powers(&mpx, IQ_RATE);
+        assert!(p.rds > 10.0 * p.guard, "rds {} guard {}", p.rds, p.guard);
+    }
+
+    #[test]
+    fn preemphasis_boosts_high_audio() {
+        let mut cfg = StationConfig::stereo();
+        cfg.preemphasis = true;
+        let tx_pre = FmTransmitter::new(cfg.clone(), IQ_RATE, 0.0);
+        cfg.preemphasis = false;
+        let tx_flat = FmTransmitter::new(cfg, IQ_RATE, 0.0);
+        // Quiet high tone so the clamp never engages.
+        let hi: Vec<f64> = tone(10_000.0, 0.1).iter().map(|x| x * 0.1).collect();
+        let mpx_pre = tx_pre.generate_mpx(&hi, &hi, AUDIO_RATE);
+        let mpx_flat = tx_flat.generate_mpx(&hi, &hi, AUDIO_RATE);
+        let p_pre = fmbs_dsp::goertzel::goertzel_power(&mpx_pre, IQ_RATE, 10_000.0);
+        let p_flat = fmbs_dsp::goertzel::goertzel_power(&mpx_flat, IQ_RATE, 10_000.0);
+        // 75 µs at 10 kHz boosts by √(1+(2π·10k·75µ)²) ≈ 4.8× in amplitude.
+        let ratio = (p_pre / p_flat).sqrt();
+        assert!(ratio > 3.0 && ratio < 6.5, "amplitude boost {ratio}");
+    }
+}

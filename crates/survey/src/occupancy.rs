@@ -1,0 +1,94 @@
+//! Channel-occupancy statistics: the minimum shift CDF of Fig. 4b.
+//!
+//! "To compute the f_back required in practice, we measure the frequency
+//! separation between each licensed FM station and the nearest channel
+//! without a licensed station" (§3.3). The paper finds a median of
+//! 200 kHz and a worst case under 800 kHz.
+
+use crate::stations::{City, CityStations};
+use fmbs_dsp::stats::Cdf;
+
+/// Minimum shifts (Hz) from every licensed station in a city to its
+/// nearest unlicensed channel.
+pub fn min_shifts_hz(city: City) -> Vec<f64> {
+    let table = CityStations::generate(city);
+    let occ = table.licensed_occupancy();
+    table
+        .licensed
+        .iter()
+        .filter_map(|c| occ.min_shift_hz(*c))
+        .collect()
+}
+
+/// The Fig. 4b CDF for one city.
+pub fn min_shift_cdf(city: City) -> Cdf {
+    Cdf::from_samples(&min_shifts_hz(city))
+}
+
+/// Median minimum shift across all five cities pooled (the paper's
+/// headline "the median frequency shift required is 200 kHz").
+pub fn pooled_median_shift_hz() -> f64 {
+    let mut all = Vec::new();
+    for city in City::ALL {
+        all.extend(min_shifts_hz(city));
+    }
+    Cdf::from_samples(&all).median()
+}
+
+/// Worst-case minimum shift across all cities (paper: "less than 800 kHz
+/// in the worse case situation").
+pub fn worst_case_shift_hz() -> f64 {
+    City::ALL
+        .iter()
+        .flat_map(|c| min_shifts_hz(*c))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_shift_is_200khz() {
+        let median = pooled_median_shift_hz();
+        assert_eq!(median, 200_000.0, "pooled median {median}");
+    }
+
+    #[test]
+    fn worst_case_under_a_megahertz() {
+        // Paper: < 800 kHz worst case. Allow ≤ 1 MHz for the synthetic
+        // tables — the shape constraint is "small multiples of 200 kHz".
+        let worst = worst_case_shift_hz();
+        assert!(worst <= 1_000_000.0, "worst case {worst}");
+        assert!(worst >= 200_000.0);
+    }
+
+    #[test]
+    fn shifts_are_multiples_of_channel_spacing() {
+        for city in City::ALL {
+            for s in min_shifts_hz(city) {
+                assert!((s / 200_000.0).fract().abs() < 1e-9, "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_station_has_a_nearby_free_channel() {
+        for city in City::ALL {
+            let shifts = min_shifts_hz(city);
+            let (licensed, _) = city.station_counts();
+            assert_eq!(shifts.len(), licensed);
+            // CDF must reach 1 by 1 MHz (five channels away).
+            let cdf = min_shift_cdf(city);
+            assert!(cdf.fraction_below(1_000_001.0) == 1.0);
+        }
+    }
+
+    #[test]
+    fn la_is_more_crowded_than_seattle() {
+        // More licensed stations ⇒ stochastically larger shifts.
+        let la = min_shift_cdf(City::LosAngeles);
+        let sea = min_shift_cdf(City::Seattle);
+        assert!(la.quantile(0.9) >= sea.quantile(0.9));
+    }
+}

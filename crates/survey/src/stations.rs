@@ -1,0 +1,249 @@
+//! Per-city FM station tables (the Fig. 4a data).
+//!
+//! The paper counts licensed and detectable stations in five US cities
+//! from public databases (radio-locator, FM Fool). Those databases are not
+//! shippable, so we synthesise station tables that (a) match the paper's
+//! reported licensed/detectable counts and (b) obey the FCC's
+//! adjacent-channel practice ("geographically close transmitters are
+//! often not assigned to adjacent FM channels", §3.3) — the property
+//! Fig. 4b depends on.
+
+use fmbs_fm::band::{BandOccupancy, Channel, FM_CHANNEL_COUNT};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The five cities of Fig. 4a.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum City {
+    /// San Francisco.
+    SanFrancisco,
+    /// Seattle (more detectable than licensed — neighbouring cities leak
+    /// in).
+    Seattle,
+    /// Boston.
+    Boston,
+    /// Chicago.
+    Chicago,
+    /// Los Angeles.
+    LosAngeles,
+}
+
+impl City {
+    /// All five cities, in the paper's x-axis order.
+    pub const ALL: [City; 5] = [
+        City::SanFrancisco,
+        City::Seattle,
+        City::Boston,
+        City::Chicago,
+        City::LosAngeles,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            City::SanFrancisco => "SFO",
+            City::Seattle => "Seattle",
+            City::Boston => "Boston",
+            City::Chicago => "Chicago",
+            City::LosAngeles => "LA",
+        }
+    }
+
+    /// (licensed, detectable) station counts, read off Fig. 4a.
+    pub fn station_counts(self) -> (usize, usize) {
+        match self {
+            City::SanFrancisco => (55, 45),
+            City::Seattle => (41, 58),
+            City::Boston => (43, 36),
+            City::Chicago => (45, 38),
+            City::LosAngeles => (60, 51),
+        }
+    }
+
+    /// Deterministic seed for this city's synthetic channel assignment.
+    fn seed(self) -> u64 {
+        match self {
+            City::SanFrancisco => 101,
+            City::Seattle => 202,
+            City::Boston => 303,
+            City::Chicago => 404,
+            City::LosAngeles => 505,
+        }
+    }
+}
+
+/// A city's synthesised station table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CityStations {
+    /// The city.
+    pub city: City,
+    /// Channels with a *licensed* station.
+    pub licensed: Vec<Channel>,
+    /// Channels with a *detectable* signal (licensed stations that are on
+    /// the air, plus out-of-market leakage).
+    pub detectable: Vec<Channel>,
+}
+
+impl CityStations {
+    /// Builds the table for a city. Deterministic.
+    pub fn generate(city: City) -> Self {
+        let (n_licensed, n_detectable) = city.station_counts();
+        let mut rng = StdRng::seed_from_u64(city.seed());
+
+        // Licensed assignment: greedy random placement preferring ≥ 2
+        // channels of separation (FCC adjacency practice), relaxing to 1
+        // only when the band gets crowded.
+        let licensed = place_stations(&mut rng, n_licensed);
+
+        // Detectable set: most licensed stations are on the air; if the
+        // city detects more than it licenses (Seattle), out-of-market
+        // stations fill extra channels.
+        let mut detectable: Vec<Channel> = licensed.clone();
+        if n_detectable <= n_licensed {
+            // Some licensed stations are dark: drop a random subset.
+            while detectable.len() > n_detectable {
+                let idx = rng.gen_range(0..detectable.len());
+                detectable.swap_remove(idx);
+            }
+        } else {
+            // Leakage from neighbouring markets occupies extra channels.
+            let mut free: Vec<Channel> = Channel::all()
+                .filter(|c| !detectable.contains(c))
+                .collect();
+            while detectable.len() < n_detectable && !free.is_empty() {
+                let idx = rng.gen_range(0..free.len());
+                detectable.push(free.swap_remove(idx));
+            }
+        }
+        detectable.sort();
+        CityStations {
+            city,
+            licensed,
+            detectable,
+        }
+    }
+
+    /// Band occupancy as seen by a tag (detectable signals matter).
+    pub fn occupancy(&self) -> BandOccupancy {
+        BandOccupancy::from_channels(&self.detectable)
+    }
+
+    /// Band occupancy of licensed assignments (what Fig. 4b is computed
+    /// from: "the frequency separation between each licensed FM station
+    /// and the nearest channel without a licensed station").
+    pub fn licensed_occupancy(&self) -> BandOccupancy {
+        BandOccupancy::from_channels(&self.licensed)
+    }
+}
+
+fn place_stations(rng: &mut StdRng, n: usize) -> Vec<Channel> {
+    assert!(n <= FM_CHANNEL_COUNT);
+    let mut taken = [false; FM_CHANNEL_COUNT];
+    let mut placed = Vec::with_capacity(n);
+    // Pass 1: enforce one empty guard channel on each side.
+    let mut attempts = 0;
+    while placed.len() < n && attempts < 20_000 {
+        attempts += 1;
+        let c = rng.gen_range(0..FM_CHANNEL_COUNT);
+        let clear = (c == 0 || !taken[c - 1])
+            && !taken[c]
+            && (c + 1 >= FM_CHANNEL_COUNT || !taken[c + 1]);
+        if clear {
+            taken[c] = true;
+            placed.push(Channel(c as u8));
+        }
+        // Once guard placement saturates (~50 stations), relax.
+        if attempts > 10_000 && placed.len() < n {
+            break;
+        }
+    }
+    // Pass 2: fill remaining without guard constraint.
+    while placed.len() < n {
+        let c = rng.gen_range(0..FM_CHANNEL_COUNT);
+        if !taken[c] {
+            taken[c] = true;
+            placed.push(Channel(c as u8));
+        }
+    }
+    placed.sort();
+    placed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_paper_figure() {
+        for city in City::ALL {
+            let t = CityStations::generate(city);
+            let (licensed, detectable) = city.station_counts();
+            assert_eq!(t.licensed.len(), licensed, "{}", city.label());
+            assert_eq!(t.detectable.len(), detectable, "{}", city.label());
+        }
+    }
+
+    #[test]
+    fn seattle_detects_more_than_licensed() {
+        // The paper's Seattle anomaly: leakage from neighbouring cities.
+        let (licensed, detectable) = City::Seattle.station_counts();
+        assert!(detectable > licensed);
+    }
+
+    #[test]
+    fn all_channels_valid_and_unique() {
+        for city in City::ALL {
+            let t = CityStations::generate(city);
+            for list in [&t.licensed, &t.detectable] {
+                let mut seen = std::collections::HashSet::new();
+                for c in list {
+                    assert!((c.0 as usize) < FM_CHANNEL_COUNT);
+                    assert!(seen.insert(c.0), "duplicate channel {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = CityStations::generate(City::Boston);
+        let b = CityStations::generate(City::Boston);
+        assert_eq!(a.licensed, b.licensed);
+        assert_eq!(a.detectable, b.detectable);
+    }
+
+    #[test]
+    fn large_fraction_of_band_remains_free() {
+        // §3.3: "a large fraction of 100 FM channels are unoccupied and
+        // can be used for backscatter."
+        for city in City::ALL {
+            let t = CityStations::generate(city);
+            let free = t.occupancy().free_channels().len();
+            assert!(free >= 40, "{}: only {free} free channels", city.label());
+        }
+    }
+
+    #[test]
+    fn adjacency_is_mostly_respected() {
+        // Most licensed pairs should not sit on adjacent channels. With
+        // guard channels, at most ~50 stations fit in the 100-channel
+        // band, so the most crowded markets (LA at 60) necessarily pack
+        // some stations adjacently — allow them a looser bound.
+        for city in City::ALL {
+            let t = CityStations::generate(city);
+            let adjacent = t
+                .licensed
+                .windows(2)
+                .filter(|w| w[1].0 - w[0].0 == 1)
+                .count();
+            let frac = adjacent as f64 / t.licensed.len() as f64;
+            let bound = if t.licensed.len() >= 50 { 0.5 } else { 0.35 };
+            assert!(
+                frac < bound,
+                "{}: {frac:.2} of stations on adjacent channels",
+                city.label()
+            );
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Talking poster (§6.1): a bus-stop poster broadcasts a notification and
+//! a music snippet to a passing smartphone.
+//!
+//! The poster's copper-tape dipole backscatters the local news station
+//! (94.9 MHz at −35…−40 dBm) up to 95.3 MHz. A phone next to the poster
+//! decodes (a) a framed data packet at 100 bps — the "discounted tickets"
+//! notification of Fig. 16 — and (b) an overlaid audio snippet scored with
+//! the PESQ-like metric.
+//!
+//! ```text
+//! cargo run --release -p fmbs-examples --bin talking_poster
+//! ```
+
+use fmbs_audio::program::ProgramKind;
+use fmbs_core::modem::frame::{FrameDecoder, FrameEncoder};
+use fmbs_core::modem::Bitrate;
+use fmbs_core::overlay::OverlayAudio;
+use fmbs_core::sim::fast::{FastSim, FAST_AUDIO_RATE};
+use fmbs_core::sim::scenario::Scenario;
+
+fn main() {
+    println!("Talking poster at a bus stop");
+    println!("============================");
+    // §6.1: ambient signal at the poster measured at −35…−40 dBm; the
+    // listener stands ~4–10 ft away.
+    let scenario = Scenario::bench(-37.0, 6.0, ProgramKind::News);
+
+    // --- data: a notification frame -----------------------------------
+    let notification = b"SIMPLY THREE FALL TOUR - 20% off tickets: metro.example/s3";
+    let wave = FrameEncoder::new(FAST_AUDIO_RATE, Bitrate::Bps100).encode(notification);
+    println!(
+        "poster transmits a {}-byte notification at 100 bps ({:.1} s on air)",
+        notification.len(),
+        wave.len() as f64 / FAST_AUDIO_RATE
+    );
+
+    let received = FastSim::new(scenario).run(&wave, false);
+    match FrameDecoder::new(FAST_AUDIO_RATE, Bitrate::Bps100).decode(&received.mono) {
+        Some(frame) => {
+            println!(
+                "phone decoded: {:?}",
+                String::from_utf8_lossy(&frame.payload)
+            );
+            println!("(CRC-16 verified; link budget: {})", received.budget.audio_snr);
+        }
+        None => println!("phone failed to decode the frame at this range"),
+    }
+
+    // --- audio: a music snippet over the news programme ----------------
+    let audio_exp = OverlayAudio::new(scenario, 3.0);
+    let score = audio_exp.run_pesq();
+    println!("\nposter overlays a 3 s audio clip on the ambient news station");
+    println!("PESQ-like score of the received composite: {score:.2}");
+    println!("(the paper's overlay operating point is ~2: clearly audible payload)");
+
+    // --- range check ----------------------------------------------------
+    println!("\nrange sweep (100 bps frame success):");
+    for d in [2.0, 6.0, 10.0, 14.0, 18.0] {
+        let s = Scenario::bench(-37.0, d, ProgramKind::News);
+        let rx = FastSim::new(s).run(&wave, false);
+        let ok = FrameDecoder::new(FAST_AUDIO_RATE, Bitrate::Bps100)
+            .decode(&rx.mono)
+            .is_some();
+        println!("  {d:>4.0} ft: {}", if ok { "decoded" } else { "lost" });
+    }
+}

@@ -1,0 +1,12 @@
+//! Shared helpers for the cross-crate integration tests.
+
+#![forbid(unsafe_code)]
+
+use fmbs_dsp::TAU;
+
+/// A sine tone at `f` Hz for `secs` seconds at `rate` Hz.
+pub fn tone(f: f64, secs: f64, rate: f64, amp: f64) -> Vec<f64> {
+    (0..(rate * secs) as usize)
+        .map(|i| amp * (TAU * f * i as f64 / rate).sin())
+        .collect()
+}

@@ -1,0 +1,155 @@
+//! End-to-end integration tests: the whole stack from programme audio to
+//! decoded payload, crossing every crate boundary.
+
+use fmbs_audio::program::ProgramKind;
+use fmbs_core::modem::frame::{FrameDecoder, FrameEncoder};
+use fmbs_core::modem::Bitrate;
+use fmbs_core::sim::fast::{FastSim, FAST_AUDIO_RATE};
+use fmbs_core::sim::physical::{PhysicalSim, PhysicalSimConfig};
+use fmbs_core::sim::scenario::Scenario;
+use fmbs_fm::transmitter::StationConfig;
+use fmbs_integration_tests::tone;
+
+const AUDIO_RATE: f64 = 48_000.0;
+
+/// A complete message travels poster → RF → phone through the *physical*
+/// simulator: FM multiplex, square-wave switch, discriminator, framing.
+#[test]
+fn physical_frame_delivery() {
+    let sim = PhysicalSim::new(PhysicalSimConfig::bench(-25.0, 4.0));
+    let payload = b"bus 44 in 3 min";
+    let frame_audio = FrameEncoder::new(AUDIO_RATE, Bitrate::Bps100).encode(payload);
+    // Host: a mono station playing a low tone (kept clear of the FSK
+    // tones so the physical run stays short but decodable).
+    let secs = frame_audio.len() as f64 / AUDIO_RATE + 0.1;
+    let host = tone(400.0, secs, AUDIO_RATE, 0.3);
+    let mut station = StationConfig::mono();
+    station.preemphasis = false;
+    let out = sim.run(station, &host, &host, AUDIO_RATE, &frame_audio, false);
+    let audio = &out.backscatter_rx.mono;
+    // The receiver's audio rate differs from 48 kHz; resample for the
+    // frame decoder (what a phone app would do).
+    let resampled = fmbs_dsp::resample::resample_linear(
+        audio,
+        out.backscatter_rx.sample_rate,
+        AUDIO_RATE,
+    );
+    let frame = FrameDecoder::new(AUDIO_RATE, Bitrate::Bps100)
+        .decode(&resampled)
+        .expect("frame must decode through the physical chain");
+    assert_eq!(&frame.payload[..], payload);
+}
+
+/// The fast tier and the physical tier agree on the §3.3 identity: tone
+/// SNRs measured through both differ by a bounded calibration error.
+#[test]
+fn fast_and_physical_tiers_agree() {
+    // Geometry where both tiers are in their linear regime.
+    let power = -30.0;
+    let distance = 8.0;
+    let f_tone = 2_000.0;
+
+    // Physical tier.
+    let sim = PhysicalSim::new(PhysicalSimConfig::bench(power, distance));
+    let tag_audio = tone(f_tone, 0.4, AUDIO_RATE, 0.9);
+    let silence = vec![0.0; tag_audio.len()];
+    let mut station = StationConfig::mono();
+    station.preemphasis = false;
+    let out = sim.run(station, &silence, &silence, AUDIO_RATE, &tag_audio, false);
+    let skip = out.backscatter_rx.mono.len() / 3;
+    let phys_snr = fmbs_audio::metrics::tone_snr_db(
+        &out.backscatter_rx.mono[skip..],
+        out.backscatter_rx.sample_rate,
+        f_tone,
+    );
+
+    // Fast tier.
+    let scenario = Scenario::bench(power, distance, ProgramKind::Silence);
+    let payload = tone(f_tone, 0.4, FAST_AUDIO_RATE, 0.9);
+    let fast_out = FastSim::new(scenario).run(&payload, false);
+    let fskip = fast_out.mono.len() / 3;
+    let fast_snr =
+        fmbs_audio::metrics::tone_snr_db(&fast_out.mono[fskip..], FAST_AUDIO_RATE, f_tone);
+
+    // The tiers share the link budget but differ in demod details and the
+    // physical tier's square-wave sampling floor; require agreement within
+    // 12 dB and, more importantly, the same ordering against a weak link.
+    assert!(
+        (phys_snr - fast_snr).abs() < 12.0,
+        "physical {phys_snr:.1} dB vs fast {fast_snr:.1} dB"
+    );
+    assert!(phys_snr > 20.0 && fast_snr > 20.0);
+}
+
+/// Overlay data rides over every programme genre.
+#[test]
+fn all_genres_carry_data() {
+    let bits = fmbs_core::modem::encoder::test_bits(300, 5);
+    for genre in ProgramKind::BROADCAST_GENRES {
+        let s = Scenario::bench(-30.0, 6.0, genre);
+        let ber = FastSim::new(s).overlay_data_ber(&bits, Bitrate::Bps100);
+        assert!(ber < 0.02, "{genre:?}: BER {ber}");
+    }
+}
+
+/// Cooperative cancellation survives a *real* hardware AGC on the second
+/// phone (the §3.3 complication: "hardware gain control alters the
+/// amplitude"), not just a fixed gain mismatch.
+#[test]
+fn coop_cancels_through_real_agc() {
+    use fmbs_core::coop::CooperativeDecoder;
+    use fmbs_dsp::goertzel::goertzel_power;
+    let fs = FAST_AUDIO_RATE;
+    let n = 2 * 48_000;
+    // Host: two strong tones; payload: a 5 kHz tone.
+    let host: Vec<f64> = (0..n)
+        .map(|i| {
+            let t = i as f64 / fs;
+            0.5 * (fmbs_dsp::TAU * 700.0 * t).sin() + 0.2 * (fmbs_dsp::TAU * 2_900.0 * t).sin()
+        })
+        .collect();
+    let payload = tone(5_000.0, 2.0, fs, 0.3);
+    let phone1: Vec<f64> = host.iter().zip(&payload).map(|(h, p)| h + p).collect();
+    // Phone 2 hears the host through its own AGC, delayed 31 samples.
+    let mut agc = fmbs_fm::agc::Agc::smartphone(fs);
+    let delayed: Vec<f64> = (0..n)
+        .map(|i| if i >= 31 { host[i - 31] } else { 0.0 })
+        .collect();
+    let phone2 = agc.process(&delayed);
+    let res = CooperativeDecoder::new(fs).decode(&phone1, &phone2);
+    // Judge cancellation on the settled region (AGC converged).
+    let out = &res.payload[24_000..res.payload.len() - 2_000];
+    let p_host = goertzel_power(out, fs, 700.0);
+    let p_payload = goertzel_power(out, fs, 5_000.0);
+    assert!(
+        p_payload > 10.0 * p_host.max(1e-15),
+        "payload {p_payload} vs host residual {p_host} (gain {})",
+        res.gain
+    );
+}
+
+/// The three headline capabilities rank as the paper reports at a strong
+/// operating point: cooperative > stereo > overlay in audio quality.
+#[test]
+fn capability_ranking_matches_paper() {
+    let scenario = Scenario::bench(-25.0, 6.0, ProgramKind::News);
+    let overlay = fmbs_core::overlay::OverlayAudio::new(scenario, 2.5).run_pesq();
+    let stereo = fmbs_core::stereo_bs::StereoBackscatter::new(
+        scenario,
+        fmbs_core::stereo_bs::StereoHost::StereoNews,
+    )
+    .run_pesq(2.5)
+    .value()
+    .expect("pilot detected at -25 dBm");
+    let coop = fmbs_core::coop::CoopSession::new(scenario, 2.5).run_pesq();
+    assert!(
+        stereo > overlay,
+        "stereo {stereo:.2} must beat overlay {overlay:.2}"
+    );
+    assert!(
+        coop > overlay,
+        "coop {coop:.2} must beat overlay {overlay:.2}"
+    );
+    // And overlay sits near its PESQ ≈ 2 operating point.
+    assert!((1.0..=3.0).contains(&overlay), "overlay {overlay:.2}");
+}

@@ -1,0 +1,124 @@
+//! Cross-crate property-based tests (proptest) on system invariants.
+
+use fmbs_core::modem::decoder::DataDecoder;
+use fmbs_core::modem::encoder::DataEncoder;
+use fmbs_core::modem::frame::{crc16, FrameDecoder, FrameEncoder};
+use fmbs_core::modem::{bit_error_rate, Bitrate};
+use fmbs_channel::units::{Db, Dbm};
+use proptest::prelude::*;
+
+const FS: f64 = 48_000.0;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any bit pattern round-trips through any rate's encoder/decoder on
+    /// a clean channel.
+    #[test]
+    fn modem_round_trip(bits in prop::collection::vec(any::<bool>(), 8..96),
+                        rate_idx in 0usize..3) {
+        let rate = Bitrate::ALL[rate_idx];
+        let wave = DataEncoder::new(FS, rate).encode(&bits);
+        let rx = DataDecoder::new(FS, rate).decode(&wave, 0, bits.len());
+        prop_assert_eq!(bit_error_rate(&bits, &rx), 0.0);
+    }
+
+    /// Any payload round-trips through the frame layer.
+    #[test]
+    fn frame_round_trip(payload in prop::collection::vec(any::<u8>(), 0..40)) {
+        let wave = FrameEncoder::new(FS, Bitrate::Kbps3_2).encode(&payload);
+        let frame = FrameDecoder::new(FS, Bitrate::Kbps3_2).decode(&wave);
+        prop_assert!(frame.is_some());
+        prop_assert_eq!(&frame.unwrap().payload[..], &payload[..]);
+    }
+
+    /// CRC-16 detects any single-byte corruption.
+    #[test]
+    fn crc_detects_single_byte_change(
+        payload in prop::collection::vec(any::<u8>(), 1..64),
+        idx in any::<prop::sample::Index>(),
+        delta in 1u8..=255,
+    ) {
+        let mut corrupted = payload.clone();
+        let i = idx.index(corrupted.len());
+        corrupted[i] ^= delta;
+        prop_assert_ne!(crc16(&payload), crc16(&corrupted));
+    }
+
+    /// Link-budget algebra: adding gain to the ambient power moves the
+    /// backscatter power by exactly that gain.
+    #[test]
+    fn budget_linearity(p in -70.0f64..-10.0, boost in 0.0f64..20.0, d in 2.0f64..40.0) {
+        use fmbs_channel::backscatter_link::BackscatterLink;
+        let base = BackscatterLink::smartphone(Dbm(p)).budget_at_feet(d);
+        let boosted = BackscatterLink::smartphone(Dbm(p + boost)).budget_at_feet(d);
+        let diff = boosted.backscatter_at_rx - base.backscatter_at_rx;
+        prop_assert!((diff - Db(boost)).0.abs() < 1e-9);
+    }
+
+    /// dBm/linear conversions round-trip across the whole usable range.
+    #[test]
+    fn units_round_trip(p in -120.0f64..30.0) {
+        let mw = Dbm(p).to_milliwatts();
+        prop_assert!((Dbm::from_milliwatts(mw).0 - p).abs() < 1e-9);
+    }
+
+    /// MRC combining N identical recordings scales amplitude by exactly N.
+    #[test]
+    fn mrc_amplitude_scaling(
+        sig in prop::collection::vec(-1.0f64..1.0, 16..128),
+        n in 1usize..5,
+    ) {
+        let recs: Vec<Vec<f64>> = (0..n).map(|_| sig.clone()).collect();
+        let combined = fmbs_core::modem::mrc::combine(&recs);
+        for (c, s) in combined.iter().zip(sig.iter()) {
+            prop_assert!((c - n as f64 * s).abs() < 1e-9);
+        }
+    }
+
+    /// The IC power model is monotone in frequency and duty cycle and
+    /// never drops below the baseband floor.
+    #[test]
+    fn power_model_monotone(f in 100_000.0f64..1_000_000.0, duty in 0.01f64..1.0) {
+        use fmbs_core::power::{IcPowerModel, PAPER_OPERATING_POINT};
+        let m = IcPowerModel { f_back_hz: f, duty_cycle: duty, ..PAPER_OPERATING_POINT };
+        let faster = IcPowerModel { f_back_hz: f * 1.5, duty_cycle: duty, ..PAPER_OPERATING_POINT };
+        prop_assert!(faster.total_uw() > m.total_uw());
+        prop_assert!(m.total_uw() > 0.0);
+        let full = IcPowerModel { f_back_hz: f, duty_cycle: 1.0, ..PAPER_OPERATING_POINT };
+        prop_assert!(m.total_uw() <= full.total_uw() + 1e-12);
+    }
+
+    /// RDS blocks round-trip for arbitrary information words.
+    #[test]
+    fn rds_block_round_trip(info in any::<u16>(), pos in 0usize..4) {
+        use fmbs_fm::rds::{decode_block, encode_block};
+        prop_assert_eq!(decode_block(encode_block(info, pos), pos), Some(info));
+    }
+
+    /// FM modulate→demodulate is transparent for arbitrary band-limited
+    /// baseband content (random low-order Fourier series).
+    #[test]
+    fn fm_transparency(coeffs in prop::collection::vec(-0.3f64..0.3, 1..6)) {
+        use fmbs_fm::demodulator::Discriminator;
+        use fmbs_fm::modulator::FmModulator;
+        let fs = 500_000.0;
+        let n = 5_000;
+        let baseband: Vec<f64> = (0..n)
+            .map(|i| {
+                coeffs
+                    .iter()
+                    .enumerate()
+                    .map(|(k, c)| c * (fmbs_dsp::TAU * (k + 1) as f64 * 500.0 * i as f64 / fs).sin())
+                    .sum()
+            })
+            .collect();
+        let mut m = FmModulator::new(fs, 0.0, 75_000.0);
+        let mut d = Discriminator::new(fs, 75_000.0);
+        let iq = m.process(&baseband);
+        let out = d.process(&iq);
+        for i in 1..n {
+            prop_assert!((out[i] - baseband[i - 1]).abs() < 1e-6);
+        }
+    }
+}
