@@ -35,4 +35,3 @@ pub mod prelude {
     pub use crate::pesq::pesq_like;
     pub use crate::program::{ProgramGenerator, ProgramKind, StereoProgram};
 }
-

@@ -144,7 +144,10 @@ mod tests {
     #[test]
     fn empty_input_is_neg_infinity() {
         assert_eq!(tone_snr_db(&[], FS, 1_000.0), f64::NEG_INFINITY);
-        assert_eq!(tone_snr_db_settled(&[1.0; 4], FS, 1_000.0, 10), f64::NEG_INFINITY);
+        assert_eq!(
+            tone_snr_db_settled(&[1.0; 4], FS, 1_000.0, 10),
+            f64::NEG_INFINITY
+        );
     }
 
     #[test]

@@ -77,7 +77,7 @@ pub fn generate_music(cfg: MusicConfig, n: usize, seed: u64) -> (Vec<f64>, Vec<f
             .iter()
             .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * cfg.stereo_width)
             .collect();
-        let kick_on = beat_idx % 2 == 0;
+        let kick_on = beat_idx.is_multiple_of(2);
         for k in 0..this_len {
             let t = (i + k) as f64 / fs;
             let mut l = 0.0;

@@ -116,6 +116,7 @@ pub fn disturbance(reference: &[f64], degraded: &[f64], sample_rate: f64) -> f64
     };
 
     let norm = 1.0 / r_rms; // analyse at a common nominal level
+
     // Activity gate: P.862 weights disturbances by the loudness of the
     // reference frame; we approximate by scoring only frames where the
     // reference carries real signal (pauses otherwise dominate the score
@@ -126,8 +127,7 @@ pub fn disturbance(reference: &[f64], degraded: &[f64], sample_rate: f64) -> f64
     let mut start = 0usize;
     while start + frame <= n {
         let rseg = &reference[start..start + frame];
-        let frame_power =
-            rseg.iter().map(|x| x * norm * x * norm).sum::<f64>() / frame as f64;
+        let frame_power = rseg.iter().map(|x| x * norm * x * norm).sum::<f64>() / frame as f64;
         if frame_power < activity_floor {
             start += hop;
             continue;
@@ -140,11 +140,7 @@ pub fn disturbance(reference: &[f64], degraded: &[f64], sample_rate: f64) -> f64
             let ld = 10.0 * (db[b] + POWER_FLOOR).log10();
             let diff = ld - lr;
             // Added energy (noise) is more annoying than removed energy.
-            frame_dist += if diff > 0.0 {
-                ASYMMETRY * diff
-            } else {
-                -diff
-            };
+            frame_dist += if diff > 0.0 { ASYMMETRY * diff } else { -diff };
         }
         total += frame_dist / N_BANDS as f64;
         frames += 1;

@@ -118,7 +118,9 @@ impl ProgramGenerator {
                 let s = generate_speech(SpeechConfig::announcer(self.sample_rate), n, self.seed);
                 (s.clone(), s)
             }
-            ProgramKind::PopMusic => generate_music(MusicConfig::pop(self.sample_rate), n, self.seed),
+            ProgramKind::PopMusic => {
+                generate_music(MusicConfig::pop(self.sample_rate), n, self.seed)
+            }
             ProgramKind::RockMusic => {
                 generate_music(MusicConfig::rock(self.sample_rate), n, self.seed)
             }
@@ -131,7 +133,7 @@ impl ProgramGenerator {
                 let mut left = Vec::with_capacity(n);
                 let mut right = Vec::with_capacity(n);
                 for i in 0..n {
-                    if (i / seg) % 2 == 0 {
+                    if (i / seg).is_multiple_of(2) {
                         left.push(speech[i]);
                         right.push(speech[i]);
                     } else {

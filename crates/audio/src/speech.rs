@@ -82,10 +82,7 @@ pub fn generate_speech(cfg: SpeechConfig, n: usize, seed: u64) -> Vec<f64> {
                 rng.gen::<f64>() * 2.0 - 1.0
             };
             // Syllabic envelope: raised cosine over the syllable.
-            let env = 0.5
-                - 0.5
-                    * (std::f64::consts::TAU * k as f64 / this_len as f64)
-                        .cos();
+            let env = 0.5 - 0.5 * (std::f64::consts::TAU * k as f64 / this_len as f64).cos();
             let v = r1.push(excitation) + 0.6 * r2.push(excitation) + 0.3 * r3.push(excitation);
             out.push(v * env);
         }
@@ -163,10 +160,7 @@ mod tests {
         let s = generate_speech(cfg, 8 * 48_000, 3);
         // Count syllable-length windows that are almost silent.
         let win = (FS / 4.0) as usize;
-        let silent = s
-            .chunks(win)
-            .filter(|c| rms(c) < 1e-4)
-            .count();
+        let silent = s.chunks(win).filter(|c| rms(c) < 1e-4).count();
         assert!(silent >= 2, "only {silent} silent syllables");
     }
 

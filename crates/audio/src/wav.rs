@@ -25,11 +25,7 @@ fn clamp_i16(x: f64) -> i16 {
 ///
 /// `channels` must contain one or two equal-length channels with samples
 /// in [-1, 1] (values outside are clipped, as a DAC would).
-pub fn write_wav<P: AsRef<Path>>(
-    path: P,
-    channels: &[&[f64]],
-    sample_rate: u32,
-) -> io::Result<()> {
+pub fn write_wav<P: AsRef<Path>>(path: P, channels: &[&[f64]], sample_rate: u32) -> io::Result<()> {
     assert!(
         channels.len() == 1 || channels.len() == 2,
         "only mono/stereo supported"
@@ -137,9 +133,7 @@ mod tests {
 
     #[test]
     fn mono_round_trip() {
-        let sig: Vec<f64> = (0..1_000)
-            .map(|i| (i as f64 * 0.05).sin() * 0.7)
-            .collect();
+        let sig: Vec<f64> = (0..1_000).map(|i| (i as f64 * 0.05).sin() * 0.7).collect();
         let path = tmp("mono");
         write_wav(&path, &[&sig], 48_000).unwrap();
         let back = read_wav(&path).unwrap();

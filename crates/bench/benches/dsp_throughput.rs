@@ -14,8 +14,9 @@ fn bench(c: &mut Criterion) {
     g.throughput(Throughput::Elements(n as u64));
     g.bench_function("fft_16k", |b| {
         let fft = Fft::new(n);
-        let mut buf: Vec<Complex> =
-            (0..n).map(|i| Complex::from_angle(i as f64 * 0.1)).collect();
+        let mut buf: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_angle(i as f64 * 0.1))
+            .collect();
         b.iter(|| {
             fft.forward(&mut buf);
             fft.inverse(&mut buf);

@@ -8,9 +8,10 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig05_stereo_util");
     g.sample_size(10);
     for kind in [ProgramKind::News, ProgramKind::RockMusic] {
-        g.bench_function(format!("window_{}", kind.label().replace([' ', ','], "_")), |b| {
-            b.iter(|| std::hint::black_box(stereo_utilisation_samples(kind, 1, 2.0, 5)))
-        });
+        g.bench_function(
+            format!("window_{}", kind.label().replace([' ', ','], "_")),
+            |b| b.iter(|| std::hint::black_box(stereo_utilisation_samples(kind, 1, 2.0, 5))),
+        );
     }
     g.finish();
 }

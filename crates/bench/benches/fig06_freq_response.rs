@@ -16,7 +16,7 @@ fn bench(c: &mut Criterion) {
         .collect();
     g.bench_function("tone_point_mono_band", |b| {
         b.iter(|| {
-            let out = FastSim::new(scenario).run(&payload, false);
+            let out = FastSim.run_payload(&scenario, &payload, false);
             std::hint::black_box(fmbs_audio::metrics::tone_snr_db(
                 &out.mono,
                 FAST_AUDIO_RATE,

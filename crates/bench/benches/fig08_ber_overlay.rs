@@ -14,8 +14,8 @@ fn bench(c: &mut Criterion) {
     let bits = test_bits(200, 1);
     for rate in Bitrate::ALL {
         g.bench_function(format!("{:?}", rate), |b| {
-            let sim = FastSim::new(Scenario::bench(-40.0, 8.0, ProgramKind::News));
-            b.iter(|| std::hint::black_box(sim.overlay_data_ber(&bits, rate)))
+            let s = Scenario::bench(-40.0, 8.0, ProgramKind::News);
+            b.iter(|| std::hint::black_box(FastSim.overlay_data_ber(&s, &bits, rate)))
         });
     }
     g.finish();

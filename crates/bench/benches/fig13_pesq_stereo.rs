@@ -13,10 +13,7 @@ fn bench(c: &mut Criterion) {
         ("mono_host", StereoHost::MonoStation),
     ] {
         g.bench_function(name, |b| {
-            let exp = StereoBackscatter::new(
-                Scenario::bench(-30.0, 6.0, ProgramKind::News),
-                host,
-            );
+            let exp = StereoBackscatter::new(Scenario::bench(-30.0, 6.0, ProgramKind::News), host);
             b.iter(|| std::hint::black_box(exp.run_pesq(2.0)))
         });
     }

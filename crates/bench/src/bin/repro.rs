@@ -4,40 +4,16 @@
 //! repro                 # all experiments, quick grids
 //! repro --full          # the paper's dense grids (slow)
 //! repro fig8a fig11     # a subset
+//! repro --list          # known experiment ids
 //! repro --json out/     # also write one JSON file per experiment
 //! ```
+//!
+//! Experiment ids resolve through [`fmbs_bench::experiments::REGISTRY`];
+//! swept figures execute on the parallel sweep engine, so `--full`
+//! scales with cores.
 
-use fmbs_bench::experiments::{self, Grid};
+use fmbs_bench::experiments::{self, Grid, REGISTRY};
 use fmbs_bench::report::Experiment;
-use fmbs_core::modem::Bitrate;
-use fmbs_core::stereo_bs::StereoHost;
-
-fn by_id(id: &str, grid: Grid) -> Option<Experiment> {
-    Some(match id {
-        "fig2a" => experiments::fig2a(grid),
-        "fig2b" => experiments::fig2b(grid),
-        "fig4a" => experiments::fig4a(grid),
-        "fig4b" => experiments::fig4b(grid),
-        "fig5" => experiments::fig5(grid),
-        "fig6" => experiments::fig6(grid),
-        "fig7" => experiments::fig7(grid),
-        "fig8a" => experiments::fig8(grid, Bitrate::Bps100),
-        "fig8b" => experiments::fig8(grid, Bitrate::Kbps1_6),
-        "fig8c" => experiments::fig8(grid, Bitrate::Kbps3_2),
-        "fig9" => experiments::fig9(grid),
-        "fig10" => experiments::fig10(grid),
-        "fig11" => experiments::fig11(grid),
-        "fig12" => experiments::fig12(grid),
-        "fig13a" => experiments::fig13(grid, StereoHost::StereoNews),
-        "fig13b" => experiments::fig13(grid, StereoHost::MonoStation),
-        "fig14" => experiments::fig14(grid),
-        "fig17" | "fig17b" => experiments::fig17(grid),
-        "power" => experiments::power_table(grid),
-        "ablation" => experiments::ablation(grid),
-        "rates" => experiments::rates_table(grid),
-        _ => return None,
-    })
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,11 +22,22 @@ fn main() {
     } else {
         Grid::Quick
     };
-    let json_dir = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    if args.iter().any(|a| a == "--list") {
+        for spec in REGISTRY {
+            println!("{}", spec.id);
+        }
+        return;
+    }
+    let json_dir = match args.iter().position(|a| a == "--json") {
+        Some(i) => match args.get(i + 1) {
+            Some(dir) if !dir.starts_with("--") => Some(dir.clone()),
+            _ => {
+                eprintln!("--json needs an output directory");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
     let ids: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -64,8 +51,8 @@ fn main() {
     } else {
         ids.iter()
             .map(|id| {
-                by_id(id, grid).unwrap_or_else(|| {
-                    eprintln!("unknown experiment id: {id}");
+                experiments::by_id(id, grid).unwrap_or_else(|| {
+                    eprintln!("unknown experiment id: {id} (try --list)");
                     std::process::exit(2);
                 })
             })
@@ -80,8 +67,7 @@ fn main() {
         std::fs::create_dir_all(&dir).expect("create json output dir");
         for e in &results {
             let path = format!("{dir}/{}.json", e.id);
-            std::fs::write(&path, serde_json::to_string_pretty(e).unwrap())
-                .expect("write json");
+            std::fs::write(&path, serde_json::to_string_pretty(e).unwrap()).expect("write json");
             eprintln!("wrote {path}");
         }
     }

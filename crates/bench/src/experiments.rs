@@ -1,21 +1,26 @@
 //! One regeneration function per table/figure of the paper.
 //!
 //! Each function reproduces the *workload and measurement* of the
-//! corresponding experiment on the simulated substrate. Parameter grids
-//! default to slightly coarser versions of the paper's sweeps so the whole
-//! set completes in minutes on one core; pass `--full` to the `repro`
-//! binary for the dense grids.
+//! corresponding experiment on the simulated substrate. Every swept
+//! figure is a declarative [`SweepBuilder`] spec — typed axes over
+//! power/distance/rate/genre/motion plus a [`Metric`] — executed in
+//! parallel by the sweep engine with deterministic per-point seeding;
+//! nothing here hand-rolls a sweep loop. Parameter grids default to
+//! slightly coarser versions of the paper's sweeps so the whole set
+//! completes in minutes; pass `--full` to the `repro` binary for the
+//! dense grids.
+//!
+//! The [`REGISTRY`] maps experiment ids (`fig8a`, `power`, ...) to their
+//! builders; `repro` and external callers go through [`by_id`]/[`all`].
 
 use crate::report::{Experiment, Series};
 use fmbs_audio::program::ProgramKind;
+use fmbs_channel::fading::MotionProfile;
 use fmbs_core::modem::Bitrate;
-use fmbs_core::coop::CoopSession;
-use fmbs_core::overlay::{OverlayAudio, OverlayData};
-use fmbs_core::power::{comparisons, IcPowerModel, PAPER_OPERATING_POINT};
-use fmbs_core::sim::fast::{FastSim, FAST_AUDIO_RATE};
-use fmbs_core::sim::scenario::Scenario;
-use fmbs_core::stereo_bs::{StereoBackscatter, StereoHost};
-use fmbs_dsp::TAU;
+use fmbs_core::sim::fast::FastSim;
+use fmbs_core::sim::metric::{Ber, BerMrc, CoopPesq, Metric, Pesq, ToneSnr};
+use fmbs_core::sim::scenario::{Scenario, Workload};
+use fmbs_core::sim::sweep::{SweepBuilder, SweepResults};
 use fmbs_survey::drive::DriveSurvey;
 use fmbs_survey::occupancy;
 use fmbs_survey::stations::City;
@@ -63,6 +68,15 @@ impl Grid {
             Grid::Full => 6,
         }
     }
+}
+
+/// Formats sweep results as one series per ambient power, x = distance.
+fn series_per_dbm(results: &SweepResults) -> Vec<Series> {
+    results
+        .series_by(|v| v.scenario.ambient_at_tag.0, |v| v.scenario.distance_ft)
+        .into_iter()
+        .map(|(p, pts)| Series::new(format!("{p} dBm"), pts))
+        .collect()
 }
 
 /// Fig. 2a — CDF of FM power across a city.
@@ -173,21 +187,23 @@ pub fn fig6(grid: Grid) -> Experiment {
         ],
         Grid::Full => (1..=30).map(|i| 500.0 * i as f64).collect(),
     };
-    let scenario = Scenario::bench(-20.0, 4.0, ProgramKind::Silence);
     let secs = grid.audio_secs().min(2.0);
-    let run_band = |stereo_band: bool| -> Vec<(f64, f64)> {
-        freqs
-            .iter()
-            .map(|&f| {
-                let n = (FAST_AUDIO_RATE * secs) as usize;
-                let payload: Vec<f64> =
-                    (0..n).map(|i| 0.9 * (TAU * f * i as f64 / FAST_AUDIO_RATE).sin()).collect();
-                let out = FastSim::new(scenario).run(&payload, stereo_band);
-                let audio = if stereo_band { &out.difference } else { &out.mono };
-                let skip = audio.len() / 4;
-                (f / 1_000.0, fmbs_audio::metrics::tone_snr_db(&audio[skip..], FAST_AUDIO_RATE, f))
+    let base = Scenario::bench(-20.0, 4.0, ProgramKind::Silence);
+    let band = |stereo_band: bool| {
+        let workload = Workload::Tone {
+            freq_hz: 1_000.0,
+            secs,
+            amp: 0.9,
+            stereo_band,
+        };
+        SweepBuilder::new(base.with_workload(workload))
+            .tone_freqs_hz(freqs.iter().copied())
+            .repeats(grid.repeats())
+            .run(&FastSim, &ToneSnr::default())
+            .series(|v| match v.scenario.workload {
+                Workload::Tone { freq_hz, .. } => freq_hz / 1_000.0,
+                _ => unreachable!(),
             })
-            .collect()
     };
     Experiment {
         id: "fig6".into(),
@@ -195,8 +211,8 @@ pub fn fig6(grid: Grid) -> Experiment {
         x_label: "frequency (kHz)".into(),
         y_label: "SNR (dB)".into(),
         series: vec![
-            Series::new("Mono band", run_band(false)),
-            Series::new("Stereo band", run_band(true)),
+            Series::new("Mono band", band(false)),
+            Series::new("Stereo band", band(true)),
         ],
         paper_expectation: "good response below 13 kHz, sharp drop after (capture chain)".into(),
     }
@@ -204,83 +220,46 @@ pub fn fig6(grid: Grid) -> Experiment {
 
 /// Fig. 7 — SNR versus power and distance (1 kHz tone).
 pub fn fig7(grid: Grid) -> Experiment {
-    let distances = grid.distances_ft();
-    let series = grid
-        .powers_dbm()
-        .iter()
-        .map(|&p| {
-            let pts = distances
-                .iter()
-                .map(|&d| {
-                    let scenario = Scenario::bench(p, d, ProgramKind::Silence);
-                    let n = (FAST_AUDIO_RATE * 0.5) as usize;
-                    let payload: Vec<f64> = (0..n)
-                        .map(|i| 0.9 * (TAU * 1_000.0 * i as f64 / FAST_AUDIO_RATE).sin())
-                        .collect();
-                    let out = FastSim::new(scenario).run(&payload, false);
-                    let skip = out.mono.len() / 4;
-                    (
-                        d,
-                        fmbs_audio::metrics::tone_snr_db(&out.mono[skip..], FAST_AUDIO_RATE, 1_000.0),
-                    )
-                })
-                .collect();
-            Series::new(format!("{p} dBm"), pts)
-        })
-        .collect();
+    let base = Scenario::bench(-20.0, 4.0, ProgramKind::Silence)
+        .with_workload(Workload::tone(1_000.0, 0.5));
+    let results = SweepBuilder::new(base)
+        .powers_dbm(grid.powers_dbm())
+        .distances_ft(grid.distances_ft())
+        .repeats(grid.repeats())
+        .run(&FastSim, &ToneSnr::default());
     Experiment {
         id: "fig7".into(),
         title: "SNR vs receiving power and distance".into(),
         x_label: "distance (ft)".into(),
         y_label: "SNR (dB)".into(),
-        series,
-        paper_expectation:
-            "20 ft reach at -30 dBm (SNR > 20 dB); usable close-in even at -50 dBm".into(),
+        series: series_per_dbm(&results),
+        paper_expectation: "20 ft reach at -30 dBm (SNR > 20 dB); usable close-in even at -50 dBm"
+            .into(),
     }
 }
 
-fn ber_series(grid: Grid, bitrate: Bitrate) -> Vec<Series> {
-    let distances = grid.distances_ft();
-    grid.powers_dbm()
-        .iter()
-        .map(|&p| {
-            let pts = distances
-                .iter()
-                .map(|&d| {
-                    // Average over genre hosts and repeats, as the paper
-                    // loops four station clips.
-                    let genres = [ProgramKind::News, ProgramKind::RockMusic];
-                    let mut acc = 0.0;
-                    let mut count = 0;
-                    for (gi, g) in genres.iter().enumerate() {
-                        for r in 0..grid.repeats() {
-                            let s = Scenario::bench(p, d, *g)
-                                .with_seed(0x8E5 + gi as u64 * 97 + r as u64 * 7919);
-                            acc += OverlayData::new(s, bitrate, grid.data_bits()).run_ber();
-                            count += 1;
-                        }
-                    }
-                    (d, acc / count as f64)
-                })
-                .collect();
-            Series::new(format!("{p} dBm"), pts)
-        })
-        .collect()
-}
-
-/// Fig. 8a/b/c — BER of overlay backscatter at the three bit rates.
-pub fn fig8(grid: Grid, bitrate: Bitrate) -> Experiment {
+fn fig8(grid: Grid, bitrate: Bitrate) -> Experiment {
     let id = match bitrate {
         Bitrate::Bps100 => "fig8a",
         Bitrate::Kbps1_6 => "fig8b",
         Bitrate::Kbps3_2 => "fig8c",
     };
+    // Average over genre hosts and repeats, as the paper loops four
+    // station clips.
+    let base = Scenario::bench(-20.0, 2.0, ProgramKind::News)
+        .with_workload(Workload::data(bitrate, grid.data_bits()));
+    let results = SweepBuilder::new(base)
+        .powers_dbm(grid.powers_dbm())
+        .distances_ft(grid.distances_ft())
+        .programs([ProgramKind::News, ProgramKind::RockMusic])
+        .repeats(grid.repeats())
+        .run(&FastSim, &Ber::default());
     Experiment {
         id: id.into(),
         title: format!("BER with overlay backscatter — {}", bitrate.label()),
         x_label: "distance (ft)".into(),
         y_label: "Bit-error rate".into(),
-        series: ber_series(grid, bitrate),
+        series: series_per_dbm(&results),
         paper_expectation: match bitrate {
             Bitrate::Bps100 => {
                 "near zero to 6 ft at all powers (-20..-60 dBm); >12 ft above -60 dBm".into()
@@ -289,6 +268,21 @@ pub fn fig8(grid: Grid, bitrate: Bitrate) -> Experiment {
             Bitrate::Kbps3_2 => "works above -40 dBm; fails at -50/-60 dBm".into(),
         },
     }
+}
+
+/// Fig. 8a — BER of overlay backscatter at 100 bps.
+pub fn fig8a(grid: Grid) -> Experiment {
+    fig8(grid, Bitrate::Bps100)
+}
+
+/// Fig. 8b — BER of overlay backscatter at 1.6 kbps.
+pub fn fig8b(grid: Grid) -> Experiment {
+    fig8(grid, Bitrate::Kbps1_6)
+}
+
+/// Fig. 8c — BER of overlay backscatter at 3.2 kbps.
+pub fn fig8c(grid: Grid) -> Experiment {
+    fig8(grid, Bitrate::Kbps3_2)
 }
 
 /// Fig. 9 — BER with maximal-ratio combining (1.6 kbps).
@@ -301,24 +295,21 @@ pub fn fig8(grid: Grid, bitrate: Bitrate) -> Experiment {
 /// −60 dBm, where repetitions see independent impairments exactly as
 /// §3.4 assumes. Documented in EXPERIMENTS.md.
 pub fn fig9(grid: Grid) -> Experiment {
-    let distances = [8.0, 10.0, 12.0, 13.0, 14.0];
+    let base = Scenario::bench(-60.0, 8.0, ProgramKind::RockMusic)
+        .with_workload(Workload::data(Bitrate::Kbps1_6, grid.data_bits().max(800)));
+    let sweep = SweepBuilder::new(base)
+        .distances_ft([8.0, 10.0, 12.0, 13.0, 14.0])
+        .repeats(grid.repeats());
     let series = [1usize, 2, 3, 4]
         .iter()
         .map(|&n| {
-            let pts = distances
-                .iter()
-                .map(|&d| {
-                    let s = Scenario::bench(-60.0, d, ProgramKind::RockMusic);
-                    let exp = OverlayData::new(s, Bitrate::Kbps1_6, grid.data_bits().max(800));
-                    (d, exp.run_ber_mrc(n))
-                })
-                .collect();
+            let results = sweep.clone().run(&FastSim, &BerMrc::new(n));
             let label = if n == 1 {
                 "No MRC".to_string()
             } else {
                 format!("{n}x MRC")
             };
-            Series::new(label, pts)
+            Series::new(label, results.series(|v| v.scenario.distance_ft))
         })
         .collect();
     Experiment {
@@ -333,32 +324,27 @@ pub fn fig9(grid: Grid) -> Experiment {
 
 /// Fig. 10 — overlay vs stereo backscatter BER at −30 dBm.
 pub fn fig10(grid: Grid) -> Experiment {
-    let distances = [1.0, 2.0, 3.0, 4.0];
+    let base = Scenario::bench(-30.0, 1.0, ProgramKind::News);
     let mut series = Vec::new();
     for bitrate in [Bitrate::Kbps1_6, Bitrate::Kbps3_2] {
-        let overlay_pts = distances
-            .iter()
-            .map(|&d| {
-                let s = Scenario::bench(-30.0, d, ProgramKind::News);
-                (d, OverlayData::new(s, bitrate, grid.data_bits()).run_ber())
-            })
-            .collect();
-        let stereo_pts = distances
-            .iter()
-            .map(|&d| {
-                let s = Scenario::bench(-30.0, d, ProgramKind::News);
-                let out = StereoBackscatter::new(s, StereoHost::StereoNews)
-                    .run_ber(bitrate, grid.data_bits());
-                (d, out.value().unwrap_or(0.5))
-            })
-            .collect();
         let rate = if bitrate == Bitrate::Kbps1_6 {
             "1.6kbps"
         } else {
             "3.2kbps"
         };
-        series.push(Series::new(format!("Overlay  {rate}"), overlay_pts));
-        series.push(Series::new(format!("Stereo  {rate}"), stereo_pts));
+        for (mode, workload) in [
+            ("Overlay", Workload::data(bitrate, grid.data_bits())),
+            ("Stereo", Workload::stereo_data(bitrate, grid.data_bits())),
+        ] {
+            let results = SweepBuilder::new(base.with_workload(workload))
+                .distances_ft([1.0, 2.0, 3.0, 4.0])
+                .repeats(grid.repeats())
+                .run(&FastSim, &Ber::default());
+            series.push(Series::new(
+                format!("{mode}  {rate}"),
+                results.series(|v| v.scenario.distance_ft),
+            ));
+        }
     }
     Experiment {
         id: "fig10".into(),
@@ -372,122 +358,110 @@ pub fn fig10(grid: Grid) -> Experiment {
 
 /// Fig. 11 — PESQ of overlay audio backscatter.
 pub fn fig11(grid: Grid) -> Experiment {
-    let distances = grid.distances_ft();
-    let series = grid
-        .powers_dbm()
-        .iter()
-        .map(|&p| {
-            let pts = distances
-                .iter()
-                .map(|&d| {
-                    let s = Scenario::bench(p, d, ProgramKind::News);
-                    (d, OverlayAudio::new(s, grid.audio_secs()).run_pesq())
-                })
-                .collect();
-            Series::new(format!("{p} dBm"), pts)
-        })
-        .collect();
+    let base = Scenario::bench(-20.0, 2.0, ProgramKind::News)
+        .with_workload(Workload::speech(grid.audio_secs()));
+    let results = SweepBuilder::new(base)
+        .powers_dbm(grid.powers_dbm())
+        .distances_ft(grid.distances_ft())
+        .run(&FastSim, &Pesq::default());
     Experiment {
         id: "fig11".into(),
         title: "PESQ with overlay backscatter".into(),
         x_label: "distance (ft)".into(),
         y_label: "PESQ score".into(),
-        series,
-        paper_expectation:
-            "consistently ~2 for -20..-40 dBm up to 20 ft; -50 dBm good to 12 ft".into(),
+        series: series_per_dbm(&results),
+        paper_expectation: "consistently ~2 for -20..-40 dBm up to 20 ft; -50 dBm good to 12 ft"
+            .into(),
     }
 }
 
 /// Fig. 12 — PESQ of cooperative backscatter.
 pub fn fig12(grid: Grid) -> Experiment {
-    let distances = grid.distances_ft();
-    let series = [-20.0, -30.0, -40.0, -50.0]
-        .iter()
-        .map(|&p| {
-            let pts = distances
-                .iter()
-                .map(|&d| {
-                    let s = Scenario::bench(p, d, ProgramKind::News);
-                    (d, CoopSession::new(s, grid.audio_secs()).run_pesq())
-                })
-                .collect();
-            Series::new(format!("{p} dBm"), pts)
-        })
-        .collect();
+    let base = Scenario::bench(-20.0, 2.0, ProgramKind::News)
+        .with_workload(Workload::coop_audio(grid.audio_secs()));
+    let results = SweepBuilder::new(base)
+        .powers_dbm([-20.0, -30.0, -40.0, -50.0])
+        .distances_ft(grid.distances_ft())
+        .run(&FastSim, &CoopPesq::default());
     Experiment {
         id: "fig12".into(),
         title: "PESQ with cooperative backscatter (two-phone cancellation)".into(),
         x_label: "distance (ft)".into(),
         y_label: "PESQ score".into(),
-        series,
+        series: series_per_dbm(&results),
         paper_expectation: "around 4 for -20..-50 dBm (cancellation removes the programme)".into(),
     }
 }
 
-/// Fig. 13a/b — PESQ of stereo backscatter on a stereo news station (a)
-/// and a mono station converted to stereo (b).
-pub fn fig13(grid: Grid, host: StereoHost) -> Experiment {
-    let (id, title) = match host {
-        StereoHost::StereoNews => ("fig13a", "PESQ, stereo backscatter on a stereo news station"),
-        StereoHost::MonoStation => ("fig13b", "PESQ, mono station converted to stereo"),
-    };
-    let distances = grid.distances_ft();
-    let series = [-20.0, -30.0, -40.0]
-        .iter()
-        .map(|&p| {
-            let pts = distances
-                .iter()
-                .map(|&d| {
-                    let s = Scenario::bench(p, d, ProgramKind::News);
-                    let out = StereoBackscatter::new(s, host).run_pesq(grid.audio_secs());
-                    (d, out.value().unwrap_or(0.0))
-                })
-                .collect();
-            Series::new(format!("{p} dBm"), pts)
-        })
-        .collect();
+fn fig13(grid: Grid, id: &str, title: &str) -> Experiment {
+    // Both host situations share the pipeline: a news host's L−R is
+    // nearly empty, and a mono host contributes nothing to L−R once the
+    // tag's pilot flips the receiver to stereo (§5.3).
+    let base = Scenario::bench(-20.0, 2.0, ProgramKind::News)
+        .with_workload(Workload::stereo_speech(grid.audio_secs()));
+    let results = SweepBuilder::new(base)
+        .powers_dbm([-20.0, -30.0, -40.0])
+        .distances_ft(grid.distances_ft())
+        .run(&FastSim, &Pesq::default());
     Experiment {
         id: id.into(),
         title: title.into(),
         x_label: "distance (ft)".into(),
         y_label: "PESQ score".into(),
-        series,
+        series: series_per_dbm(&results),
         paper_expectation:
             "beats overlay at high power; needs strong signal (pilot detect); mono host cleanest"
                 .into(),
     }
 }
 
+/// Fig. 13a — PESQ of stereo backscatter on a stereo news station.
+pub fn fig13a(grid: Grid) -> Experiment {
+    fig13(
+        grid,
+        "fig13a",
+        "PESQ, stereo backscatter on a stereo news station",
+    )
+}
+
+/// Fig. 13b — PESQ of stereo backscatter on a mono station converted to
+/// stereo.
+pub fn fig13b(grid: Grid) -> Experiment {
+    fig13(grid, "fig13b", "PESQ, mono station converted to stereo")
+}
+
 /// Fig. 14 — car receiver: SNR (a) and PESQ (b) versus range.
 pub fn fig14(grid: Grid) -> Experiment {
     let distances = [20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0];
+    let powers = [-20.0, -30.0];
+    let snr = SweepBuilder::new(
+        Scenario::car(-20.0, 20.0, ProgramKind::Silence)
+            .with_workload(Workload::tone(1_000.0, 0.5)),
+    )
+    .powers_dbm(powers)
+    .distances_ft(distances)
+    .repeats(grid.repeats())
+    .run(&FastSim, &ToneSnr::default());
+    let pesq = SweepBuilder::new(
+        Scenario::car(-20.0, 20.0, ProgramKind::News)
+            .with_workload(Workload::speech(grid.audio_secs())),
+    )
+    .powers_dbm(powers)
+    .distances_ft(distances)
+    .repeats(grid.repeats())
+    .run(&FastSim, &Pesq::default());
+    // Interleave as the paper's panel order: SNR then PESQ per power.
     let mut series = Vec::new();
-    for &p in &[-20.0, -30.0] {
-        let snr_pts: Vec<(f64, f64)> = distances
-            .iter()
-            .map(|&d| {
-                let scenario = Scenario::car(p, d, ProgramKind::Silence);
-                let n = (FAST_AUDIO_RATE * 0.5) as usize;
-                let payload: Vec<f64> = (0..n)
-                    .map(|i| 0.9 * (TAU * 1_000.0 * i as f64 / FAST_AUDIO_RATE).sin())
-                    .collect();
-                let out = FastSim::new(scenario).run(&payload, false);
-                let skip = out.mono.len() / 4;
-                (
-                    d,
-                    fmbs_audio::metrics::tone_snr_db(&out.mono[skip..], FAST_AUDIO_RATE, 1_000.0),
-                )
-            })
-            .collect();
-        let pesq_pts: Vec<(f64, f64)> = distances
-            .iter()
-            .map(|&d| {
-                let s = Scenario::car(p, d, ProgramKind::News);
-                (d, OverlayAudio::new(s, grid.audio_secs()).run_pesq())
-            })
-            .collect();
-        series.push(Series::new(format!("SNR {p} dBm"), snr_pts));
-        series.push(Series::new(format!("PESQ {p} dBm"), pesq_pts));
+    for &p in &powers {
+        for (tag, results) in [("SNR", &snr), ("PESQ", &pesq)] {
+            let pts = results
+                .series_by(|v| v.scenario.ambient_at_tag.0, |v| v.scenario.distance_ft)
+                .into_iter()
+                .find(|(k, _)| *k == p)
+                .map(|(_, pts)| pts)
+                .unwrap_or_default();
+            series.push(Series::new(format!("{tag} {p} dBm"), pts));
+        }
     }
     Experiment {
         id: "fig14".into(),
@@ -501,27 +475,28 @@ pub fn fig14(grid: Grid) -> Experiment {
 
 /// Fig. 17b — smart-fabric BER across mobility.
 pub fn fig17(grid: Grid) -> Experiment {
-    use fmbs_channel::fading::MotionProfile;
     let motions = [
         MotionProfile::Standing,
         MotionProfile::Walking,
         MotionProfile::Running,
     ];
-    let mut s100 = Vec::new();
-    let mut s1600 = Vec::new();
-    for (i, &m) in motions.iter().enumerate() {
-        let mut acc100 = 0.0;
-        let mut acc1600 = 0.0;
-        let reps = grid.repeats().max(2);
-        for r in 0..reps {
-            let s = Scenario::fabric(m).with_seed(0xFAB + r as u64 * 1009);
-            acc100 += OverlayData::new(s, Bitrate::Bps100, grid.data_bits().min(300)).run_ber();
-            // The paper reports 1.6 kbps *with 2x MRC* for the shirt.
-            acc1600 += OverlayData::new(s, Bitrate::Kbps1_6, grid.data_bits()).run_ber_mrc(2);
-        }
-        s100.push((i as f64, acc100 / reps as f64));
-        s1600.push((i as f64, acc1600 / reps as f64));
-    }
+    let base = Scenario::fabric(MotionProfile::Standing);
+    let run = |workload: Workload, metric: &dyn Metric| {
+        SweepBuilder::new(base.with_workload(workload))
+            .motions(motions)
+            .repeats(grid.repeats().max(2))
+            .run(&FastSim, metric)
+            .series(|v| v.coords.motion as f64)
+    };
+    let s100 = run(
+        Workload::data(Bitrate::Bps100, grid.data_bits().min(300)),
+        &Ber::default(),
+    );
+    // The paper reports 1.6 kbps *with 2x MRC* for the shirt.
+    let s1600 = run(
+        Workload::data(Bitrate::Kbps1_6, grid.data_bits()),
+        &BerMrc::new(2),
+    );
     Experiment {
         id: "fig17b".into(),
         title: "Smart fabric BER (x: standing, walking, running)".into(),
@@ -532,13 +507,13 @@ pub fn fig17(grid: Grid) -> Experiment {
             Series::new("1.6kbps w/ 2x MRC", s1600),
         ],
         paper_expectation:
-            "100 bps < 0.005 even running; 1.6 kbps+2xMRC ~0.02 standing, rising with motion"
-                .into(),
+            "100 bps < 0.005 even running; 1.6 kbps+2xMRC ~0.02 standing, rising with motion".into(),
     }
 }
 
 /// §4's power table and §2's battery-life comparison.
 pub fn power_table(_grid: Grid) -> Experiment {
+    use fmbs_core::power::{comparisons, IcPowerModel, PAPER_OPERATING_POINT};
     let b = PAPER_OPERATING_POINT.breakdown();
     let series = vec![
         Series::new(
@@ -597,16 +572,16 @@ pub fn power_table(_grid: Grid) -> Experiment {
 
 /// §3.4's rate ceiling: BER versus symbol rate at a fixed good link.
 pub fn rates_table(grid: Grid) -> Experiment {
-    let pts = Bitrate::ALL
-        .iter()
-        .map(|&b| {
-            let s = Scenario::bench(-50.0, 10.0, ProgramKind::News);
-            (
-                b.symbol_rate(),
-                OverlayData::new(s, b, grid.data_bits()).run_ber(),
-            )
-        })
-        .collect();
+    let base = Scenario::bench(-50.0, 10.0, ProgramKind::News)
+        .with_workload(Workload::data(Bitrate::Bps100, grid.data_bits()));
+    let results = SweepBuilder::new(base)
+        .bitrates(Bitrate::ALL.iter().copied())
+        .repeats(grid.repeats())
+        .run(&FastSim, &Ber::default());
+    let pts = results.series(|v| match v.scenario.workload {
+        Workload::Data { bitrate, .. } => bitrate.symbol_rate(),
+        _ => unreachable!(),
+    });
     Experiment {
         id: "rates".into(),
         title: "BER vs symbol rate at -50 dBm / 10 ft".into(),
@@ -627,22 +602,16 @@ pub fn ablation(_grid: Grid) -> Experiment {
     use fmbs_dsp::complex::Complex;
 
     // (a) Audio SNR through the full physical chain, square switch, at a
-    //     noise-limited point.
-    let audio_rate = 48_000.0;
-    let payload: Vec<f64> = (0..(audio_rate * 0.3) as usize)
-        .map(|i| 0.9 * (TAU * 1_000.0 * i as f64 / audio_rate).sin())
-        .collect();
-    let silence = vec![0.0; payload.len()];
+    //     noise-limited point — the physical tier driven through the same
+    //     Simulator/Metric seam as the fast tier.
     let sim = PhysicalSim::new(PhysicalSimConfig::bench(-50.0, 10.0));
-    let mut station = fmbs_fm::transmitter::StationConfig::mono();
-    station.preemphasis = false;
-    let out = sim.run(station, &silence, &silence, audio_rate, &payload, false);
-    let skip = out.backscatter_rx.mono.len() / 3;
-    let square_snr = fmbs_audio::metrics::tone_snr_db(
-        &out.backscatter_rx.mono[skip..],
-        out.backscatter_rx.sample_rate,
-        1_000.0,
-    );
+    let scenario = Scenario::bench(-50.0, 10.0, ProgramKind::Silence)
+        .with_workload(Workload::tone(1_000.0, 0.3));
+    let square_snr = ToneSnr {
+        skip_fraction: 1.0 / 3.0,
+        ..ToneSnr::default()
+    }
+    .evaluate(&sim, &scenario);
 
     // (b) Sideband structure per switch architecture (tone carrier).
     let fs = 2_560_000.0;
@@ -698,31 +667,116 @@ pub fn ablation(_grid: Grid) -> Experiment {
     }
 }
 
+/// One entry of the experiment registry.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentSpec {
+    /// The paper id (`fig8a`, `power`, ...).
+    pub id: &'static str,
+    /// Builds the experiment at a grid density.
+    pub build: fn(Grid) -> Experiment,
+}
+
+/// Every experiment, in paper order.
+pub const REGISTRY: &[ExperimentSpec] = &[
+    ExperimentSpec {
+        id: "fig2a",
+        build: fig2a,
+    },
+    ExperimentSpec {
+        id: "fig2b",
+        build: fig2b,
+    },
+    ExperimentSpec {
+        id: "fig4a",
+        build: fig4a,
+    },
+    ExperimentSpec {
+        id: "fig4b",
+        build: fig4b,
+    },
+    ExperimentSpec {
+        id: "fig5",
+        build: fig5,
+    },
+    ExperimentSpec {
+        id: "fig6",
+        build: fig6,
+    },
+    ExperimentSpec {
+        id: "fig7",
+        build: fig7,
+    },
+    ExperimentSpec {
+        id: "fig8a",
+        build: fig8a,
+    },
+    ExperimentSpec {
+        id: "fig8b",
+        build: fig8b,
+    },
+    ExperimentSpec {
+        id: "fig8c",
+        build: fig8c,
+    },
+    ExperimentSpec {
+        id: "fig9",
+        build: fig9,
+    },
+    ExperimentSpec {
+        id: "fig10",
+        build: fig10,
+    },
+    ExperimentSpec {
+        id: "fig11",
+        build: fig11,
+    },
+    ExperimentSpec {
+        id: "fig12",
+        build: fig12,
+    },
+    ExperimentSpec {
+        id: "fig13a",
+        build: fig13a,
+    },
+    ExperimentSpec {
+        id: "fig13b",
+        build: fig13b,
+    },
+    ExperimentSpec {
+        id: "fig14",
+        build: fig14,
+    },
+    ExperimentSpec {
+        id: "fig17b",
+        build: fig17,
+    },
+    ExperimentSpec {
+        id: "power",
+        build: power_table,
+    },
+    ExperimentSpec {
+        id: "rates",
+        build: rates_table,
+    },
+    ExperimentSpec {
+        id: "ablation",
+        build: ablation,
+    },
+];
+
+/// Looks an experiment up by id (accepting the `fig17` alias the paper
+/// text uses for `fig17b`).
+pub fn by_id(id: &str, grid: Grid) -> Option<Experiment> {
+    let id = if id == "fig17" { "fig17b" } else { id };
+    REGISTRY
+        .iter()
+        .find(|spec| spec.id == id)
+        .map(|spec| (spec.build)(grid))
+}
+
 /// Every experiment, in paper order.
 pub fn all(grid: Grid) -> Vec<Experiment> {
-    vec![
-        fig2a(grid),
-        fig2b(grid),
-        fig4a(grid),
-        fig4b(grid),
-        fig5(grid),
-        fig6(grid),
-        fig7(grid),
-        fig8(grid, Bitrate::Bps100),
-        fig8(grid, Bitrate::Kbps1_6),
-        fig8(grid, Bitrate::Kbps3_2),
-        fig9(grid),
-        fig10(grid),
-        fig11(grid),
-        fig12(grid),
-        fig13(grid, StereoHost::StereoNews),
-        fig13(grid, StereoHost::MonoStation),
-        fig14(grid),
-        fig17(grid),
-        power_table(grid),
-        rates_table(grid),
-        ablation(grid),
-    ]
+    REGISTRY.iter().map(|spec| (spec.build)(grid)).collect()
 }
 
 #[cfg(test)]
@@ -731,7 +785,7 @@ mod tests {
 
     // Each experiment's *shape* assertions live in the crates that own the
     // models; here we smoke-test that the harness functions produce
-    // non-degenerate series quickly.
+    // non-degenerate series quickly, and that the registry is sound.
 
     #[test]
     fn fig2a_has_69_cells_summarised() {
@@ -762,5 +816,34 @@ mod tests {
         let e = power_table(Grid::Quick);
         let total = e.series[0].points[3].1;
         assert!((total - 11.07).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registry_ids_are_unique_and_resolvable() {
+        let mut ids: Vec<&str> = REGISTRY.iter().map(|s| s.id).collect();
+        assert_eq!(ids.len(), 21);
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 21, "duplicate registry id");
+        assert!(by_id("nope", Grid::Quick).is_none());
+    }
+
+    #[test]
+    fn fig17_alias_resolves() {
+        let e = by_id("fig17", Grid::Quick).expect("alias");
+        assert_eq!(e.id, "fig17b");
+        assert_eq!(e.series.len(), 2);
+        assert_eq!(e.series[0].points.len(), 3);
+    }
+
+    #[test]
+    fn dbm_series_labels_match_paper() {
+        let e = fig7(Grid::Quick);
+        let labels: Vec<&str> = e.series.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec!["-20 dBm", "-30 dBm", "-40 dBm", "-50 dBm", "-60 dBm"]
+        );
+        assert_eq!(e.series[0].points.len(), Grid::Quick.distances_ft().len());
     }
 }

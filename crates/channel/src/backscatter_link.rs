@@ -23,10 +23,10 @@
 //! CNR — the mechanism that ends every range curve in Figs. 7–14.
 
 use crate::antenna::Antenna;
+use crate::feet_to_m;
 use crate::noise::effective_noise_floor;
 use crate::pathloss::free_space_path_loss_db;
 use crate::units::{Db, Dbm};
-use crate::feet_to_m;
 use serde::{Deserialize, Serialize};
 
 /// Square-wave single-sideband conversion loss: the ±1 switch splits the
@@ -106,8 +106,7 @@ impl BackscatterLink {
     /// Computes the budget at a tag→receiver distance in metres.
     pub fn budget_at_meters(&self, d_m: f64) -> LinkBudget {
         let fspl = free_space_path_loss_db(d_m, self.f_hz);
-        let p_bs = self.ambient_at_tag
-            + self.tag_antenna.effective_gain_db()
+        let p_bs = self.ambient_at_tag + self.tag_antenna.effective_gain_db()
             - Db(CONVERSION_LOSS_DB)
             - self.reflection_loss_db
             - fspl

@@ -166,10 +166,7 @@ mod tests {
     fn running_fades_more_than_walking() {
         let walk = std_dev(&gain_magnitudes(MotionProfile::Walking, 2_000_000));
         let run = std_dev(&gain_magnitudes(MotionProfile::Running, 2_000_000));
-        assert!(
-            run > walk,
-            "running σ {run} should exceed walking σ {walk}"
-        );
+        assert!(run > walk, "running σ {run} should exceed walking σ {walk}");
     }
 
     #[test]

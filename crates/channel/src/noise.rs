@@ -29,11 +29,7 @@ pub fn fm_channel_noise_floor(noise_figure: Db) -> Dbm {
 /// Effective in-channel noise: thermal floor plus adjacent-channel leakage
 /// (the stronger ambient station attenuated by the receiver's
 /// adjacent-channel rejection).
-pub fn effective_noise_floor(
-    noise_figure: Db,
-    adjacent_power: Dbm,
-    adjacent_rejection: Db,
-) -> Dbm {
+pub fn effective_noise_floor(noise_figure: Db, adjacent_power: Dbm, adjacent_rejection: Db) -> Dbm {
     sum_powers(&[
         fm_channel_noise_floor(noise_figure),
         adjacent_power - adjacent_rejection,

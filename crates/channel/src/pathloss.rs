@@ -23,13 +23,7 @@ pub fn free_space_path_loss_db(d_m: f64, f_hz: f64) -> Db {
 }
 
 /// Friis received power: `P_tx + G_tx + G_rx − FSPL`.
-pub fn friis_received_power(
-    p_tx: Dbm,
-    g_tx_db: Db,
-    g_rx_db: Db,
-    d_m: f64,
-    f_hz: f64,
-) -> Dbm {
+pub fn friis_received_power(p_tx: Dbm, g_tx_db: Db, g_rx_db: Db, d_m: f64, f_hz: f64) -> Dbm {
     p_tx + g_tx_db + g_rx_db - free_space_path_loss_db(d_m, f_hz)
 }
 

@@ -26,9 +26,7 @@ pub fn sum_streams(streams: &[&[Complex]]) -> Vec<Complex> {
     for s in streams {
         assert_eq!(s.len(), n, "IQ streams must be equal length");
     }
-    (0..n)
-        .map(|i| streams.iter().map(|s| s[i]).sum())
-        .collect()
+    (0..n).map(|i| streams.iter().map(|s| s[i]).sum()).collect()
 }
 
 /// Applies an integer sample delay (zero-filled head).

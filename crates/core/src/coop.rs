@@ -20,18 +20,13 @@
 //!    preamble pilot (and a least-squares projection) calibrates the
 //!    amplitude before subtraction.
 
-use crate::sim::fast::{FastSim, FAST_AUDIO_RATE};
-use crate::sim::scenario::Scenario;
-use crate::tag::baseband::BasebandBuilder;
+use crate::sim::fast::FastSim;
+use crate::sim::metric::{CoopPesq, Metric};
+use crate::sim::scenario::{Scenario, Workload};
 use crate::COOP_PILOT_HZ;
-use fmbs_audio::pesq::pesq_like;
-use fmbs_audio::speech::{generate_speech, SpeechConfig};
-use fmbs_channel::pathloss::gaussian;
 use fmbs_dsp::corr::find_lag;
 use fmbs_dsp::goertzel::goertzel_power;
 use fmbs_dsp::resample::Upsampler;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// The §3.3 resampling factor.
 pub const RESAMPLE_FACTOR: usize = 10;
@@ -148,52 +143,30 @@ impl CoopSession {
         }
     }
 
+    /// The fully specified scenario this session runs: payload speech
+    /// preceded by the low-power 13 kHz calibration pilot (§3.3: "a low
+    /// power pilot tone").
+    pub fn scenario(&self) -> Scenario {
+        self.scenario.with_workload(
+            Workload::coop_audio(self.duration_s).with_payload_seed(self.scenario.seed ^ 0xC0),
+        )
+    }
+
     /// Runs the experiment: returns the recovered payload's PESQ-like
     /// score against the clean payload.
     pub fn run_pesq(&self) -> f64 {
-        let mut payload = generate_speech(
-            SpeechConfig::announcer(FAST_AUDIO_RATE),
-            (FAST_AUDIO_RATE * self.duration_s) as usize,
-            self.scenario.seed ^ 0xC0,
-        );
-        fmbs_audio::speech::normalise_rms(&mut payload, crate::sim::fast::BROADCAST_RMS, 1.0);
-        // Tag baseband: payload with the low-power 13 kHz calibration
-        // pilot (§3.3: "a low power pilot tone").
-        let bb = BasebandBuilder::new(FAST_AUDIO_RATE).with_coop_pilot(&payload, 0.2, 0.02);
-
-        // Phone 1: backscatter channel.
-        let out1 = FastSim::new(self.scenario).run(&bb, false);
-
-        // Phone 2: host channel — the host programme nearly clean (the
-        // ambient station is strong at the receiver), delayed and
-        // AGC-scaled, with a small independent noise floor.
-        let delay = (self.phone2_delay_s * FAST_AUDIO_RATE) as usize;
-        let mut rng = StdRng::seed_from_u64(self.scenario.seed ^ 0x2222);
-        let mut phone2 = vec![0.0; out1.host_mono.len()];
-        #[allow(clippy::needless_range_loop)] // i-delay cross-indexing is clearest
-        for i in delay..phone2.len() {
-            phone2[i] = self.phone2_gain * out1.host_mono[i - delay] + 0.003 * gaussian(&mut rng);
+        CoopPesq {
+            phone2_delay_s: self.phone2_delay_s,
+            phone2_gain: self.phone2_gain,
         }
-
-        let dec = CooperativeDecoder::new(FAST_AUDIO_RATE);
-        let result = dec.decode(&out1.mono, &phone2);
-        // Skip the pilot preamble region before scoring.
-        let skip = (0.2 * FAST_AUDIO_RATE) as usize;
-        if result.payload.len() <= skip {
-            return 0.0;
-        }
-        // The receiver knows the calibration pilot's frequency and
-        // notches it out of the played-back audio.
-        let mut notch =
-            fmbs_dsp::iir::Biquad::notch(FAST_AUDIO_RATE, crate::COOP_PILOT_HZ, 4.0);
-        let cleaned = notch.process(&result.payload[skip..]);
-        pesq_like(&payload, &cleaned, FAST_AUDIO_RATE)
+        .evaluate(&FastSim, &self.scenario())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sim::fast::FAST_AUDIO_RATE;
     use fmbs_audio::program::ProgramKind;
     use fmbs_dsp::TAU;
 

@@ -21,10 +21,33 @@
 //!   channel, one on the backscatter channel) forming a 2×1 MIMO
 //!   canceller with 10× resampling, cross-correlation sync and 13 kHz
 //!   pilot amplitude calibration.
-//! * [`sim`] — two simulation tiers: an honest RF-rate physical simulator
+//! * [`sim`] — the simulation stack: an honest RF-rate physical simulator
 //!   (validates the multiplication→addition identity) and a calibrated
-//!   audio-domain fast simulator (drives the BER/PESQ parameter sweeps of
-//!   Figs. 7–14 and 17).
+//!   audio-domain fast simulator, both behind the [`sim::Simulator`]
+//!   trait; composable [`sim::metric`] measurements (BER, MRC BER,
+//!   PESQ-like, tone SNR, pilot detection); and the declarative
+//!   [`sim::sweep::SweepBuilder`] engine that expands typed axes
+//!   (power × distance × rate × genre × motion × device, plus `repeats`
+//!   seed fan-out) into a scenario grid and executes it on parallel
+//!   workers with deterministic per-point seeding:
+//!
+//! ```
+//! use fmbs_core::prelude::*;
+//! use fmbs_audio::program::ProgramKind;
+//!
+//! let base = Scenario::bench(-30.0, 4.0, ProgramKind::News)
+//!     .with_workload(Workload::data(Bitrate::Bps100, 60));
+//! let results = SweepBuilder::new(base)
+//!     .powers_dbm([-20.0, -40.0])
+//!     .distances_ft([2.0, 6.0])
+//!     .repeats(2)
+//!     .run(&FastSim, &Ber::default());
+//! let per_power = results.series_by(
+//!     |v| v.scenario.ambient_at_tag.0,
+//!     |v| v.scenario.distance_ft,
+//! );
+//! assert_eq!(per_power.len(), 2);
+//! ```
 //! * [`power`] — the §4 IC power model (1.0 µW baseband + 9.94 µW DCO +
 //!   0.13 µW switch = 11.07 µW) and the §2 battery-life comparisons.
 //! * [`mac`] — §8's multi-device sharing: f_back channelisation and
@@ -47,16 +70,24 @@ pub mod tag;
 
 /// Convenience re-exports covering the main API surface.
 pub mod prelude {
-    pub use crate::coop::CooperativeDecoder;
+    pub use crate::coop::{CoopSession, CooperativeDecoder};
+    pub use crate::harvest::{rf_harvest_uw, sustainability, SolarCell, Sustainability};
+    pub use crate::mac::{assign_f_back, SlottedAloha};
     pub use crate::modem::decoder::DataDecoder;
     pub use crate::modem::encoder::DataEncoder;
     pub use crate::modem::Bitrate;
     pub use crate::overlay::{OverlayAudio, OverlayData};
     pub use crate::power::{IcPowerModel, PowerBreakdown};
-    pub use crate::sim::fast::{FastSim, FastSimOutput};
+    pub use crate::sim::fast::{FastSim, FAST_AUDIO_RATE};
+    pub use crate::sim::metric::{
+        AudioSnr, Ber, BerMrc, CoopPesq, Metric, Pesq, PilotDetect, ToneSnr,
+    };
     pub use crate::sim::physical::{PhysicalSim, PhysicalSimConfig};
-    pub use crate::sim::scenario::{ReceiverKind, Scenario};
-    pub use crate::stereo_bs::StereoBackscatter;
+    pub use crate::sim::scenario::{ReceiverKind, Scenario, TagKind, Workload};
+    pub use crate::sim::stream::{run_ber_sweep, SweepPoint as StreamSweepPoint};
+    pub use crate::sim::sweep::{SweepBuilder, SweepResults, SweepValue};
+    pub use crate::sim::{SimOutput, Simulator};
+    pub use crate::stereo_bs::{StereoBackscatter, StereoHost, StereoOutcome};
     pub use crate::tag::{Tag, TagConfig};
 }
 
@@ -67,7 +98,3 @@ pub const DEFAULT_F_BACK_HZ: f64 = 600_000.0;
 /// The 13 kHz calibration pilot used by cooperative backscatter (§3.3:
 /// "we transmit a low power pilot tone at 13 kHz as a preamble").
 pub const COOP_PILOT_HZ: f64 = 13_000.0;
-
-
-
-

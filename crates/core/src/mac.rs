@@ -16,11 +16,7 @@ use serde::{Deserialize, Serialize};
 /// Assigns each of `n_tags` tags (all riding the host on `host`) a
 /// distinct free channel, nearest-first. Returns the per-tag `f_back` in
 /// Hz, or `None` once free channels run out.
-pub fn assign_f_back(
-    occupancy: &BandOccupancy,
-    host: Channel,
-    n_tags: usize,
-) -> Vec<Option<f64>> {
+pub fn assign_f_back(occupancy: &BandOccupancy, host: Channel, n_tags: usize) -> Vec<Option<f64>> {
     let mut free: Vec<Channel> = occupancy.free_channels();
     // Nearest to the host first (smallest |shift| keeps the tag's DCO
     // frequency, and therefore its power, low — see fmbs-core::power).
@@ -152,14 +148,16 @@ mod tests {
     #[test]
     fn optimal_probability_peaks_throughput() {
         // Slotted Aloha peaks at p = 1/n.
-        let at = |p: f64| SlottedAloha {
-            n_tags: 8,
-            tx_probability: p,
-            n_slots: 100_000,
-            seed: 5,
-        }
-        .run()
-        .throughput();
+        let at = |p: f64| {
+            SlottedAloha {
+                n_tags: 8,
+                tx_probability: p,
+                n_slots: 100_000,
+                seed: 5,
+            }
+            .run()
+            .throughput()
+        };
         let optimal = at(1.0 / 8.0);
         assert!(optimal > at(0.02));
         assert!(optimal > at(0.5));

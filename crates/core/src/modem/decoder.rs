@@ -139,9 +139,7 @@ mod tests {
             for x in wave.iter_mut() {
                 let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
                 let u2: f64 = rng.gen();
-                *x += noise_rms
-                    * (-2.0 * u1.ln()).sqrt()
-                    * (std::f64::consts::TAU * u2).cos();
+                *x += noise_rms * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
             }
         }
         let dec = DataDecoder::new(FS, rate);

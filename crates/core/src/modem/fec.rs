@@ -25,7 +25,7 @@ fn parity(x: u8) -> u8 {
 pub fn conv_encode(bits: &[bool]) -> Vec<bool> {
     let mut state: u8 = 0;
     let mut out = Vec::with_capacity(2 * (bits.len() + K - 1));
-    for &b in bits.iter().chain(std::iter::repeat(&false).take(K - 1)) {
+    for &b in bits.iter().chain(std::iter::repeat_n(&false, K - 1)) {
         let reg = ((b as u8) << (K - 1)) | state;
         for g in G {
             out.push(parity(reg & g) == 1);
@@ -191,8 +191,8 @@ mod tests {
         let tx = encode_for_tx(&bits, 8, 16);
         let mut channel = tx.clone();
         // An 8-bit channel burst (one FM click's worth of symbols).
-        for p in 100..108 {
-            channel[p] = !channel[p];
+        for b in channel[100..108].iter_mut() {
+            *b = !*b;
         }
         let rx = decode_from_rx(&channel, 240, 8, 16);
         assert_eq!(rx, bits, "coded link failed to absorb the burst");
@@ -206,13 +206,16 @@ mod tests {
         let mut state = 7u64;
         for b in coded.iter_mut() {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            if (state >> 33) % 4 == 0 {
+            if (state >> 33).is_multiple_of(4) {
                 *b = !*b;
             }
         }
         let rx = viterbi_decode(&coded, 200);
         let ber = crate::modem::bit_error_rate(&bits, &rx);
-        assert!(ber > 0.05, "implausibly good under 25% channel errors: {ber}");
+        assert!(
+            ber > 0.05,
+            "implausibly good under 25% channel errors: {ber}"
+        );
     }
 
     #[test]

@@ -245,7 +245,9 @@ mod tests {
         let payload = b"poster says hi";
         let wave = FrameEncoder::new(FS, Bitrate::Kbps1_6).encode(payload);
         let mut rng = StdRng::seed_from_u64(4);
-        let mut audio: Vec<f64> = (0..30_000).map(|_| 0.02 * (rng.gen::<f64>() - 0.5)).collect();
+        let mut audio: Vec<f64> = (0..30_000)
+            .map(|_| 0.02 * (rng.gen::<f64>() - 0.5))
+            .collect();
         audio.extend(wave.iter().map(|x| x + 0.02 * (rng.gen::<f64>() - 0.5)));
         let frame = FrameDecoder::new(FS, Bitrate::Kbps1_6)
             .decode(&audio)
@@ -275,7 +277,9 @@ mod tests {
     #[test]
     fn empty_payload_is_legal() {
         let wave = FrameEncoder::new(FS, Bitrate::Kbps3_2).encode(b"");
-        let frame = FrameDecoder::new(FS, Bitrate::Kbps3_2).decode(&wave).unwrap();
+        let frame = FrameDecoder::new(FS, Bitrate::Kbps3_2)
+            .decode(&wave)
+            .unwrap();
         assert!(frame.payload.is_empty());
     }
 
@@ -283,7 +287,9 @@ mod tests {
     fn no_frame_in_pure_noise() {
         let mut rng = StdRng::seed_from_u64(5);
         let noise: Vec<f64> = (0..100_000).map(|_| rng.gen::<f64>() - 0.5).collect();
-        assert!(FrameDecoder::new(FS, Bitrate::Bps100).decode(&noise).is_none());
+        assert!(FrameDecoder::new(FS, Bitrate::Bps100)
+            .decode(&noise)
+            .is_none());
     }
 
     #[test]

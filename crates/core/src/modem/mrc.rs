@@ -47,8 +47,8 @@ pub fn ideal_gain_db(n: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::modem::encoder::{test_bits, DataEncoder};
     use crate::modem::decoder::DataDecoder;
+    use crate::modem::encoder::{test_bits, DataEncoder};
     use crate::modem::{bit_error_rate, Bitrate};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};

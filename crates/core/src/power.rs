@@ -146,7 +146,7 @@ mod tests {
 
     #[test]
     fn fm_chip_violates_flexible_battery_limit_but_tag_does_not() {
-        assert!(comparisons::FM_CHIP_TX_MA > comparisons::FLEXIBLE_BATTERY_PEAK_MA);
+        const { assert!(comparisons::FM_CHIP_TX_MA > comparisons::FLEXIBLE_BATTERY_PEAK_MA) };
         let tag_ma = current_ma(PAPER_OPERATING_POINT.total_uw(), 1.0);
         assert!(tag_ma < comparisons::FLEXIBLE_BATTERY_PEAK_MA / 100.0);
     }
@@ -176,9 +176,7 @@ mod tests {
 
     #[test]
     fn cost_gap_is_an_order_of_magnitude() {
-        assert!(
-            comparisons::FM_CHIP_COST_USD / comparisons::BACKSCATTER_COST_USD >= 10.0
-        );
+        const { assert!(comparisons::FM_CHIP_COST_USD / comparisons::BACKSCATTER_COST_USD >= 10.0) };
     }
 
     #[test]

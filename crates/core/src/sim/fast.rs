@@ -16,14 +16,14 @@
 //! simulator validates this identity; integration tests in `tests/` assert
 //! the two tiers agree.
 
+use super::metric::STEREO_PAYLOAD_GAIN;
 use super::scenario::{ReceiverKind, Scenario};
+use super::{SimOutput, Simulator};
 use crate::modem::decoder::DataDecoder;
 use crate::modem::encoder::DataEncoder;
 use crate::modem::{bit_error_rate, Bitrate};
-use fmbs_audio::program::ProgramGenerator;
-use fmbs_channel::backscatter_link::{audio_snr_from_cnr, LinkBudget};
+use fmbs_channel::backscatter_link::audio_snr_from_cnr;
 use fmbs_channel::car::CabinChain;
-use fmbs_channel::fading::JakesFader;
 use fmbs_channel::pathloss::gaussian;
 use fmbs_dsp::fir::{Fir, FirDesign};
 use fmbs_dsp::windows::Window;
@@ -64,87 +64,45 @@ pub const CLICK_RATE_DECAY_DB: f64 = 2.8;
 /// CNR at which the click rate reaches its scale value.
 pub const CLICK_RATE_KNEE_DB: f64 = 4.0;
 
-/// Output of one fast-simulation run.
-#[derive(Debug, Clone)]
-pub struct FastSimOutput {
-    /// The mono audio the receiver outputs (host + payload + noise).
-    pub mono: Vec<f64>,
-    /// The L−R difference channel (stereo payload path); zeros when the
-    /// pilot was not detected.
-    pub difference: Vec<f64>,
-    /// Whether the pilot was detected (stereo decoding engaged).
-    pub pilot_detected: bool,
-    /// The link budget at this geometry.
-    pub budget: LinkBudget,
-    /// Audio sample rate.
-    pub sample_rate: f64,
-    /// The host programme's mono audio as generated (pre-noise, pre-
-    /// filter) — what a second receiver tuned to the *host* channel would
-    /// hear nearly cleanly. Cooperative backscatter builds its second
-    /// phone from this.
-    pub host_mono: Vec<f64>,
-}
-
-/// The fast simulator.
-#[derive(Debug, Clone)]
-pub struct FastSim {
-    scenario: Scenario,
-}
+/// The fast simulator: a stateless audio-domain engine. Every run is
+/// fully described by the [`Scenario`] it receives, so one instance can
+/// serve any number of sweep workers concurrently.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastSim;
 
 impl FastSim {
-    /// Creates a simulator for a scenario.
-    pub fn new(scenario: Scenario) -> Self {
-        FastSim { scenario }
-    }
-
-    /// The scenario.
-    pub fn scenario(&self) -> &Scenario {
-        &self.scenario
+    /// Creates the simulator.
+    pub fn new() -> Self {
+        FastSim
     }
 
     /// Runs the overlay pipeline: the receiver (tuned to the backscatter
     /// channel) hears host programme + `payload` + noise.
     ///
-    /// `payload` is the tag's mono-band baseband (audio or FSK waveform)
-    /// at [`FAST_AUDIO_RATE`], peak ≤ 1. `host_in_stereo_band` selects
-    /// whether the payload instead rides the L−R band (stereo
-    /// backscatter).
-    pub fn run(&self, payload: &[f64], payload_in_stereo_band: bool) -> FastSimOutput {
-        let s = &self.scenario;
+    /// `payload` is the tag's baseband (audio or FSK waveform) at
+    /// [`FAST_AUDIO_RATE`], peak ≤ 1. `payload_in_stereo_band` selects
+    /// whether the payload rides the L−R band (stereo backscatter)
+    /// instead of the mono band. The returned [`SimOutput`] has empty
+    /// `payload_ref`/`tx_bits` — those describe *synthesised* workloads
+    /// and are filled by the [`Simulator`] entry point.
+    pub fn run_payload(
+        &self,
+        s: &Scenario,
+        payload: &[f64],
+        payload_in_stereo_band: bool,
+    ) -> SimOutput {
         let budget = s.link().budget_at_feet(s.distance_ft);
         let n = payload.len();
 
         // Host programme as decoded audio, loudness-processed to the
-        // broadcast RMS. Silence genre ⇒ zero interference, the §5.1
-        // bench case.
-        let host = ProgramGenerator::new(FAST_AUDIO_RATE, s.seed ^ 0xA5)
-            .generate(s.program, n as f64 / FAST_AUDIO_RATE);
-        let mut host_mono = host.mono();
-        let mut host_diff = host.difference();
-        fmbs_audio::speech::normalise_rms(&mut host_mono, HOST_RMS, 1.0);
-        // Scale L−R with the same gain class (its own RMS is genre-
-        // dependent; normalise relative to the mono loudness).
-        let diff_rms = fmbs_dsp::stats::rms(&host_diff);
-        let mono_raw_rms = fmbs_dsp::stats::rms(&host.mono());
-        if mono_raw_rms > 0.0 && diff_rms > 0.0 {
-            let k = HOST_RMS / mono_raw_rms;
-            for x in host_diff.iter_mut() {
-                *x = (*x * k).clamp(-1.0, 1.0);
-            }
-        }
+        // broadcast RMS (shared scenario derivation — the physical tier
+        // hears the same programme). Silence genre ⇒ zero interference,
+        // the §5.1 bench case.
+        let (host_mono, host_diff) = s.host_audio(FAST_AUDIO_RATE, n);
 
-        // Motion fading: per-block CNR scaling. A *static* scenario's
-        // channel realisation is a property of the geometry, not of the
-        // run seed — back-to-back repetitions (MRC) see the same standing
-        // channel but fresh noise. Moving wearers re-randomise per run.
-        let fader_seed = match s.motion {
-            fmbs_channel::fading::MotionProfile::Standing => {
-                (s.distance_ft * 1_000.0) as u64 ^ ((s.ambient_at_tag.0.abs() * 10.0) as u64)
-            }
-            _ => s.seed,
-        };
-        let mut fader =
-            JakesFader::for_motion(FAST_AUDIO_RATE, s.link().f_hz, s.motion, fader_seed);
+        // Motion fading: per-block CNR scaling, from the scenario's
+        // shared fading process.
+        let mut fader = s.fader(FAST_AUDIO_RATE);
         let block = (FAST_AUDIO_RATE * 0.01) as usize; // 10 ms blocks
         let mut rng = StdRng::seed_from_u64(s.seed.wrapping_mul(0x9E37).wrapping_add(7));
 
@@ -163,18 +121,17 @@ impl FastSim {
             // Below the FM threshold the weak carrier loses the capture
             // battle: the *signal* is suppressed (not just buried), which
             // is what audio_snr_from_cnr's quadratic collapse models.
-            let deficit = (fmbs_channel::backscatter_link::FM_THRESHOLD_CNR_DB - cnr_block)
-                .max(0.0);
+            let deficit =
+                (fmbs_channel::backscatter_link::FM_THRESHOLD_CNR_DB - cnr_block).max(0.0);
             let sig_gain = 10f64.powf(-1.5 * deficit * deficit / 20.0);
-            let linear_snr = audio_snr_from_cnr(cnr_block.max(
-                fmbs_channel::backscatter_link::FM_THRESHOLD_CNR_DB,
-            ));
+            let linear_snr = audio_snr_from_cnr(
+                cnr_block.max(fmbs_channel::backscatter_link::FM_THRESHOLD_CNR_DB),
+            );
             let noise_rms = 10f64.powf(-linear_snr / 20.0);
-            let stereo_noise_rms =
-                10f64.powf(-(linear_snr - STEREO_NOISE_PENALTY_DB) / 20.0);
+            let stereo_noise_rms = 10f64.powf(-(linear_snr - STEREO_NOISE_PENALTY_DB) / 20.0);
             // FM click process for this block.
-            let click_rate = CLICK_RATE_SCALE
-                * (-(cnr_block - CLICK_RATE_KNEE_DB) / CLICK_RATE_DECAY_DB).exp();
+            let click_rate =
+                CLICK_RATE_SCALE * (-(cnr_block - CLICK_RATE_KNEE_DB) / CLICK_RATE_DECAY_DB).exp();
             let p_click = (click_rate / FAST_AUDIO_RATE).min(0.5);
             for k in 0..len {
                 let idx = i + k;
@@ -192,7 +149,7 @@ impl FastSim {
                     mono.push(sig_gain * hm + n_mono);
                     if pilot_detected {
                         let n_st = stereo_noise_rms * gaussian(&mut rng) + click_level;
-                        difference.push(sig_gain * (hd + 0.9 * p) + n_st);
+                        difference.push(sig_gain * (hd + STEREO_PAYLOAD_GAIN * p) + n_st);
                     } else {
                         difference.push(0.0);
                     }
@@ -224,22 +181,24 @@ impl FastSim {
             }
         };
 
-        FastSimOutput {
+        SimOutput {
             mono,
             difference,
             pilot_detected,
             budget,
             sample_rate: FAST_AUDIO_RATE,
             host_mono,
+            payload_ref: Vec::new(),
+            tx_bits: Vec::new(),
         }
     }
 
     /// Convenience: full overlay-data run — encode `bits`, simulate,
     /// decode, return the BER.
-    pub fn overlay_data_ber(&self, bits: &[bool], bitrate: Bitrate) -> f64 {
+    pub fn overlay_data_ber(&self, s: &Scenario, bits: &[bool], bitrate: Bitrate) -> f64 {
         let enc = DataEncoder::new(FAST_AUDIO_RATE, bitrate);
         let wave = enc.encode(bits);
-        let out = self.run(&wave, false);
+        let out = self.run_payload(s, &wave, false);
         let dec = DataDecoder::new(FAST_AUDIO_RATE, bitrate);
         let rx = dec.decode(&out.mono, 0, bits.len());
         bit_error_rate(bits, &rx)
@@ -248,16 +207,30 @@ impl FastSim {
     /// Convenience: stereo-backscatter data run (payload decoded from the
     /// L−R channel). Returns `None` when the pilot was not detected (the
     /// receiver stayed in mono mode — no stereo stream at all).
-    pub fn stereo_data_ber(&self, bits: &[bool], bitrate: Bitrate) -> Option<f64> {
+    pub fn stereo_data_ber(&self, s: &Scenario, bits: &[bool], bitrate: Bitrate) -> Option<f64> {
         let enc = DataEncoder::new(FAST_AUDIO_RATE, bitrate);
         let wave = enc.encode(bits);
-        let out = self.run(&wave, true);
+        let out = self.run_payload(s, &wave, true);
         if !out.pilot_detected {
             return None;
         }
         let dec = DataDecoder::new(FAST_AUDIO_RATE, bitrate);
         let rx = dec.decode(&out.difference, 0, bits.len());
         Some(bit_error_rate(bits, &rx))
+    }
+}
+
+impl Simulator for FastSim {
+    fn name(&self) -> &'static str {
+        "fast"
+    }
+
+    fn run(&self, scenario: &Scenario) -> SimOutput {
+        let synth = scenario.workload.synthesise(FAST_AUDIO_RATE);
+        let mut out = self.run_payload(scenario, &synth.wave, scenario.workload.stereo_band());
+        out.payload_ref = synth.reference;
+        out.tx_bits = synth.bits;
+        out
     }
 }
 
@@ -286,16 +259,16 @@ mod tests {
 
     #[test]
     fn strong_link_passes_payload_tone() {
-        let sim = FastSim::new(Scenario::bench(-20.0, 4.0, ProgramKind::Silence));
-        let out = sim.run(&tone(1_000.0, 0.5, 0.9), false);
+        let s = Scenario::bench(-20.0, 4.0, ProgramKind::Silence);
+        let out = FastSim.run_payload(&s, &tone(1_000.0, 0.5, 0.9), false);
         let snr = fmbs_audio::metrics::tone_snr_db(&out.mono[4_800..], FAST_AUDIO_RATE, 1_000.0);
         assert!(snr > 35.0, "strong-link tone SNR {snr}");
     }
 
     #[test]
     fn weak_link_buries_payload() {
-        let sim = FastSim::new(Scenario::bench(-60.0, 20.0, ProgramKind::Silence));
-        let out = sim.run(&tone(1_000.0, 0.5, 0.9), false);
+        let s = Scenario::bench(-60.0, 20.0, ProgramKind::Silence);
+        let out = FastSim.run_payload(&s, &tone(1_000.0, 0.5, 0.9), false);
         let snr = fmbs_audio::metrics::tone_snr_db(&out.mono[4_800..], FAST_AUDIO_RATE, 1_000.0);
         assert!(snr < 10.0, "weak-link tone SNR {snr}");
     }
@@ -305,8 +278,8 @@ mod tests {
         // Fig. 8's headline shape at a mid-strength operating point.
         let scenario = Scenario::bench(-50.0, 8.0, ProgramKind::News);
         let bits = test_bits(400, 3);
-        let ber100 = FastSim::new(scenario).overlay_data_ber(&bits, Bitrate::Bps100);
-        let ber3200 = FastSim::new(scenario).overlay_data_ber(&bits, Bitrate::Kbps3_2);
+        let ber100 = FastSim.overlay_data_ber(&scenario, &bits, Bitrate::Bps100);
+        let ber3200 = FastSim.overlay_data_ber(&scenario, &bits, Bitrate::Kbps3_2);
         assert!(
             ber100 <= ber3200,
             "100 bps BER {ber100} should not exceed 3.2 kbps BER {ber3200}"
@@ -316,11 +289,11 @@ mod tests {
 
     #[test]
     fn pilot_detection_gates_stereo_mode() {
-        let strong = FastSim::new(Scenario::bench(-30.0, 4.0, ProgramKind::News));
-        let weak = FastSim::new(Scenario::bench(-60.0, 4.0, ProgramKind::News));
+        let strong = Scenario::bench(-30.0, 4.0, ProgramKind::News);
+        let weak = Scenario::bench(-60.0, 4.0, ProgramKind::News);
         let payload = tone(2_000.0, 0.3, 0.9);
-        assert!(strong.run(&payload, true).pilot_detected);
-        assert!(!weak.run(&payload, true).pilot_detected);
+        assert!(FastSim.run_payload(&strong, &payload, true).pilot_detected);
+        assert!(!FastSim.run_payload(&weak, &payload, true).pilot_detected);
     }
 
     #[test]
@@ -329,9 +302,9 @@ mod tests {
         // the news host leaves L−R almost empty.
         let scenario = Scenario::bench(-30.0, 4.0, ProgramKind::News);
         let bits = test_bits(800, 5);
-        let overlay = FastSim::new(scenario).overlay_data_ber(&bits, Bitrate::Kbps3_2);
-        let stereo = FastSim::new(scenario)
-            .stereo_data_ber(&bits, Bitrate::Kbps3_2)
+        let overlay = FastSim.overlay_data_ber(&scenario, &bits, Bitrate::Kbps3_2);
+        let stereo = FastSim
+            .stereo_data_ber(&scenario, &bits, Bitrate::Kbps3_2)
             .expect("pilot must be detected at -30 dBm");
         assert!(
             stereo <= overlay,
@@ -343,10 +316,10 @@ mod tests {
     fn motion_degrades_ber() {
         let bits = test_bits(1600, 7);
         // Operate near the margin so fading has something to break.
-        let standing = FastSim::new(Scenario::fabric(MotionProfile::Standing));
-        let running = FastSim::new(Scenario::fabric(MotionProfile::Running));
-        let ber_stand = standing.overlay_data_ber(&bits, Bitrate::Kbps1_6);
-        let ber_run = running.overlay_data_ber(&bits, Bitrate::Kbps1_6);
+        let standing = Scenario::fabric(MotionProfile::Standing);
+        let running = Scenario::fabric(MotionProfile::Running);
+        let ber_stand = FastSim.overlay_data_ber(&standing, &bits, Bitrate::Kbps1_6);
+        let ber_run = FastSim.overlay_data_ber(&running, &bits, Bitrate::Kbps1_6);
         assert!(
             ber_run >= ber_stand,
             "running BER {ber_run} below standing BER {ber_stand}"
@@ -355,16 +328,28 @@ mod tests {
 
     #[test]
     fn car_output_carries_cabin_noise() {
-        let sim = FastSim::new(Scenario::car(-30.0, 30.0, ProgramKind::Silence));
-        let out = sim.run(&vec![0.0; 24_000], false);
+        let s = Scenario::car(-30.0, 30.0, ProgramKind::Silence);
+        let out = FastSim.run_payload(&s, &vec![0.0; 24_000], false);
         // Engine noise present even with silent programme and payload.
         assert!(fmbs_dsp::stats::rms(&out.mono[4_800..]) > 0.005);
     }
 
     #[test]
+    fn simulator_trait_fills_references() {
+        use crate::sim::scenario::Workload;
+        use crate::sim::Simulator;
+        let s = Scenario::bench(-30.0, 4.0, ProgramKind::News)
+            .with_workload(Workload::data(Bitrate::Bps100, 50));
+        let out = Simulator::run(&FastSim, &s);
+        assert_eq!(out.tx_bits.len(), 50);
+        assert_eq!(out.mono.len(), out.payload_ref.len());
+        assert_eq!(FastSim.name(), "fast");
+    }
+
+    #[test]
     fn output_length_matches_payload() {
-        let sim = FastSim::new(Scenario::bench(-30.0, 4.0, ProgramKind::News));
-        let out = sim.run(&vec![0.0; 12_345], false);
+        let s = Scenario::bench(-30.0, 4.0, ProgramKind::News);
+        let out = FastSim.run_payload(&s, &vec![0.0; 12_345], false);
         assert_eq!(out.mono.len(), 12_345);
         assert_eq!(out.difference.len(), 12_345);
     }

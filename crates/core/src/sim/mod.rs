@@ -1,4 +1,4 @@
-//! End-to-end simulation tiers.
+//! End-to-end simulation tiers and the sweep engine.
 //!
 //! * [`physical`] — RF-rate simulation: real FM multiplex, real square-wave
 //!   switch multiplication, real discriminator. Slow (≈ 10⁶ samples per
@@ -9,11 +9,67 @@
 //!   post-detection noise set by the link budget. Runs the large BER/PESQ
 //!   sweeps (Figs. 7–14, 17) in milliseconds per point.
 //! * [`scenario`] — shared experiment descriptions (power, distance,
-//!   receiver, programme, motion).
+//!   receiver, programme, motion, workload).
+//! * [`metric`] — composable measurements (BER, MRC BER, PESQ, tone SNR,
+//!   pilot detection) evaluated against any simulator.
+//! * [`sweep`] — the declarative sweep engine: typed axes expand into a
+//!   scenario grid executed by parallel workers with deterministic
+//!   per-point seeding.
 //! * [`stream`] — a bounded producer/consumer pipeline for running large
 //!   parameter sweeps with constant memory.
+//!
+//! Both tiers implement [`Simulator`], the seam everything above the
+//! simulators is built on: a scenario fully describes an experiment
+//! point (payload synthesis included), and `run` maps it to a shared
+//! [`SimOutput`].
 
 pub mod fast;
+pub mod metric;
 pub mod physical;
 pub mod scenario;
 pub mod stream;
+pub mod sweep;
+
+use fmbs_channel::backscatter_link::LinkBudget;
+use scenario::Scenario;
+
+/// What any simulation tier produces for one scenario.
+#[derive(Debug, Clone)]
+pub struct SimOutput {
+    /// The mono audio the receiver outputs (host + payload + noise).
+    pub mono: Vec<f64>,
+    /// The L−R difference channel (stereo payload path); zeros when the
+    /// pilot was not detected.
+    pub difference: Vec<f64>,
+    /// Whether the pilot was detected (stereo decoding engaged).
+    pub pilot_detected: bool,
+    /// The link budget at this geometry.
+    pub budget: LinkBudget,
+    /// Audio sample rate of all audio fields.
+    pub sample_rate: f64,
+    /// The host programme's mono audio as generated (pre-noise, pre-
+    /// filter) — what a second receiver tuned to the *host* channel would
+    /// hear nearly cleanly. Cooperative backscatter builds its second
+    /// phone from this.
+    pub host_mono: Vec<f64>,
+    /// The clean payload reference at [`Self::sample_rate`] (for
+    /// PESQ-like scoring). Empty for silence workloads.
+    pub payload_ref: Vec<f64>,
+    /// The transmitted bits (data workloads only).
+    pub tx_bits: Vec<bool>,
+}
+
+/// A simulation tier: maps a complete [`Scenario`] — including its
+/// workload — to a [`SimOutput`].
+///
+/// `Sync` is a supertrait so sweep workers can share one simulator
+/// across threads; both tiers are immutable at run time.
+pub trait Simulator: Sync {
+    /// A short name for reports ("fast", "physical").
+    fn name(&self) -> &'static str;
+
+    /// Runs the scenario end to end. Must be deterministic in the
+    /// scenario (same scenario ⇒ same output), which is what lets the
+    /// sweep engine execute grids in parallel without changing results.
+    fn run(&self, scenario: &Scenario) -> SimOutput;
+}

@@ -1,9 +1,19 @@
 //! Experiment scenario descriptions shared by both simulators and the
 //! benchmark harness.
+//!
+//! A [`Scenario`] is a *complete* experiment point: geometry, devices,
+//! programme, motion, RNG seed **and** the tag's [`Workload`]. Any
+//! [`Simulator`](super::Simulator) can therefore regenerate the whole
+//! experiment — payload synthesis included — from the scenario alone,
+//! which is what makes the sweep engine's deterministic per-point
+//! seeding possible.
 
+use crate::modem::encoder::{test_bits, DataEncoder};
+use crate::modem::Bitrate;
 use fmbs_audio::program::ProgramKind;
+use fmbs_audio::speech::{generate_speech, normalise_rms, SpeechConfig};
 use fmbs_channel::backscatter_link::BackscatterLink;
-use fmbs_channel::fading::MotionProfile;
+use fmbs_channel::fading::{JakesFader, MotionProfile};
 use fmbs_channel::units::Dbm;
 use serde::{Deserialize, Serialize};
 
@@ -27,8 +37,248 @@ pub enum TagKind {
     SmartFabric,
 }
 
+/// What the tag backscatters during the experiment.
+///
+/// The workload carries its own `payload_seed` (where applicable) so
+/// that repetitions of a scenario can refresh the channel noise — by
+/// changing [`Scenario::seed`] — while the transmitted payload stays
+/// identical, which is what MRC combining requires.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Workload {
+    /// No payload: `secs` of silence (noise-floor baselines).
+    Silence {
+        /// Duration in seconds.
+        secs: f64,
+    },
+    /// A pure test tone (SNR measurements, Figs. 6/7/14a).
+    Tone {
+        /// Tone frequency in Hz.
+        freq_hz: f64,
+        /// Duration in seconds.
+        secs: f64,
+        /// Peak amplitude (≤ 1).
+        amp: f64,
+        /// Whether the tone rides the stereo (L−R) band.
+        stereo_band: bool,
+    },
+    /// Framed FSK/FDM data (BER experiments, Figs. 8–10/17).
+    Data {
+        /// Bit rate under test.
+        bitrate: Bitrate,
+        /// Number of payload bits.
+        n_bits: u32,
+        /// Whether the payload rides the stereo (L−R) band.
+        stereo_band: bool,
+        /// Seed generating the payload bits.
+        payload_seed: u64,
+    },
+    /// Announcer speech for audio-quality scoring (Figs. 11/13/14b).
+    Speech {
+        /// Duration in seconds.
+        secs: f64,
+        /// Whether the payload rides the stereo (L−R) band.
+        stereo_band: bool,
+        /// Seed generating the speech.
+        payload_seed: u64,
+    },
+    /// Announcer speech preceded by the 13 kHz calibration pilot, for
+    /// cooperative (two-phone) decoding (Fig. 12).
+    CoopAudio {
+        /// Duration in seconds.
+        secs: f64,
+        /// Seed generating the speech.
+        payload_seed: u64,
+    },
+}
+
+/// A synthesised workload: the waveform the tag backscatters plus the
+/// clean references a metric scores against.
+#[derive(Debug, Clone, Default)]
+pub struct SynthesisedPayload {
+    /// The tag baseband waveform (what gets backscattered).
+    pub wave: Vec<f64>,
+    /// The clean payload reference (pre-channel; for PESQ-like scoring).
+    /// Equal to `wave` except for [`Workload::CoopAudio`], where `wave`
+    /// additionally carries the calibration pilot.
+    pub reference: Vec<f64>,
+    /// The transmitted bits ([`Workload::Data`] only).
+    pub bits: Vec<bool>,
+}
+
+impl Workload {
+    /// Default duration used by scenario constructors.
+    pub const DEFAULT_SECS: f64 = 0.5;
+
+    /// `secs` of silence.
+    pub fn silence(secs: f64) -> Self {
+        Workload::Silence { secs }
+    }
+
+    /// A mono-band test tone at 0.9 amplitude.
+    pub fn tone(freq_hz: f64, secs: f64) -> Self {
+        Workload::Tone {
+            freq_hz,
+            secs,
+            amp: 0.9,
+            stereo_band: false,
+        }
+    }
+
+    /// Mono-band (overlay) data.
+    pub fn data(bitrate: Bitrate, n_bits: usize) -> Self {
+        Workload::Data {
+            bitrate,
+            n_bits: n_bits as u32,
+            stereo_band: false,
+            payload_seed: 0xDA7A,
+        }
+    }
+
+    /// Stereo-band data.
+    pub fn stereo_data(bitrate: Bitrate, n_bits: usize) -> Self {
+        Workload::Data {
+            bitrate,
+            n_bits: n_bits as u32,
+            stereo_band: true,
+            payload_seed: 0x57E0,
+        }
+    }
+
+    /// Mono-band (overlay) speech.
+    pub fn speech(secs: f64) -> Self {
+        Workload::Speech {
+            secs,
+            stereo_band: false,
+            payload_seed: 0xBEEF,
+        }
+    }
+
+    /// Stereo-band speech.
+    pub fn stereo_speech(secs: f64) -> Self {
+        Workload::Speech {
+            secs,
+            stereo_band: true,
+            payload_seed: 0x5A5A,
+        }
+    }
+
+    /// Speech with the cooperative 13 kHz calibration pilot.
+    pub fn coop_audio(secs: f64) -> Self {
+        Workload::CoopAudio {
+            secs,
+            payload_seed: 0xC0,
+        }
+    }
+
+    /// This workload with a specific payload seed.
+    pub fn with_payload_seed(mut self, seed: u64) -> Self {
+        match &mut self {
+            Workload::Data { payload_seed, .. }
+            | Workload::Speech { payload_seed, .. }
+            | Workload::CoopAudio { payload_seed, .. } => *payload_seed = seed,
+            Workload::Silence { .. } | Workload::Tone { .. } => {}
+        }
+        self
+    }
+
+    /// Rotates the payload seed for repetition `k` (no-op for payloads
+    /// without random content). Used by the sweep engine's `repeats`
+    /// fan-out so repeats average over payload realisations too.
+    pub fn reseed(self, k: u64) -> Self {
+        match self {
+            Workload::Data { payload_seed, .. }
+            | Workload::Speech { payload_seed, .. }
+            | Workload::CoopAudio { payload_seed, .. } => {
+                self.with_payload_seed(payload_seed.wrapping_add(k.wrapping_mul(0x9E37)))
+            }
+            other => other,
+        }
+    }
+
+    /// Whether the payload rides the stereo (L−R) band.
+    pub fn stereo_band(&self) -> bool {
+        match *self {
+            Workload::Tone { stereo_band, .. }
+            | Workload::Data { stereo_band, .. }
+            | Workload::Speech { stereo_band, .. } => stereo_band,
+            Workload::Silence { .. } | Workload::CoopAudio { .. } => false,
+        }
+    }
+
+    /// Synthesises the tag baseband at `sample_rate`.
+    pub fn synthesise(&self, sample_rate: f64) -> SynthesisedPayload {
+        match *self {
+            Workload::Silence { secs } => {
+                let wave = vec![0.0; (sample_rate * secs) as usize];
+                SynthesisedPayload {
+                    reference: wave.clone(),
+                    wave,
+                    bits: Vec::new(),
+                }
+            }
+            Workload::Tone {
+                freq_hz, secs, amp, ..
+            } => {
+                let n = (sample_rate * secs) as usize;
+                let wave: Vec<f64> = (0..n)
+                    .map(|i| amp * (fmbs_dsp::TAU * freq_hz * i as f64 / sample_rate).sin())
+                    .collect();
+                SynthesisedPayload {
+                    reference: wave.clone(),
+                    wave,
+                    bits: Vec::new(),
+                }
+            }
+            Workload::Data {
+                bitrate,
+                n_bits,
+                payload_seed,
+                ..
+            } => {
+                let bits = test_bits(n_bits as usize, payload_seed);
+                let wave = DataEncoder::new(sample_rate, bitrate).encode(&bits);
+                SynthesisedPayload {
+                    reference: wave.clone(),
+                    wave,
+                    bits,
+                }
+            }
+            Workload::Speech {
+                secs, payload_seed, ..
+            } => {
+                let mut wave = generate_speech(
+                    SpeechConfig::announcer(sample_rate),
+                    (sample_rate * secs) as usize,
+                    payload_seed,
+                );
+                normalise_rms(&mut wave, super::fast::BROADCAST_RMS, 1.0);
+                SynthesisedPayload {
+                    reference: wave.clone(),
+                    wave,
+                    bits: Vec::new(),
+                }
+            }
+            Workload::CoopAudio { secs, payload_seed } => {
+                let mut speech = generate_speech(
+                    SpeechConfig::announcer(sample_rate),
+                    (sample_rate * secs) as usize,
+                    payload_seed,
+                );
+                normalise_rms(&mut speech, super::fast::BROADCAST_RMS, 1.0);
+                let wave = crate::tag::baseband::BasebandBuilder::new(sample_rate)
+                    .with_coop_pilot(&speech, 0.2, 0.02);
+                SynthesisedPayload {
+                    wave,
+                    reference: speech,
+                    bits: Vec::new(),
+                }
+            }
+        }
+    }
+}
+
 /// A complete experiment point: the knobs every figure sweeps.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     /// Ambient FM power at the tag (−20 … −60 dBm in the paper).
     pub ambient_at_tag: Dbm,
@@ -44,6 +294,8 @@ pub struct Scenario {
     pub motion: MotionProfile,
     /// RNG seed (noise, programme generation, fading).
     pub seed: u64,
+    /// What the tag backscatters.
+    pub workload: Workload,
 }
 
 impl Scenario {
@@ -57,12 +309,19 @@ impl Scenario {
             program,
             motion: MotionProfile::Standing,
             seed: 0x5EED,
+            workload: Workload::silence(Workload::DEFAULT_SECS),
         }
     }
 
     /// With a different seed (for repetition averaging).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// With a different workload.
+    pub fn with_workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
         self
     }
 
@@ -82,6 +341,46 @@ impl Scenario {
             distance_ft: 2.0, // phone in hand/pocket near the shirt
             ..Scenario::bench(-37.0, 2.0, ProgramKind::News)
         }
+    }
+
+    /// The host programme audio both simulation tiers derive from this
+    /// scenario: generated from the scenario seed, loudness-processed to
+    /// the broadcast level, `n` samples long. Returns `(mono, L−R)`.
+    /// Centralised here so the tiers cannot drift apart.
+    pub fn host_audio(&self, rate: f64, n: usize) -> (Vec<f64>, Vec<f64>) {
+        let host = fmbs_audio::program::ProgramGenerator::new(rate, self.seed ^ 0xA5)
+            .generate(self.program, n.max(1) as f64 / rate);
+        let mut mono = host.mono();
+        let mut diff = host.difference();
+        // Scale L−R with the same gain class as the mono loudness
+        // normalisation (its own RMS is genre-dependent).
+        let mono_raw_rms = fmbs_dsp::stats::rms(&mono);
+        normalise_rms(&mut mono, super::fast::HOST_RMS, 1.0);
+        let diff_rms = fmbs_dsp::stats::rms(&diff);
+        if mono_raw_rms > 0.0 && diff_rms > 0.0 {
+            let k = super::fast::HOST_RMS / mono_raw_rms;
+            for x in diff.iter_mut() {
+                *x = (*x * k).clamp(-1.0, 1.0);
+            }
+        }
+        mono.resize(n, 0.0);
+        diff.resize(n, 0.0);
+        (mono, diff)
+    }
+
+    /// The motion-fading process both tiers apply to the backscatter
+    /// path. A *static* scenario's channel realisation is a property of
+    /// the geometry, not of the run seed — back-to-back repetitions
+    /// (MRC) see the same standing channel but fresh noise; moving
+    /// wearers re-randomise per run seed.
+    pub fn fader(&self, rate: f64) -> JakesFader {
+        let fader_seed = match self.motion {
+            MotionProfile::Standing => {
+                (self.distance_ft * 1_000.0) as u64 ^ ((self.ambient_at_tag.0.abs() * 10.0) as u64)
+            }
+            _ => self.seed,
+        };
+        JakesFader::for_motion(rate, self.link().f_hz, self.motion, fader_seed)
     }
 
     /// Builds the matching link-budget model.

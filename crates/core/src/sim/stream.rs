@@ -10,6 +10,11 @@
 //! consumer decodes and accumulates results under a `parking_lot` mutex.
 //! On a single core this bounds peak memory to two in-flight waveforms;
 //! on multicore hosts the stages overlap.
+//!
+//! For grid-shaped sweeps, prefer the N-worker engine in
+//! [`super::sweep`], which generalises this two-stage pipeline; this
+//! module remains the constant-memory path for arbitrary point lists
+//! whose waveforms must not all be held in memory at once.
 
 use crate::modem::decoder::DataDecoder;
 use crate::modem::encoder::{test_bits, DataEncoder};
@@ -56,7 +61,7 @@ pub fn run_ber_sweep(points: &[SweepPoint]) -> Vec<SweepResult> {
                 let bits = test_bits(p.n_bits, p.scenario.seed ^ 0xDA7A);
                 let enc = DataEncoder::new(FAST_AUDIO_RATE, p.bitrate);
                 let wave = enc.encode(&bits);
-                let out = FastSim::new(p.scenario).run(&wave, false);
+                let out = FastSim.run_payload(&p.scenario, &wave, false);
                 if tx.send((i, p, out.mono, bits)).is_err() {
                     return; // consumer gone
                 }

@@ -15,13 +15,12 @@
 //! receiver must detect a 19 kHz pilot, which needs strong ambient signal
 //! (≳ −40 dBm, §5.3) — reproduced by the fast simulator's CNR gate.
 
-use crate::modem::encoder::test_bits;
 use crate::modem::Bitrate;
-use crate::sim::fast::{FastSim, FAST_AUDIO_RATE};
-use crate::sim::scenario::Scenario;
-use fmbs_audio::pesq::pesq_like;
+use crate::sim::fast::FastSim;
+use crate::sim::metric::{Ber, Pesq};
+use crate::sim::scenario::{Scenario, Workload};
+use crate::sim::Simulator;
 use fmbs_audio::program::ProgramKind;
-use fmbs_audio::speech::{generate_speech, SpeechConfig};
 use serde::{Deserialize, Serialize};
 
 /// The host-station situation for a stereo-backscatter run.
@@ -71,41 +70,43 @@ impl StereoBackscatter {
         StereoBackscatter { scenario, host }
     }
 
-    fn sim(&self) -> FastSim {
-        // For a mono host, the host contributes *nothing* to L−R once the
-        // tag's pilot flips the receiver to stereo — even less
-        // interference than a news station's residual (§5.3: mono hosts
-        // give "even less interference than the previous case"). The fast
-        // simulator's News difference channel is already empty, so both
-        // cases share the pipeline; the mono case additionally benefits
-        // below via the interference scale.
-        FastSim::new(self.scenario)
+    /// The fully specified data scenario: the tag's payload rides the
+    /// L−R band. For a mono host, the host contributes *nothing* to L−R
+    /// once the tag's pilot flips the receiver to stereo — even less
+    /// interference than a news station's residual (§5.3); the fast
+    /// simulator's News difference channel is already empty, so both
+    /// host situations share the pipeline.
+    pub fn data_scenario(&self, bitrate: Bitrate, n_bits: usize) -> Scenario {
+        self.scenario.with_workload(
+            Workload::stereo_data(bitrate, n_bits).with_payload_seed(self.scenario.seed ^ 0x57E0),
+        )
+    }
+
+    /// The fully specified audio scenario (payload speech in L−R).
+    pub fn audio_scenario(&self, duration_s: f64) -> Scenario {
+        self.scenario.with_workload(
+            Workload::stereo_speech(duration_s).with_payload_seed(self.scenario.seed ^ 0x5A5A),
+        )
     }
 
     /// Data BER through the stereo stream (Fig. 10).
     pub fn run_ber(&self, bitrate: Bitrate, n_bits: usize) -> StereoOutcome {
-        let bits = test_bits(n_bits, self.scenario.seed ^ 0x57E0);
-        match self.sim().stereo_data_ber(&bits, bitrate) {
-            Some(ber) => StereoOutcome::Decoded(ber),
-            None => StereoOutcome::PilotLost,
+        let scenario = self.data_scenario(bitrate, n_bits);
+        let out = Simulator::run(&FastSim, &scenario);
+        if !out.pilot_detected {
+            return StereoOutcome::PilotLost;
         }
+        StereoOutcome::Decoded(Ber::default().score_output(&out, bitrate, true))
     }
 
     /// Audio PESQ through the stereo stream (Fig. 13).
     pub fn run_pesq(&self, duration_s: f64) -> StereoOutcome {
-        let mut payload = generate_speech(
-            SpeechConfig::announcer(FAST_AUDIO_RATE),
-            (FAST_AUDIO_RATE * duration_s) as usize,
-            self.scenario.seed ^ 0x5A5A,
-        );
-        fmbs_audio::speech::normalise_rms(&mut payload, crate::sim::fast::BROADCAST_RMS, 1.0);
-        let out = self.sim().run(&payload, true);
+        let scenario = self.audio_scenario(duration_s);
+        let out = Simulator::run(&FastSim, &scenario);
         if !out.pilot_detected {
             return StereoOutcome::PilotLost;
         }
-        // Receiver recovers payload as (L−R); the tag injected it at 0.9.
-        let recovered: Vec<f64> = out.difference.iter().map(|x| x / 0.9).collect();
-        StereoOutcome::Decoded(pesq_like(&payload, &recovered, FAST_AUDIO_RATE))
+        StereoOutcome::Decoded(Pesq::default().score_output(&out, true))
     }
 }
 
@@ -135,10 +136,8 @@ mod tests {
         // §5.3: "stereo backscatter … can therefore only be used in
         // scenarios with strong ambient FM signals."
         let scenario = Scenario::bench(-55.0, 10.0, ProgramKind::News);
-        let out = StereoBackscatter::new(scenario, StereoHost::MonoStation).run_ber(
-            Bitrate::Kbps1_6,
-            200,
-        );
+        let out = StereoBackscatter::new(scenario, StereoHost::MonoStation)
+            .run_ber(Bitrate::Kbps1_6, 200);
         assert!(matches!(out, StereoOutcome::PilotLost));
     }
 

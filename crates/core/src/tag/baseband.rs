@@ -58,7 +58,12 @@ impl BasebandBuilder {
     ///   payload at 0.9 as in §3.3.1); false for stereo hosts, which
     ///   already broadcast a pilot ("we do not backscatter the pilot
     ///   tone").
-    pub fn stereo_payload(&self, payload: &[f64], payload_rate: f64, inject_pilot: bool) -> Vec<f64> {
+    pub fn stereo_payload(
+        &self,
+        payload: &[f64],
+        payload_rate: f64,
+        inject_pilot: bool,
+    ) -> Vec<f64> {
         let p = resample_linear(payload, payload_rate, self.sample_rate);
         let levels = if inject_pilot {
             MpxLevels::stereo_backscatter() // 0.9 stereo + 0.1 pilot
@@ -138,7 +143,12 @@ mod tests {
             .collect();
         let bb = BasebandBuilder::new(FS).stereo_payload(&payload, 48_000.0, true);
         let p = measure_band_powers(&bb, FS);
-        assert!(p.stereo > 10.0 * p.mono.max(1e-15), "stereo {} mono {}", p.stereo, p.mono);
+        assert!(
+            p.stereo > 10.0 * p.mono.max(1e-15),
+            "stereo {} mono {}",
+            p.stereo,
+            p.mono
+        );
         assert!(p.pilot > 1e-4, "pilot missing: {}", p.pilot);
     }
 
@@ -149,7 +159,12 @@ mod tests {
             .collect();
         let bb = BasebandBuilder::new(FS).stereo_payload(&payload, 48_000.0, false);
         let p = measure_band_powers(&bb, FS);
-        assert!(p.pilot < p.stereo / 1_000.0, "pilot {} stereo {}", p.pilot, p.stereo);
+        assert!(
+            p.pilot < p.stereo / 1_000.0,
+            "pilot {} stereo {}",
+            p.pilot,
+            p.stereo
+        );
     }
 
     #[test]
@@ -161,7 +176,10 @@ mod tests {
         assert_eq!(out.len(), n_pre + payload.len());
         // Preamble: pure 13 kHz at 0.1.
         let p_pre = goertzel_power(&out[..n_pre], 48_000.0, COOP_PILOT_HZ);
-        assert!((p_pre - 0.0025).abs() < 5e-4, "preamble pilot power {p_pre}");
+        assert!(
+            (p_pre - 0.0025).abs() < 5e-4,
+            "preamble pilot power {p_pre}"
+        );
         // Pilot continues under the payload.
         let p_body = goertzel_power(&out[n_pre..], 48_000.0, COOP_PILOT_HZ);
         assert!(p_body > 0.001, "body pilot power {p_body}");

@@ -165,7 +165,9 @@ mod tests {
         let power_at = |f: f64| {
             let k = ((f / bin_hz).round() as isize).rem_euclid(n as isize) as usize;
             // Sum a few bins around the target.
-            (k.saturating_sub(2)..(k + 3).min(n)).map(|i| buf[i].norm_sqr()).sum::<f64>()
+            (k.saturating_sub(2)..(k + 3).min(n))
+                .map(|i| buf[i].norm_sqr())
+                .sum::<f64>()
         };
         let p_plus = power_at(600_000.0);
         let p_minus = power_at(-600_000.0);
@@ -197,13 +199,10 @@ mod tests {
         fft.forward(&mut buf);
         let bin_hz = fs / n as f64;
         let k = (600_000.0 / bin_hz).round() as usize;
-        let p_sideband: f64 = (k - 3..=k + 3).map(|i| buf[i].norm_sqr()).sum::<f64>()
-            / (n as f64 * n as f64);
+        let p_sideband: f64 =
+            (k - 3..=k + 3).map(|i| buf[i].norm_sqr()).sum::<f64>() / (n as f64 * n as f64);
         let loss_db = -10.0 * p_sideband.log10();
-        assert!(
-            (loss_db - 3.92).abs() < 0.4,
-            "conversion loss {loss_db} dB"
-        );
+        assert!((loss_db - 3.92).abs() < 0.4, "conversion loss {loss_db} dB");
     }
 
     #[test]
@@ -231,7 +230,12 @@ mod tests {
             let k = (1_800_000.0 / bin_hz).round() as usize;
             (k - 3..=k + 3).map(|i| buf[i].norm_sqr()).sum::<f64>()
         };
-        assert!(h3(&sq) > 50.0 * h3(&cos), "square {} cosine {}", h3(&sq), h3(&cos));
+        assert!(
+            h3(&sq) > 50.0 * h3(&cos),
+            "square {} cosine {}",
+            h3(&sq),
+            h3(&cos)
+        );
     }
 
     #[test]

@@ -274,7 +274,7 @@ mod tests {
     #[test]
     fn from_angle_is_unit_magnitude() {
         for k in 0..16 {
-            let theta = k as f64 * 0.3927;
+            let theta = k as f64 * std::f64::consts::FRAC_PI_8;
             let z = Complex::from_angle(theta);
             assert!((z.abs() - 1.0).abs() < EPS);
         }

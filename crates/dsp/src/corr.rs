@@ -209,7 +209,9 @@ mod tests {
     #[test]
     fn tone_correlation_peaks_periodically() {
         let fs = 8_000.0;
-        let a: Vec<f64> = (0..800).map(|i| (TAU * 400.0 * i as f64 / fs).sin()).collect();
+        let a: Vec<f64> = (0..800)
+            .map(|i| (TAU * 400.0 * i as f64 / fs).sin())
+            .collect();
         let corr = cross_correlate(&a, &a, 40);
         // Period = fs/400 = 20 samples; lag 20 should also be a local peak.
         assert!(corr[40 + 20] > corr[40 + 10]);

@@ -40,7 +40,10 @@ impl Fft {
     /// # Panics
     /// Panics if `n` is not a power of two or is zero.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n > 0, "FFT size must be a power of two, got {n}");
+        assert!(
+            n.is_power_of_two() && n > 0,
+            "FFT size must be a power of two, got {n}"
+        );
         let bits = n.trailing_zeros();
         let bitrev = (0..n as u32)
             .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
@@ -49,7 +52,11 @@ impl Fft {
         let twiddles = (0..n / 2)
             .map(|k| Complex::from_angle(-TAU * k as f64 / n as f64))
             .collect();
-        Fft { n, twiddles, bitrev }
+        Fft {
+            n,
+            twiddles,
+            bitrev,
+        }
     }
 
     /// The planned transform size.
@@ -124,7 +131,11 @@ impl Fft {
 /// measures ~0.25·(window gain)² regardless of `n`.
 pub fn power_spectrum(signal: &[f64], window: &[f64], n: usize) -> Vec<f64> {
     assert!(n.is_power_of_two(), "spectrum size must be a power of two");
-    assert_eq!(window.len(), n.min(window.len()), "window shorter than n is allowed");
+    assert_eq!(
+        window.len(),
+        n.min(window.len()),
+        "window shorter than n is allowed"
+    );
     let fft = Fft::new(n);
     let mut buf = vec![Complex::ZERO; n];
     for i in 0..n.min(signal.len()) {
@@ -279,9 +290,7 @@ mod tests {
         let n = 1024;
         let fs = 48_000.0;
         let f0 = 3_000.0;
-        let signal: Vec<f64> = (0..n)
-            .map(|i| (TAU * f0 * i as f64 / fs).sin())
-            .collect();
+        let signal: Vec<f64> = (0..n).map(|i| (TAU * f0 * i as f64 / fs).sin()).collect();
         let window = Window::Hann.coefficients(n);
         let psd = power_spectrum(&signal, &window, n);
         let peak_bin = psd

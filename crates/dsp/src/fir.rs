@@ -31,7 +31,7 @@ impl Default for FirDesign {
 
 impl FirDesign {
     fn odd_taps(&self) -> usize {
-        if self.taps % 2 == 0 {
+        if self.taps.is_multiple_of(2) {
             self.taps + 1
         } else {
             self.taps

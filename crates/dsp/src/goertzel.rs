@@ -97,7 +97,9 @@ mod tests {
     use super::*;
 
     fn tone(fs: f64, f: f64, n: usize, amp: f64) -> Vec<f64> {
-        (0..n).map(|i| amp * (TAU * f * i as f64 / fs).sin()).collect()
+        (0..n)
+            .map(|i| amp * (TAU * f * i as f64 / fs).sin())
+            .collect()
     }
 
     #[test]

@@ -308,10 +308,7 @@ mod tests {
     fn dc_blocker_removes_offset_keeps_tone() {
         let fs = 48_000.0;
         let mut dc = FirstOrder::dc_blocker(0.995);
-        let sig: Vec<f64> = tone(fs, 1_000.0, 48_000)
-            .iter()
-            .map(|x| x + 0.5)
-            .collect();
+        let sig: Vec<f64> = tone(fs, 1_000.0, 48_000).iter().map(|x| x + 0.5).collect();
         let out = dc.process(&sig);
         let tail = &out[24_000..];
         let mean: f64 = tail.iter().sum::<f64>() / tail.len() as f64;

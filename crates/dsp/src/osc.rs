@@ -276,7 +276,10 @@ mod tests {
         let sig: Vec<f64> = (0..n).map(|_| osc.next_switch(1.0)).collect();
         let crossings = sig.windows(2).filter(|w| w[0] * w[1] < 0.0).count();
         let measured = crossings as f64 / 2.0 * fs / n as f64;
-        assert!((measured - 675_000.0).abs() < 1_000.0, "measured {measured}");
+        assert!(
+            (measured - 675_000.0).abs() < 1_000.0,
+            "measured {measured}"
+        );
     }
 
     #[test]

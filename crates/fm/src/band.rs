@@ -129,15 +129,11 @@ impl BandOccupancy {
     /// breaking ties toward higher frequency (the paper's prototype shifts
     /// upward, 94.9 → 95.3 MHz).
     pub fn nearest_free_channel(&self, from: Channel) -> Option<Channel> {
-        self.free_channels()
-            .into_iter()
-            .min_by(|a, b| {
-                let da = from.shift_to_hz(*a).abs();
-                let db = from.shift_to_hz(*b).abs();
-                da.partial_cmp(&db)
-                    .unwrap()
-                    .then_with(|| b.0.cmp(&a.0)) // prefer higher frequency
-            })
+        self.free_channels().into_iter().min_by(|a, b| {
+            let da = from.shift_to_hz(*a).abs();
+            let db = from.shift_to_hz(*b).abs();
+            da.partial_cmp(&db).unwrap().then_with(|| b.0.cmp(&a.0)) // prefer higher frequency
+        })
     }
 }
 

@@ -194,7 +194,12 @@ mod tests {
         let mut comp = MpxComposer::new(FS, MpxLevels::default());
         let mpx = comp.compose_buffer(&l, &l, &[]);
         let p = measure_band_powers(&mpx, FS);
-        assert!(p.mono > 100.0 * p.stereo, "mono {} stereo {}", p.mono, p.stereo);
+        assert!(
+            p.mono > 100.0 * p.stereo,
+            "mono {} stereo {}",
+            p.mono,
+            p.stereo
+        );
         assert!(p.pilot > 10.0 * p.guard);
     }
 
@@ -206,7 +211,12 @@ mod tests {
         let mut comp = MpxComposer::new(FS, MpxLevels::default());
         let mpx = comp.compose_buffer(&l, &r, &[]);
         let p = measure_band_powers(&mpx, FS);
-        assert!(p.stereo > 100.0 * p.mono, "mono {} stereo {}", p.mono, p.stereo);
+        assert!(
+            p.stereo > 100.0 * p.mono,
+            "mono {} stereo {}",
+            p.mono,
+            p.stereo
+        );
     }
 
     #[test]

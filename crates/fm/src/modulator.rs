@@ -119,10 +119,7 @@ mod tests {
         let carson = crate::carson_bandwidth(dev, f_audio); // 180 kHz
         let inside = band_power(&psd, fs, 0.0, carson / 2.0 + 20_000.0);
         let outside = band_power(&psd, fs, carson / 2.0 + 20_000.0, fs / 2.0);
-        assert!(
-            inside > 50.0 * outside,
-            "inside {inside} outside {outside}"
-        );
+        assert!(inside > 50.0 * outside, "inside {inside} outside {outside}");
     }
 
     #[test]

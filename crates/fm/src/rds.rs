@@ -80,8 +80,7 @@ impl Group0A {
         let block_a = self.pi;
         // Group type 0, version A (bit 11 = 0), PTY in bits 5..10, segment
         // in bits 0..2.
-        let block_b: u16 =
-            ((self.pty as u16 & 0x1F) << 5) | (self.segment as u16 & 0x3);
+        let block_b: u16 = ((self.pty as u16 & 0x1F) << 5) | (self.segment as u16 & 0x3);
         let block_c: u16 = 0; // AF codes, unused here
         let block_d: u16 = ((self.chars[0] as u16) << 8) | self.chars[1] as u16;
         [

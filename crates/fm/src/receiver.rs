@@ -183,11 +183,7 @@ impl FmReceiver {
                 let mut de = FirstOrder::deemphasis(self.mpx_rate, DEEMPHASIS_TAU_US);
                 v = de.process(&v);
             }
-            let mut audio: Vec<f64> = v
-                .iter()
-                .step_by(self.audio_decim)
-                .copied()
-                .collect();
+            let mut audio: Vec<f64> = v.iter().step_by(self.audio_decim).copied().collect();
             if let Some(fc) = self.cfg.capture_lpf_hz {
                 if fc < self.audio_rate / 2.0 {
                     let mut lpf = self.capture_filter(fc);

@@ -229,8 +229,7 @@ mod tests {
         let out = StereoDecoder::new(StereoDecoderConfig::new(FS)).decode(&mpx);
         assert!(out.stereo_detected);
         let skip = n / 2;
-        let p_payload =
-            fmbs_dsp::goertzel::goertzel_power(&out.difference[skip..], FS, 2_500.0);
+        let p_payload = fmbs_dsp::goertzel::goertzel_power(&out.difference[skip..], FS, 2_500.0);
         let p_mono = fmbs_dsp::goertzel::goertzel_power(&out.mono[skip..], FS, 2_500.0);
         assert!(
             p_payload > 100.0 * p_mono.max(1e-15),
@@ -252,9 +251,7 @@ mod tests {
             (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
         };
         let mpx: Vec<f64> = (0..n)
-            .map(|i| {
-                0.004 * (TAU * PILOT_HZ * i as f64 / FS).sin() + 0.3 * noise()
-            })
+            .map(|i| 0.004 * (TAU * PILOT_HZ * i as f64 / FS).sin() + 0.3 * noise())
             .collect();
         let out = StereoDecoder::new(StereoDecoderConfig::new(FS)).decode(&mpx);
         assert!(!out.stereo_detected, "pilot level {}", out.pilot_level);

@@ -179,7 +179,12 @@ mod tests {
         let r = tone(3_000.0, 0.2);
         let mpx = tx.generate_mpx(&l, &r, AUDIO_RATE);
         let p = measure_band_powers(&mpx, IQ_RATE);
-        assert!(p.pilot > 10.0 * p.guard, "pilot {} guard {}", p.pilot, p.guard);
+        assert!(
+            p.pilot > 10.0 * p.guard,
+            "pilot {} guard {}",
+            p.pilot,
+            p.guard
+        );
         assert!(p.mono > 1e-4);
         assert!(p.stereo > 1e-4);
     }
@@ -190,7 +195,12 @@ mod tests {
         let audio = tone(2_000.0, 0.2);
         let mpx = tx.generate_mpx(&audio, &audio, AUDIO_RATE);
         let p = measure_band_powers(&mpx, IQ_RATE);
-        assert!(p.pilot < p.mono / 100.0, "pilot {} mono {}", p.pilot, p.mono);
+        assert!(
+            p.pilot < p.mono / 100.0,
+            "pilot {} mono {}",
+            p.pilot,
+            p.mono
+        );
         assert!(p.stereo < p.mono / 100.0);
     }
 

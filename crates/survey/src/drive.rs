@@ -159,10 +159,7 @@ mod tests {
         // synthetic city.
         let cdf = DriveSurvey::seattle_like().cdf();
         let median = cdf.median();
-        assert!(
-            (median - -35.15).abs() < 6.0,
-            "survey median {median} dBm"
-        );
+        assert!((median - -35.15).abs() < 6.0, "survey median {median} dBm");
     }
 
     #[test]

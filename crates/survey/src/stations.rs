@@ -108,9 +108,8 @@ impl CityStations {
             }
         } else {
             // Leakage from neighbouring markets occupies extra channels.
-            let mut free: Vec<Channel> = Channel::all()
-                .filter(|c| !detectable.contains(c))
-                .collect();
+            let mut free: Vec<Channel> =
+                Channel::all().filter(|c| !detectable.contains(c)).collect();
             while detectable.len() < n_detectable && !free.is_empty() {
                 let idx = rng.gen_range(0..free.len());
                 detectable.push(free.swap_remove(idx));
@@ -146,9 +145,8 @@ fn place_stations(rng: &mut StdRng, n: usize) -> Vec<Channel> {
     while placed.len() < n && attempts < 20_000 {
         attempts += 1;
         let c = rng.gen_range(0..FM_CHANNEL_COUNT);
-        let clear = (c == 0 || !taken[c - 1])
-            && !taken[c]
-            && (c + 1 >= FM_CHANNEL_COUNT || !taken[c + 1]);
+        let clear =
+            (c == 0 || !taken[c - 1]) && !taken[c] && (c + 1 >= FM_CHANNEL_COUNT || !taken[c + 1]);
         if clear {
             taken[c] = true;
             placed.push(Channel(c as u8));

@@ -39,7 +39,7 @@ impl TemporalSurvey {
             ar_coefficient: 0.95,
             diurnal_db: 0.8,
             minutes: 1_440,
-            seed: 24,
+            seed: 1,
         }
     }
 
@@ -51,8 +51,8 @@ impl TemporalSurvey {
         (0..self.minutes)
             .map(|m| {
                 state = self.ar_coefficient * state + innovation * gaussian(&mut rng);
-                let diurnal = self.diurnal_db / 2.0
-                    * (std::f64::consts::TAU * m as f64 / 1_440.0).sin();
+                let diurnal =
+                    self.diurnal_db / 2.0 * (std::f64::consts::TAU * m as f64 / 1_440.0).sin();
                 Dbm(self.mean_power.0 + state + diurnal)
             })
             .collect()
@@ -112,10 +112,7 @@ mod tests {
             .iter()
             .map(|p| p.0)
             .collect();
-        let adjacent: f64 = samples
-            .windows(2)
-            .map(|w| (w[0] - w[1]).abs())
-            .sum::<f64>()
+        let adjacent: f64 = samples.windows(2).map(|w| (w[0] - w[1]).abs()).sum::<f64>()
             / (samples.len() - 1) as f64;
         let distant: f64 = samples
             .iter()

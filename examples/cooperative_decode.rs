@@ -19,8 +19,14 @@ fn main() {
     println!("Cooperative backscatter: two phones as a MIMO canceller");
     println!("=======================================================\n");
 
-    println!("{:>8} {:>10} {:>12} {:>12}", "power", "distance", "overlay", "cooperative");
-    println!("{:>8} {:>10} {:>12} {:>12}", "(dBm)", "(ft)", "PESQ", "PESQ");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12}",
+        "power", "distance", "overlay", "cooperative"
+    );
+    println!(
+        "{:>8} {:>10} {:>12} {:>12}",
+        "(dBm)", "(ft)", "PESQ", "PESQ"
+    );
     for &p in &[-20.0, -30.0, -40.0, -50.0] {
         for &d in &[4.0, 10.0] {
             let scenario = Scenario::bench(p, d, ProgramKind::RockMusic);

@@ -71,7 +71,14 @@ fn main() {
 
     let mut station = StationConfig::mono();
     station.preemphasis = false;
-    let out = sim.run(station, &host_audio, &host_audio, AUDIO_RATE, &tag_audio, false);
+    let out = sim.run_rf(
+        station,
+        &host_audio,
+        &host_audio,
+        AUDIO_RATE,
+        &tag_audio,
+        false,
+    );
 
     let audio = &out.backscatter_rx.mono;
     let fs = out.backscatter_rx.sample_rate;

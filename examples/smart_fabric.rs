@@ -43,9 +43,30 @@ fn main() {
     println!("=============================================\n");
 
     let motions = [
-        (MotionProfile::Standing, Vitals { heart_rate_bpm: 64, breathing_rate_bpm: 13, activity: 0 }),
-        (MotionProfile::Walking, Vitals { heart_rate_bpm: 92, breathing_rate_bpm: 18, activity: 105 }),
-        (MotionProfile::Running, Vitals { heart_rate_bpm: 148, breathing_rate_bpm: 32, activity: 172 }),
+        (
+            MotionProfile::Standing,
+            Vitals {
+                heart_rate_bpm: 64,
+                breathing_rate_bpm: 13,
+                activity: 0,
+            },
+        ),
+        (
+            MotionProfile::Walking,
+            Vitals {
+                heart_rate_bpm: 92,
+                breathing_rate_bpm: 18,
+                activity: 105,
+            },
+        ),
+        (
+            MotionProfile::Running,
+            Vitals {
+                heart_rate_bpm: 148,
+                breathing_rate_bpm: 32,
+                activity: 172,
+            },
+        ),
     ];
 
     for (motion, vitals) in motions {
@@ -53,7 +74,7 @@ fn main() {
         // Frame the vitals at the robust 100 bps rate (the paper's shirt
         // achieves BER < 0.005 at 100 bps even while running).
         let frame = FrameEncoder::new(FAST_AUDIO_RATE, Bitrate::Bps100).encode(&vitals.encode());
-        let rx = FastSim::new(scenario).run(&frame, false);
+        let rx = FastSim.run_payload(&scenario, &frame, false);
         let decoded = FrameDecoder::new(FAST_AUDIO_RATE, Bitrate::Bps100)
             .decode(&rx.mono)
             .and_then(|f| Vitals::decode(&f.payload));

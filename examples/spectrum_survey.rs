@@ -20,7 +20,11 @@ fn main() {
     let cdf = DriveSurvey::seattle_like().cdf();
     println!("drive survey over 69 grid cells:");
     println!("  strongest-station power: median {:.1} dBm,", cdf.median());
-    println!("  10th pct {:.1} dBm, 90th pct {:.1} dBm", cdf.quantile(0.1), cdf.quantile(0.9));
+    println!(
+        "  10th pct {:.1} dBm, 90th pct {:.1} dBm",
+        cdf.quantile(0.1),
+        cdf.quantile(0.9)
+    );
     println!("  (FM receiver sensitivity is ~-100 dBm: ambient power is plentiful)\n");
 
     // --- Fig. 4-style occupancy -----------------------------------------

@@ -1,0 +1,2 @@
+//! Empty library target; the real content of this package is its
+//! `[[example]]` binaries (see `Cargo.toml`).

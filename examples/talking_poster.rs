@@ -34,14 +34,17 @@ fn main() {
         wave.len() as f64 / FAST_AUDIO_RATE
     );
 
-    let received = FastSim::new(scenario).run(&wave, false);
+    let received = FastSim.run_payload(&scenario, &wave, false);
     match FrameDecoder::new(FAST_AUDIO_RATE, Bitrate::Bps100).decode(&received.mono) {
         Some(frame) => {
             println!(
                 "phone decoded: {:?}",
                 String::from_utf8_lossy(&frame.payload)
             );
-            println!("(CRC-16 verified; link budget: {})", received.budget.audio_snr);
+            println!(
+                "(CRC-16 verified; link budget: {})",
+                received.budget.audio_snr
+            );
         }
         None => println!("phone failed to decode the frame at this range"),
     }
@@ -57,7 +60,7 @@ fn main() {
     println!("\nrange sweep (100 bps frame success):");
     for d in [2.0, 6.0, 10.0, 14.0, 18.0] {
         let s = Scenario::bench(-37.0, d, ProgramKind::News);
-        let rx = FastSim::new(s).run(&wave, false);
+        let rx = FastSim.run_payload(&s, &wave, false);
         let ok = FrameDecoder::new(FAST_AUDIO_RATE, Bitrate::Bps100)
             .decode(&rx.mono)
             .is_some();

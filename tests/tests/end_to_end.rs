@@ -25,15 +25,12 @@ fn physical_frame_delivery() {
     let host = tone(400.0, secs, AUDIO_RATE, 0.3);
     let mut station = StationConfig::mono();
     station.preemphasis = false;
-    let out = sim.run(station, &host, &host, AUDIO_RATE, &frame_audio, false);
+    let out = sim.run_rf(station, &host, &host, AUDIO_RATE, &frame_audio, false);
     let audio = &out.backscatter_rx.mono;
     // The receiver's audio rate differs from 48 kHz; resample for the
     // frame decoder (what a phone app would do).
-    let resampled = fmbs_dsp::resample::resample_linear(
-        audio,
-        out.backscatter_rx.sample_rate,
-        AUDIO_RATE,
-    );
+    let resampled =
+        fmbs_dsp::resample::resample_linear(audio, out.backscatter_rx.sample_rate, AUDIO_RATE);
     let frame = FrameDecoder::new(AUDIO_RATE, Bitrate::Bps100)
         .decode(&resampled)
         .expect("frame must decode through the physical chain");
@@ -55,7 +52,7 @@ fn fast_and_physical_tiers_agree() {
     let silence = vec![0.0; tag_audio.len()];
     let mut station = StationConfig::mono();
     station.preemphasis = false;
-    let out = sim.run(station, &silence, &silence, AUDIO_RATE, &tag_audio, false);
+    let out = sim.run_rf(station, &silence, &silence, AUDIO_RATE, &tag_audio, false);
     let skip = out.backscatter_rx.mono.len() / 3;
     let phys_snr = fmbs_audio::metrics::tone_snr_db(
         &out.backscatter_rx.mono[skip..],
@@ -63,13 +60,19 @@ fn fast_and_physical_tiers_agree() {
         f_tone,
     );
 
-    // Fast tier.
-    let scenario = Scenario::bench(power, distance, ProgramKind::Silence);
+    // Fast tier. A single FM click landing in the short measurement
+    // window costs ~10 dB on one draw, so take the median over seeds.
     let payload = tone(f_tone, 0.4, FAST_AUDIO_RATE, 0.9);
-    let fast_out = FastSim::new(scenario).run(&payload, false);
-    let fskip = fast_out.mono.len() / 3;
-    let fast_snr =
-        fmbs_audio::metrics::tone_snr_db(&fast_out.mono[fskip..], FAST_AUDIO_RATE, f_tone);
+    let mut snrs: Vec<f64> = (1..=5u64)
+        .map(|seed| {
+            let scenario = Scenario::bench(power, distance, ProgramKind::Silence).with_seed(seed);
+            let fast_out = FastSim.run_payload(&scenario, &payload, false);
+            let fskip = fast_out.mono.len() / 3;
+            fmbs_audio::metrics::tone_snr_db(&fast_out.mono[fskip..], FAST_AUDIO_RATE, f_tone)
+        })
+        .collect();
+    snrs.sort_by(|a, b| a.total_cmp(b));
+    let fast_snr = snrs[snrs.len() / 2];
 
     // The tiers share the link budget but differ in demod details and the
     // physical tier's square-wave sampling floor; require agreement within
@@ -87,7 +90,7 @@ fn all_genres_carry_data() {
     let bits = fmbs_core::modem::encoder::test_bits(300, 5);
     for genre in ProgramKind::BROADCAST_GENRES {
         let s = Scenario::bench(-30.0, 6.0, genre);
-        let ber = FastSim::new(s).overlay_data_ber(&bits, Bitrate::Bps100);
+        let ber = FastSim.overlay_data_ber(&s, &bits, Bitrate::Bps100);
         assert!(ber < 0.02, "{genre:?}: BER {ber}");
     }
 }

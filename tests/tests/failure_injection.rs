@@ -49,7 +49,11 @@ fn coop_decoder_survives_unrelated_inputs() {
     let res = dec.decode(&a, &b);
     assert!(res.payload.iter().all(|x| x.is_finite()));
     // Unrelated inputs ⇒ tiny projection gain.
-    assert!(res.gain.abs() < 0.2, "gain {} on unrelated inputs", res.gain);
+    assert!(
+        res.gain.abs() < 0.2,
+        "gain {} on unrelated inputs",
+        res.gain
+    );
 }
 
 /// Degenerate audio inputs (silence, DC, full-scale clipping) never panic
@@ -65,7 +69,9 @@ fn degenerate_audio_is_handled() {
     ];
     for audio in &cases {
         for rate in Bitrate::ALL {
-            assert!(FrameDecoder::new(FAST_AUDIO_RATE, rate).decode(audio).is_none());
+            assert!(FrameDecoder::new(FAST_AUDIO_RATE, rate)
+                .decode(audio)
+                .is_none());
         }
         let dec = CooperativeDecoder::new(FAST_AUDIO_RATE);
         let res = dec.decode(audio, audio);
@@ -79,7 +85,7 @@ fn degenerate_audio_is_handled() {
 fn dead_link_yields_chance_level_ber() {
     let s = Scenario::bench(-60.0, 20.0, ProgramKind::RockMusic);
     let bits = fmbs_core::modem::encoder::test_bits(400, 3);
-    let ber = FastSim::new(s).overlay_data_ber(&bits, Bitrate::Kbps3_2);
+    let ber = FastSim.overlay_data_ber(&s, &bits, Bitrate::Kbps3_2);
     assert!(ber > 0.2, "dead link BER {ber} is implausibly low");
 }
 
@@ -91,7 +97,10 @@ fn oversized_payload_audio_is_normalised() {
     let loud = tone(1_000.0, 0.1, FAST_AUDIO_RATE, 25.0);
     let bb = builder.overlay_audio(&loud, FAST_AUDIO_RATE, 0.9);
     let peak = bb.iter().fold(0.0f64, |m, x| m.max(x.abs()));
-    assert!(peak <= 0.9 + 1e-9, "peak {peak} exceeds the deviation budget");
+    assert!(
+        peak <= 0.9 + 1e-9,
+        "peak {peak} exceeds the deviation budget"
+    );
 }
 
 /// NaN-free guarantee along the whole fast pipeline even at absurd
@@ -100,7 +109,7 @@ fn oversized_payload_audio_is_normalised() {
 fn extreme_geometries_stay_finite() {
     for (p, d) in [(-120.0, 500.0), (-5.0, 0.1), (-60.0, 0.5)] {
         let s = Scenario::bench(p, d, ProgramKind::News);
-        let out = FastSim::new(s).run(&vec![0.5; 4_800], false);
+        let out = FastSim.run_payload(&s, &vec![0.5; 4_800], false);
         assert!(
             out.mono.iter().all(|x| x.is_finite()),
             "non-finite audio at {p} dBm / {d} ft"

@@ -1,10 +1,12 @@
 //! Cross-crate property-based tests (proptest) on system invariants.
 
+use fmbs_audio::program::ProgramKind;
+use fmbs_channel::units::{Db, Dbm};
 use fmbs_core::modem::decoder::DataDecoder;
 use fmbs_core::modem::encoder::DataEncoder;
 use fmbs_core::modem::frame::{crc16, FrameDecoder, FrameEncoder};
 use fmbs_core::modem::{bit_error_rate, Bitrate};
-use fmbs_channel::units::{Db, Dbm};
+use fmbs_core::sim::scenario::Scenario;
 use proptest::prelude::*;
 
 const FS: f64 = 48_000.0;
@@ -87,6 +89,81 @@ proptest! {
         prop_assert!(m.total_uw() > 0.0);
         let full = IcPowerModel { f_back_hz: f, duty_cycle: 1.0, ..PAPER_OPERATING_POINT };
         prop_assert!(m.total_uw() <= full.total_uw() + 1e-12);
+    }
+
+    /// A `Scenario` — workload included — survives a serde JSON round
+    /// trip exactly (the sweep engine relies on scenarios being a
+    /// complete, serialisable description of an experiment point).
+    #[test]
+    fn scenario_serde_round_trip(
+        p in -70.0f64..-10.0,
+        d in 0.5f64..100.0,
+        seed in any::<u64>(),
+        kind in 0usize..5,
+        rx_car in any::<bool>(),
+        fabric in any::<bool>(),
+        payload_seed in any::<u64>(),
+        n_bits in 1u32..5_000,
+    ) {
+        use fmbs_core::modem::Bitrate;
+        use fmbs_core::sim::scenario::{ReceiverKind, TagKind, Workload};
+        let workload = match kind {
+            0 => Workload::silence(0.25),
+            1 => Workload::tone(12_345.5, 0.5),
+            2 => Workload::Data {
+                bitrate: Bitrate::Kbps3_2,
+                n_bits,
+                stereo_band: rx_car,
+                payload_seed,
+            },
+            3 => Workload::speech(1.5).with_payload_seed(payload_seed),
+            _ => Workload::coop_audio(2.0).with_payload_seed(payload_seed),
+        };
+        let mut s = Scenario::bench(p, d, ProgramKind::RockMusic)
+            .with_seed(seed)
+            .with_workload(workload);
+        if rx_car {
+            s.receiver = ReceiverKind::Car;
+        }
+        if fabric {
+            s.tag = TagKind::SmartFabric;
+        }
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, s);
+        // Pretty output parses identically too.
+        let pretty = serde_json::to_string_pretty(&s).unwrap();
+        let back2: Scenario = serde_json::from_str(&pretty).unwrap();
+        prop_assert_eq!(back2, s);
+    }
+
+    /// The sweep engine's parallel execution is bit-identical to serial
+    /// for any thread count and grid shape (deterministic per-point
+    /// seeding makes scheduling irrelevant).
+    #[test]
+    fn sweep_parallel_equals_serial(
+        threads in 2usize..6,
+        n_powers in 1usize..3,
+        n_dists in 1usize..3,
+        repeats in 1usize..3,
+    ) {
+        use fmbs_core::modem::Bitrate;
+        use fmbs_core::sim::fast::FastSim;
+        use fmbs_core::sim::metric::Ber;
+        use fmbs_core::sim::scenario::Workload;
+        use fmbs_core::sim::sweep::SweepBuilder;
+        let base = Scenario::bench(-40.0, 4.0, ProgramKind::News)
+            .with_workload(Workload::data(Bitrate::Kbps3_2, 60));
+        let sweep = SweepBuilder::new(base)
+            .powers_dbm((0..n_powers).map(|i| -30.0 - 10.0 * i as f64))
+            .distances_ft((0..n_dists).map(|i| 4.0 + 6.0 * i as f64))
+            .repeats(repeats);
+        let serial = sweep.run_serial(&FastSim, &Ber::default());
+        let parallel = sweep.clone().threads(threads).run(&FastSim, &Ber::default());
+        prop_assert_eq!(serial.points.len(), n_powers * n_dists * repeats);
+        for (s, p) in serial.points.iter().zip(&parallel.points) {
+            prop_assert_eq!(s.value.to_bits(), p.value.to_bits());
+        }
     }
 
     /// RDS blocks round-trip for arbitrary information words.

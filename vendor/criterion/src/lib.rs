@@ -1,0 +1,207 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! `benchmark_group` / `sample_size` / `throughput` / `bench_function` /
+//! `finish`, `Bencher::iter`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple wall-clock harness: a
+//! short warm-up, then `sample_size` timed samples whose median is
+//! reported, with elements/sec when a throughput was declared.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers work.
+pub use std::hint::black_box;
+
+/// Declared per-iteration work for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark context passed to `b.iter(...)`.
+pub struct Bencher {
+    sample: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine` for this sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed();
+        // Enough iterations to fill ~30 ms per sample, bounded for slow
+        // routines so benches stay usable offline.
+        let iters = if once.as_secs_f64() > 0.0 {
+            (0.03 / once.as_secs_f64()).clamp(1.0, 1_000_000.0) as u64
+        } else {
+            1_000
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.sample = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration work for elements/sec reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{id}", self.name);
+        self.criterion.run_one(&full, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (formatting no-op, for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, None, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                sample: Duration::ZERO,
+                iters: 1,
+            };
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.sample.as_secs_f64() / b.iters as f64);
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN sample"));
+        let median = samples.get(samples.len() / 2).copied().unwrap_or(0.0);
+        match throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                println!(
+                    "bench {id:<50} {:>12}   {:.3e} elem/s",
+                    format_time(median),
+                    n as f64 / median
+                );
+            }
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                println!(
+                    "bench {id:<50} {:>12}   {:.3e} B/s",
+                    format_time(median),
+                    n as f64 / median
+                );
+            }
+            _ => println!("bench {id:<50} {:>12}", format_time(median)),
+        }
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Bundles bench functions into a runnable group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(10));
+        let mut ran = 0u32;
+        g.bench_function("noop", |b| {
+            b.iter(|| std::hint::black_box(2 + 2));
+        });
+        g.finish();
+        ran += 1;
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel::{bounded, unbounded}` backed by
+//! `std::sync::mpsc`. The semantics this workspace relies on hold:
+//! `bounded(n)` blocks senders once `n` messages are in flight, and
+//! receivers observe disconnection when all senders drop.
+
+#![forbid(unsafe_code)]
+
+/// MPSC channels (stand-in for `crossbeam::channel`).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, TryRecvError};
+
+    /// Sending half of a bounded channel.
+    pub type Sender<T> = std::sync::mpsc::SyncSender<T>;
+
+    /// Creates a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
+    }
+
+    /// Creates an unbounded channel (sender type differs from
+    /// crossbeam's unified sender; this workspace does not mix them).
+    pub fn unbounded<T>() -> (std::sync::mpsc::Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bounded_channel_round_trips_in_order() {
+        let (tx, rx) = super::channel::bounded::<usize>(2);
+        std::thread::spawn(move || {
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<usize> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert!(rx.recv().is_err()); // sender dropped
+    }
+}

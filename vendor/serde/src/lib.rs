@@ -1,0 +1,326 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! the serialization surface the workspace needs: [`Serialize`] /
+//! [`Deserialize`] traits over an in-memory [`Value`] tree, plus derive
+//! macros (re-exported from the local `serde_derive`). `serde_json`
+//! (also vendored) renders the tree to JSON text and parses it back.
+//!
+//! The data model intentionally mirrors serde's conventions where this
+//! workspace depends on them: structs serialize to maps, newtype structs
+//! to their inner value, unit enum variants to their name, data-carrying
+//! variants to externally tagged single-entry maps.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned, self-describing value tree (the stand-in's data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer (exact u64).
+    U64(u64),
+    /// A negative integer (exact i64).
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map (field order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of a map value.
+    pub fn get_field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Map(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::new(format!("missing field `{name}`"))),
+            other => Err(Error::new(format!(
+                "expected map with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U64(u) => Some(u as f64),
+            Value::I64(i) => Some(i as f64),
+            Value::F64(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes from the value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::U64(u) => <$t>::try_from(u)
+                        .map_err(|_| Error::new("integer out of range")),
+                    Value::I64(i) => <$t>::try_from(i)
+                        .map_err(|_| Error::new("integer out of range")),
+                    Value::F64(f) if f.fract() == 0.0 && f >= 0.0 => Ok(f as $t),
+                    ref other => Err(Error::new(format!(
+                        "expected unsigned integer, found {}", other.kind()))),
+                }
+            }
+        }
+    )*}
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 { Value::U64(i as u64) } else { Value::I64(i) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::U64(u) => <$t>::try_from(u)
+                        .map_err(|_| Error::new("integer out of range")),
+                    Value::I64(i) => <$t>::try_from(i)
+                        .map_err(|_| Error::new("integer out of range")),
+                    Value::F64(f) if f.fract() == 0.0 => Ok(f as $t),
+                    ref other => Err(Error::new(format!(
+                        "expected integer, found {}", other.kind()))),
+                }
+            }
+        }
+    )*}
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::new(format!("expected number, found {}", v.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::new(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::new(format!(
+                "expected sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($n:tt $t:ident),+);)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Seq(items) => {
+                        let expected = [$($n,)+].len();
+                        if items.len() != expected {
+                            return Err(Error::new(format!(
+                                "expected tuple of {expected}, found {} items", items.len())));
+                        }
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    other => Err(Error::new(format!(
+                        "expected sequence, found {}", other.kind()))),
+                }
+            }
+        }
+    )*}
+}
+impl_serde_tuple! {
+    (0 A);
+    (0 A, 1 B);
+    (0 A, 1 B, 2 C);
+    (0 A, 1 B, 2 C, 3 D);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_of_pairs_round_trips() {
+        let v: Vec<(f64, f64)> = vec![(1.0, 2.5), (-3.0, 4.0)];
+        let val = v.to_value();
+        let back = Vec::<(f64, f64)>::from_value(&val).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn u64_is_exact() {
+        let x = u64::MAX - 3;
+        let back = u64::from_value(&x.to_value()).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn field_lookup_errors() {
+        let map = Value::Map(vec![("a".into(), Value::U64(1))]);
+        assert!(map.get_field("a").is_ok());
+        assert!(map.get_field("b").is_err());
+    }
+}
