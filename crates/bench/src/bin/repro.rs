@@ -6,6 +6,8 @@
 //! repro fig8a fig11     # a subset
 //! repro --list          # known experiment ids
 //! repro --json out/     # also write one JSON file per experiment
+//! repro --perf [file]   # measure sweep throughput, append to the
+//!                       # tracked series (default BENCH_sweep.json)
 //! ```
 //!
 //! Experiment ids resolve through [`fmbs_bench::experiments::REGISTRY`];
@@ -25,6 +27,34 @@ fn main() {
     if args.iter().any(|a| a == "--list") {
         for spec in REGISTRY {
             println!("{}", spec.id);
+        }
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--perf") {
+        let path = match args.get(i + 1) {
+            Some(p) if !p.starts_with("--") => p.as_str(),
+            _ => "BENCH_sweep.json",
+        };
+        let label = match args.iter().position(|a| a == "--label") {
+            Some(j) => args.get(j + 1).map(String::as_str).unwrap_or("unlabelled"),
+            None => "unlabelled",
+        };
+        match fmbs_bench::perf::record(path, label, 3) {
+            Ok(rec) => {
+                println!(
+                    "sweep throughput: {:.1} points/s serial, {:.1} points/s parallel \
+                     ({} points; cache {} hits / {} misses) -> {path}",
+                    rec.serial_points_per_sec,
+                    rec.parallel_points_per_sec,
+                    rec.grid_points,
+                    rec.cache.hits(),
+                    rec.cache.misses(),
+                );
+            }
+            Err(e) => {
+                eprintln!("--perf failed: {e}");
+                std::process::exit(1);
+            }
         }
         return;
     }

@@ -3,10 +3,12 @@
 //! One function per table/figure of the paper's evaluation, each returning
 //! an [`report::Experiment`] with the same series the paper plots. The
 //! `repro` binary prints/serialises them; the Criterion benches in
-//! `benches/` time representative points of each.
+//! `benches/` time representative points of each. [`perf`] persists the
+//! sweep-engine throughput as a tracked series (`repro --perf`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 pub mod report;

@@ -1,0 +1,133 @@
+//! Tracked sweep-throughput perf series.
+//!
+//! The vendored criterion stand-in prints medians but persists nothing,
+//! so `repro --perf` measures the same fixed 25-point BER grid the
+//! `sweep_throughput` criterion bench runs and **appends** the result to
+//! a JSON series file (default `BENCH_sweep.json` at the repo root).
+//! Future PRs regress against the trajectory instead of a number in a
+//! commit message.
+
+use fmbs_audio::program::ProgramKind;
+use fmbs_core::modem::Bitrate;
+use fmbs_core::sim::cache::CacheStats;
+use fmbs_core::sim::fast::FastSim;
+use fmbs_core::sim::metric::Ber;
+use fmbs_core::sim::scenario::{Scenario, Workload};
+use fmbs_core::sim::sweep::SweepBuilder;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One measurement of the perf series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfRecord {
+    /// Seconds since the Unix epoch when the measurement ran.
+    pub unix_time: u64,
+    /// A free-form label (git describe, PR number, "baseline", ...).
+    pub label: String,
+    /// Points in the measured grid.
+    pub grid_points: usize,
+    /// Serial engine throughput.
+    pub serial_points_per_sec: f64,
+    /// Parallel engine throughput (equals serial on one core).
+    pub parallel_points_per_sec: f64,
+    /// Derivation-cache counters of the serial run.
+    pub cache: CacheStats,
+}
+
+/// The persisted series (newest record last).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PerfSeries {
+    /// Measurements, oldest first.
+    pub series: Vec<PerfRecord>,
+}
+
+/// The same fixed 25-point BER grid as the `sweep_throughput` bench.
+pub fn throughput_grid() -> SweepBuilder {
+    let base = Scenario::bench(-30.0, 2.0, ProgramKind::News)
+        .with_workload(Workload::data(Bitrate::Kbps1_6, 200));
+    SweepBuilder::new(base)
+        .powers_dbm([-20.0, -30.0, -40.0, -50.0, -60.0])
+        .distances_ft([2.0, 6.0, 10.0, 14.0, 18.0])
+}
+
+/// Measures the grid (`samples` timed repetitions, best-of) and returns
+/// the record, without touching disk.
+pub fn measure(label: &str, samples: usize) -> PerfRecord {
+    let grid = throughput_grid();
+    let n_points = grid.points().len();
+    let mut serial_best = f64::INFINITY;
+    let mut parallel_best = f64::INFINITY;
+    let mut cache = CacheStats::default();
+    for _ in 0..samples.max(1) {
+        let t = Instant::now();
+        let results = grid.run_serial(&FastSim, &Ber::default());
+        serial_best = serial_best.min(t.elapsed().as_secs_f64());
+        cache = results.cache;
+        let t = Instant::now();
+        std::hint::black_box(grid.run(&FastSim, &Ber::default()));
+        parallel_best = parallel_best.min(t.elapsed().as_secs_f64());
+    }
+    PerfRecord {
+        unix_time: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        label: label.to_string(),
+        grid_points: n_points,
+        serial_points_per_sec: n_points as f64 / serial_best,
+        parallel_points_per_sec: n_points as f64 / parallel_best,
+        cache,
+    }
+}
+
+/// Measures and appends to the series file at `path` (created when
+/// missing; unreadable or unparseable files are reported, not
+/// clobbered — the trajectory is the whole point of the file).
+pub fn record(path: &str, label: &str, samples: usize) -> Result<PerfRecord, String> {
+    let mut series: PerfSeries = if std::path::Path::new(path).exists() {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read existing {path}: {e}"))?;
+        serde_json::from_str(&text)
+            .map_err(|e| format!("{path} exists but is not a perf series: {e:?}"))?
+    } else {
+        PerfSeries::default()
+    };
+    let rec = measure(label, samples);
+    series.series.push(rec.clone());
+    let json = serde_json::to_string_pretty(&series).map_err(|e| format!("serialise: {e:?}"))?;
+    std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+    Ok(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_positive_throughput() {
+        let rec = measure("test", 1);
+        assert_eq!(rec.grid_points, 25);
+        assert!(rec.serial_points_per_sec > 0.0);
+        assert!(rec.parallel_points_per_sec > 0.0);
+        // The cache must be doing real work on this grid: 25 points share
+        // one host programme and one encoded payload.
+        assert!(rec.cache.hits() > 0, "{:?}", rec.cache);
+    }
+
+    #[test]
+    fn record_appends_to_series() {
+        let dir = std::env::temp_dir().join("fmbs_perf_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_sweep.json");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+        record(path, "first", 1).unwrap();
+        record(path, "second", 1).unwrap();
+        let series: PerfSeries =
+            serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(series.series.len(), 2);
+        assert_eq!(series.series[0].label, "first");
+        assert_eq!(series.series[1].label, "second");
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,237 @@
+//! Content-addressed caching of a sweep's invariant derivations.
+//!
+//! Expanding a sweep grid multiplies scenarios that *share* expensive
+//! derivations: every point of a power×distance grid hears the same host
+//! programme (one station broadcasts, many receivers listen), and every
+//! point of a BER figure encodes the same `(bitrate, payload_seed,
+//! n_bits)` waveform. [`SweepCache`] memoises both behind their exact
+//! derivation inputs:
+//!
+//! * `(program_seed, programme, duration, rate)` → host audio
+//!   (mono, L−R), the [`Scenario::host_audio`] derivation;
+//! * the [`Workload`]'s own fields + rate → synthesised tag baseband,
+//!   the [`Workload::synthesise`] derivation.
+//!
+//! The cache is **semantically invisible**: keys capture every input of
+//! the derivation, values are exactly what the uncached path computes,
+//! and both simulation tiers read through the same lookup — so a cached
+//! sweep run is bit-identical to a cache-disabled run (property-tested
+//! in [`super::sweep`]).
+//!
+//! One `Arc<SweepCache>` is shared by all of a sweep's worker threads
+//! (the maps are mutex-guarded; hit/miss counters are atomics reported
+//! in the sweep results). Workers *install* the cache into a
+//! thread-local so the scenario derivations deep inside the simulators
+//! can consult it without threading a handle through every signature;
+//! the [`ActiveCacheGuard`] restores the previous handle on drop, which
+//! keeps nested sweeps (a metric running its own sweep) correct.
+
+use super::scenario::{Scenario, SynthesisedPayload, Workload};
+use crate::modem::Bitrate;
+use fmbs_audio::program::ProgramKind;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Host-audio cache key: every input of the
+/// [`Scenario::host_audio_uncached`] derivation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct HostKey {
+    program_seed: u64,
+    program: ProgramKind,
+    n: usize,
+    rate_bits: u64,
+}
+
+/// Payload cache key: every input of the
+/// [`Workload::synthesise_uncached`] derivation, with `f64` fields
+/// compared exactly (by bit pattern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum PayloadKey {
+    Silence {
+        secs_bits: u64,
+    },
+    Tone {
+        freq_bits: u64,
+        secs_bits: u64,
+        amp_bits: u64,
+    },
+    Data {
+        bitrate: Bitrate,
+        n_bits: u32,
+        payload_seed: u64,
+    },
+    Speech {
+        secs_bits: u64,
+        payload_seed: u64,
+    },
+    CoopAudio {
+        secs_bits: u64,
+        payload_seed: u64,
+    },
+}
+
+impl PayloadKey {
+    fn new(w: &Workload) -> Self {
+        match *w {
+            Workload::Silence { secs } => PayloadKey::Silence {
+                secs_bits: secs.to_bits(),
+            },
+            // `stereo_band` routes the waveform, it does not change it —
+            // leave it out of the key so overlay and stereo sweeps share
+            // encodings.
+            Workload::Tone {
+                freq_hz, secs, amp, ..
+            } => PayloadKey::Tone {
+                freq_bits: freq_hz.to_bits(),
+                secs_bits: secs.to_bits(),
+                amp_bits: amp.to_bits(),
+            },
+            Workload::Data {
+                bitrate,
+                n_bits,
+                payload_seed,
+                ..
+            } => PayloadKey::Data {
+                bitrate,
+                n_bits,
+                payload_seed,
+            },
+            Workload::Speech {
+                secs, payload_seed, ..
+            } => PayloadKey::Speech {
+                secs_bits: secs.to_bits(),
+                payload_seed,
+            },
+            Workload::CoopAudio { secs, payload_seed } => PayloadKey::CoopAudio {
+                secs_bits: secs.to_bits(),
+                payload_seed,
+            },
+        }
+    }
+}
+
+/// Hit/miss counters of one sweep's cache, reported in
+/// [`super::sweep::SweepResults`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Host-audio derivations served from the cache.
+    pub host_hits: usize,
+    /// Host-audio derivations computed (then inserted).
+    pub host_misses: usize,
+    /// Payload syntheses served from the cache.
+    pub payload_hits: usize,
+    /// Payload syntheses computed (then inserted).
+    pub payload_misses: usize,
+}
+
+impl CacheStats {
+    /// Total lookups served from the cache.
+    pub fn hits(&self) -> usize {
+        self.host_hits + self.payload_hits
+    }
+
+    /// Total lookups that had to compute.
+    pub fn misses(&self) -> usize {
+        self.host_misses + self.payload_misses
+    }
+}
+
+/// A cached `(mono, L−R)` host-audio derivation.
+type HostAudio = Arc<(Vec<f64>, Vec<f64>)>;
+
+/// A sweep-scoped content-addressed cache (see the module docs).
+#[derive(Debug, Default)]
+pub struct SweepCache {
+    host: Mutex<HashMap<HostKey, HostAudio>>,
+    // Keyed by (workload derivation inputs, sample-rate bits).
+    payload: Mutex<HashMap<(PayloadKey, u64), Arc<SynthesisedPayload>>>,
+    host_hits: AtomicUsize,
+    host_misses: AtomicUsize,
+    payload_hits: AtomicUsize,
+    payload_misses: AtomicUsize,
+}
+
+impl SweepCache {
+    /// Creates an empty cache behind the `Arc` the sweep workers share.
+    pub fn new() -> Arc<Self> {
+        Arc::new(SweepCache::default())
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            host_hits: self.host_hits.load(Ordering::Relaxed),
+            host_misses: self.host_misses.load(Ordering::Relaxed),
+            payload_hits: self.payload_hits.load(Ordering::Relaxed),
+            payload_misses: self.payload_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The [`Scenario::host_audio`] derivation, memoised.
+    pub fn host_audio(&self, s: &Scenario, rate: f64, n: usize) -> (Vec<f64>, Vec<f64>) {
+        let key = HostKey {
+            program_seed: s.program_seed,
+            program: s.program,
+            n,
+            rate_bits: rate.to_bits(),
+        };
+        if let Some(hit) = self.host.lock().get(&key).cloned() {
+            self.host_hits.fetch_add(1, Ordering::Relaxed);
+            return (*hit).clone();
+        }
+        // Compute outside the lock; a racing duplicate insert stores the
+        // identical (deterministic) value, so last-write-wins is fine.
+        self.host_misses.fetch_add(1, Ordering::Relaxed);
+        let computed = s.host_audio_uncached(rate, n);
+        self.host.lock().insert(key, Arc::new(computed.clone()));
+        computed
+    }
+
+    /// The [`Workload::synthesise`] derivation, memoised.
+    pub fn payload(&self, w: &Workload, rate: f64) -> SynthesisedPayload {
+        let key = (PayloadKey::new(w), rate.to_bits());
+        if let Some(hit) = self.payload.lock().get(&key).cloned() {
+            self.payload_hits.fetch_add(1, Ordering::Relaxed);
+            return (*hit).clone();
+        }
+        // Compute outside the lock; a racing duplicate insert stores the
+        // identical (deterministic) value, so last-write-wins is fine.
+        self.payload_misses.fetch_add(1, Ordering::Relaxed);
+        let computed = w.synthesise_uncached(rate);
+        self.payload.lock().insert(key, Arc::new(computed.clone()));
+        computed
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Arc<SweepCache>>> = const { RefCell::new(None) };
+}
+
+/// The cache installed on this thread, if any.
+pub fn active() -> Option<Arc<SweepCache>> {
+    ACTIVE.with(|a| a.borrow().clone())
+}
+
+/// Installs `cache` as this thread's active cache until the returned
+/// guard drops (restoring whatever was active before — nested sweeps
+/// each see their own cache).
+pub fn install(cache: Option<Arc<SweepCache>>) -> ActiveCacheGuard {
+    let prev = ACTIVE.with(|a| a.replace(cache));
+    ActiveCacheGuard { prev }
+}
+
+/// Restores the previously active cache on drop (see [`install`]).
+pub struct ActiveCacheGuard {
+    prev: Option<Arc<SweepCache>>,
+}
+
+impl Drop for ActiveCacheGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        ACTIVE.with(|a| *a.borrow_mut() = prev);
+    }
+}

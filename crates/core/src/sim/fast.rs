@@ -15,6 +15,13 @@
 //! capture roll-off (phone) or cabin acoustics (car). The physical
 //! simulator validates this identity; integration tests in `tests/` assert
 //! the two tiers agree.
+//!
+//! The engine is block-processed for sweep throughput: noise, FM clicks
+//! and fading gains are generated into contiguous per-block buffers from
+//! purpose-salted RNG streams (one per process), the combining loops are
+//! branch-free slice walks, and the capture filter runs as overlap-save
+//! FFT convolution — see the [`super`] module docs for how this keeps
+//! parallel sweeps bit-identical to serial ones.
 
 use super::metric::STEREO_PAYLOAD_GAIN;
 use super::scenario::{ReceiverKind, Scenario};
@@ -104,12 +111,26 @@ impl FastSim {
         // shared fading process.
         let mut fader = s.fader(FAST_AUDIO_RATE);
         let block = (FAST_AUDIO_RATE * 0.01) as usize; // 10 ms blocks
-        let mut rng = StdRng::seed_from_u64(s.seed.wrapping_mul(0x9E37).wrapping_add(7));
+
+        // One purpose-salted RNG stream per noise process. Keeping the
+        // streams independent is what lets each buffer be filled a block
+        // at a time without perturbing the other processes' draw
+        // sequences — the per-point stream layout depends only on the
+        // scenario seed, never on scheduling, so parallel == serial
+        // bit-identity is preserved.
+        let mut rng_click = StdRng::seed_from_u64(s.seed.wrapping_mul(0x9E37).wrapping_add(7));
+        let mut rng_mono = StdRng::seed_from_u64(s.seed.wrapping_mul(0x9E37).wrapping_add(0x6D0));
+        let mut rng_stereo = StdRng::seed_from_u64(s.seed.wrapping_mul(0x9E37).wrapping_add(0x57E));
 
         let pilot_detected = budget.backscatter_at_rx.0 > PILOT_DETECT_RSSI_DBM;
 
-        let mut mono = Vec::with_capacity(n);
-        let mut difference = Vec::with_capacity(n);
+        // Contiguous per-block output/scratch buffers: the combining
+        // loops below are branch-free slice walks the compiler can
+        // autovectorise; no per-sample push or bounds-checked get.
+        let mut mono = vec![0.0f64; n];
+        let mut difference = vec![0.0f64; n];
+        let mut clicks = vec![0.0f64; n];
+        let mut gauss = vec![0.0f64; block.max(1)];
         // Click state: a decaying impulse excited at Poisson arrivals.
         let mut click_level = 0.0f64;
         let mut i = 0usize;
@@ -133,46 +154,80 @@ impl FastSim {
             let click_rate =
                 CLICK_RATE_SCALE * (-(cnr_block - CLICK_RATE_KNEE_DB) / CLICK_RATE_DECAY_DB).exp();
             let p_click = (click_rate / FAST_AUDIO_RATE).min(0.5);
-            for k in 0..len {
-                let idx = i + k;
-                let hm = host_mono.get(idx).copied().unwrap_or(0.0);
-                let hd = host_diff.get(idx).copied().unwrap_or(0.0);
-                let p = payload[idx];
-                // Excite/decay the click impulse.
-                if rng.gen::<f64>() < p_click {
-                    let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
-                    click_level += sign * (2.0 + 1.2 * rng.gen::<f64>());
+
+            // 1. Click impulse train (sequential decay recurrence, but
+            //    one multiply-add per sample).
+            for c in clicks[i..i + len].iter_mut() {
+                if rng_click.gen::<f64>() < p_click {
+                    let sign = if rng_click.gen::<bool>() { 1.0 } else { -1.0 };
+                    click_level += sign * (2.0 + 1.2 * rng_click.gen::<f64>());
                 }
                 click_level *= 0.82; // ~12-sample decay
-                let n_mono = noise_rms * gaussian(&mut rng) + click_level;
+                *c = click_level;
+            }
+
+            // 2. Mono channel: gaussian block + branch-free combine.
+            for g in gauss[..len].iter_mut() {
+                *g = gaussian(&mut rng_mono);
+            }
+            {
+                let out = &mut mono[i..i + len];
+                let hm = &host_mono[i..i + len];
+                let cl = &clicks[i..i + len];
+                let gs = &gauss[..len];
                 if payload_in_stereo_band {
-                    mono.push(sig_gain * hm + n_mono);
-                    if pilot_detected {
-                        let n_st = stereo_noise_rms * gaussian(&mut rng) + click_level;
-                        difference.push(sig_gain * (hd + STEREO_PAYLOAD_GAIN * p) + n_st);
-                    } else {
-                        difference.push(0.0);
+                    for k in 0..len {
+                        out[k] = sig_gain * hm[k] + noise_rms * gs[k] + cl[k];
                     }
                 } else {
-                    mono.push(sig_gain * (hm + p) + n_mono);
-                    if pilot_detected {
-                        let n_st = stereo_noise_rms * gaussian(&mut rng) + click_level;
-                        difference.push(sig_gain * hd + n_st);
-                    } else {
-                        difference.push(0.0);
+                    let p = &payload[i..i + len];
+                    for k in 0..len {
+                        out[k] = sig_gain * (hm[k] + p[k]) + noise_rms * gs[k] + cl[k];
+                    }
+                }
+            }
+
+            // 3. Difference channel — stays all-zero without a pilot
+            //    (the receiver never leaves mono mode).
+            if pilot_detected {
+                for g in gauss[..len].iter_mut() {
+                    *g = gaussian(&mut rng_stereo);
+                }
+                let out = &mut difference[i..i + len];
+                let hd = &host_diff[i..i + len];
+                let cl = &clicks[i..i + len];
+                let gs = &gauss[..len];
+                if payload_in_stereo_band {
+                    let p = &payload[i..i + len];
+                    for k in 0..len {
+                        out[k] = sig_gain * (hd[k] + STEREO_PAYLOAD_GAIN * p[k])
+                            + stereo_noise_rms * gs[k]
+                            + cl[k];
+                    }
+                } else {
+                    for k in 0..len {
+                        out[k] = sig_gain * hd[k] + stereo_noise_rms * gs[k] + cl[k];
                     }
                 }
             }
             i += len;
         }
 
-        // Receiver audio chain.
+        // Receiver audio chain. The capture low-pass is designed once and
+        // shared by both channels (same taps; `filter_aligned` resets the
+        // delay line per call and routes through FFT convolution when the
+        // tap-count × length heuristic favours it). An undetected pilot
+        // leaves `difference` all-zero, and a linear filter of zeros is
+        // zeros — skip it.
         let (mono, difference) = match s.receiver {
             ReceiverKind::Smartphone => {
                 let mut lpf = phone_capture_filter();
                 let m = lpf.filter_aligned(&mono);
-                let mut lpf2 = phone_capture_filter();
-                let d = lpf2.filter_aligned(&difference);
+                let d = if pilot_detected {
+                    lpf.filter_aligned(&difference)
+                } else {
+                    difference
+                };
                 (m, d)
             }
             ReceiverKind::Car => {

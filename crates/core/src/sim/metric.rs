@@ -132,7 +132,15 @@ impl Metric for BerMrc {
         let mut tx_bits = Vec::new();
         let mut sample_rate = 0.0;
         for i in 0..self.n {
-            let rep = scenario.with_seed(scenario.seed.wrapping_add(i as u64 * 7919));
+            // Shift seed *and* programme seed per repetition (the tag
+            // retransmits at a later time, so the receiver hears fresh
+            // noise, fading and host audio) — but preserve the incoming
+            // `program_seed` for repetition 0, so MRC-of-one matches a
+            // plain run exactly and a sweep's shared programme (and its
+            // cache entries) survive intact.
+            let mut rep = *scenario;
+            rep.seed = scenario.seed.wrapping_add(i as u64 * 7919);
+            rep.program_seed = scenario.program_seed.wrapping_add(i as u64 * 7919);
             let out = sim.run(&rep);
             if stereo && !out.pilot_detected {
                 return self.pilot_lost_ber;
@@ -407,6 +415,18 @@ mod tests {
     #[test]
     fn mrc_of_one_matches_plain_ber() {
         let s = data_scenario(-50.0, 10.0);
+        let plain = Ber::default().evaluate(&FastSim, &s);
+        let mrc1 = BerMrc::new(1).evaluate(&FastSim, &s);
+        assert!((plain - mrc1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mrc_of_one_matches_plain_ber_under_sweep_seeding() {
+        // Inside a sweep, program_seed is decoupled from seed (one shared
+        // programme per repetition); MRC's repetition 0 must preserve it
+        // so MRC-of-one stays exactly a plain run.
+        let mut s = data_scenario(-50.0, 10.0);
+        s.program_seed = 0x0BAD_CAFE; // ≠ s.seed, as the sweep engine sets it
         let plain = Ber::default().evaluate(&FastSim, &s);
         let mrc1 = BerMrc::new(1).evaluate(&FastSim, &s);
         assert!((plain - mrc1).abs() < 1e-12);

@@ -15,6 +15,10 @@
 //! * [`sweep`] — the declarative sweep engine: typed axes expand into a
 //!   scenario grid executed by parallel workers with deterministic
 //!   per-point seeding.
+//! * [`cache`] — the sweep engine's content-addressed cache: host-audio
+//!   and payload derivations are memoised behind their exact derivation
+//!   inputs and shared across worker threads, so grid points stop
+//!   regenerating identical programmes and waveforms.
 //! * [`stream`] — a bounded producer/consumer pipeline for running large
 //!   parameter sweeps with constant memory.
 //!
@@ -22,7 +26,31 @@
 //! simulators is built on: a scenario fully describes an experiment
 //! point (payload synthesis included), and `run` maps it to a shared
 //! [`SimOutput`].
+//!
+//! # Throughput design
+//!
+//! Three layers keep the sweep hot path fast without giving up
+//! determinism:
+//!
+//! 1. **Block processing** — [`fast::FastSim::run_payload`] generates
+//!    noise, FM clicks and fading gains into contiguous per-block
+//!    buffers from purpose-salted RNG streams (one stream per noise
+//!    process), so the combining loops are branch-free slice walks and
+//!    the per-point draw sequences depend only on the scenario seed —
+//!    parallel and serial sweeps stay bit-identical.
+//! 2. **FFT convolution** — long FIRs (the 301-tap capture filter, the
+//!    physical tier's channel selector) route through streaming
+//!    overlap-save convolution when `fmbs_dsp::fftconv`'s tap-count ×
+//!    length heuristic says the transform is cheaper.
+//! 3. **Content-addressed caching** — [`sweep::SweepBuilder`] shares one
+//!    [`cache::SweepCache`] across its workers; identical host
+//!    programmes and payload waveforms are derived once per sweep. The
+//!    per-point seeding keeps this deterministic: a point's *noise* seed
+//!    is a coordinate hash, while its *programme* seed is shared per
+//!    repetition, so cached and uncached runs produce the same figures
+//!    bit for bit.
 
+pub mod cache;
 pub mod fast;
 pub mod metric;
 pub mod physical;

@@ -206,7 +206,20 @@ impl Workload {
     }
 
     /// Synthesises the tag baseband at `sample_rate`.
+    ///
+    /// When a sweep's content-addressed cache is active on this thread
+    /// (see [`super::cache`]), the waveform is looked up by the
+    /// workload's own derivation inputs — e.g. `(bitrate, payload_seed,
+    /// n_bits)` for data — before being synthesised.
     pub fn synthesise(&self, sample_rate: f64) -> SynthesisedPayload {
+        match super::cache::active() {
+            Some(cache) => cache.payload(self, sample_rate),
+            None => self.synthesise_uncached(sample_rate),
+        }
+    }
+
+    /// The cache-bypassing synthesis behind [`Self::synthesise`].
+    pub fn synthesise_uncached(&self, sample_rate: f64) -> SynthesisedPayload {
         match *self {
             Workload::Silence { secs } => {
                 let wave = vec![0.0; (sample_rate * secs) as usize];
@@ -292,8 +305,15 @@ pub struct Scenario {
     pub program: ProgramKind,
     /// Wearer motion (fabric experiments; `Standing` ≈ static poster).
     pub motion: MotionProfile,
-    /// RNG seed (noise, programme generation, fading).
+    /// RNG seed (noise, motion fading).
     pub seed: u64,
+    /// Seed of the host programme realisation. Constructors (and
+    /// [`Scenario::with_seed`]) tie it to `seed`; the sweep engine sets
+    /// one shared programme seed per repetition across a whole grid —
+    /// the station broadcasts one programme no matter where the receiver
+    /// stands — which is what makes the sweep cache's host-audio entries
+    /// shareable across grid points.
+    pub program_seed: u64,
     /// What the tag backscatters.
     pub workload: Workload,
 }
@@ -309,13 +329,17 @@ impl Scenario {
             program,
             motion: MotionProfile::Standing,
             seed: 0x5EED,
+            program_seed: 0x5EED,
             workload: Workload::silence(Workload::DEFAULT_SECS),
         }
     }
 
-    /// With a different seed (for repetition averaging).
+    /// With a different seed (for repetition averaging). Re-ties the
+    /// programme seed to `seed`, so a reseeded repetition hears fresh
+    /// noise, fading *and* host audio.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self.program_seed = seed;
         self
     }
 
@@ -344,11 +368,25 @@ impl Scenario {
     }
 
     /// The host programme audio both simulation tiers derive from this
-    /// scenario: generated from the scenario seed, loudness-processed to
+    /// scenario: generated from the programme seed, loudness-processed to
     /// the broadcast level, `n` samples long. Returns `(mono, L−R)`.
     /// Centralised here so the tiers cannot drift apart.
+    ///
+    /// When a sweep's content-addressed cache is active on this thread
+    /// (see [`super::cache`]), the derivation is looked up by
+    /// `(program_seed, programme, duration)` first — semantically
+    /// invisible, because the cached value is exactly what
+    /// [`Self::host_audio_uncached`] would compute.
     pub fn host_audio(&self, rate: f64, n: usize) -> (Vec<f64>, Vec<f64>) {
-        let host = fmbs_audio::program::ProgramGenerator::new(rate, self.seed ^ 0xA5)
+        match super::cache::active() {
+            Some(cache) => cache.host_audio(self, rate, n),
+            None => self.host_audio_uncached(rate, n),
+        }
+    }
+
+    /// The cache-bypassing derivation behind [`Self::host_audio`].
+    pub fn host_audio_uncached(&self, rate: f64, n: usize) -> (Vec<f64>, Vec<f64>) {
+        let host = fmbs_audio::program::ProgramGenerator::new(rate, self.program_seed ^ 0xA5)
             .generate(self.program, n.max(1) as f64 / rate);
         let mut mono = host.mono();
         let mut diff = host.difference();

@@ -11,6 +11,7 @@
 //! results are bit-identical whether the grid runs serially, in
 //! parallel, or in any scheduling order.
 
+use super::cache::{self, CacheStats, SweepCache};
 use super::metric::Metric;
 use super::scenario::Scenario;
 use super::Simulator;
@@ -20,6 +21,7 @@ use fmbs_audio::program::ProgramKind;
 use fmbs_channel::fading::MotionProfile;
 use fmbs_channel::units::Dbm;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Grid coordinates of one sweep point (indices into the declared axes;
 /// 0 for axes left at the base scenario's value).
@@ -71,6 +73,9 @@ pub struct SweepResults {
     /// Evaluated points, in the same order [`SweepBuilder::points`]
     /// expands them.
     pub points: Vec<SweepValue>,
+    /// Hit/miss counters of the sweep's content-addressed cache (all
+    /// zeros when the cache was disabled).
+    pub cache: CacheStats,
 }
 
 impl SweepResults {
@@ -166,6 +171,7 @@ pub struct SweepBuilder {
     tone_freqs_hz: Vec<f64>,
     repeats: usize,
     threads: Option<usize>,
+    cache: bool,
 }
 
 /// SplitMix64 — the per-point seed derivation.
@@ -180,6 +186,10 @@ fn splitmix64(mut z: u64) -> u64 {
 /// axis index separately (rather than a linear point index) keeps a
 /// coordinate's seed stable when *other* axes grow — densifying a grid
 /// does not perturb the points it shares with the coarse one.
+fn program_seed(base: u64, rep: usize) -> u64 {
+    splitmix64(splitmix64(base ^ 0x484F_5354) ^ rep as u64) // "HOST"
+}
+
 fn point_seed(base: u64, c: &Coords) -> u64 {
     let mut h = splitmix64(base);
     let coords = [
@@ -215,6 +225,7 @@ impl SweepBuilder {
             tone_freqs_hz: Vec::new(),
             repeats: 1,
             threads: None,
+            cache: true,
         }
     }
 
@@ -281,6 +292,15 @@ impl SweepBuilder {
     /// Caps the worker count (default: available parallelism).
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = Some(n.max(1));
+        self
+    }
+
+    /// Enables or disables the content-addressed derivation cache
+    /// (default: enabled). The cache is semantically invisible — results
+    /// are bit-identical either way — so disabling it is only useful for
+    /// verifying exactly that, or bounding memory on enormous grids.
+    pub fn cache(mut self, enabled: bool) -> Self {
+        self.cache = enabled;
         self
     }
 
@@ -358,6 +378,15 @@ impl SweepBuilder {
                                             // the grid coordinates — never
                                             // of execution order.
                                             s.seed = point_seed(self.base.seed, &coords);
+                                            // One host programme per
+                                            // repetition, shared across
+                                            // the whole grid: the station
+                                            // broadcasts one programme no
+                                            // matter where the receiver
+                                            // stands, and shared
+                                            // derivation inputs are what
+                                            // make the sweep cache hit.
+                                            s.program_seed = program_seed(self.base.seed, rep);
                                             s.workload = s.workload.reseed(rep as u64);
                                             out.push(SweepPoint {
                                                 scenario: s,
@@ -379,15 +408,19 @@ impl SweepBuilder {
     /// parallel engine must match it bit for bit).
     pub fn run_serial(&self, sim: &dyn Simulator, metric: &dyn Metric) -> SweepResults {
         let points = self.points();
+        let shared = self.cache.then(SweepCache::new);
+        let _guard = cache::install(shared.clone());
+        let points = points
+            .iter()
+            .map(|p| SweepValue {
+                scenario: p.scenario,
+                coords: p.coords,
+                value: metric.evaluate(sim, &p.scenario),
+            })
+            .collect();
         SweepResults {
-            points: points
-                .iter()
-                .map(|p| SweepValue {
-                    scenario: p.scenario,
-                    coords: p.coords,
-                    value: metric.evaluate(sim, &p.scenario),
-                })
-                .collect(),
+            points,
+            cache: shared.map(|c| c.stats()).unwrap_or_default(),
         }
     }
 
@@ -414,6 +447,7 @@ impl SweepBuilder {
             return self.run_serial(sim, metric);
         }
 
+        let shared: Option<Arc<SweepCache>> = self.cache.then(SweepCache::new);
         let cursor = AtomicUsize::new(0);
         let (tx, rx) = channel::bounded::<(usize, f64)>(points.len());
         let mut values: Vec<Option<f64>> = vec![None; points.len()];
@@ -422,11 +456,17 @@ impl SweepBuilder {
                 let tx = tx.clone();
                 let cursor = &cursor;
                 let points = &points;
-                scope.spawn(move || loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(p) = points.get(i) else { break };
-                    if tx.send((i, metric.evaluate(sim, &p.scenario))).is_err() {
-                        break; // collector gone
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    // Every worker reads through the one shared cache;
+                    // the guard keeps the install scoped to this worker.
+                    let _guard = cache::install(shared);
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(p) = points.get(i) else { break };
+                        if tx.send((i, metric.evaluate(sim, &p.scenario))).is_err() {
+                            break; // collector gone
+                        }
                     }
                 });
             }
@@ -447,6 +487,7 @@ impl SweepBuilder {
                     value: v.expect("every sweep point evaluated"),
                 })
                 .collect(),
+            cache: shared.map(|c| c.stats()).unwrap_or_default(),
         }
     }
 }
@@ -569,6 +610,52 @@ mod tests {
                 p.value
             );
         }
+    }
+
+    #[test]
+    fn cache_is_semantically_invisible() {
+        // A cached run must be bit-identical to a cache-disabled run —
+        // the cache keys capture every derivation input — and a grid
+        // whose points share (program_seed, programme) and payload
+        // derivations must actually hit.
+        let sweep = ber_grid();
+        let cached = sweep.run_serial(&FastSim, &Ber::default());
+        let uncached = sweep
+            .clone()
+            .cache(false)
+            .run_serial(&FastSim, &Ber::default());
+        assert_eq!(cached.points.len(), uncached.points.len());
+        for (c, u) in cached.points.iter().zip(&uncached.points) {
+            assert_eq!(c.coords, u.coords);
+            assert!(
+                c.value.to_bits() == u.value.to_bits(),
+                "point {:?}: cached {} vs uncached {}",
+                c.coords,
+                c.value,
+                u.value
+            );
+        }
+        // 2 powers × 3 distances share one host programme and one payload
+        // per repetition: first point of each repeat misses, the rest hit.
+        assert!(cached.cache.host_hits > 0, "{:?}", cached.cache);
+        assert!(cached.cache.payload_hits > 0, "{:?}", cached.cache);
+        assert_eq!(cached.cache.host_misses, 2);
+        assert_eq!(cached.cache.payload_misses, 2);
+        assert_eq!(uncached.cache, Default::default());
+    }
+
+    #[test]
+    fn grid_points_share_program_seed_within_repeat() {
+        let pts = ber_grid().points();
+        let rep0: Vec<_> = pts.iter().filter(|p| p.coords.repeat == 0).collect();
+        let rep1: Vec<_> = pts.iter().filter(|p| p.coords.repeat == 1).collect();
+        assert!(rep0
+            .iter()
+            .all(|p| p.scenario.program_seed == rep0[0].scenario.program_seed));
+        assert_ne!(
+            rep0[0].scenario.program_seed, rep1[0].scenario.program_seed,
+            "repeats must refresh the programme realisation"
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! preferring simplicity over cleverness.
 
 use crate::complex::Complex;
+use crate::fftconv::{fft_convolution_wins, OverlapSave, OverlapSaveComplex};
 use crate::windows::Window;
 
 /// Specification for a windowed-sinc FIR design.
@@ -97,6 +98,9 @@ pub struct Fir {
     // Circular delay line.
     state: Vec<f64>,
     pos: usize,
+    // Lazily planned overlap-save engine (taps are immutable, so the
+    // plan — twiddles + taps spectrum — is reusable across calls).
+    fft_engine: Option<OverlapSave>,
 }
 
 impl Fir {
@@ -108,6 +112,7 @@ impl Fir {
             taps,
             state: vec![0.0; n],
             pos: 0,
+            fft_engine: None,
         }
     }
 
@@ -145,7 +150,23 @@ impl Fir {
     /// first `group_delay()` outputs and flushing with zeros, so the output
     /// aligns with the input. Resets state first: this is a whole-signal
     /// (non-streaming) operation.
+    ///
+    /// Long filters over long buffers are computed by overlap-save FFT
+    /// convolution (see [`crate::fftconv`]) when
+    /// [`fft_convolution_wins`] says the transform is cheaper; the two
+    /// forms agree to within floating-point rounding (≲ 1e-12), far
+    /// inside every consumer's tolerances.
     pub fn filter_aligned(&mut self, input: &[f64]) -> Vec<f64> {
+        if fft_convolution_wins(self.taps.len(), input.len()) {
+            self.reset();
+            return self.filter_aligned_fft(input);
+        }
+        self.filter_aligned_direct(input)
+    }
+
+    /// The direct-form path of [`Self::filter_aligned`], kept callable so
+    /// property tests can pin the FFT path against it.
+    pub fn filter_aligned_direct(&mut self, input: &[f64]) -> Vec<f64> {
         self.reset();
         let d = self.group_delay();
         let mut out = Vec::with_capacity(input.len());
@@ -159,6 +180,22 @@ impl Fir {
             out.push(self.push(0.0));
         }
         out
+    }
+
+    fn filter_aligned_fft(&mut self, input: &[f64]) -> Vec<f64> {
+        let d = (self.taps.len() - 1) / 2;
+        let taps = &self.taps;
+        let eng = self
+            .fft_engine
+            .get_or_insert_with(|| OverlapSave::new(taps));
+        eng.reset();
+        // Streaming conv output y[k] for k in 0..len, then flush the
+        // group delay with zeros; dropping the first d outputs aligns
+        // the result with the input exactly like the direct path.
+        let mut y = eng.process(input);
+        y.extend(eng.process(&vec![0.0; d]));
+        y.drain(..d);
+        y
     }
 
     /// Clears the delay line.
@@ -223,9 +260,59 @@ impl ComplexFir {
         acc
     }
 
+    /// Pushes one IQ sample into the delay line without computing an
+    /// output — the cheap half of a decimating filter.
+    #[inline]
+    pub fn push_silent(&mut self, x: Complex) {
+        self.state[self.pos] = x;
+        self.pos = (self.pos + 1) % self.taps.len();
+    }
+
+    /// Computes the filter output for the sample most recently pushed.
+    #[inline]
+    fn output_at_pos(&self) -> Complex {
+        let n = self.taps.len();
+        let mut acc = Complex::ZERO;
+        let mut idx = if self.pos == 0 { n - 1 } else { self.pos - 1 };
+        for &t in &self.taps {
+            acc += self.state[idx].scale(t);
+            idx = if idx == 0 { n - 1 } else { idx - 1 };
+        }
+        acc
+    }
+
     /// Filters a whole IQ buffer (streaming).
     pub fn process(&mut self, input: &[Complex]) -> Vec<Complex> {
         input.iter().map(|&x| self.push(x)).collect()
+    }
+
+    /// Filters a buffer keeping only every `decim`-th output (the first
+    /// sample's output included) — the channel-select-and-decimate step
+    /// of the FM receiver. Equivalent to filtering everything and taking
+    /// `output[k·decim]`, but skips the discarded multiply-accumulates;
+    /// long filters are computed by overlap-save FFT convolution instead
+    /// when [`fft_convolution_wins`] says so — judged on the *effective*
+    /// per-input-sample cost `taps / decim`, since the direct form only
+    /// pays taps MACs at kept outputs while the FFT form always computes
+    /// every output.
+    ///
+    /// Resets state first: whole-signal operation.
+    pub fn process_decimated(&mut self, input: &[Complex], decim: usize) -> Vec<Complex> {
+        assert!(decim >= 1, "decimation factor must be at least 1");
+        self.reset();
+        if fft_convolution_wins(self.taps.len().div_ceil(decim), input.len()) {
+            let mut eng = OverlapSaveComplex::new(&self.taps);
+            let full = eng.process(input);
+            return full.into_iter().step_by(decim).collect();
+        }
+        let mut out = Vec::with_capacity(input.len() / decim + 1);
+        for (i, &z) in input.iter().enumerate() {
+            self.push_silent(z);
+            if i % decim == 0 {
+                out.push(self.output_at_pos());
+            }
+        }
+        out
     }
 
     /// Clears the delay line.
@@ -359,6 +446,46 @@ mod tests {
         for (r, c) in re_out.iter().zip(cx_out.iter()) {
             assert!((r - c.re).abs() < 1e-12);
             assert!(c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn decimated_process_matches_full_then_stride() {
+        let design = FirDesign {
+            taps: 127,
+            window: Window::Hamming,
+        }
+        .lowpass(1_000_000.0, 130_000.0);
+        let sig: Vec<Complex> = (0..4_000)
+            .map(|i| Complex::from_angle(TAU * 0.03 * i as f64).scale(0.7))
+            .collect();
+        for decim in [1usize, 4, 10] {
+            let mut full = ComplexFir::from_fir(&design);
+            let reference: Vec<Complex> = full.process(&sig).into_iter().step_by(decim).collect();
+            let mut dec = ComplexFir::from_fir(&design);
+            let got = dec.process_decimated(&sig, decim);
+            assert_eq!(reference.len(), got.len());
+            for (a, b) in reference.iter().zip(&got) {
+                assert!((*a - *b).abs() < 1e-9, "decim {decim}: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_fft_path_matches_direct_path() {
+        // 301 taps × 6000 samples crosses the FFT heuristic; the two
+        // forms must agree well inside 1e-9.
+        let mut fir = FirDesign {
+            taps: 301,
+            window: Window::Blackman,
+        }
+        .lowpass(48_000.0, 13_500.0);
+        let sig = tone(48_000.0, 3_000.0, 6_000);
+        let fft = fir.filter_aligned(&sig);
+        let direct = fir.filter_aligned_direct(&sig);
+        assert_eq!(fft.len(), direct.len());
+        for (a, b) in fft.iter().zip(&direct) {
+            assert!((a - b).abs() < 1e-10);
         }
     }
 

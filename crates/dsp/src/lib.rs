@@ -11,6 +11,9 @@
 //!   non-coherent FSK receivers in `fmbs-core`.
 //! * [`fir`] / [`iir`] — windowed-sinc FIR design and RBJ biquads, plus the
 //!   FM de-emphasis network.
+//! * [`fftconv`] — streaming overlap-save FFT convolution; long FIRs route
+//!   through it automatically via [`fir::Fir::filter_aligned`]'s
+//!   direct-vs-FFT crossover heuristic.
 //! * [`osc`] — numerically-controlled oscillators, including the square-wave
 //!   FM subcarrier oscillator that models the backscatter tag's DCO.
 //! * [`resample`] — linear and integer-factor polyphase resamplers (the
@@ -34,6 +37,7 @@
 pub mod complex;
 pub mod corr;
 pub mod fft;
+pub mod fftconv;
 pub mod fir;
 pub mod goertzel;
 pub mod iir;
@@ -50,6 +54,7 @@ pub mod prelude {
     pub use crate::complex::Complex;
     pub use crate::corr::{cross_correlate, find_lag};
     pub use crate::fft::Fft;
+    pub use crate::fftconv::{OverlapSave, OverlapSaveComplex};
     pub use crate::fir::{Fir, FirDesign};
     pub use crate::goertzel::goertzel_power;
     pub use crate::iir::Biquad;

@@ -149,19 +149,15 @@ impl FmReceiver {
 
         // 2. Channel selection: low-pass to ±130 kHz (Carson bandwidth of
         //    a full multiplex is 266 kHz) and decimate to the MPX rate.
+        //    `process_decimated` skips the discarded outputs and switches
+        //    to overlap-save FFT convolution on long captures.
         let chan_fir = FirDesign {
             taps: 127,
             window: Window::Blackman,
         }
         .lowpass(self.cfg.iq_rate, 130_000.0);
         let mut chan = ComplexFir::from_fir(&chan_fir);
-        let mut baseband_iq = Vec::with_capacity(mixed.len() / self.mpx_decim + 1);
-        for (i, &z) in mixed.iter().enumerate() {
-            let y = chan.push(z);
-            if i % self.mpx_decim == 0 {
-                baseband_iq.push(y);
-            }
-        }
+        let baseband_iq = chan.process_decimated(&mixed, self.mpx_decim);
 
         // 3. Limiter + discriminator → MPX.
         let mut disc = Discriminator::new(self.mpx_rate, self.cfg.deviation_hz);

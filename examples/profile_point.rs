@@ -1,0 +1,60 @@
+//! Decomposes the cost of one sweep point — the unit of work behind
+//! every swept figure — so perf PRs can see where the milliseconds live
+//! before and after a change.
+//!
+//! ```sh
+//! cargo run --release --example profile_point
+//! ```
+
+use fmbs_audio::program::ProgramKind;
+use fmbs_core::modem::decoder::DataDecoder;
+use fmbs_core::modem::encoder::DataEncoder;
+use fmbs_core::modem::Bitrate;
+use fmbs_core::sim::fast::{phone_capture_filter, FastSim, FAST_AUDIO_RATE};
+use fmbs_core::sim::physical::{PhysicalSim, PhysicalSimConfig};
+use fmbs_core::sim::scenario::{Scenario, Workload};
+use fmbs_core::sim::Simulator;
+use std::time::Instant;
+
+fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let t = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    t.elapsed().as_secs_f64() * 1e3 / reps as f64
+}
+
+fn main() {
+    let s = Scenario::bench(-30.0, 2.0, ProgramKind::News)
+        .with_workload(Workload::data(Bitrate::Kbps1_6, 200));
+    let synth = s.workload.synthesise(FAST_AUDIO_RATE);
+    let n = synth.wave.len();
+    println!("one sweep point, payload {n} samples:");
+
+    let reps = 50;
+    let ms = time_ms(reps, || s.host_audio(FAST_AUDIO_RATE, n));
+    println!("  host_audio      {ms:>8.3} ms");
+    let ms = time_ms(reps, || s.workload.synthesise(FAST_AUDIO_RATE));
+    println!("  synthesise      {ms:>8.3} ms");
+    let ms = time_ms(reps, || {
+        DataEncoder::new(FAST_AUDIO_RATE, Bitrate::Kbps1_6).encode(&synth.bits)
+    });
+    println!("  encode          {ms:>8.3} ms");
+    let ms = time_ms(reps, phone_capture_filter);
+    println!("  filter design   {ms:>8.3} ms");
+    let ms = time_ms(reps, || phone_capture_filter().filter_aligned(&synth.wave));
+    println!("  capture FIR     {ms:>8.3} ms");
+    let ms = time_ms(reps, || FastSim.run_payload(&s, &synth.wave, false));
+    println!("  run_payload     {ms:>8.3} ms");
+    let out = FastSim.run_payload(&s, &synth.wave, false);
+    let ms = time_ms(reps, || {
+        DataDecoder::new(FAST_AUDIO_RATE, Bitrate::Kbps1_6).decode(&out.mono, 0, synth.bits.len())
+    });
+    println!("  decode          {ms:>8.3} ms");
+
+    let psim = PhysicalSim::new(PhysicalSimConfig::bench(-30.0, 4.0));
+    let ps =
+        Scenario::bench(-30.0, 4.0, ProgramKind::News).with_workload(Workload::tone(1_000.0, 0.3));
+    let ms = time_ms(3, || psim.run(&ps));
+    println!("  physical run    {ms:>8.3} ms   (0.3 s tone scenario, full RF chain)");
+}

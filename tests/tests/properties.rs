@@ -137,6 +137,68 @@ proptest! {
         prop_assert_eq!(back2, s);
     }
 
+    /// Overlap-save FFT convolution matches the direct-form FIR within
+    /// 1e-9 across random tap counts and signal lengths.
+    #[test]
+    fn overlap_save_matches_direct_fir(
+        taps in prop::collection::vec(-1.0f64..1.0, 1..350),
+        sig in prop::collection::vec(-1.0f64..1.0, 1..1_500),
+    ) {
+        use fmbs_dsp::fftconv::OverlapSave;
+        use fmbs_dsp::fir::Fir;
+        let mut direct = Fir::new(taps.clone());
+        let mut fast = OverlapSave::new(&taps);
+        let yd = direct.process(&sig);
+        let yf = fast.process(&sig);
+        prop_assert_eq!(yd.len(), yf.len());
+        for (a, b) in yd.iter().zip(&yf) {
+            prop_assert!((a - b).abs() < 1e-9, "direct {} vs fft {}", a, b);
+        }
+    }
+
+    /// Overlap-save streaming state is exact: chopping the signal into
+    /// arbitrary chunks (including sizes straddling the engine's block
+    /// length) produces the same output as one whole-buffer call.
+    #[test]
+    fn overlap_save_streaming_chunks_are_exact(
+        taps in prop::collection::vec(-1.0f64..1.0, 2..200),
+        sig in prop::collection::vec(-1.0f64..1.0, 64..2_000),
+        chunk in 1usize..700,
+    ) {
+        use fmbs_dsp::fftconv::OverlapSave;
+        let mut one_shot = OverlapSave::new(&taps);
+        let mut streamed = OverlapSave::new(&taps);
+        let y1 = one_shot.process(&sig);
+        let mut y2 = Vec::new();
+        for c in sig.chunks(chunk) {
+            y2.extend(streamed.process(c));
+        }
+        prop_assert_eq!(y1.len(), y2.len());
+        for (a, b) in y1.iter().zip(&y2) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// `Fir::filter_aligned`'s direct-vs-FFT crossover is invisible:
+    /// whatever form the heuristic picks agrees with the always-direct
+    /// reference within 1e-9.
+    #[test]
+    fn filter_aligned_form_choice_is_invisible(
+        n_taps in 1usize..340,
+        sig in prop::collection::vec(-1.0f64..1.0, 1..1_200),
+    ) {
+        use fmbs_dsp::fir::FirDesign;
+        use fmbs_dsp::windows::Window;
+        let design = FirDesign { taps: n_taps, window: Window::Hamming }
+            .lowpass(48_000.0, 9_000.0);
+        let auto = design.clone().filter_aligned(&sig);
+        let direct = design.clone().filter_aligned_direct(&sig);
+        prop_assert_eq!(auto.len(), direct.len());
+        for (a, b) in auto.iter().zip(&direct) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
     /// The sweep engine's parallel execution is bit-identical to serial
     /// for any thread count and grid shape (deterministic per-point
     /// seeding makes scheduling irrelevant).

@@ -27,6 +27,7 @@ pub enum Throughput {
 pub struct Bencher {
     sample: Duration,
     iters: u64,
+    budget_s: f64,
 }
 
 impl Bencher {
@@ -35,10 +36,11 @@ impl Bencher {
         let start = Instant::now();
         black_box(routine());
         let once = start.elapsed();
-        // Enough iterations to fill ~30 ms per sample, bounded for slow
-        // routines so benches stay usable offline.
+        // Enough iterations to fill the per-sample budget (~30 ms, or
+        // ~3 ms under `--smoke`), bounded for slow routines so benches
+        // stay usable offline.
         let iters = if once.as_secs_f64() > 0.0 {
-            (0.03 / once.as_secs_f64()).clamp(1.0, 1_000_000.0) as u64
+            (self.budget_s / once.as_secs_f64()).clamp(1.0, 1_000_000.0) as u64
         } else {
             1_000
         };
@@ -56,12 +58,16 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     criterion: &'a mut Criterion,
     throughput: Option<Throughput>,
+    // Group-scoped override; dropping the group leaves the harness
+    // default untouched, matching real criterion.
+    sample_size: Option<usize>,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of timed samples per benchmark.
+    /// Sets the number of timed samples for this group only (capped at 2
+    /// under `--smoke`, which is a does-it-run check, not a measurement).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.criterion.sample_size = n.max(2);
+        self.sample_size = Some(if self.criterion.smoke { 2 } else { n.max(2) });
         self
     }
 
@@ -79,7 +85,8 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let id = id.into();
         let full = format!("{}/{id}", self.name);
-        self.criterion.run_one(&full, self.throughput, f);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&full, samples, self.throughput, f);
         self
     }
 
@@ -88,13 +95,23 @@ impl BenchmarkGroup<'_> {
 }
 
 /// The benchmark harness entry point.
+///
+/// Passing `--smoke` on the bench command line (e.g.
+/// `cargo bench --bench sweep_throughput -- --smoke`) switches to a
+/// 2-sample, ~3 ms-per-sample run — a CI-speed check that the bench
+/// still executes, not a measurement.
 pub struct Criterion {
     sample_size: usize,
+    smoke: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        let smoke = std::env::args().any(|a| a == "--smoke");
+        Criterion {
+            sample_size: if smoke { 2 } else { 10 },
+            smoke,
+        }
     }
 }
 
@@ -105,26 +122,30 @@ impl Criterion {
             name: name.into(),
             criterion: self,
             throughput: None,
+            sample_size: None,
         }
     }
 
     /// Runs one stand-alone benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
-        self.run_one(id, None, f);
+        let samples = self.sample_size;
+        self.run_one(id, samples, None, f);
         self
     }
 
     fn run_one<F: FnMut(&mut Bencher)>(
         &mut self,
         id: &str,
+        sample_size: usize,
         throughput: Option<Throughput>,
         mut f: F,
     ) {
-        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
-        for _ in 0..self.sample_size {
+        let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
             let mut b = Bencher {
                 sample: Duration::ZERO,
                 iters: 1,
+                budget_s: if self.smoke { 0.003 } else { 0.03 },
             };
             f(&mut b);
             if b.iters > 0 {
