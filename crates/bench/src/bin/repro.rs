@@ -6,8 +6,9 @@
 //! repro fig8a fig11     # a subset
 //! repro --list          # known experiment ids
 //! repro --json out/     # also write one JSON file per experiment
-//! repro --perf [file]   # measure sweep throughput, append to the
-//!                       # tracked series (default BENCH_sweep.json)
+//! repro --perf [file]   # measure sweep + network throughput, append
+//!                       # to the tracked series (default
+//!                       # BENCH_sweep.json / BENCH_net.json)
 //! ```
 //!
 //! Experiment ids resolve through [`fmbs_bench::experiments::REGISTRY`];
@@ -53,6 +54,20 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("--perf failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        let net_path = fmbs_bench::perf::net_series_path(path);
+        match fmbs_bench::perf::record_net(&net_path, label, 2) {
+            Ok(rec) => {
+                println!(
+                    "network throughput: {} tags x {} slots in {:.2} s \
+                     ({:.2e} tag-slots/s, {} packets delivered) -> {net_path}",
+                    rec.n_tags, rec.n_slots, rec.elapsed_s, rec.tag_slots_per_sec, rec.delivered,
+                );
+            }
+            Err(e) => {
+                eprintln!("--perf (network) failed: {e}");
                 std::process::exit(1);
             }
         }

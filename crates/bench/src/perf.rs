@@ -99,9 +99,114 @@ pub fn record(path: &str, label: &str, samples: usize) -> Result<PerfRecord, Str
     Ok(rec)
 }
 
+/// One measurement of the network-tier perf series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetPerfRecord {
+    /// Seconds since the Unix epoch when the measurement ran.
+    pub unix_time: u64,
+    /// A free-form label (git describe, PR number, "baseline", ...).
+    pub label: String,
+    /// Deployed tags in the measured run.
+    pub n_tags: usize,
+    /// Simulated slots.
+    pub n_slots: u64,
+    /// Wall-clock seconds of the best run.
+    pub elapsed_s: f64,
+    /// tag·slot steps per second (the capacity headline).
+    pub tag_slots_per_sec: f64,
+    /// Packets delivered (sanity: the run did real work).
+    pub delivered: u64,
+}
+
+/// The persisted network perf series (newest record last).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NetPerfSeries {
+    /// Measurements, oldest first.
+    pub series: Vec<NetPerfRecord>,
+}
+
+/// The network series file that rides along a sweep series file:
+/// `BENCH_sweep.json` → `BENCH_net.json`. Only the file name is
+/// rewritten — directory components are left alone — and names without
+/// "sweep" get `.net.json` appended.
+pub fn net_series_path(sweep_path: &str) -> String {
+    let (dir, file) = match sweep_path.rsplit_once('/') {
+        Some((dir, file)) => (Some(dir), file),
+        None => (None, sweep_path),
+    };
+    let net_file = if file.contains("sweep") {
+        file.replacen("sweep", "net", 1)
+    } else {
+        format!("{file}.net.json")
+    };
+    match dir {
+        Some(dir) => format!("{dir}/{net_file}"),
+        None => net_file,
+    }
+}
+
+/// Measures the acceptance-bar network run — 10,000 tags × 1,000 slots
+/// over a quick-calibrated link table — and returns the record (best of
+/// `samples` timed runs; calibration is untimed).
+pub fn measure_net(label: &str, samples: usize) -> NetPerfRecord {
+    use fmbs_core::sim::fast::FastSim as Fast;
+    use fmbs_net::prelude::{BerTable, BerTableSpec, NetworkConfig, NetworkSim};
+    let (n_tags, n_slots) = (10_000usize, 1_000u64);
+    let table = std::sync::Arc::new(BerTable::calibrate(&Fast, &BerTableSpec::quick()));
+    let sim = NetworkSim::new(NetworkConfig::new(n_tags, n_slots), table);
+    let mut best = f64::INFINITY;
+    let mut delivered = 0;
+    for _ in 0..samples.max(1) {
+        let t = Instant::now();
+        let run = sim.run();
+        best = best.min(t.elapsed().as_secs_f64());
+        delivered = run.stats.delivered;
+    }
+    NetPerfRecord {
+        unix_time: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        label: label.to_string(),
+        n_tags,
+        n_slots,
+        elapsed_s: best,
+        tag_slots_per_sec: n_tags as f64 * n_slots as f64 / best,
+        delivered,
+    }
+}
+
+/// Measures the network run and appends to the series file at `path`
+/// (same create/don't-clobber policy as [`record`]).
+pub fn record_net(path: &str, label: &str, samples: usize) -> Result<NetPerfRecord, String> {
+    let mut series: NetPerfSeries = if std::path::Path::new(path).exists() {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read existing {path}: {e}"))?;
+        serde_json::from_str(&text)
+            .map_err(|e| format!("{path} exists but is not a net perf series: {e:?}"))?
+    } else {
+        NetPerfSeries::default()
+    };
+    let rec = measure_net(label, samples);
+    series.series.push(rec.clone());
+    let json = serde_json::to_string_pretty(&series).map_err(|e| format!("serialise: {e:?}"))?;
+    std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
+    Ok(rec)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn net_series_path_derivation() {
+        assert_eq!(net_series_path("BENCH_sweep.json"), "BENCH_net.json");
+        assert_eq!(
+            net_series_path("/tmp/BENCH_sweep.json"),
+            "/tmp/BENCH_net.json"
+        );
+        assert_eq!(net_series_path("perf.json"), "perf.json.net.json");
+    }
 
     #[test]
     fn measure_reports_positive_throughput() {

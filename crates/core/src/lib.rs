@@ -50,8 +50,10 @@
 //! ```
 //! * [`power`] — the §4 IC power model (1.0 µW baseband + 9.94 µW DCO +
 //!   0.13 µW switch = 11.07 µW) and the §2 battery-life comparisons.
-//! * [`mac`] — §8's multi-device sharing: f_back channelisation and
-//!   slotted-Aloha simulation.
+//! * [`mac`] — §8's multi-device sharing: f_back channelisation (with
+//!   least-loaded sharing once tags outnumber free channels) and
+//!   slotted-Aloha simulation. The `fmbs-net` crate builds whole
+//!   deployments on these primitives.
 //! * [`harvest`] — §8's energy-harvesting feasibility: RF rectification,
 //!   solar cells and duty cycling against the 11.07 µW budget.
 

@@ -13,9 +13,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-/// Assigns each of `n_tags` tags (all riding the host on `host`) a
-/// distinct free channel, nearest-first. Returns the per-tag `f_back` in
-/// Hz, or `None` once free channels run out.
+/// Assigns each of `n_tags` tags (all riding the host on `host`) a free
+/// channel, nearest-first. The first `free_channels()` tags get distinct
+/// channels; once tags outnumber free channels, each further tag joins
+/// the **least-loaded** free channel (nearest to the host on ties), so
+/// every tag gets an `f_back` and channel load stays balanced — the tags
+/// sharing a channel then contend with slotted Aloha. Returns `None` per
+/// tag only when the *whole band* is occupied and there is no free
+/// channel to land on at all.
 pub fn assign_f_back(occupancy: &BandOccupancy, host: Channel, n_tags: usize) -> Vec<Option<f64>> {
     let mut free: Vec<Channel> = occupancy.free_channels();
     // Nearest to the host first (smallest |shift| keeps the tag's DCO
@@ -25,8 +30,24 @@ pub fn assign_f_back(occupancy: &BandOccupancy, host: Channel, n_tags: usize) ->
         let db = host.shift_to_hz(*b).abs();
         da.partial_cmp(&db).unwrap()
     });
+    if free.is_empty() {
+        return vec![None; n_tags];
+    }
+    let mut load = vec![0usize; free.len()];
     (0..n_tags)
-        .map(|i| free.get(i).map(|c| host.shift_to_hz(*c)))
+        .map(|_| {
+            // Least-loaded free channel; ties resolve to the smallest
+            // index, i.e. nearest to the host. While tags are fewer than
+            // free channels this degenerates to the distinct
+            // nearest-first assignment.
+            let (i, _) = load
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, &l)| (l, i))
+                .expect("free is non-empty");
+            load[i] += 1;
+            Some(host.shift_to_hz(free[i]))
+        })
         .collect()
 }
 
@@ -117,6 +138,25 @@ mod tests {
         let shifts = assign_f_back(&occ, Channel(50), 2);
         assert_eq!(shifts[0].unwrap().abs(), 200_000.0);
         assert_eq!(shifts[1].unwrap().abs(), 200_000.0);
+    }
+
+    #[test]
+    fn overloaded_band_shares_least_loaded_channels() {
+        // Two free channels, five tags: nobody is left out; the load
+        // splits 3/2 with the extra tag on the channel nearest the host.
+        let occupied: Vec<Channel> = Channel::all().filter(|c| c.0 != 40 && c.0 != 43).collect();
+        let occ = BandOccupancy::from_channels(&occupied);
+        let shifts = assign_f_back(&occ, Channel(41), 5);
+        assert!(shifts.iter().all(|s| s.is_some()));
+        let nearest = shifts
+            .iter()
+            .filter(|s| s.unwrap() == -200_000.0) // Channel(40)
+            .count();
+        let farther = shifts
+            .iter()
+            .filter(|s| s.unwrap() == 400_000.0) // Channel(43)
+            .count();
+        assert_eq!((nearest, farther), (3, 2));
     }
 
     #[test]

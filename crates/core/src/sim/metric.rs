@@ -104,20 +104,35 @@ impl Metric for Ber {
 /// host audio via shifted scenario seeds.
 #[derive(Debug, Clone, Copy)]
 pub struct BerMrc {
-    /// Number of combined transmissions (1 = no MRC).
-    pub n: usize,
+    /// Fixed combining depth; `None` reads the depth from
+    /// [`Scenario::mrc_depth`], which is what makes MRC depth a sweep
+    /// axis ([`crate::sim::sweep::SweepBuilder::mrc_depths`]).
+    pub n: Option<usize>,
     /// BER reported on pilot loss (stereo-band payloads).
     pub pilot_lost_ber: f64,
 }
 
 impl BerMrc {
-    /// `n`-fold combining.
+    /// `n`-fold combining at a fixed depth.
     pub fn new(n: usize) -> Self {
         assert!(n >= 1);
         BerMrc {
-            n,
+            n: Some(n),
             pilot_lost_ber: 0.5,
         }
+    }
+
+    /// Combining depth taken from each scenario's `mrc_depth` field —
+    /// the form the `mrc_depths` sweep axis needs.
+    pub fn from_scenario() -> Self {
+        BerMrc {
+            n: None,
+            pilot_lost_ber: 0.5,
+        }
+    }
+
+    fn depth(&self, scenario: &Scenario) -> usize {
+        self.n.unwrap_or(scenario.mrc_depth.max(1) as usize)
     }
 }
 
@@ -128,10 +143,11 @@ impl Metric for BerMrc {
 
     fn evaluate(&self, sim: &dyn Simulator, scenario: &Scenario) -> f64 {
         let (bitrate, stereo) = expect_data(scenario, "ber_mrc");
-        let mut recordings = Vec::with_capacity(self.n);
+        let depth = self.depth(scenario);
+        let mut recordings = Vec::with_capacity(depth);
         let mut tx_bits = Vec::new();
         let mut sample_rate = 0.0;
-        for i in 0..self.n {
+        for i in 0..depth {
             // Shift seed *and* programme seed per repetition (the tag
             // retransmits at a later time, so the receiver hears fresh
             // noise, fading and host audio) — but preserve the incoming

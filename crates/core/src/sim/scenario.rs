@@ -314,6 +314,22 @@ pub struct Scenario {
     /// stands — which is what makes the sweep cache's host-audio entries
     /// shareable across grid points.
     pub program_seed: u64,
+    /// Backscatter subcarrier frequency `f_back` in Hz (§3.3). Sets the
+    /// tag's DCO power draw (`fmbs-core::power`) and, in the network
+    /// tier, the base of the multi-tag channel plan. Sweepable via
+    /// [`super::sweep::SweepBuilder::f_backs_hz`].
+    pub f_back_hz: f64,
+    /// MRC combining depth consumed by metrics built with
+    /// [`super::metric::BerMrc::from_scenario`] (1 = no combining).
+    /// Sweepable via [`super::sweep::SweepBuilder::mrc_depths`].
+    pub mrc_depth: u32,
+    /// MAC frame length in slots simulated by the network tier.
+    /// Sweepable via [`super::sweep::SweepBuilder::mac_slot_counts`].
+    pub mac_slots: u32,
+    /// Number of contending tags in the network tier (1 = the
+    /// single-tag physics figures). Sweepable via
+    /// [`super::sweep::SweepBuilder::n_tags`].
+    pub n_tags: u32,
     /// What the tag backscatters.
     pub workload: Workload,
 }
@@ -330,6 +346,10 @@ impl Scenario {
             motion: MotionProfile::Standing,
             seed: 0x5EED,
             program_seed: 0x5EED,
+            f_back_hz: crate::DEFAULT_F_BACK_HZ,
+            mrc_depth: 1,
+            mac_slots: 1_000,
+            n_tags: 1,
             workload: Workload::silence(Workload::DEFAULT_SECS),
         }
     }

@@ -2,8 +2,8 @@
 //!
 //! Every figure of the paper's evaluation is a sweep: a metric evaluated
 //! over a grid of scenarios spanning some subset of {ambient power,
-//! distance, bit rate, programme, motion, receiver, tag, tone frequency}
-//! × repetitions. [`SweepBuilder`] declares those axes; `run` expands
+//! distance, bit rate, programme, motion, receiver, tag, tone frequency,
+//! `f_back`, MRC depth, MAC slot count, tag count} × repetitions. [`SweepBuilder`] declares those axes; `run` expands
 //! the grid and executes it on N scoped worker threads (generalising the
 //! bounded two-stage pipeline in [`super::stream`] to an N-worker
 //! engine), with **deterministic per-point seeding**: each point's seed
@@ -43,6 +43,14 @@ pub struct Coords {
     pub tag: usize,
     /// Index into the tone-frequency axis.
     pub tone_freq: usize,
+    /// Index into the `f_back` axis.
+    pub f_back: usize,
+    /// Index into the MRC-depth axis.
+    pub mrc: usize,
+    /// Index into the MAC-slot-count axis.
+    pub mac_slots: usize,
+    /// Index into the tag-count axis.
+    pub n_tags: usize,
     /// Repetition index.
     pub repeat: usize,
 }
@@ -169,13 +177,19 @@ pub struct SweepBuilder {
     receivers: Vec<super::scenario::ReceiverKind>,
     tags: Vec<super::scenario::TagKind>,
     tone_freqs_hz: Vec<f64>,
+    f_backs_hz: Vec<f64>,
+    mrc_depths: Vec<u32>,
+    mac_slot_counts: Vec<u32>,
+    n_tags: Vec<u32>,
     repeats: usize,
     threads: Option<usize>,
     cache: bool,
 }
 
-/// SplitMix64 — the per-point seed derivation.
-fn splitmix64(mut z: u64) -> u64 {
+/// SplitMix64 — the per-point seed derivation. Public because other
+/// layers (e.g. `fmbs-net`'s deployment synthesis) derive their own
+/// functional randomness from the same mixer.
+pub fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -206,6 +220,21 @@ fn point_seed(base: u64, c: &Coords) -> u64 {
     for (axis, &v) in coords.iter().enumerate() {
         h = splitmix64(h ^ (((axis as u64 + 1) << 32) | v as u64));
     }
+    // The axes added after the original nine fold in only at nonzero
+    // indices: index 0 (the "axis undeclared" placeholder) is
+    // seed-transparent, so every figure that predates these axes keeps
+    // its exact noise realisations, and declaring a new axis leaves the
+    // points it shares with the old grid untouched.
+    for (axis, v) in [
+        (10u64, c.f_back),
+        (11, c.mrc),
+        (12, c.mac_slots),
+        (13, c.n_tags),
+    ] {
+        if v != 0 {
+            h = splitmix64(h ^ ((axis << 32) | v as u64));
+        }
+    }
     h
 }
 
@@ -223,6 +252,10 @@ impl SweepBuilder {
             receivers: Vec::new(),
             tags: Vec::new(),
             tone_freqs_hz: Vec::new(),
+            f_backs_hz: Vec::new(),
+            mrc_depths: Vec::new(),
+            mac_slot_counts: Vec::new(),
+            n_tags: Vec::new(),
             repeats: 1,
             threads: None,
             cache: true,
@@ -282,6 +315,31 @@ impl SweepBuilder {
         self
     }
 
+    /// Sweeps the backscatter subcarrier frequency `f_back` (Hz).
+    pub fn f_backs_hz(mut self, freqs: impl IntoIterator<Item = f64>) -> Self {
+        self.f_backs_hz = freqs.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the MRC combining depth (consumed by
+    /// [`super::metric::BerMrc::from_scenario`]).
+    pub fn mrc_depths(mut self, depths: impl IntoIterator<Item = u32>) -> Self {
+        self.mrc_depths = depths.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the MAC frame length in slots (network tier).
+    pub fn mac_slot_counts(mut self, counts: impl IntoIterator<Item = u32>) -> Self {
+        self.mac_slot_counts = counts.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the number of contending tags (network tier).
+    pub fn n_tags(mut self, counts: impl IntoIterator<Item = u32>) -> Self {
+        self.n_tags = counts.into_iter().collect();
+        self
+    }
+
     /// Runs each grid point `n` times with rotated seeds (noise *and*
     /// payload), for averaging.
     pub fn repeats(mut self, n: usize) -> Self {
@@ -306,7 +364,8 @@ impl SweepBuilder {
 
     /// Expands the grid into concrete points, axis order: power ×
     /// distance × bitrate × programme × motion × receiver × tag ×
-    /// tone-frequency × repeat.
+    /// tone-frequency × f_back × MRC depth × MAC slots × tag count ×
+    /// repeat.
     pub fn points(&self) -> Vec<SweepPoint> {
         // Singleton placeholder for undeclared axes: `None` means "keep
         // the base scenario's value".
@@ -326,79 +385,105 @@ impl SweepBuilder {
         let receivers = axis(&self.receivers);
         let tags = axis(&self.tags);
         let freqs = axis(&self.tone_freqs_hz);
+        let f_backs = axis(&self.f_backs_hz);
+        let mrcs = axis(&self.mrc_depths);
+        let mac_slots = axis(&self.mac_slot_counts);
+        let n_tags = axis(&self.n_tags);
 
-        let mut out = Vec::new();
-        for (ip, p) in powers.iter().enumerate() {
-            for (id, d) in distances.iter().enumerate() {
-                for (ib, b) in bitrates.iter().enumerate() {
-                    for (ig, g) in programs.iter().enumerate() {
-                        for (im, m) in motions.iter().enumerate() {
-                            for (ir, r) in receivers.iter().enumerate() {
-                                for (it, tg) in tags.iter().enumerate() {
-                                    for (jf, f) in freqs.iter().enumerate() {
-                                        for rep in 0..self.repeats {
-                                            let coords = Coords {
-                                                power: ip,
-                                                distance: id,
-                                                bitrate: ib,
-                                                program: ig,
-                                                motion: im,
-                                                receiver: ir,
-                                                tag: it,
-                                                tone_freq: jf,
-                                                repeat: rep,
-                                            };
-                                            let mut s = self.base;
-                                            if let Some(p) = *p {
-                                                s.ambient_at_tag = Dbm(p);
-                                            }
-                                            if let Some(d) = *d {
-                                                s.distance_ft = d;
-                                            }
-                                            if let Some(g) = *g {
-                                                s.program = g;
-                                            }
-                                            if let Some(m) = *m {
-                                                s.motion = m;
-                                            }
-                                            if let Some(r) = *r {
-                                                s.receiver = r;
-                                            }
-                                            if let Some(tg) = *tg {
-                                                s.tag = tg;
-                                            }
-                                            if let Some(b) = *b {
-                                                s.workload = set_bitrate(s.workload, b);
-                                            }
-                                            if let Some(f) = *f {
-                                                s.workload = set_tone_freq(s.workload, f);
-                                            }
-                                            // Deterministic per-point seed:
-                                            // a hash of the base seed and
-                                            // the grid coordinates — never
-                                            // of execution order.
-                                            s.seed = point_seed(self.base.seed, &coords);
-                                            // One host programme per
-                                            // repetition, shared across
-                                            // the whole grid: the station
-                                            // broadcasts one programme no
-                                            // matter where the receiver
-                                            // stands, and shared
-                                            // derivation inputs are what
-                                            // make the sweep cache hit.
-                                            s.program_seed = program_seed(self.base.seed, rep);
-                                            s.workload = s.workload.reseed(rep as u64);
-                                            out.push(SweepPoint {
-                                                scenario: s,
-                                                coords,
-                                            });
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
+        // Odometer over the axis lengths — first axis slowest, repeats
+        // fastest, matching the nested-loop order the engine has always
+        // used.
+        let lens = [
+            powers.len(),
+            distances.len(),
+            bitrates.len(),
+            programs.len(),
+            motions.len(),
+            receivers.len(),
+            tags.len(),
+            freqs.len(),
+            f_backs.len(),
+            mrcs.len(),
+            mac_slots.len(),
+            n_tags.len(),
+            self.repeats,
+        ];
+        let total: usize = lens.iter().product();
+        let mut out = Vec::with_capacity(total);
+        let mut idx = [0usize; 13];
+        for _ in 0..total {
+            let rep = idx[12];
+            let coords = Coords {
+                power: idx[0],
+                distance: idx[1],
+                bitrate: idx[2],
+                program: idx[3],
+                motion: idx[4],
+                receiver: idx[5],
+                tag: idx[6],
+                tone_freq: idx[7],
+                f_back: idx[8],
+                mrc: idx[9],
+                mac_slots: idx[10],
+                n_tags: idx[11],
+                repeat: rep,
+            };
+            let mut s = self.base;
+            if let Some(p) = powers[idx[0]] {
+                s.ambient_at_tag = Dbm(p);
+            }
+            if let Some(d) = distances[idx[1]] {
+                s.distance_ft = d;
+            }
+            if let Some(b) = bitrates[idx[2]] {
+                s.workload = set_bitrate(s.workload, b);
+            }
+            if let Some(g) = programs[idx[3]] {
+                s.program = g;
+            }
+            if let Some(m) = motions[idx[4]] {
+                s.motion = m;
+            }
+            if let Some(r) = receivers[idx[5]] {
+                s.receiver = r;
+            }
+            if let Some(tg) = tags[idx[6]] {
+                s.tag = tg;
+            }
+            if let Some(f) = freqs[idx[7]] {
+                s.workload = set_tone_freq(s.workload, f);
+            }
+            if let Some(f) = f_backs[idx[8]] {
+                s.f_back_hz = f;
+            }
+            if let Some(m) = mrcs[idx[9]] {
+                s.mrc_depth = m;
+            }
+            if let Some(k) = mac_slots[idx[10]] {
+                s.mac_slots = k;
+            }
+            if let Some(n) = n_tags[idx[11]] {
+                s.n_tags = n;
+            }
+            // Deterministic per-point seed: a hash of the base seed and
+            // the grid coordinates — never of execution order.
+            s.seed = point_seed(self.base.seed, &coords);
+            // One host programme per repetition, shared across the whole
+            // grid: the station broadcasts one programme no matter where
+            // the receiver stands, and shared derivation inputs are what
+            // make the sweep cache hit.
+            s.program_seed = program_seed(self.base.seed, rep);
+            s.workload = s.workload.reseed(rep as u64);
+            out.push(SweepPoint {
+                scenario: s,
+                coords,
+            });
+            for d in (0..13).rev() {
+                idx[d] += 1;
+                if idx[d] < lens[d] {
+                    break;
                 }
+                idx[d] = 0;
             }
         }
         out

@@ -1,0 +1,230 @@
+//! Deployment synthesis: where the tags sit, which channel each one
+//! backscatters onto, and what powers it.
+//!
+//! A deployment is derived *functionally* from the network seed — tag
+//! `i`'s geometry comes from a splitmix hash of `(seed, i)`, never from
+//! a shared RNG — so the deployment is identical no matter what order
+//! the engine touches tags in.
+
+use fmbs_channel::units::Dbm;
+use fmbs_core::harvest::{rf_harvest_uw, Illumination, SolarCell};
+use fmbs_core::mac::assign_f_back;
+use fmbs_core::power::{IcPowerModel, PAPER_OPERATING_POINT};
+use fmbs_core::sim::sweep::splitmix64;
+use fmbs_fm::band::{BandOccupancy, Channel, FM_CHANNEL_COUNT, FM_CHANNEL_SPACING_HZ};
+use serde::{Deserialize, Serialize};
+
+/// What replenishes a tag's energy store (§8's harvesting discussion).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HarvestProfile {
+    /// Externally powered: the energy budget never gates transmission.
+    Mains,
+    /// A poster-corner solar cell under the given illumination.
+    Solar(Illumination),
+    /// RF rectification of the ambient FM signal at the tag.
+    RfAmbient,
+}
+
+impl HarvestProfile {
+    /// Harvested power in µW for a tag hearing `ambient` dBm.
+    pub fn harvest_uw(self, ambient: Dbm) -> f64 {
+        match self {
+            // Large but finite, so energy arithmetic stays NaN-free.
+            HarvestProfile::Mains => 1e12,
+            HarvestProfile::Solar(light) => SolarCell::poster_corner().harvest_uw(light),
+            HarvestProfile::RfAmbient => rf_harvest_uw(ambient),
+        }
+    }
+}
+
+/// One deployed tag: geometry, channel plan and energy parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TagSite {
+    /// Distance to the (single, central) receiver in feet.
+    pub distance_ft: f64,
+    /// Ambient FM power at this tag in dBm.
+    pub power_dbm: f64,
+    /// Assigned backscatter shift in Hz (signed; see
+    /// [`fmbs_core::mac::assign_f_back`]).
+    pub f_back_hz: f64,
+    /// Dense collision-domain index: tags sharing it contend for slots.
+    pub channel: u16,
+    /// Harvested power in µW.
+    pub harvest_uw: f64,
+    /// Energy cost of transmitting for one slot, in µJ.
+    pub tx_cost_uj: f64,
+    /// Energy storage in µJ: the configured store, or twice the packet
+    /// cost if that is larger — a tag's capacitor is sized for its own
+    /// transmit burst (far-channel tags run a faster, hungrier DCO).
+    pub storage_uj: f64,
+}
+
+/// A synthesised deployment: per-tag sites plus the size of the channel
+/// plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Deployment {
+    /// One site per tag.
+    pub sites: Vec<TagSite>,
+    /// Number of distinct collision domains in use.
+    pub n_channels: usize,
+}
+
+/// A unit-interval sample derived from `(seed, tag, salt)` via the
+/// sweep engine's shared SplitMix64 mixer.
+fn unit(seed: u64, tag: u64, salt: u64) -> f64 {
+    let h = splitmix64(splitmix64(seed ^ (salt << 48)) ^ tag);
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A synthetic city band plan: roughly a third of the 100 channels carry
+/// a detectable station (hash-picked, fixed — the city does not change
+/// with the run seed), the host channel itself is occupied, and every
+/// channel within `min_shift_hz` of the host is marked busy so the
+/// nearest *assignable* shift is at least the scenario's `f_back`.
+pub fn city_occupancy(host: Channel, min_shift_hz: f64) -> BandOccupancy {
+    let mut occ = BandOccupancy::empty();
+    for ch in Channel::all() {
+        let busy = splitmix64(0xC17_1E5 ^ ch.0 as u64) % 100 < 34;
+        if busy {
+            occ.set_occupied(ch, true);
+        }
+    }
+    occ.set_occupied(host, true);
+    let guard = (min_shift_hz.abs() / FM_CHANNEL_SPACING_HZ).ceil() as i32 - 1;
+    for k in -guard..=guard {
+        let idx = host.0 as i32 + k;
+        if (0..FM_CHANNEL_COUNT as i32).contains(&idx) {
+            occ.set_occupied(Channel(idx as u8), true);
+        }
+    }
+    occ
+}
+
+impl Deployment {
+    /// Synthesises `n_tags` sites on a disc of `cell_radius_ft` around
+    /// the receiver: uniform-in-area placement, ±4 dB log-normal-ish
+    /// shadowing around `mean_power_dbm`, channels from
+    /// [`assign_f_back`] over `occupancy`, and energy parameters from
+    /// the harvest profile and the per-tag DCO frequency.
+    #[allow(clippy::too_many_arguments)] // one scalar per physical knob
+    pub fn generate(
+        n_tags: usize,
+        cell_radius_ft: f64,
+        mean_power_dbm: f64,
+        occupancy: &BandOccupancy,
+        host: Channel,
+        harvest: HarvestProfile,
+        slot_secs: f64,
+        storage_uj: f64,
+        seed: u64,
+    ) -> Self {
+        let shifts = assign_f_back(occupancy, host, n_tags);
+        // Dense channel ids in order of first appearance, so ids are
+        // stable for a given occupancy regardless of tag count.
+        let mut domains: Vec<i64> = Vec::new();
+        let sites = (0..n_tags)
+            .map(|i| {
+                let f_back_hz = shifts[i].unwrap_or(0.0);
+                let key = f_back_hz as i64;
+                let channel = match domains.iter().position(|&d| d == key) {
+                    Some(c) => c,
+                    None => {
+                        domains.push(key);
+                        domains.len() - 1
+                    }
+                } as u16;
+                let distance_ft = (cell_radius_ft * unit(seed, i as u64, 1).sqrt()).max(1.0);
+                let power_dbm = mean_power_dbm + 8.0 * (unit(seed, i as u64, 2) - 0.5);
+                let draw_uw = IcPowerModel {
+                    f_back_hz: f_back_hz.abs().max(FM_CHANNEL_SPACING_HZ),
+                    ..PAPER_OPERATING_POINT
+                }
+                .total_uw();
+                let tx_cost_uj = draw_uw * slot_secs;
+                TagSite {
+                    distance_ft,
+                    power_dbm,
+                    f_back_hz,
+                    channel,
+                    harvest_uw: harvest.harvest_uw(Dbm(power_dbm)),
+                    tx_cost_uj,
+                    storage_uj: storage_uj.max(2.0 * tx_cost_uj),
+                }
+            })
+            .collect();
+        Deployment {
+            sites,
+            n_channels: domains.len().max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployment_is_seed_deterministic() {
+        let occ = city_occupancy(Channel(17), 600_000.0);
+        let a = Deployment::generate(
+            50,
+            20.0,
+            -40.0,
+            &occ,
+            Channel(17),
+            HarvestProfile::Mains,
+            0.16,
+            40.0,
+            7,
+        );
+        let b = Deployment::generate(
+            50,
+            20.0,
+            -40.0,
+            &occ,
+            Channel(17),
+            HarvestProfile::Mains,
+            0.16,
+            40.0,
+            7,
+        );
+        for (x, y) in a.sites.iter().zip(&b.sites) {
+            assert_eq!(x.distance_ft.to_bits(), y.distance_ft.to_bits());
+            assert_eq!(x.power_dbm.to_bits(), y.power_dbm.to_bits());
+            assert_eq!(x.channel, y.channel);
+        }
+    }
+
+    #[test]
+    fn sites_stay_on_the_disc_and_in_band() {
+        let occ = city_occupancy(Channel(17), 600_000.0);
+        let d = Deployment::generate(
+            200,
+            25.0,
+            -40.0,
+            &occ,
+            Channel(17),
+            HarvestProfile::Solar(Illumination::Shade),
+            0.16,
+            40.0,
+            3,
+        );
+        for s in &d.sites {
+            assert!(s.distance_ft >= 1.0 && s.distance_ft <= 25.0);
+            assert!(s.power_dbm > -45.0 && s.power_dbm < -35.0);
+            assert!(s.f_back_hz.abs() >= 600_000.0, "guard ring respected");
+            assert!(s.harvest_uw > 0.0);
+            assert!(s.tx_cost_uj > 0.0);
+        }
+        assert!(d.n_channels > 1, "many tags spread over many channels");
+    }
+
+    #[test]
+    fn city_occupancy_respects_guard_ring() {
+        let occ = city_occupancy(Channel(50), 800_000.0);
+        for k in -3i32..=3 {
+            assert!(occ.is_occupied(Channel((50 + k) as u8)), "k={k}");
+        }
+        assert!(occ.occupied_count() < FM_CHANNEL_COUNT);
+    }
+}

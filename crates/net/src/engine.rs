@@ -1,0 +1,687 @@
+//! The deterministic discrete-event engine.
+//!
+//! Time advances in MAC slots (one slot = one packet airtime). A
+//! [`BinaryHeap`] of [`Event`]s drives per-tag state machines:
+//!
+//! * **Contention** — tags sharing a collision domain (see
+//!   [`crate::deploy`]) transmit in random slots with binary-exponential
+//!   backoff after collisions (§8's slotted-Aloha sketch, made
+//!   event-driven).
+//! * **Energy** — a tag transmits only when its stored energy covers one
+//!   packet's cost; otherwise it sleeps exactly as many slots as its
+//!   harvester needs to close the deficit ([`crate::deploy::HarvestProfile`]).
+//! * **Link** — a transmission that wins its slot is delivered with the
+//!   packet-success probability of the [`crate::link::BerTable`].
+//!
+//! # Determinism
+//!
+//! Three properties make same-seed runs trace-identical:
+//! (1) events are ordered by `(slot, seq)` where `seq` is the push
+//! counter — a total order, so heap pops never depend on unordered
+//! ties; (2) the engine is single-threaded and pushes in a fixed order,
+//! so `seq` assignment is itself reproducible; (3) every random draw
+//! comes from the owning tag's *private* RNG stream (seeded from the
+//! run seed and the tag id), so a draw's value depends only on how many
+//! draws that tag has made, never on global interleaving.
+
+use crate::deploy::{city_occupancy, Deployment, HarvestProfile};
+use crate::link::BerTable;
+use fmbs_core::modem::Bitrate;
+use fmbs_core::sim::scenario::{Scenario, Workload};
+use fmbs_fm::band::{BandOccupancy, Channel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// A timestamped event: tag `tag` attempts a transmission in slot `at`.
+///
+/// The derived lexicographic order on `(at, seq, tag)` is the heap's
+/// tie-break: `seq` (the push counter) is unique, so ordering is total
+/// and same-seed runs pop events in exactly the same sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Event {
+    /// Slot index the event fires in.
+    pub at: u64,
+    /// Monotone push counter (the stable tie-break).
+    pub seq: u64,
+    /// The tag attempting to transmit.
+    pub tag: u32,
+}
+
+/// A min-ordered event queue with the stable `(at, seq)` tie-break.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `tag` to attempt in slot `at`.
+    pub fn push(&mut self, at: u64, tag: u32) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Event { at, seq, tag }));
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// The earliest event without removing it.
+    pub fn peek(&self) -> Option<Event> {
+        self.heap.peek().map(|&Reverse(e)| e)
+    }
+
+    /// Events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// What happened to one transmission attempt (the trace event stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Sole transmitter in its slot and the packet survived the link.
+    Delivered,
+    /// Sole transmitter, but the link corrupted the packet.
+    Corrupt,
+    /// Two or more transmitters shared the slot.
+    Collided,
+}
+
+/// One entry of the (optional) event trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Slot the attempt happened in.
+    pub slot: u64,
+    /// The transmitting tag.
+    pub tag: u32,
+    /// Its collision domain.
+    pub channel: u16,
+    /// What happened.
+    pub outcome: Outcome,
+}
+
+/// Everything that parameterises one network run.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Number of deployed tags.
+    pub n_tags: usize,
+    /// Slots simulated.
+    pub n_slots: u64,
+    /// The data rate every tag uses.
+    pub bitrate: Bitrate,
+    /// Packet length in bits (sets the slot duration).
+    pub packet_bits: u32,
+    /// Deployment disc radius in feet.
+    pub cell_radius_ft: f64,
+    /// Mean ambient FM power across the deployment (dBm).
+    pub mean_power_dbm: f64,
+    /// The host station's channel.
+    pub host: Channel,
+    /// Channel occupancy the frequency plan is computed against.
+    pub occupancy: BandOccupancy,
+    /// What powers the tags.
+    pub harvest: HarvestProfile,
+    /// Energy storage per tag in µJ (tags start full).
+    pub storage_uj: f64,
+    /// Cap on the binary-exponential backoff exponent.
+    pub max_backoff_exp: u32,
+    /// Whether frames carry the rate-1/2 FEC of
+    /// [`fmbs_core::modem::fec`] (overlay links have a ~2% raw-BER
+    /// interference floor, so uncoded frames of useful length rarely
+    /// survive — see [`crate::link::PacketModel`]).
+    pub coding: bool,
+    /// Run seed.
+    pub seed: u64,
+    /// Record the per-attempt trace (off for large capacity runs).
+    pub record_trace: bool,
+}
+
+impl NetworkConfig {
+    /// A baseline city deployment: 1.6 kbps, 256-bit packets, mains
+    /// power, trace off.
+    pub fn new(n_tags: usize, n_slots: u64) -> Self {
+        NetworkConfig {
+            n_tags,
+            n_slots,
+            bitrate: Bitrate::Kbps1_6,
+            packet_bits: 256,
+            cell_radius_ft: 16.0,
+            mean_power_dbm: -40.0,
+            host: Channel(17),
+            occupancy: city_occupancy(Channel(17), fmbs_core::DEFAULT_F_BACK_HZ),
+            harvest: HarvestProfile::Mains,
+            storage_uj: 40.0,
+            max_backoff_exp: 8,
+            coding: true,
+            seed: 0x5EED,
+            record_trace: false,
+        }
+    }
+
+    /// Builds the config a [`Scenario`] describes: `n_tags`,
+    /// `mac_slots`, `f_back_hz` (as the channel plan's guard ring),
+    /// ambient power, distance (as the deployment radius) and the data
+    /// workload's bitrate all come from the scenario, which is what lets
+    /// the sweep engine treat network axes like any other axis.
+    pub fn from_scenario(s: &Scenario) -> Self {
+        let bitrate = match s.workload {
+            Workload::Data { bitrate, .. } => bitrate,
+            _ => Bitrate::Kbps1_6,
+        };
+        NetworkConfig {
+            n_tags: s.n_tags.max(1) as usize,
+            n_slots: s.mac_slots.max(1) as u64,
+            bitrate,
+            cell_radius_ft: s.distance_ft.max(1.0),
+            mean_power_dbm: s.ambient_at_tag.0,
+            occupancy: city_occupancy(Channel(17), s.f_back_hz),
+            seed: s.seed,
+            ..NetworkConfig::new(1, 1)
+        }
+    }
+
+    /// Slot duration in seconds (one packet airtime).
+    pub fn slot_secs(&self) -> f64 {
+        self.packet_bits as f64 / self.bitrate.bits_per_second()
+    }
+}
+
+/// Aggregate statistics of one run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Deployed tags.
+    pub n_tags: usize,
+    /// Simulated slots.
+    pub n_slots: u64,
+    /// Slot duration in seconds.
+    pub slot_secs: f64,
+    /// Transmission attempts (each costs its tag one packet of energy).
+    pub attempts: u64,
+    /// Attempts that were sole-transmitter and survived the link.
+    pub delivered: u64,
+    /// Sole-transmitter attempts the link corrupted.
+    pub corrupt: u64,
+    /// Attempts that collided with another tag.
+    pub collided: u64,
+    /// Slots a tag spent waiting for energy, summed over tags.
+    pub starved_slots: u64,
+    /// Payload bits delivered.
+    pub delivered_bits: u64,
+    /// Packets delivered per tag.
+    pub per_tag_delivered: Vec<u32>,
+    /// Per-delivery contention latency in slots (the packet's first
+    /// actual transmission → delivery; energy-recharge sleeps before
+    /// the first transmission are excluded), ascending.
+    pub latencies_slots: Vec<u32>,
+}
+
+impl NetStats {
+    /// Aggregate goodput in bits per second.
+    pub fn goodput_bps(&self) -> f64 {
+        self.delivered_bits as f64 / (self.n_slots as f64 * self.slot_secs).max(1e-12)
+    }
+
+    /// Fraction of attempts lost to collisions.
+    pub fn collision_rate(&self) -> f64 {
+        self.collided as f64 / (self.attempts.max(1)) as f64
+    }
+
+    /// Jain's fairness index over per-tag delivered packets (1 =
+    /// perfectly even, 1/n = one tag hogs the channel).
+    pub fn jain_fairness(&self) -> f64 {
+        let n = self.per_tag_delivered.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let sum: f64 = self.per_tag_delivered.iter().map(|&x| x as f64).sum();
+        let sq_sum: f64 = self
+            .per_tag_delivered
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum();
+        if sq_sum <= 0.0 {
+            return 1.0;
+        }
+        sum * sum / (n as f64 * sq_sum)
+    }
+
+    /// Contention-latency percentile (`p` in [0, 1]) in seconds;
+    /// 0 when nothing was delivered.
+    pub fn latency_percentile_secs(&self, p: f64) -> f64 {
+        if self.latencies_slots.is_empty() {
+            return 0.0;
+        }
+        let idx = ((self.latencies_slots.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
+        self.latencies_slots[idx] as f64 * self.slot_secs
+    }
+}
+
+/// One run's outputs: statistics plus the optional event trace.
+#[derive(Debug, Clone)]
+pub struct NetRun {
+    /// Aggregate statistics.
+    pub stats: NetStats,
+    /// Per-attempt trace (empty unless `record_trace` was set).
+    pub trace: Vec<TraceEvent>,
+}
+
+struct TagState {
+    channel: u16,
+    storage_uj: f64,
+    success_p: f64,
+    rng: StdRng,
+    backoff_exp: u32,
+    energy_uj: f64,
+    last_update: u64,
+    harvest_uw: f64,
+    tx_cost_uj: f64,
+    /// Slot of the current packet's first actual transmission
+    /// (`u64::MAX` = not transmitted yet); latency is measured from
+    /// here, so recharge sleeps and the initial desync offset are not
+    /// mistaken for contention.
+    first_attempt: u64,
+    delivered: u32,
+}
+
+/// The network simulator: a config plus the link table it reads BER
+/// from. `run` is a pure function of both, so one instance can be shared
+/// across sweep workers.
+#[derive(Debug, Clone)]
+pub struct NetworkSim {
+    cfg: NetworkConfig,
+    table: Arc<BerTable>,
+    packets: Arc<crate::link::PacketModel>,
+}
+
+impl NetworkSim {
+    /// Builds a simulator over a calibrated link table. The packet-level
+    /// FEC survival curve is measured here, once per simulator — it is a
+    /// property of the code and the frame length, not of the run seed.
+    pub fn new(cfg: NetworkConfig, table: Arc<BerTable>) -> Self {
+        let packets = Arc::new(crate::link::PacketModel::for_frame(
+            cfg.packet_bits,
+            cfg.coding,
+        ));
+        Self::with_packet_model(cfg, table, packets)
+    }
+
+    /// Builds a simulator over a pre-measured packet model — the form
+    /// sweep metrics use, so one FEC Monte-Carlo serves a whole grid
+    /// instead of re-running per point.
+    pub fn with_packet_model(
+        cfg: NetworkConfig,
+        table: Arc<BerTable>,
+        packets: Arc<crate::link::PacketModel>,
+    ) -> Self {
+        NetworkSim {
+            cfg,
+            table,
+            packets,
+        }
+    }
+
+    /// The configuration this simulator runs.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Runs the deployment to the slot horizon.
+    pub fn run(&self) -> NetRun {
+        let cfg = &self.cfg;
+        let slot_secs = cfg.slot_secs();
+        let deployment = Deployment::generate(
+            cfg.n_tags,
+            cfg.cell_radius_ft,
+            cfg.mean_power_dbm,
+            &cfg.occupancy,
+            cfg.host,
+            cfg.harvest,
+            slot_secs,
+            cfg.storage_uj,
+            cfg.seed,
+        );
+
+        let mut tags: Vec<TagState> = deployment
+            .sites
+            .iter()
+            .enumerate()
+            .map(|(i, site)| TagState {
+                channel: site.channel,
+                storage_uj: site.storage_uj,
+                success_p: self.packets.success_probability(self.table.lookup(
+                    cfg.bitrate,
+                    site.power_dbm,
+                    site.distance_ft,
+                )),
+                // A private stream per tag: draw values depend only on
+                // the tag's own draw count.
+                rng: StdRng::seed_from_u64(cfg.seed ^ (0xA11CE << 32) ^ i as u64),
+                backoff_exp: 0,
+                energy_uj: site.storage_uj,
+                last_update: 0,
+                harvest_uw: site.harvest_uw,
+                tx_cost_uj: site.tx_cost_uj,
+                first_attempt: u64::MAX,
+                delivered: 0,
+            })
+            .collect();
+
+        let mut q = EventQueue::new();
+        let mut stats = NetStats {
+            n_tags: cfg.n_tags,
+            n_slots: cfg.n_slots,
+            slot_secs,
+            ..NetStats::default()
+        };
+        let mut trace = Vec::new();
+
+        // Everybody desynchronises over an initial window so slot 0 is
+        // not a guaranteed pile-up.
+        let initial_window = 16u64.min(cfg.n_slots.max(1));
+        for (i, t) in tags.iter_mut().enumerate() {
+            let start = t.rng.gen_range(0..initial_window);
+            Self::schedule(t, i as u32, start, slot_secs, cfg, &mut q, &mut stats);
+        }
+
+        // Per-channel attempt buckets for the slot being resolved.
+        // Resolving a slot schedules *future* events, so the loop must
+        // re-peek after every resolution — draining the heap first would
+        // drop the retries the last resolved slot produced.
+        let mut pending: Vec<Vec<u32>> = vec![Vec::new(); deployment.n_channels];
+        let mut touched: Vec<u16> = Vec::new();
+        while let Some(first) = q.peek() {
+            let slot = first.at;
+            while q.peek().is_some_and(|e| e.at == slot) {
+                let ev = q.pop().expect("peeked event present");
+                let ch = tags[ev.tag as usize].channel as usize;
+                if pending[ch].is_empty() {
+                    touched.push(ch as u16);
+                }
+                pending[ch].push(ev.tag);
+            }
+            self.resolve_slot(
+                slot,
+                &mut pending,
+                &mut touched,
+                &mut tags,
+                slot_secs,
+                &mut q,
+                &mut stats,
+                &mut trace,
+            );
+        }
+
+        stats.per_tag_delivered = tags.iter().map(|t| t.delivered).collect();
+        stats.latencies_slots.sort_unstable();
+        NetRun { stats, trace }
+    }
+
+    /// Schedules `tag`'s next attempt no earlier than `earliest`,
+    /// pushing it past the horizon (i.e. dropping it) when the harvester
+    /// cannot close the energy deficit in time.
+    #[allow(clippy::too_many_arguments)]
+    fn schedule(
+        t: &mut TagState,
+        tag: u32,
+        earliest: u64,
+        slot_secs: f64,
+        cfg: &NetworkConfig,
+        q: &mut EventQueue,
+        stats: &mut NetStats,
+    ) {
+        Self::accrue(t, earliest, slot_secs);
+        let wait = if t.energy_uj >= t.tx_cost_uj {
+            0
+        } else {
+            let deficit = t.tx_cost_uj - t.energy_uj;
+            let per_slot = t.harvest_uw * slot_secs;
+            if per_slot <= 0.0 {
+                return; // dead tag: nothing will ever recharge it
+            }
+            (deficit / per_slot).ceil() as u64
+        };
+        let at = earliest.saturating_add(wait);
+        // Recharge slots count only when the attempt they enable lands
+        // inside the horizon — waits running past it are time the
+        // simulation never covers.
+        if at < cfg.n_slots {
+            stats.starved_slots += wait;
+            q.push(at, tag);
+        }
+    }
+
+    /// Brings a tag's energy store up to date at `now`.
+    fn accrue(t: &mut TagState, now: u64, slot_secs: f64) {
+        if now > t.last_update {
+            let dt = (now - t.last_update) as f64 * slot_secs;
+            t.energy_uj = (t.energy_uj + t.harvest_uw * dt).min(t.storage_uj);
+            t.last_update = now;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_slot(
+        &self,
+        slot: u64,
+        pending: &mut [Vec<u32>],
+        touched: &mut Vec<u16>,
+        tags: &mut [TagState],
+        slot_secs: f64,
+        q: &mut EventQueue,
+        stats: &mut NetStats,
+        trace: &mut Vec<TraceEvent>,
+    ) {
+        let cfg = &self.cfg;
+        for &ch in touched.iter() {
+            let attempts = std::mem::take(&mut pending[ch as usize]);
+            let solo = attempts.len() == 1;
+            for &tag in &attempts {
+                let t = &mut tags[tag as usize];
+                // Transmitting spends one packet of energy, delivered or
+                // not — the radio does not know it collided.
+                Self::accrue(t, slot, slot_secs);
+                t.energy_uj = (t.energy_uj - t.tx_cost_uj).max(0.0);
+                stats.attempts += 1;
+                if t.first_attempt == u64::MAX {
+                    t.first_attempt = slot;
+                }
+
+                let (outcome, next_earliest) = if solo {
+                    if t.rng.gen::<f64>() < t.success_p {
+                        t.delivered += 1;
+                        stats.delivered += 1;
+                        stats.delivered_bits += cfg.packet_bits as u64;
+                        stats
+                            .latencies_slots
+                            .push((slot + 1).saturating_sub(t.first_attempt) as u32);
+                        t.backoff_exp = 0;
+                        t.first_attempt = u64::MAX;
+                        (Outcome::Delivered, slot + 1)
+                    } else {
+                        // A corrupted packet is a link loss, not
+                        // congestion: retry with a short jitter but no
+                        // backoff growth.
+                        stats.corrupt += 1;
+                        let jitter = t.rng.gen_range(0..2u64);
+                        (Outcome::Corrupt, slot + 1 + jitter)
+                    }
+                } else {
+                    stats.collided += 1;
+                    t.backoff_exp = (t.backoff_exp + 1).min(cfg.max_backoff_exp);
+                    let window = 1u64 << t.backoff_exp;
+                    let delay = t.rng.gen_range(0..window);
+                    (Outcome::Collided, slot + 1 + delay)
+                };
+                if cfg.record_trace {
+                    trace.push(TraceEvent {
+                        slot,
+                        tag,
+                        channel: ch,
+                        outcome,
+                    });
+                }
+                Self::schedule(
+                    &mut tags[tag as usize],
+                    tag,
+                    next_earliest,
+                    slot_secs,
+                    cfg,
+                    q,
+                    stats,
+                );
+            }
+        }
+        touched.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::{BerTable, BerTableSpec};
+    use fmbs_core::harvest::Illumination;
+    use fmbs_core::sim::fast::FastSim;
+
+    fn table() -> Arc<BerTable> {
+        Arc::new(BerTable::from_grid(
+            vec![-60.0, -20.0],
+            vec![1.0, 30.0],
+            vec![Bitrate::Kbps1_6],
+            vec![0.0, 2e-4, 1e-4, 2e-3],
+        ))
+    }
+
+    #[test]
+    fn event_queue_orders_by_slot_then_push_order() {
+        let mut q = EventQueue::new();
+        q.push(5, 1);
+        q.push(2, 2);
+        q.push(5, 3);
+        q.push(2, 4);
+        let order: Vec<(u64, u32)> =
+            std::iter::from_fn(|| q.pop().map(|e| (e.at, e.tag))).collect();
+        assert_eq!(order, vec![(2, 2), (2, 4), (5, 1), (5, 3)]);
+    }
+
+    #[test]
+    fn single_tag_saturates_its_channel() {
+        let mut cfg = NetworkConfig::new(1, 400);
+        cfg.record_trace = true;
+        let run = NetworkSim::new(cfg, table()).run();
+        // One tag, no contention: it transmits in nearly every slot
+        // after its start, and most packets survive the link.
+        assert!(run.stats.attempts > 350, "{:?}", run.stats);
+        assert!(run.stats.delivered > 250, "{:?}", run.stats);
+        assert_eq!(run.stats.collided, 0);
+        assert!(run.trace.len() as u64 >= run.stats.delivered);
+        assert!((run.stats.jain_fairness() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contention_causes_collisions_and_backoff_resolves_them() {
+        let cfg = NetworkConfig::new(300, 400);
+        let run = NetworkSim::new(cfg, table()).run();
+        assert!(run.stats.collided > 0, "300 tags must collide sometimes");
+        assert!(run.stats.delivered > 0, "backoff must still deliver");
+        assert!(run.stats.collision_rate() < 1.0);
+        let p95 = run.stats.latency_percentile_secs(0.95);
+        assert!(p95 > 0.0);
+    }
+
+    #[test]
+    fn goodput_grows_with_tags_until_contention() {
+        let at = |n: usize| {
+            let run = NetworkSim::new(NetworkConfig::new(n, 300), table()).run();
+            run.stats.goodput_bps()
+        };
+        // A handful of tags on ~60 free channels: nearly linear scaling.
+        let one = at(1);
+        let ten = at(10);
+        assert!(ten > 5.0 * one, "10 tags {ten} vs 1 tag {one}");
+    }
+
+    #[test]
+    fn starved_harvester_duty_cycles_the_tag() {
+        let mut cfg = NetworkConfig::new(1, 2_000);
+        cfg.harvest = HarvestProfile::Solar(Illumination::Streetlight);
+        cfg.storage_uj = 4.0;
+        let duty_run = NetworkSim::new(cfg.clone(), table()).run();
+        cfg.harvest = HarvestProfile::Mains;
+        let mains_run = NetworkSim::new(cfg, table()).run();
+        assert!(duty_run.stats.starved_slots > 0, "{:?}", duty_run.stats);
+        assert!(
+            duty_run.stats.delivered * 4 < mains_run.stats.delivered,
+            "streetlight {} vs mains {}",
+            duty_run.stats.delivered,
+            mains_run.stats.delivered
+        );
+        // But the duty-cycled tag is alive: the harvester does close the
+        // deficit eventually (§8's duty-cycling argument).
+        assert!(duty_run.stats.delivered > 0);
+    }
+
+    #[test]
+    fn same_seed_runs_are_trace_identical() {
+        let mut cfg = NetworkConfig::new(120, 250);
+        cfg.record_trace = true;
+        let a = NetworkSim::new(cfg.clone(), table()).run();
+        let b = NetworkSim::new(cfg.clone(), table()).run();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.stats.delivered, b.stats.delivered);
+        assert_eq!(a.stats.latencies_slots, b.stats.latencies_slots);
+        cfg.seed ^= 1;
+        let c = NetworkSim::new(cfg, table()).run();
+        assert_ne!(a.trace, c.trace, "different seed must change the trace");
+    }
+
+    #[test]
+    fn from_scenario_reads_the_network_axes() {
+        use fmbs_audio::program::ProgramKind;
+        use fmbs_core::sim::scenario::Scenario;
+        let mut s = Scenario::bench(-35.0, 12.0, ProgramKind::News)
+            .with_workload(Workload::data(Bitrate::Kbps3_2, 100));
+        s.n_tags = 40;
+        s.mac_slots = 777;
+        let cfg = NetworkConfig::from_scenario(&s);
+        assert_eq!(cfg.n_tags, 40);
+        assert_eq!(cfg.n_slots, 777);
+        assert_eq!(cfg.bitrate, Bitrate::Kbps3_2);
+        assert_eq!(cfg.mean_power_dbm, -35.0);
+        assert_eq!(cfg.cell_radius_ft, 12.0);
+    }
+
+    #[test]
+    fn calibrated_table_drives_the_network() {
+        // End-to-end: calibrate a tiny table from the real fast tier and
+        // run a deployment over it.
+        let table = Arc::new(BerTable::calibrate(
+            &FastSim,
+            &BerTableSpec {
+                powers_dbm: vec![-50.0, -30.0],
+                distances_ft: vec![4.0, 16.0],
+                bitrates: vec![Bitrate::Kbps1_6],
+                bits_per_point: 160,
+                repeats: 1,
+                seed: 9,
+            },
+        ));
+        let run = NetworkSim::new(NetworkConfig::new(20, 200), table).run();
+        assert!(run.stats.delivered > 0);
+    }
+}

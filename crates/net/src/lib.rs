@@ -1,0 +1,66 @@
+//! # fmbs-net — the network tier
+//!
+//! A deterministic discrete-event simulator for whole FM-backscatter
+//! *deployments*: many tags, one receiver per cell, real channel plans
+//! over the city's band occupancy, contention, and harvesting-driven
+//! duty cycling. It sits above the physics tiers of `fmbs-core` the way
+//! §8 of the paper sits above its §3–§6: the per-link physics is
+//! pre-sampled into a BER table, and the network layer then scales to
+//! tens of thousands of tags in seconds.
+//!
+//! * [`link`] — the BER-calibrated link abstraction: [`link::BerTable`]
+//!   samples single-link BER from a physics tier over a (power,
+//!   distance, rate) grid and interpolates per packet; a calibration
+//!   test pins it against direct simulation on held-out points.
+//! * [`deploy`] — deployment synthesis: tag geometry on a disc,
+//!   frequency-division channel plans via
+//!   [`fmbs_core::mac::assign_f_back`], per-tag harvest budgets.
+//! * [`engine`] — the event engine: a binary heap of `(slot, seq)`
+//!   ordered events with stable tie-breaking drives per-tag state
+//!   machines (slotted Aloha with binary-exponential backoff, energy
+//!   accrual, link-table packet trials). Same-seed runs are
+//!   trace-identical.
+//! * [`metrics`] — network [`fmbs_core::sim::metric::Metric`]s
+//!   (goodput, collision rate, Jain fairness, latency percentiles) that
+//!   plug straight into [`fmbs_core::sim::sweep::SweepBuilder`], making
+//!   `n_tags`, `mac_slot_counts` and `f_backs_hz` sweepable axes with
+//!   the engine's usual parallel == serial bit-identity.
+//!
+//! ```
+//! use fmbs_audio::program::ProgramKind;
+//! use fmbs_core::modem::Bitrate;
+//! use fmbs_core::sim::fast::FastSim;
+//! use fmbs_core::sim::scenario::{Scenario, Workload};
+//! use fmbs_core::sim::sweep::SweepBuilder;
+//! use fmbs_net::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // Calibrate the link abstraction from the fast physics tier once...
+//! let table = Arc::new(BerTable::calibrate(&FastSim, &BerTableSpec::quick()));
+//! // ...then sweep a deployment axis through the ordinary engine.
+//! let base = Scenario::bench(-40.0, 12.0, ProgramKind::News)
+//!     .with_workload(Workload::data(Bitrate::Kbps1_6, 256));
+//! let results = SweepBuilder::new(base)
+//!     .n_tags([8, 64])
+//!     .run(&FastSim, &NetGoodput(NetSpec::new(table)));
+//! assert_eq!(results.points.len(), 2);
+//! assert!(results.points.iter().all(|p| p.value > 0.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deploy;
+pub mod engine;
+pub mod link;
+pub mod metrics;
+
+/// Convenience re-exports covering the main API surface.
+pub mod prelude {
+    pub use crate::deploy::{city_occupancy, Deployment, HarvestProfile, TagSite};
+    pub use crate::engine::{
+        Event, EventQueue, NetRun, NetStats, NetworkConfig, NetworkSim, Outcome, TraceEvent,
+    };
+    pub use crate::link::{BerTable, BerTableSpec};
+    pub use crate::metrics::{NetCollisionRate, NetFairness, NetGoodput, NetLatency, NetSpec};
+}

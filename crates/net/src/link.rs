@@ -1,0 +1,332 @@
+//! The BER-calibrated link abstraction.
+//!
+//! The network tier replaces per-packet physics with a table lookup: a
+//! [`BerTable`] samples single-link bit-error rate from the physics
+//! tiers (normally [`fmbs_core::sim::fast::FastSim`]) over a (power,
+//! distance, rate) grid once, and every packet in a deployment then
+//! costs one bilinear interpolation plus one Bernoulli draw instead of a
+//! full waveform simulation. A calibration test in `tests/` pins the
+//! interpolated table against direct simulation on held-out grid points,
+//! so the abstraction cannot silently drift from the physics.
+
+use fmbs_audio::program::ProgramKind;
+use fmbs_core::modem::Bitrate;
+use fmbs_core::sim::metric::Ber;
+use fmbs_core::sim::scenario::{Scenario, Workload};
+use fmbs_core::sim::sweep::SweepBuilder;
+use fmbs_core::sim::Simulator;
+use serde::{Deserialize, Serialize};
+
+/// How to sample the physics tier when calibrating a [`BerTable`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BerTableSpec {
+    /// Ambient-power grid (dBm), ascending.
+    pub powers_dbm: Vec<f64>,
+    /// Distance grid (feet), ascending.
+    pub distances_ft: Vec<f64>,
+    /// Bit rates to tabulate.
+    pub bitrates: Vec<Bitrate>,
+    /// Payload bits simulated per grid point (more bits, less sampling
+    /// noise in the tabulated BER).
+    pub bits_per_point: u32,
+    /// Seed-rotated repetitions averaged per grid point.
+    pub repeats: usize,
+    /// Base seed of the calibration sweep.
+    pub seed: u64,
+}
+
+impl BerTableSpec {
+    /// A small grid that calibrates in well under a second: enough for
+    /// the quick `network_capacity` figure and the benches.
+    pub fn quick() -> Self {
+        BerTableSpec {
+            powers_dbm: vec![-60.0, -50.0, -40.0, -30.0],
+            distances_ft: vec![2.0, 8.0, 14.0, 20.0],
+            bitrates: vec![Bitrate::Kbps1_6],
+            bits_per_point: 320,
+            repeats: 2,
+            seed: 0x11AB,
+        }
+    }
+
+    /// A denser grid for the `--full` figure runs.
+    pub fn dense() -> Self {
+        BerTableSpec {
+            powers_dbm: (0..9).map(|i| -60.0 + 5.0 * i as f64).collect(),
+            distances_ft: (1..=10).map(|i| 2.0 * i as f64).collect(),
+            bitrates: Bitrate::ALL.to_vec(),
+            bits_per_point: 832,
+            repeats: 4,
+            seed: 0x11AB,
+        }
+    }
+}
+
+/// Single-link BER tabulated over (rate, power, distance), bilinearly
+/// interpolated in (power, distance) and clamped at the grid edges.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BerTable {
+    powers_dbm: Vec<f64>,
+    distances_ft: Vec<f64>,
+    bitrates: Vec<Bitrate>,
+    /// Rate-major, then power, then distance.
+    ber: Vec<f64>,
+}
+
+/// Clamped bracketing of `x` on an ascending grid: the two neighbouring
+/// indices and the interpolation weight of the upper one.
+fn bracket(grid: &[f64], x: f64) -> (usize, usize, f64) {
+    assert!(!grid.is_empty());
+    if x <= grid[0] {
+        return (0, 0, 0.0);
+    }
+    if x >= grid[grid.len() - 1] {
+        let last = grid.len() - 1;
+        return (last, last, 0.0);
+    }
+    let hi = grid.partition_point(|&g| g <= x);
+    let lo = hi - 1;
+    let t = (x - grid[lo]) / (grid[hi] - grid[lo]);
+    (lo, hi, t)
+}
+
+impl BerTable {
+    /// Calibrates the table by sweeping `sim` over the spec's grid
+    /// through the ordinary sweep engine (so calibration itself runs on
+    /// parallel workers with deterministic per-point seeding).
+    pub fn calibrate(sim: &dyn Simulator, spec: &BerTableSpec) -> Self {
+        let np = spec.powers_dbm.len();
+        let nd = spec.distances_ft.len();
+        let mut ber = Vec::with_capacity(spec.bitrates.len() * np * nd);
+        for &bitrate in &spec.bitrates {
+            let base = Scenario::bench(spec.powers_dbm[0], spec.distances_ft[0], ProgramKind::News)
+                .with_seed(spec.seed)
+                .with_workload(Workload::data(bitrate, spec.bits_per_point as usize));
+            let results = SweepBuilder::new(base)
+                .powers_dbm(spec.powers_dbm.iter().copied())
+                .distances_ft(spec.distances_ft.iter().copied())
+                .repeats(spec.repeats)
+                .run(sim, &Ber::default());
+            let mut sums = vec![0.0; np * nd];
+            let mut counts = vec![0usize; np * nd];
+            for p in &results.points {
+                let cell = p.coords.power * nd + p.coords.distance;
+                sums[cell] += p.value;
+                counts[cell] += 1;
+            }
+            ber.extend(sums.iter().zip(&counts).map(|(s, &c)| s / c.max(1) as f64));
+        }
+        BerTable {
+            powers_dbm: spec.powers_dbm.clone(),
+            distances_ft: spec.distances_ft.clone(),
+            bitrates: spec.bitrates.clone(),
+            ber,
+        }
+    }
+
+    /// Builds a table from explicit values (rate-major, then power, then
+    /// distance) — for synthetic tables in tests and benches.
+    pub fn from_grid(
+        powers_dbm: Vec<f64>,
+        distances_ft: Vec<f64>,
+        bitrates: Vec<Bitrate>,
+        ber: Vec<f64>,
+    ) -> Self {
+        assert_eq!(
+            ber.len(),
+            bitrates.len() * powers_dbm.len() * distances_ft.len(),
+            "value count must match the grid"
+        );
+        assert!(powers_dbm.windows(2).all(|w| w[0] < w[1]));
+        assert!(distances_ft.windows(2).all(|w| w[0] < w[1]));
+        BerTable {
+            powers_dbm,
+            distances_ft,
+            bitrates,
+            ber,
+        }
+    }
+
+    /// Interpolated BER at (power, distance) for `bitrate`, clamped to
+    /// the calibrated grid's edges.
+    ///
+    /// Panics if `bitrate` was not calibrated — a rate the table has
+    /// never seen cannot be meaningfully interpolated.
+    pub fn lookup(&self, bitrate: Bitrate, power_dbm: f64, distance_ft: f64) -> f64 {
+        let bi = self
+            .bitrates
+            .iter()
+            .position(|&b| b == bitrate)
+            .unwrap_or_else(|| panic!("{bitrate:?} not calibrated into this table"));
+        let nd = self.distances_ft.len();
+        let plane = &self.ber[bi * self.powers_dbm.len() * nd..];
+        let (p0, p1, tp) = bracket(&self.powers_dbm, power_dbm);
+        let (d0, d1, td) = bracket(&self.distances_ft, distance_ft);
+        let at = |p: usize, d: usize| plane[p * nd + d];
+        (1.0 - tp) * ((1.0 - td) * at(p0, d0) + td * at(p0, d1))
+            + tp * ((1.0 - td) * at(p1, d0) + td * at(p1, d1))
+    }
+
+    /// Probability a `bits`-long packet survives the link uncorrupted,
+    /// assuming independent bit errors at the interpolated BER.
+    pub fn packet_success_probability(
+        &self,
+        bitrate: Bitrate,
+        power_dbm: f64,
+        distance_ft: f64,
+        bits: u32,
+    ) -> f64 {
+        let ber = self.lookup(bitrate, power_dbm, distance_ft).clamp(0.0, 1.0);
+        (1.0 - ber).powi(bits as i32)
+    }
+
+    /// The bit rates this table was calibrated for.
+    pub fn bitrates(&self) -> &[Bitrate] {
+        &self.bitrates
+    }
+}
+
+/// Packet-level outcome model: the probability that a whole frame
+/// decodes cleanly as a function of the link's *raw* BER.
+///
+/// Overlay data carries a host-programme interference floor of roughly
+/// 2% raw BER even on strong links, so uncoded frames of useful length
+/// almost never survive — real deployments code their frames. The coded
+/// model is *measured*, not assumed: it Monte-Carlos frames through the
+/// repo's actual rate-1/2 Viterbi + interleaver
+/// ([`fmbs_core::modem::fec`]) at each grid BER and interpolates the
+/// resulting survival curve, the same sample-then-interpolate pattern as
+/// [`BerTable`] itself.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PacketModel {
+    ber_grid: Vec<f64>,
+    success: Vec<f64>,
+}
+
+impl PacketModel {
+    const GRID: [f64; 11] = [
+        0.0, 0.005, 0.01, 0.02, 0.03, 0.05, 0.07, 0.1, 0.15, 0.25, 0.5,
+    ];
+
+    /// Measures survival of `packet_bits`-long frames under the
+    /// rate-1/2 convolutional code with block interleaving, `trials`
+    /// frames per grid BER. Deterministic in `seed`.
+    pub fn coded(packet_bits: u32, trials: u32, seed: u64) -> Self {
+        use fmbs_core::modem::fec::{decode_from_rx, encode_for_tx};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let n = packet_bits as usize;
+        // Interleaver shape: near-square over the coded length.
+        let coded_len = 2 * (n + 2);
+        let rows = (coded_len as f64).sqrt().ceil() as usize;
+        let cols = coded_len.div_ceil(rows);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let success = Self::GRID
+            .iter()
+            .map(|&p| {
+                let mut ok = 0u32;
+                for _ in 0..trials.max(1) {
+                    let bits: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() < 0.5).collect();
+                    let mut coded = encode_for_tx(&bits, rows, cols);
+                    for b in coded.iter_mut() {
+                        if rng.gen::<f64>() < p {
+                            *b = !*b;
+                        }
+                    }
+                    if decode_from_rx(&coded, n, rows, cols) == bits {
+                        ok += 1;
+                    }
+                }
+                ok as f64 / trials.max(1) as f64
+            })
+            .collect();
+        PacketModel {
+            ber_grid: Self::GRID.to_vec(),
+            success,
+        }
+    }
+
+    /// The standard model for a frame length: the FEC-measured curve
+    /// when `coding` is on (128 trials, seed derived from the frame
+    /// length — a property of the code, not of any run), else the
+    /// uncoded closed form.
+    pub fn for_frame(packet_bits: u32, coding: bool) -> Self {
+        if coding {
+            PacketModel::coded(packet_bits, 128, 0xFEC ^ packet_bits as u64)
+        } else {
+            PacketModel::uncoded(packet_bits)
+        }
+    }
+
+    /// The uncoded closed form: a frame survives only if every raw bit
+    /// does, `(1 − ber)^bits`.
+    pub fn uncoded(packet_bits: u32) -> Self {
+        PacketModel {
+            ber_grid: Self::GRID.to_vec(),
+            success: Self::GRID
+                .iter()
+                .map(|&p| (1.0 - p).powi(packet_bits as i32))
+                .collect(),
+        }
+    }
+
+    /// Interpolated frame-survival probability at a raw link BER.
+    pub fn success_probability(&self, ber: f64) -> f64 {
+        let (lo, hi, t) = bracket(&self.ber_grid, ber.clamp(0.0, 0.5));
+        ((1.0 - t) * self.success[lo] + t * self.success[hi]).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_table() -> BerTable {
+        // BER = (power_idx + distance_idx)/10 on a 2x3 grid.
+        BerTable::from_grid(
+            vec![-60.0, -40.0],
+            vec![5.0, 10.0, 15.0],
+            vec![Bitrate::Kbps1_6],
+            vec![0.0, 0.1, 0.2, 0.1, 0.2, 0.3],
+        )
+    }
+
+    #[test]
+    fn lookup_hits_grid_points_exactly() {
+        let t = ramp_table();
+        assert!((t.lookup(Bitrate::Kbps1_6, -60.0, 5.0) - 0.0).abs() < 1e-12);
+        assert!((t.lookup(Bitrate::Kbps1_6, -40.0, 15.0) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookup_interpolates_and_clamps() {
+        let t = ramp_table();
+        // Midpoint between (-60, 10) = 0.1 and (-40, 10) = 0.2.
+        let mid = t.lookup(Bitrate::Kbps1_6, -50.0, 10.0);
+        assert!((mid - 0.15).abs() < 1e-12, "mid {mid}");
+        // Off-grid queries clamp to the edges.
+        assert_eq!(
+            t.lookup(Bitrate::Kbps1_6, -80.0, 1.0),
+            t.lookup(Bitrate::Kbps1_6, -60.0, 5.0)
+        );
+        assert_eq!(
+            t.lookup(Bitrate::Kbps1_6, 0.0, 99.0),
+            t.lookup(Bitrate::Kbps1_6, -40.0, 15.0)
+        );
+    }
+
+    #[test]
+    fn packet_success_shrinks_with_length() {
+        let t = ramp_table();
+        let short = t.packet_success_probability(Bitrate::Kbps1_6, -40.0, 15.0, 16);
+        let long = t.packet_success_probability(Bitrate::Kbps1_6, -40.0, 15.0, 256);
+        assert!(short > long);
+        assert!((0.0..=1.0).contains(&long));
+    }
+
+    #[test]
+    #[should_panic(expected = "not calibrated")]
+    fn uncalibrated_rate_panics() {
+        ramp_table().lookup(Bitrate::Bps100, -40.0, 5.0);
+    }
+}

@@ -128,6 +128,12 @@ proptest! {
         if fabric {
             s.tag = TagKind::SmartFabric;
         }
+        // The PR-3 network axes are part of the scenario and must
+        // round-trip with everything else.
+        s.f_back_hz = 200_000.0 + (seed % 5) as f64 * 200_000.0;
+        s.mrc_depth = 1 + (seed % 4) as u32;
+        s.mac_slots = 1 + (payload_seed % 10_000) as u32;
+        s.n_tags = 1 + (payload_seed % 5_000) as u32;
         let json = serde_json::to_string(&s).unwrap();
         let back: Scenario = serde_json::from_str(&json).unwrap();
         prop_assert_eq!(back, s);
@@ -197,6 +203,35 @@ proptest! {
         for (a, b) in auto.iter().zip(&direct) {
             prop_assert!((a - b).abs() < 1e-9);
         }
+    }
+
+    /// Slotted Aloha (§8): outcome counts always account for every
+    /// slot, same-seed runs are identical, and measured throughput
+    /// never beats the theoretical `N·p·(1−p)^{N−1}` bound by more than
+    /// sampling noise (the success count is Binomial(n_slots, S), so a
+    /// 5-sigma allowance bounds the false-failure rate well below the
+    /// suite's lifetime).
+    #[test]
+    fn slotted_aloha_bound_counts_and_determinism(
+        n_tags in 1usize..40,
+        p in 0.005f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        use fmbs_core::mac::SlottedAloha;
+        let n_slots = 4_000;
+        let sim = SlottedAloha { n_tags, tx_probability: p, n_slots, seed };
+        let out = sim.run();
+        prop_assert_eq!(out.successes + out.collisions + out.idle, n_slots);
+        prop_assert_eq!(out, sim.run());
+        let bound = sim.theoretical_throughput();
+        let sigma = (bound * (1.0 - bound) / n_slots as f64).sqrt();
+        prop_assert!(
+            out.throughput() <= bound + 5.0 * sigma + 1e-9,
+            "throughput {} above bound {} + noise {}",
+            out.throughput(),
+            bound,
+            5.0 * sigma
+        );
     }
 
     /// The sweep engine's parallel execution is bit-identical to serial
