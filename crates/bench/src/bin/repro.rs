@@ -1,114 +1,372 @@
-//! `repro` — regenerate every table and figure of the paper.
+//! `repro` — regenerate and verify every table and figure of the paper.
 //!
 //! ```text
 //! repro                 # all experiments, quick grids
 //! repro --full          # the paper's dense grids (slow)
-//! repro fig8a fig11     # a subset
+//! repro fig8a fig11     # a subset (also works with --check/--bless)
 //! repro --list          # known experiment ids
 //! repro --json out/     # also write one JSON file per experiment
+//! repro --check         # re-run quick grids, assert every figure's
+//!                       # machine-checkable paper expectations and
+//!                       # diff against goldens/; non-zero exit on any
+//!                       # failure
+//! repro --bless         # rewrite the canonical goldens after an
+//!                       # intentional physics change
+//! repro --goldens dir   # golden directory for --check / --bless
+//!                       # (default goldens/)
 //! repro --perf [file]   # measure sweep + network throughput, append
 //!                       # to the tracked series (default
 //!                       # BENCH_sweep.json / BENCH_net.json)
+//! repro --perf ... --gate
+//!                       # additionally fail if throughput drops >30%
+//!                       # below the last committed BENCH entry
 //! ```
 //!
-//! Experiment ids resolve through [`fmbs_bench::experiments::REGISTRY`];
-//! swept figures execute on the parallel sweep engine, so `--full`
-//! scales with cores.
+//! Experiment ids resolve through [`fmbs_bench::experiments::REGISTRY`]
+//! (unknown ids exit non-zero with near-miss suggestions); swept figures
+//! execute on the parallel sweep engine, so `--full` scales with cores.
+//! `--check` and `--bless` always use the Quick grid — goldens are
+//! quick-grid canonical JSON.
 
-use fmbs_bench::experiments::{self, Grid, REGISTRY};
+use fmbs_bench::check::{self, Tolerance};
+use fmbs_bench::experiments::{self, ExperimentSpec, Grid, REGISTRY};
+use fmbs_bench::perf;
 use fmbs_bench::report::Experiment;
 
-fn main() {
+struct Cli {
+    full: bool,
+    list: bool,
+    check: bool,
+    bless: bool,
+    gate: bool,
+    perf: Option<String>,
+    label: String,
+    json_dir: Option<String>,
+    goldens_dir: String,
+    ids: Vec<String>,
+}
+
+fn parse_cli() -> Cli {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let grid = if args.iter().any(|a| a == "--full") {
-        Grid::Full
-    } else {
-        Grid::Quick
+    let mut cli = Cli {
+        full: false,
+        list: false,
+        check: false,
+        bless: false,
+        gate: false,
+        perf: None,
+        label: "unlabelled".into(),
+        json_dir: None,
+        goldens_dir: "goldens".into(),
+        ids: Vec::new(),
     };
-    if args.iter().any(|a| a == "--list") {
+    let mut i = 0;
+    // An optional value following a flag: present when the next arg is
+    // not itself a flag.
+    let optional_value = |args: &[String], i: usize| -> Option<String> {
+        args.get(i + 1).filter(|a| !a.starts_with("--")).cloned()
+    };
+    let required_value = |args: &[String], i: usize, flag: &str| -> String {
+        optional_value(args, i).unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            std::process::exit(2);
+        })
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => cli.full = true,
+            "--list" => cli.list = true,
+            "--check" => cli.check = true,
+            "--gate" => cli.gate = true,
+            // No optional directory value: `repro --bless fig8a` must
+            // mean "bless the fig8a subset", not "bless everything into
+            // ./fig8a/". The directory comes from --goldens.
+            "--bless" => cli.bless = true,
+            "--perf" => {
+                cli.perf = Some(
+                    optional_value(&args, i)
+                        .inspect(|_| i += 1)
+                        .unwrap_or_else(|| "BENCH_sweep.json".into()),
+                );
+            }
+            "--label" => {
+                cli.label = required_value(&args, i, "--label");
+                i += 1;
+            }
+            "--json" => {
+                cli.json_dir = Some(required_value(&args, i, "--json"));
+                i += 1;
+            }
+            "--goldens" => {
+                cli.goldens_dir = required_value(&args, i, "--goldens");
+                i += 1;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag: {flag}");
+                std::process::exit(2);
+            }
+            id => cli.ids.push(id.to_string()),
+        }
+        i += 1;
+    }
+    cli
+}
+
+/// Resolves experiment ids (all of them when none given); unknown ids
+/// exit non-zero with near-miss suggestions.
+fn resolve_specs(ids: &[String]) -> Vec<&'static ExperimentSpec> {
+    if ids.is_empty() {
+        return REGISTRY.iter().collect();
+    }
+    ids.iter()
+        .map(|id| {
+            experiments::spec_by_id(id).unwrap_or_else(|| {
+                eprintln!("unknown experiment id: {id}");
+                let near = experiments::suggest_ids(id, 3);
+                if !near.is_empty() {
+                    eprintln!("  did you mean: {}?", near.join(", "));
+                }
+                eprintln!("  (repro --list shows all ids)");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+fn run_perf(path: &str, label: &str, gate: bool) {
+    // Baselines are read from the committed repo-root series *before*
+    // anything is appended: with the default path the fresh record lands
+    // in the same file, and a gate reading it afterwards would compare
+    // the measurement against itself.
+    let baselines = gate.then(|| {
+        (
+            perf::last_sweep_record("BENCH_sweep.json"),
+            perf::last_net_record("BENCH_net.json"),
+        )
+    });
+    let rec = match perf::record(path, label, 3) {
+        Ok(rec) => {
+            println!(
+                "sweep throughput: {:.1} points/s serial, {:.1} points/s parallel \
+                 ({} points; cache {} hits / {} misses) -> {path}",
+                rec.serial_points_per_sec,
+                rec.parallel_points_per_sec,
+                rec.grid_points,
+                rec.cache.hits(),
+                rec.cache.misses(),
+            );
+            rec
+        }
+        Err(e) => {
+            eprintln!("--perf failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let net_path = perf::net_series_path(path);
+    let net_rec = match perf::record_net(&net_path, label, 2) {
+        Ok(rec) => {
+            println!(
+                "network throughput: {} tags x {} slots in {:.2} s \
+                 ({:.2e} tag-slots/s, {} packets delivered) -> {net_path}",
+                rec.n_tags, rec.n_slots, rec.elapsed_s, rec.tag_slots_per_sec, rec.delivered,
+            );
+            rec
+        }
+        Err(e) => {
+            eprintln!("--perf (network) failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some((sweep_baseline, net_baseline)) = baselines {
+        let outcomes = [
+            sweep_baseline.map(|b| perf::gate_sweep(&b, &rec, perf::MAX_PERF_DROP)),
+            net_baseline.map(|b| perf::gate_net(&b, &net_rec, perf::MAX_PERF_DROP)),
+        ];
+        let mut failed = false;
+        for outcome in outcomes {
+            match outcome {
+                Ok(o) => {
+                    println!("{}", o.render());
+                    failed |= !o.passed;
+                }
+                Err(e) => {
+                    eprintln!("perf gate: {e}");
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            eprintln!(
+                "perf gate failed: throughput dropped more than {:.0}% below the \
+                 committed baseline",
+                100.0 * perf::MAX_PERF_DROP,
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// When checking the full set, a golden file whose id is no longer in
+/// the registry means a figure was renamed or removed without cleaning
+/// up — flag it rather than letting goldens/ drift.
+fn stale_goldens(specs: &[&'static ExperimentSpec], goldens_dir: &str) -> Vec<String> {
+    let known: Vec<&str> = specs.iter().map(|s| s.id).collect();
+    let Ok(entries) = std::fs::read_dir(goldens_dir) else {
+        return Vec::new(); // missing dir is reported per-figure already
+    };
+    let mut stale: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter_map(|name| name.strip_suffix(".json").map(str::to_string))
+        .filter(|stem| !known.contains(&stem.as_str()))
+        .collect();
+    stale.sort();
+    stale
+}
+
+/// `--check`: re-run the quick grids, assert the machine-checkable paper
+/// expectations and diff against the committed goldens.
+fn run_check(specs: &[&'static ExperimentSpec], goldens_dir: &str) {
+    let tol = Tolerance::default();
+    let mut failures = 0usize;
+    // Only meaningful on the full set: a subset check must not flag the
+    // figures it was told to skip.
+    if specs.len() == REGISTRY.len() {
+        for stem in stale_goldens(specs, goldens_dir) {
+            failures += 1;
+            println!(
+                "FAIL stale golden {}: no registry figure with this id \
+                 (renamed or removed? delete the file or re-bless)",
+                check::golden_path(goldens_dir, &stem),
+            );
+        }
+    }
+    eprintln!(
+        "checking {} figure(s) against paper expectations and {goldens_dir}/ ...",
+        specs.len(),
+    );
+    for spec in specs {
+        let e = (spec.build)(Grid::Quick);
+        let report = check::check_experiment(&e, &(spec.checks)());
+        let mut fig_failed = false;
+        for o in &report.outcomes {
+            if !o.passed {
+                fig_failed = true;
+                println!("FAIL {} expectation: {}", spec.id, o.description);
+                println!("     {}", o.detail);
+            }
+        }
+        match check::load_golden(goldens_dir, spec.id) {
+            Ok(golden) => {
+                for d in check::diff_experiments(&e, &golden, &tol) {
+                    fig_failed = true;
+                    match &d.series {
+                        Some(s) => println!("FAIL {} golden [{s}]: {}", spec.id, d.detail),
+                        None => println!("FAIL {} golden: {}", spec.id, d.detail),
+                    }
+                }
+            }
+            Err(e) => {
+                fig_failed = true;
+                println!("FAIL {} golden: {e}", spec.id);
+            }
+        }
+        if fig_failed {
+            failures += 1;
+        } else {
+            println!(
+                "ok   {} ({} expectations, golden matches)",
+                spec.id,
+                report.outcomes.len(),
+            );
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "--check: {failures}/{} figure(s) FAILED (re-run `repro --bless` only for \
+             an intentional physics change)",
+            specs.len(),
+        );
+        std::process::exit(1);
+    }
+    eprintln!("--check: all {} figure(s) pass", specs.len());
+}
+
+/// `--bless`: rewrite canonical goldens. Figures that fail their own
+/// expectations are not blessed — a golden must never freeze a broken
+/// shape.
+fn run_bless(specs: &[&'static ExperimentSpec], goldens_dir: &str) {
+    let mut failures = 0usize;
+    for spec in specs {
+        let e = (spec.build)(Grid::Quick);
+        let report = check::check_experiment(&e, &(spec.checks)());
+        if !report.passed() {
+            failures += 1;
+            for o in report.outcomes.iter().filter(|o| !o.passed) {
+                println!("FAIL {} expectation: {}", spec.id, o.description);
+                println!("     {}", o.detail);
+            }
+            eprintln!("not blessing {}: its own expectations fail", spec.id);
+            continue;
+        }
+        match check::bless(goldens_dir, &e) {
+            Ok(path) => println!("blessed {path}"),
+            Err(err) => {
+                failures += 1;
+                eprintln!("bless {} failed: {err}", spec.id);
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("--bless: {failures} figure(s) not blessed");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let cli = parse_cli();
+    if cli.list {
         for spec in REGISTRY {
             println!("{}", spec.id);
         }
         return;
     }
-    if let Some(i) = args.iter().position(|a| a == "--perf") {
-        let path = match args.get(i + 1) {
-            Some(p) if !p.starts_with("--") => p.as_str(),
-            _ => "BENCH_sweep.json",
-        };
-        let label = match args.iter().position(|a| a == "--label") {
-            Some(j) => args.get(j + 1).map(String::as_str).unwrap_or("unlabelled"),
-            None => "unlabelled",
-        };
-        match fmbs_bench::perf::record(path, label, 3) {
-            Ok(rec) => {
-                println!(
-                    "sweep throughput: {:.1} points/s serial, {:.1} points/s parallel \
-                     ({} points; cache {} hits / {} misses) -> {path}",
-                    rec.serial_points_per_sec,
-                    rec.parallel_points_per_sec,
-                    rec.grid_points,
-                    rec.cache.hits(),
-                    rec.cache.misses(),
-                );
-            }
-            Err(e) => {
-                eprintln!("--perf failed: {e}");
-                std::process::exit(1);
-            }
-        }
-        let net_path = fmbs_bench::perf::net_series_path(path);
-        match fmbs_bench::perf::record_net(&net_path, label, 2) {
-            Ok(rec) => {
-                println!(
-                    "network throughput: {} tags x {} slots in {:.2} s \
-                     ({:.2e} tag-slots/s, {} packets delivered) -> {net_path}",
-                    rec.n_tags, rec.n_slots, rec.elapsed_s, rec.tag_slots_per_sec, rec.delivered,
-                );
-            }
-            Err(e) => {
-                eprintln!("--perf (network) failed: {e}");
-                std::process::exit(1);
-            }
-        }
+    if cli.gate && cli.perf.is_none() {
+        eprintln!("--gate only applies to --perf runs");
+        std::process::exit(2);
+    }
+    if let Some(path) = &cli.perf {
+        run_perf(path, &cli.label, cli.gate);
         return;
     }
-    let json_dir = match args.iter().position(|a| a == "--json") {
-        Some(i) => match args.get(i + 1) {
-            Some(dir) if !dir.starts_with("--") => Some(dir.clone()),
-            _ => {
-                eprintln!("--json needs an output directory");
-                std::process::exit(2);
-            }
-        },
-        None => None,
-    };
-    let ids: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .filter(|a| json_dir.as_deref() != Some(a.as_str()))
-        .cloned()
-        .collect();
+    if cli.full && (cli.check || cli.bless) {
+        // Silently validating Quick while the user believes the dense
+        // grids ran would be worse than refusing.
+        eprintln!("--full does not combine with --check/--bless: goldens are quick-grid canonical");
+        std::process::exit(2);
+    }
+    let specs = resolve_specs(&cli.ids);
+    if cli.check {
+        run_check(&specs, &cli.goldens_dir);
+        return;
+    }
+    if cli.bless {
+        run_bless(&specs, &cli.goldens_dir);
+        return;
+    }
 
-    let results: Vec<Experiment> = if ids.is_empty() {
-        eprintln!("regenerating all experiments ({grid:?} grid)...");
-        experiments::all(grid)
-    } else {
-        ids.iter()
-            .map(|id| {
-                experiments::by_id(id, grid).unwrap_or_else(|| {
-                    eprintln!("unknown experiment id: {id} (try --list)");
-                    std::process::exit(2);
-                })
-            })
-            .collect()
-    };
+    let grid = if cli.full { Grid::Full } else { Grid::Quick };
+    eprintln!(
+        "regenerating {} experiment(s) ({grid:?} grid)...",
+        specs.len()
+    );
+    let results: Vec<Experiment> = specs.iter().map(|spec| (spec.build)(grid)).collect();
 
     for e in &results {
         println!("{}", e.render_text());
     }
 
-    if let Some(dir) = json_dir {
+    if let Some(dir) = cli.json_dir {
         std::fs::create_dir_all(&dir).expect("create json output dir");
         for e in &results {
             let path = format!("{dir}/{}.json", e.id);

@@ -1,0 +1,1182 @@
+//! Machine-checkable paper expectations and golden-figure diffing.
+//!
+//! Every figure in the [`crate::experiments::REGISTRY`] carries a prose
+//! `paper_expectation`; this module makes those claims *executable*. A
+//! figure's spec attaches a handful of typed [`Expectation`] combinators
+//! (monotonicity, thresholds at an x, series orderings, flatness, bands)
+//! that are evaluated against the regenerated [`Experiment`] and produce
+//! a structured pass/fail [`FigureReport`].
+//!
+//! The second half is golden-result persistence: [`canonical_json`]
+//! renders an experiment deterministically (recursively sorted object
+//! keys, shortest-round-trip float formatting, two-space indent, one
+//! trailing newline), [`bless`] writes one golden file per figure, and
+//! [`diff_experiments`] compares a fresh run against the committed
+//! golden with a per-point [`Tolerance`], reporting the worst point per
+//! series. `repro --check` drives both halves and turns the whole
+//! figure set into a regression suite.
+
+use crate::report::{Experiment, Series};
+use serde::{Serialize, Value};
+
+// ------------------------------------------------------------ selection
+
+/// Selects one or more series of an experiment by label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Select {
+    /// Every series of the figure.
+    All,
+    /// The series whose label matches exactly.
+    Label(&'static str),
+    /// Every series whose label contains the substring.
+    Contains(&'static str),
+}
+
+impl Select {
+    fn matches(&self, label: &str) -> bool {
+        match self {
+            Select::All => true,
+            Select::Label(l) => label == *l,
+            Select::Contains(part) => label.contains(part),
+        }
+    }
+
+    fn resolve<'a>(&self, e: &'a Experiment) -> Vec<&'a Series> {
+        e.series.iter().filter(|s| self.matches(&s.label)).collect()
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            Select::All => "all series".into(),
+            Select::Label(l) => format!("series \"{l}\""),
+            Select::Contains(part) => format!("series containing \"{part}\""),
+        }
+    }
+}
+
+/// Which coordinate of the points a check reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// The x coordinate (e.g. the sampled values of a CDF).
+    X,
+    /// The y coordinate (the measured quantity).
+    Y,
+}
+
+impl Axis {
+    fn pick(&self, p: (f64, f64)) -> f64 {
+        match self {
+            Axis::X => p.0,
+            Axis::Y => p.1,
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            Axis::X => "x",
+            Axis::Y => "y",
+        }
+    }
+}
+
+/// Direction of a monotonicity check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// y must not decrease (beyond the slack) along the point order.
+    Increasing,
+    /// y must not increase (beyond the slack) along the point order.
+    Decreasing,
+}
+
+// --------------------------------------------------------- expectations
+
+/// One machine-checkable claim about a figure, translated from its prose
+/// `paper_expectation`.
+#[derive(Debug, Clone)]
+pub enum Expectation {
+    /// Each selected series is (weakly) monotone in `dir` along its
+    /// point order: no point may fall more than `slack` against the
+    /// trend below/above the running extremum, so small counter-trend
+    /// wobbles (repeats, noise floors) are tolerated but never
+    /// accumulate into a reversed trend.
+    MonotoneIn {
+        /// Series under test.
+        series: Select,
+        /// Required trend.
+        dir: Dir,
+        /// Largest tolerated excursion against the trend, measured from
+        /// the running extremum (not per neighbouring step).
+        slack: f64,
+    },
+    /// The (interpolated) y of each selected series at `x` lies within
+    /// `[min_y, max_y]` (either bound optional, both inclusive).
+    ThresholdAt {
+        /// Series under test.
+        series: Select,
+        /// Where on the x axis to read the series.
+        x: f64,
+        /// Inclusive lower bound on y, if any.
+        min_y: Option<f64>,
+        /// Inclusive upper bound on y, if any.
+        max_y: Option<f64>,
+    },
+    /// The `below` series stays under every `above` series point-by-point
+    /// (compared by index on `axis`, within `slack`). `below` must match
+    /// exactly one series; series matching `below`'s label are excluded
+    /// from `above`.
+    SeriesBelow {
+        /// The series claimed to be smaller.
+        below: Select,
+        /// The series it must stay under.
+        above: Select,
+        /// Coordinate compared (X for CDFs, Y for curves).
+        axis: Axis,
+        /// Tolerated overshoot per point.
+        slack: f64,
+    },
+    /// The selected coordinate of each selected series has population
+    /// standard deviation at most `max_sigma` (the paper's "roughly
+    /// constant" claims).
+    FlatWithin {
+        /// Series under test.
+        series: Select,
+        /// Coordinate whose spread is measured.
+        axis: Axis,
+        /// Largest acceptable population sigma.
+        max_sigma: f64,
+    },
+    /// Every point of each selected series has its `axis` coordinate in
+    /// `[min, max]` (inclusive).
+    WithinBand {
+        /// Series under test.
+        series: Select,
+        /// Coordinate bounded.
+        axis: Axis,
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+    /// At one x, the `below` series sits at least `margin` under the
+    /// `above` series (each must match exactly one series).
+    CompareAt {
+        /// Where on the x axis to compare.
+        x: f64,
+        /// The series claimed to be smaller there.
+        below: Select,
+        /// The series claimed to be larger there.
+        above: Select,
+        /// Required gap between the two.
+        margin: f64,
+    },
+}
+
+/// Reads a series at `x`: exact point match first (the last match wins,
+/// so CDF steps with repeated x read their top), otherwise linear
+/// interpolation between the bracketing points of the x-sorted series.
+/// `None` when `x` is outside the sampled range.
+fn value_at(s: &Series, x: f64) -> Option<f64> {
+    let eps = 1e-9 * x.abs().max(1.0);
+    if let Some(y) = s
+        .points
+        .iter()
+        .filter(|p| (p.0 - x).abs() <= eps)
+        .map(|p| p.1)
+        .next_back()
+    {
+        return Some(y);
+    }
+    let mut pts = s.points.clone();
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+    if x < pts.first()?.0 || x > pts.last()?.0 {
+        return None;
+    }
+    for w in pts.windows(2) {
+        let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+        if x >= x0 && x <= x1 {
+            return Some(if x1 == x0 {
+                y1
+            } else {
+                y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+            });
+        }
+    }
+    None
+}
+
+fn sigma(values: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    let mean = v.iter().sum::<f64>() / v.len() as f64;
+    (v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64).sqrt()
+}
+
+impl Expectation {
+    /// One-line description for reports.
+    pub fn describe(&self) -> String {
+        match self {
+            Expectation::MonotoneIn { series, dir, slack } => format!(
+                "{} monotone {} (slack {slack})",
+                series.describe(),
+                match dir {
+                    Dir::Increasing => "increasing",
+                    Dir::Decreasing => "decreasing",
+                },
+            ),
+            Expectation::ThresholdAt {
+                series,
+                x,
+                min_y,
+                max_y,
+            } => {
+                let mut bounds = Vec::new();
+                if let Some(lo) = min_y {
+                    bounds.push(format!(">= {lo}"));
+                }
+                if let Some(hi) = max_y {
+                    bounds.push(format!("<= {hi}"));
+                }
+                format!("{} at x={x}: y {}", series.describe(), bounds.join(" and "))
+            }
+            Expectation::SeriesBelow {
+                below,
+                above,
+                axis,
+                slack,
+            } => format!(
+                "{} stays under {} on {} (slack {slack})",
+                below.describe(),
+                above.describe(),
+                axis.label(),
+            ),
+            Expectation::FlatWithin {
+                series,
+                axis,
+                max_sigma,
+            } => format!(
+                "{} flat on {}: sigma <= {max_sigma}",
+                series.describe(),
+                axis.label(),
+            ),
+            Expectation::WithinBand {
+                series,
+                axis,
+                min,
+                max,
+            } => format!(
+                "{} {} within [{min}, {max}]",
+                series.describe(),
+                axis.label(),
+            ),
+            Expectation::CompareAt {
+                x,
+                below,
+                above,
+                margin,
+            } => format!(
+                "at x={x}: {} + {margin} <= {}",
+                below.describe(),
+                above.describe(),
+            ),
+        }
+    }
+
+    /// Evaluates the expectation against an experiment.
+    pub fn check(&self, e: &Experiment) -> CheckOutcome {
+        let fail = |detail: String| CheckOutcome {
+            description: self.describe(),
+            passed: false,
+            detail,
+        };
+        let pass = |detail: String| CheckOutcome {
+            description: self.describe(),
+            passed: true,
+            detail,
+        };
+        // Every variant resolves at least one selector; an empty match is
+        // always a failure (the figure's series labels drifted).
+        let resolve_one = |sel: &Select| -> Result<&Series, String> {
+            let found = sel.resolve(e);
+            match found.len() {
+                1 => Ok(found[0]),
+                0 => Err(format!("{} matched nothing", sel.describe())),
+                n => Err(format!(
+                    "{} matched {n} series, need exactly 1",
+                    sel.describe()
+                )),
+            }
+        };
+        match self {
+            Expectation::MonotoneIn { series, dir, slack } => {
+                let matched = series.resolve(e);
+                if matched.is_empty() {
+                    return fail(format!("{} matched nothing", series.describe()));
+                }
+                let mut worst: Option<(String, f64, f64)> = None; // label, x, excursion
+                for s in &matched {
+                    // Excursions are measured against the running
+                    // extremum so counter-trend steps cannot accumulate.
+                    let mut extremum: Option<f64> = None;
+                    for &(x, y) in &s.points {
+                        // A NaN point is always a violation (ordered
+                        // comparisons against it would silently pass).
+                        let excursion = if y.is_nan() {
+                            f64::INFINITY
+                        } else {
+                            match (extremum, dir) {
+                                (None, _) => f64::NEG_INFINITY,
+                                (Some(ext), Dir::Increasing) => ext - y,
+                                (Some(ext), Dir::Decreasing) => y - ext,
+                            }
+                        };
+                        if excursion > *slack
+                            && worst.as_ref().is_none_or(|(_, _, we)| excursion > *we)
+                        {
+                            worst = Some((s.label.clone(), x, excursion));
+                        }
+                        if !y.is_nan() {
+                            extremum = Some(match (extremum, dir) {
+                                (None, _) => y,
+                                (Some(ext), Dir::Increasing) => ext.max(y),
+                                (Some(ext), Dir::Decreasing) => ext.min(y),
+                            });
+                        }
+                    }
+                }
+                match worst {
+                    Some((label, x, excursion)) => fail(format!(
+                        "[{label}] breaks trend by {excursion:.4} at x={x} \
+                         (vs running extremum, slack {slack})"
+                    )),
+                    None => pass(format!("{} series hold the trend", matched.len())),
+                }
+            }
+            Expectation::ThresholdAt {
+                series,
+                x,
+                min_y,
+                max_y,
+            } => {
+                let matched = series.resolve(e);
+                if matched.is_empty() {
+                    return fail(format!("{} matched nothing", series.describe()));
+                }
+                for s in &matched {
+                    let Some(y) = value_at(s, *x) else {
+                        return fail(format!("[{}] has no point near x={x}", s.label));
+                    };
+                    if y.is_nan() {
+                        return fail(format!("[{}] y is NaN at x={x}", s.label));
+                    }
+                    if let Some(lo) = min_y {
+                        if y < *lo {
+                            return fail(format!("[{}] y={y:.4} at x={x} below {lo}", s.label));
+                        }
+                    }
+                    if let Some(hi) = max_y {
+                        if y > *hi {
+                            return fail(format!("[{}] y={y:.4} at x={x} above {hi}", s.label));
+                        }
+                    }
+                }
+                pass(format!("{} series in bounds at x={x}", matched.len()))
+            }
+            Expectation::SeriesBelow {
+                below,
+                above,
+                axis,
+                slack,
+            } => {
+                let lo = match resolve_one(below) {
+                    Ok(s) => s,
+                    Err(msg) => return fail(msg),
+                };
+                let uppers: Vec<&Series> = above
+                    .resolve(e)
+                    .into_iter()
+                    .filter(|s| s.label != lo.label)
+                    .collect();
+                if uppers.is_empty() {
+                    return fail(format!("{} matched nothing", above.describe()));
+                }
+                for hi in uppers {
+                    if hi.points.len() != lo.points.len() {
+                        return fail(format!(
+                            "[{}] has {} points vs [{}]'s {}",
+                            hi.label,
+                            hi.points.len(),
+                            lo.label,
+                            lo.points.len(),
+                        ));
+                    }
+                    for (i, (pl, ph)) in lo.points.iter().zip(&hi.points).enumerate() {
+                        let (vl, vh) = (axis.pick(*pl), axis.pick(*ph));
+                        // NaN on either side counts as a violation.
+                        if vl.is_nan() || vh.is_nan() || vl > vh + slack {
+                            return fail(format!(
+                                "[{}] {}={vl:.4} exceeds [{}] {}={vh:.4} at index {i} \
+                                 (slack {slack})",
+                                lo.label,
+                                axis.label(),
+                                hi.label,
+                                axis.label(),
+                            ));
+                        }
+                    }
+                }
+                pass(format!("[{}] stays under on every point", lo.label))
+            }
+            Expectation::FlatWithin {
+                series,
+                axis,
+                max_sigma,
+            } => {
+                let matched = series.resolve(e);
+                if matched.is_empty() {
+                    return fail(format!("{} matched nothing", series.describe()));
+                }
+                for s in &matched {
+                    let sd = sigma(s.points.iter().map(|p| axis.pick(*p)));
+                    if sd.is_nan() || sd > *max_sigma {
+                        return fail(format!(
+                            "[{}] {} sigma {sd:.4} exceeds {max_sigma}",
+                            s.label,
+                            axis.label(),
+                        ));
+                    }
+                }
+                pass(format!("{} series flat enough", matched.len()))
+            }
+            Expectation::WithinBand {
+                series,
+                axis,
+                min,
+                max,
+            } => {
+                let matched = series.resolve(e);
+                if matched.is_empty() {
+                    return fail(format!("{} matched nothing", series.describe()));
+                }
+                for s in &matched {
+                    for p in &s.points {
+                        let v = axis.pick(*p);
+                        if v.is_nan() || v < *min || v > *max {
+                            return fail(format!(
+                                "[{}] {}={v:.4} at x={} outside [{min}, {max}]",
+                                s.label,
+                                axis.label(),
+                                p.0,
+                            ));
+                        }
+                    }
+                }
+                pass(format!("{} series inside the band", matched.len()))
+            }
+            Expectation::CompareAt {
+                x,
+                below,
+                above,
+                margin,
+            } => {
+                let (lo, hi) = match (resolve_one(below), resolve_one(above)) {
+                    (Ok(lo), Ok(hi)) => (lo, hi),
+                    (Err(msg), _) | (_, Err(msg)) => return fail(msg),
+                };
+                let (Some(vl), Some(vh)) = (value_at(lo, *x), value_at(hi, *x)) else {
+                    return fail(format!("one series has no point near x={x}"));
+                };
+                if vl + margin <= vh {
+                    pass(format!(
+                        "[{}]={vl:.4} sits {:.4} under [{}]={vh:.4}",
+                        lo.label,
+                        vh - vl,
+                        hi.label,
+                    ))
+                } else {
+                    fail(format!(
+                        "[{}]={vl:.4} not {margin} under [{}]={vh:.4} at x={x}",
+                        lo.label, hi.label,
+                    ))
+                }
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------- reports
+
+/// Result of evaluating one expectation.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// What was checked ([`Expectation::describe`]).
+    pub description: String,
+    /// Whether the claim held.
+    pub passed: bool,
+    /// The witness: worst violation, or a short pass note.
+    pub detail: String,
+}
+
+/// All expectation outcomes for one figure.
+#[derive(Debug, Clone)]
+pub struct FigureReport {
+    /// The figure id.
+    pub id: String,
+    /// One outcome per expectation, in spec order.
+    pub outcomes: Vec<CheckOutcome>,
+}
+
+impl FigureReport {
+    /// True when every expectation held.
+    pub fn passed(&self) -> bool {
+        self.outcomes.iter().all(|o| o.passed)
+    }
+}
+
+/// Evaluates every expectation of a figure.
+pub fn check_experiment(e: &Experiment, expectations: &[Expectation]) -> FigureReport {
+    FigureReport {
+        id: e.id.clone(),
+        outcomes: expectations.iter().map(|x| x.check(e)).collect(),
+    }
+}
+
+// ------------------------------------------------------ canonical JSON
+
+fn sort_maps(v: &mut Value) {
+    match v {
+        Value::Seq(items) => items.iter_mut().for_each(sort_maps),
+        Value::Map(entries) => {
+            entries.iter_mut().for_each(|(_, v)| sort_maps(v));
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        _ => {}
+    }
+}
+
+fn write_canonical(v: &Value, out: &mut String, depth: usize) {
+    let indent = |out: &mut String, depth: usize| {
+        out.push('\n');
+        for _ in 0..depth * 2 {
+            out.push(' ');
+        }
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::F64(f) => {
+            if f.is_finite() {
+                // `{:?}` is Rust's shortest round-trip formatting: the
+                // parsed value is bit-identical, and the text is stable.
+                out.push_str(&format!("{f:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        Value::Seq(items) => {
+            out.push('[');
+            for (k, item) in items.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                indent(out, depth + 1);
+                write_canonical(item, out, depth + 1);
+            }
+            if !items.is_empty() {
+                indent(out, depth);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (k, (key, val)) in entries.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                indent(out, depth + 1);
+                out.push('"');
+                out.push_str(key);
+                out.push_str("\": ");
+                write_canonical(val, out, depth + 1);
+            }
+            if !entries.is_empty() {
+                indent(out, depth);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Renders an experiment as canonical golden JSON: recursively sorted
+/// object keys, shortest-round-trip floats, two-space indent and one
+/// trailing newline. Byte-stable across runs for deterministic figures,
+/// and bit-exact through [`serde_json::from_str`].
+pub fn canonical_json(e: &Experiment) -> String {
+    let mut v = e.to_value();
+    sort_maps(&mut v);
+    let mut out = String::new();
+    write_canonical(&v, &mut out, 0);
+    out.push('\n');
+    out
+}
+
+// ------------------------------------------------------------- goldens
+
+/// Where a figure's golden lives under `dir`.
+pub fn golden_path(dir: &str, id: &str) -> String {
+    format!("{}/{id}.json", dir.trim_end_matches('/'))
+}
+
+/// Writes the canonical golden for an experiment; returns the path.
+/// Refuses experiments with non-finite points: canonical JSON renders
+/// them as `null`, which would produce an unloadable golden.
+pub fn bless(dir: &str, e: &Experiment) -> Result<String, String> {
+    for s in &e.series {
+        if let Some(p) = s
+            .points
+            .iter()
+            .find(|p| !p.0.is_finite() || !p.1.is_finite())
+        {
+            return Err(format!(
+                "refusing to bless {}: [{}] has a non-finite point ({}, {})",
+                e.id, s.label, p.0, p.1,
+            ));
+        }
+    }
+    std::fs::create_dir_all(dir).map_err(|err| format!("create {dir}: {err}"))?;
+    let path = golden_path(dir, &e.id);
+    std::fs::write(&path, canonical_json(e)).map_err(|err| format!("write {path}: {err}"))?;
+    Ok(path)
+}
+
+/// Loads the committed golden for a figure id.
+pub fn load_golden(dir: &str, id: &str) -> Result<Experiment, String> {
+    let path = golden_path(dir, id);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|err| format!("read golden {path}: {err} (run `repro --bless`?)"))?;
+    serde_json::from_str(&text).map_err(|err| format!("parse golden {path}: {err}"))
+}
+
+/// Per-point numeric tolerance of the golden diff: a pair of values
+/// agrees when `|a - b| <= abs + rel * max(|a|, |b|)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// Relative component.
+    pub rel: f64,
+    /// Absolute floor.
+    pub abs: f64,
+}
+
+impl Default for Tolerance {
+    /// Tight enough that any physics change (different noise
+    /// realisation, different curve) trips it; loose enough to absorb
+    /// last-ulp libm differences across platforms.
+    fn default() -> Self {
+        Tolerance {
+            rel: 1e-3,
+            abs: 1e-6,
+        }
+    }
+}
+
+impl Tolerance {
+    /// Whether two values agree under the tolerance.
+    pub fn within(&self, a: f64, b: f64) -> bool {
+        (a - b).abs() <= self.abs + self.rel * a.abs().max(b.abs())
+    }
+
+    /// How far past the tolerance a pair is (<= 0 means within).
+    fn excess(&self, a: f64, b: f64) -> f64 {
+        (a - b).abs() - (self.abs + self.rel * a.abs().max(b.abs()))
+    }
+}
+
+/// One mismatch between a regenerated figure and its golden.
+#[derive(Debug, Clone)]
+pub struct GoldenDiff {
+    /// The series involved, when the mismatch is inside one.
+    pub series: Option<String>,
+    /// Human-readable description (worst point for numeric drift).
+    pub detail: String,
+}
+
+/// Diffs a regenerated experiment against its golden. Metadata drift
+/// (title, labels, expectation prose, series set) is reported directly;
+/// numeric drift reports the worst point per series.
+pub fn diff_experiments(got: &Experiment, want: &Experiment, tol: &Tolerance) -> Vec<GoldenDiff> {
+    let mut diffs = Vec::new();
+    let meta = |diffs: &mut Vec<GoldenDiff>, field: &str, g: &str, w: &str| {
+        if g != w {
+            diffs.push(GoldenDiff {
+                series: None,
+                detail: format!("{field} changed: got \"{g}\", golden \"{w}\""),
+            });
+        }
+    };
+    meta(&mut diffs, "id", &got.id, &want.id);
+    meta(&mut diffs, "title", &got.title, &want.title);
+    meta(&mut diffs, "x_label", &got.x_label, &want.x_label);
+    meta(&mut diffs, "y_label", &got.y_label, &want.y_label);
+    meta(
+        &mut diffs,
+        "paper_expectation",
+        &got.paper_expectation,
+        &want.paper_expectation,
+    );
+    let got_labels: Vec<&str> = got.series.iter().map(|s| s.label.as_str()).collect();
+    let want_labels: Vec<&str> = want.series.iter().map(|s| s.label.as_str()).collect();
+    if got_labels != want_labels {
+        diffs.push(GoldenDiff {
+            series: None,
+            detail: format!("series set changed: got {got_labels:?}, golden {want_labels:?}"),
+        });
+        return diffs;
+    }
+    for (g, w) in got.series.iter().zip(&want.series) {
+        if g.points.len() != w.points.len() {
+            diffs.push(GoldenDiff {
+                series: Some(g.label.clone()),
+                detail: format!(
+                    "point count changed: got {}, golden {}",
+                    g.points.len(),
+                    w.points.len(),
+                ),
+            });
+            continue;
+        }
+        // Worst point = the coordinate pair farthest past the tolerance.
+        let mut worst: Option<(f64, f64, f64, &'static str, f64)> = None;
+        for (pg, pw) in g.points.iter().zip(&w.points) {
+            for (axis, a, b) in [("x", pg.0, pw.0), ("y", pg.1, pw.1)] {
+                // A NaN on either side is an unconditional mismatch —
+                // its ordered comparisons would otherwise read as
+                // "within tolerance".
+                let excess = tol.excess(a, b);
+                let excess = if excess.is_nan() {
+                    f64::INFINITY
+                } else {
+                    excess
+                };
+                if excess > 0.0 && worst.as_ref().is_none_or(|(_, _, _, _, we)| excess > *we) {
+                    worst = Some((pg.0, a, b, axis, excess));
+                }
+            }
+        }
+        if let Some((x, a, b, axis, _)) = worst {
+            diffs.push(GoldenDiff {
+                series: Some(g.label.clone()),
+                detail: format!(
+                    "worst point at x={x}: {axis} got {a}, golden {b} \
+                     (|delta|={:.3e}, tol {:.0e} rel + {:.0e} abs)",
+                    (a - b).abs(),
+                    tol.rel,
+                    tol.abs,
+                ),
+            });
+        }
+    }
+    diffs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp(series: Vec<Series>) -> Experiment {
+        Experiment {
+            id: "figT".into(),
+            title: "T".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series,
+            paper_expectation: "synthetic".into(),
+        }
+    }
+
+    fn rising() -> Series {
+        Series::new("up", vec![(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)])
+    }
+
+    #[test]
+    fn monotone_tolerance_edges() {
+        // One step of exactly `slack` against the trend passes; a hair
+        // more fails.
+        let e = exp(vec![Series::new(
+            "wobble",
+            vec![(0.0, 1.0), (1.0, 0.9), (2.0, 3.0)],
+        )]);
+        let at = |slack: f64| {
+            Expectation::MonotoneIn {
+                series: Select::All,
+                dir: Dir::Increasing,
+                slack,
+            }
+            .check(&e)
+        };
+        assert!(at(0.1 + 1e-12).passed);
+        assert!(!at(0.09).passed, "{}", at(0.09).detail);
+        let fail = at(0.0);
+        assert!(fail.detail.contains("wobble"), "{}", fail.detail);
+    }
+
+    #[test]
+    fn monotone_slack_does_not_accumulate() {
+        // Four points each dropping 0.05: every neighbouring step is
+        // under a 0.06 slack, but the 0.15 total reversal must fail —
+        // excursions are measured from the running extremum.
+        let e = exp(vec![Series::new(
+            "drift",
+            vec![(0.0, 1.0), (1.0, 0.95), (2.0, 0.90), (3.0, 0.85)],
+        )]);
+        let o = Expectation::MonotoneIn {
+            series: Select::All,
+            dir: Dir::Increasing,
+            slack: 0.06,
+        }
+        .check(&e);
+        assert!(!o.passed, "{}", o.detail);
+        assert!(o.detail.contains("x=3"), "{}", o.detail);
+    }
+
+    #[test]
+    fn nan_points_always_fail_checks() {
+        let e = exp(vec![Series::new(
+            "broken",
+            vec![(0.0, 1.0), (1.0, f64::NAN), (2.0, 3.0)],
+        )]);
+        assert!(
+            !Expectation::MonotoneIn {
+                series: Select::All,
+                dir: Dir::Increasing,
+                slack: 1e9,
+            }
+            .check(&e)
+            .passed
+        );
+        assert!(
+            !Expectation::WithinBand {
+                series: Select::All,
+                axis: Axis::Y,
+                min: f64::NEG_INFINITY,
+                max: f64::INFINITY,
+            }
+            .check(&e)
+            .passed
+        );
+        assert!(
+            !Expectation::ThresholdAt {
+                series: Select::All,
+                x: 1.0,
+                min_y: Some(f64::NEG_INFINITY),
+                max_y: None,
+            }
+            .check(&e)
+            .passed
+        );
+        assert!(
+            !Expectation::FlatWithin {
+                series: Select::All,
+                axis: Axis::Y,
+                max_sigma: f64::INFINITY,
+            }
+            .check(&e)
+            .passed
+        );
+        assert!(
+            !Expectation::SeriesBelow {
+                below: Select::Label("broken"),
+                above: Select::Label("ok"),
+                axis: Axis::Y,
+                slack: 1e9,
+            }
+            .check(&exp(vec![
+                Series::new("broken", vec![(0.0, f64::NAN)]),
+                Series::new("ok", vec![(0.0, 1.0)]),
+            ]))
+            .passed
+        );
+    }
+
+    #[test]
+    fn nan_point_is_a_golden_diff_and_bless_refuses_it() {
+        let golden = exp(vec![rising()]);
+        let mut got = golden.clone();
+        got.series[0].points[1].1 = f64::NAN;
+        let diffs = diff_experiments(&got, &golden, &Tolerance::default());
+        assert_eq!(diffs.len(), 1, "{diffs:?}");
+        assert!(diffs[0].detail.contains("NaN"), "{}", diffs[0].detail);
+        let err = bless("/tmp/fmbs_never_written", &got).unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn monotone_decreasing() {
+        let e = exp(vec![Series::new("down", vec![(0.0, 3.0), (1.0, 1.0)])]);
+        assert!(
+            Expectation::MonotoneIn {
+                series: Select::All,
+                dir: Dir::Decreasing,
+                slack: 0.0,
+            }
+            .check(&e)
+            .passed
+        );
+        assert!(
+            !Expectation::MonotoneIn {
+                series: Select::All,
+                dir: Dir::Increasing,
+                slack: 0.0,
+            }
+            .check(&e)
+            .passed
+        );
+    }
+
+    #[test]
+    fn threshold_interpolates_and_bounds_are_inclusive() {
+        let e = exp(vec![rising()]);
+        // Midpoint of (0,1)-(1,2) is 1.5.
+        let mid = Expectation::ThresholdAt {
+            series: Select::Label("up"),
+            x: 0.5,
+            min_y: Some(1.5),
+            max_y: Some(1.5),
+        };
+        assert!(mid.check(&e).passed, "{}", mid.check(&e).detail);
+        let too_high = Expectation::ThresholdAt {
+            series: Select::Label("up"),
+            x: 0.5,
+            min_y: Some(1.5 + 1e-9),
+            max_y: None,
+        };
+        assert!(!too_high.check(&e).passed);
+    }
+
+    #[test]
+    fn threshold_outside_range_fails() {
+        let e = exp(vec![rising()]);
+        let out = Expectation::ThresholdAt {
+            series: Select::All,
+            x: 5.0,
+            min_y: Some(0.0),
+            max_y: None,
+        }
+        .check(&e);
+        assert!(!out.passed);
+        assert!(out.detail.contains("no point"), "{}", out.detail);
+    }
+
+    #[test]
+    fn threshold_duplicate_x_reads_last() {
+        // CDF-style step: two points share x=1; the later (upper) wins.
+        let e = exp(vec![Series::new("cdf", vec![(1.0, 0.2), (1.0, 0.8)])]);
+        assert!(
+            Expectation::ThresholdAt {
+                series: Select::All,
+                x: 1.0,
+                min_y: Some(0.8),
+                max_y: None,
+            }
+            .check(&e)
+            .passed
+        );
+    }
+
+    #[test]
+    fn series_below_slack_edge() {
+        let e = exp(vec![
+            Series::new("a", vec![(0.0, 1.0), (1.0, 2.0)]),
+            Series::new("b", vec![(0.0, 1.0), (1.0, 1.9)]),
+        ]);
+        // a exceeds b by exactly 0.1 at index 1: slack 0.1 passes.
+        let at = |slack: f64| {
+            Expectation::SeriesBelow {
+                below: Select::Label("a"),
+                above: Select::Label("b"),
+                axis: Axis::Y,
+                slack,
+            }
+            .check(&e)
+        };
+        assert!(at(0.1 + 1e-12).passed);
+        assert!(!at(0.05).passed);
+        assert!(at(0.05).detail.contains("index 1"), "{}", at(0.05).detail);
+    }
+
+    #[test]
+    fn series_below_excludes_self_from_all() {
+        let e = exp(vec![
+            Series::new("low", vec![(0.0, 0.0)]),
+            Series::new("high", vec![(0.0, 1.0)]),
+        ]);
+        assert!(
+            Expectation::SeriesBelow {
+                below: Select::Label("low"),
+                above: Select::All,
+                axis: Axis::Y,
+                slack: 0.0,
+            }
+            .check(&e)
+            .passed
+        );
+    }
+
+    #[test]
+    fn flat_within_sigma_edge() {
+        // Values {0, 2}: population sigma exactly 1.
+        let e = exp(vec![Series::new("f", vec![(0.0, 0.0), (1.0, 2.0)])]);
+        let at = |max_sigma: f64| {
+            Expectation::FlatWithin {
+                series: Select::All,
+                axis: Axis::Y,
+                max_sigma,
+            }
+            .check(&e)
+        };
+        assert!(at(1.0).passed);
+        assert!(!at(0.99).passed);
+    }
+
+    #[test]
+    fn within_band_inclusive_and_axis_x() {
+        let e = exp(vec![Series::new("s", vec![(-1.0, 5.0), (1.0, 7.0)])]);
+        assert!(
+            Expectation::WithinBand {
+                series: Select::All,
+                axis: Axis::X,
+                min: -1.0,
+                max: 1.0,
+            }
+            .check(&e)
+            .passed
+        );
+        let tight = Expectation::WithinBand {
+            series: Select::All,
+            axis: Axis::Y,
+            min: 5.0,
+            max: 6.9,
+        }
+        .check(&e);
+        assert!(!tight.passed);
+        assert!(tight.detail.contains("7"), "{}", tight.detail);
+    }
+
+    #[test]
+    fn compare_at_margin_edge() {
+        let e = exp(vec![
+            Series::new("lo", vec![(0.0, 1.0)]),
+            Series::new("hi", vec![(0.0, 3.0)]),
+        ]);
+        let at = |margin: f64| {
+            Expectation::CompareAt {
+                x: 0.0,
+                below: Select::Label("lo"),
+                above: Select::Label("hi"),
+                margin,
+            }
+            .check(&e)
+        };
+        assert!(at(2.0).passed);
+        assert!(!at(2.1).passed);
+    }
+
+    #[test]
+    fn empty_selection_fails_not_panics() {
+        let e = exp(vec![rising()]);
+        let o = Expectation::WithinBand {
+            series: Select::Contains("nonexistent"),
+            axis: Axis::Y,
+            min: 0.0,
+            max: 1.0,
+        }
+        .check(&e);
+        assert!(!o.passed);
+        assert!(o.detail.contains("matched nothing"));
+    }
+
+    #[test]
+    fn canonical_json_sorts_keys_and_round_trips() {
+        let e = exp(vec![rising()]);
+        let text = canonical_json(&e);
+        // Keys appear in sorted order.
+        let order: Vec<usize> = ["\"id\"", "\"paper_expectation\"", "\"series\"", "\"title\""]
+            .iter()
+            .map(|k| text.find(k).unwrap())
+            .collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted, "{text}");
+        assert!(text.ends_with('\n'));
+        let back: Experiment = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.series[0].points, rising().points);
+        assert_eq!(canonical_json(&back), text, "not byte-stable");
+    }
+
+    #[test]
+    fn tolerance_within_edges() {
+        let tol = Tolerance { rel: 0.1, abs: 0.0 };
+        assert!(tol.within(1.0, 1.1)); // |d| = 0.1 <= 0.1 * 1.1
+        assert!(tol.within(100.0, 109.9));
+        assert!(!tol.within(100.0, 112.0)); // |d| = 12 > 0.1 * 112
+        let abs = Tolerance { rel: 0.0, abs: 0.5 };
+        assert!(abs.within(0.0, 0.5));
+        assert!(!abs.within(0.0, 0.51));
+    }
+
+    #[test]
+    fn diff_reports_worst_point_and_meta_drift() {
+        let golden = exp(vec![Series::new("s", vec![(0.0, 1.0), (1.0, 2.0)])]);
+        let mut got = golden.clone();
+        got.series[0].points[1].1 = 2.5; // 25% off
+        got.series[0].points[0].1 = 1.001; // under default tol? 0.1% = at edge
+        let diffs = diff_experiments(&got, &golden, &Tolerance::default());
+        assert_eq!(diffs.len(), 1, "{diffs:?}");
+        assert_eq!(diffs[0].series.as_deref(), Some("s"));
+        assert!(diffs[0].detail.contains("x=1"), "{}", diffs[0].detail);
+
+        let mut renamed = golden.clone();
+        renamed.title = "other".into();
+        renamed.series[0].label = "t".into();
+        let diffs = diff_experiments(&renamed, &golden, &Tolerance::default());
+        assert!(diffs.iter().any(|d| d.detail.contains("title changed")));
+        assert!(diffs
+            .iter()
+            .any(|d| d.detail.contains("series set changed")));
+    }
+
+    #[test]
+    fn diff_clean_is_empty() {
+        let golden = exp(vec![rising()]);
+        assert!(diff_experiments(&golden.clone(), &golden, &Tolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn bless_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("fmbs_check_unit");
+        let dir = dir.to_str().unwrap();
+        let e = exp(vec![rising()]);
+        let path = bless(dir, &e).unwrap();
+        assert_eq!(path, golden_path(dir, "figT"));
+        let back = load_golden(dir, "figT").unwrap();
+        assert!(diff_experiments(&e, &back, &Tolerance::default()).is_empty());
+        let _ = std::fs::remove_file(path);
+    }
+}

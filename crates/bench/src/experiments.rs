@@ -13,6 +13,7 @@
 //! The [`REGISTRY`] maps experiment ids (`fig8a`, `power`, ...) to their
 //! builders; `repro` and external callers go through [`by_id`]/[`all`].
 
+use crate::check::{Axis, Dir, Expectation, Select};
 use crate::report::{Experiment, Series};
 use fmbs_audio::program::ProgramKind;
 use fmbs_channel::fading::MotionProfile;
@@ -744,6 +745,574 @@ pub fn network_capacity(grid: Grid) -> Experiment {
     }
 }
 
+// ----------------------------------------------------- machine checks
+//
+// Each figure's prose `paper_expectation` translated into 1-4 typed
+// [`Expectation`]s, evaluated by `repro --check` against the Quick grid.
+// Bounds are calibrated to the substrate's quick-grid output with enough
+// margin that only a physics change trips them (exact drift is the
+// golden diff's job).
+
+fn checks_fig2a() -> Vec<Expectation> {
+    vec![
+        // A CDF is nondecreasing.
+        Expectation::MonotoneIn {
+            series: Select::All,
+            dir: Dir::Increasing,
+            slack: 0.0,
+        },
+        // "all cells well above FM sensitivity": every sampled power is
+        // far above -60 dBm and below -10 dBm.
+        Expectation::WithinBand {
+            series: Select::All,
+            axis: Axis::X,
+            min: -60.0,
+            max: -10.0,
+        },
+        // The city median sits near -30 dBm on this substrate.
+        Expectation::ThresholdAt {
+            series: Select::All,
+            x: -30.0,
+            min_y: Some(0.3),
+            max_y: Some(0.7),
+        },
+    ]
+}
+
+fn checks_fig2b() -> Vec<Expectation> {
+    vec![
+        Expectation::MonotoneIn {
+            series: Select::All,
+            dir: Dir::Increasing,
+            slack: 0.0,
+        },
+        // "roughly constant ... within -35..-30 dBm".
+        Expectation::WithinBand {
+            series: Select::All,
+            axis: Axis::X,
+            min: -36.0,
+            max: -29.0,
+        },
+        // "sigma = 0.7 dB": the sampled per-minute powers stay tight.
+        Expectation::FlatWithin {
+            series: Select::All,
+            axis: Axis::X,
+            max_sigma: 1.5,
+        },
+    ]
+}
+
+fn checks_fig4a() -> Vec<Expectation> {
+    vec![
+        // "20-70 stations per city".
+        Expectation::WithinBand {
+            series: Select::All,
+            axis: Axis::Y,
+            min: 20.0,
+            max: 70.0,
+        },
+        // "Seattle detects more than licensed" (city index 1).
+        Expectation::CompareAt {
+            x: 1.0,
+            below: Select::Label("Licensed"),
+            above: Select::Label("Detectable"),
+            margin: 0.0,
+        },
+        // SFO (index 0) detects fewer than licensed, the usual case.
+        Expectation::CompareAt {
+            x: 0.0,
+            below: Select::Label("Detectable"),
+            above: Select::Label("Licensed"),
+            margin: 0.0,
+        },
+    ]
+}
+
+fn checks_fig4b() -> Vec<Expectation> {
+    vec![
+        Expectation::MonotoneIn {
+            series: Select::All,
+            dir: Dir::Increasing,
+            slack: 0.0,
+        },
+        // "median 200 kHz": at the first channel step every city has
+        // reached at least half its mass.
+        Expectation::ThresholdAt {
+            series: Select::All,
+            x: 200.0,
+            min_y: Some(0.5),
+            max_y: None,
+        },
+        // "worst case under ~800 kHz".
+        Expectation::WithinBand {
+            series: Select::All,
+            axis: Axis::X,
+            min: 100.0,
+            max: 800.0,
+        },
+    ]
+}
+
+fn checks_fig5() -> Vec<Expectation> {
+    vec![
+        // "news/talk lowest (same speech on L/R)": the news CDF sits left
+        // of every other genre, point for point.
+        Expectation::SeriesBelow {
+            below: Select::Contains("News"),
+            above: Select::All,
+            axis: Axis::X,
+            slack: 0.0,
+        },
+        // "music genres highest": both music CDFs live above 20 dB.
+        Expectation::WithinBand {
+            series: Select::Contains("music"),
+            axis: Axis::X,
+            min: 20.0,
+            max: 40.0,
+        },
+        Expectation::MonotoneIn {
+            series: Select::All,
+            dir: Dir::Increasing,
+            slack: 0.0,
+        },
+    ]
+}
+
+fn checks_fig6() -> Vec<Expectation> {
+    vec![
+        // "good response below 13 kHz" — both bands at the band edges.
+        Expectation::ThresholdAt {
+            series: Select::All,
+            x: 1.0,
+            min_y: Some(25.0),
+            max_y: None,
+        },
+        Expectation::ThresholdAt {
+            series: Select::All,
+            x: 13.0,
+            min_y: Some(25.0),
+            max_y: None,
+        },
+        // "sharp drop after (capture chain)".
+        Expectation::ThresholdAt {
+            series: Select::All,
+            x: 14.0,
+            min_y: None,
+            max_y: Some(-20.0),
+        },
+    ]
+}
+
+fn checks_fig7() -> Vec<Expectation> {
+    vec![
+        // "20 ft reach at -30 dBm (SNR > 20 dB)" — quick grid tops at 18.
+        Expectation::ThresholdAt {
+            series: Select::Label("-30 dBm"),
+            x: 18.0,
+            min_y: Some(20.0),
+            max_y: None,
+        },
+        // "usable close-in even at -50 dBm".
+        Expectation::ThresholdAt {
+            series: Select::Label("-50 dBm"),
+            x: 2.0,
+            min_y: Some(20.0),
+            max_y: None,
+        },
+        // The weakest ambient never beats the strongest.
+        Expectation::SeriesBelow {
+            below: Select::Label("-60 dBm"),
+            above: Select::Label("-20 dBm"),
+            axis: Axis::Y,
+            slack: 0.0,
+        },
+    ]
+}
+
+fn checks_fig8a() -> Vec<Expectation> {
+    vec![
+        // "near zero to 6 ft at all powers".
+        Expectation::ThresholdAt {
+            series: Select::All,
+            x: 6.0,
+            min_y: None,
+            max_y: Some(0.005),
+        },
+        // ">12 ft above -60 dBm".
+        Expectation::ThresholdAt {
+            series: Select::Label("-50 dBm"),
+            x: 18.0,
+            min_y: None,
+            max_y: Some(0.02),
+        },
+        // 100 bps never collapses anywhere on the quick grid.
+        Expectation::WithinBand {
+            series: Select::All,
+            axis: Axis::Y,
+            min: 0.0,
+            max: 0.06,
+        },
+    ]
+}
+
+fn checks_fig8b() -> Vec<Expectation> {
+    vec![
+        // "low to 16 ft above -40 dBm".
+        Expectation::ThresholdAt {
+            series: Select::Label("-40 dBm"),
+            x: 14.0,
+            min_y: None,
+            max_y: Some(0.02),
+        },
+        Expectation::ThresholdAt {
+            series: Select::Label("-20 dBm"),
+            x: 18.0,
+            min_y: None,
+            max_y: Some(0.02),
+        },
+        // "-60 dBm only works close in": the range cliff is real.
+        Expectation::ThresholdAt {
+            series: Select::Label("-60 dBm"),
+            x: 6.0,
+            min_y: None,
+            max_y: Some(0.02),
+        },
+        Expectation::ThresholdAt {
+            series: Select::Label("-60 dBm"),
+            x: 18.0,
+            min_y: Some(0.1),
+            max_y: None,
+        },
+    ]
+}
+
+fn checks_fig8c() -> Vec<Expectation> {
+    vec![
+        // "works above -40 dBm".
+        Expectation::ThresholdAt {
+            series: Select::Label("-30 dBm"),
+            x: 18.0,
+            min_y: None,
+            max_y: Some(0.03),
+        },
+        // "fails at -50/-60 dBm" (far out on the quick grid).
+        Expectation::ThresholdAt {
+            series: Select::Label("-60 dBm"),
+            x: 18.0,
+            min_y: Some(0.1),
+            max_y: None,
+        },
+        // Stronger ambient is never worse than the weakest.
+        Expectation::SeriesBelow {
+            below: Select::Label("-20 dBm"),
+            above: Select::Label("-60 dBm"),
+            axis: Axis::Y,
+            slack: 0.005,
+        },
+    ]
+}
+
+fn checks_fig9() -> Vec<Expectation> {
+    vec![
+        // "2x combining already reduces BER significantly".
+        Expectation::SeriesBelow {
+            below: Select::Label("2x MRC"),
+            above: Select::Label("No MRC"),
+            axis: Axis::Y,
+            slack: 0.005,
+        },
+        Expectation::SeriesBelow {
+            below: Select::Label("4x MRC"),
+            above: Select::Label("2x MRC"),
+            axis: Axis::Y,
+            slack: 0.005,
+        },
+        // There are errors to combine away at the far point...
+        Expectation::ThresholdAt {
+            series: Select::Label("No MRC"),
+            x: 14.0,
+            min_y: Some(0.05),
+            max_y: None,
+        },
+        // ...and 4x combining beats them down.
+        Expectation::ThresholdAt {
+            series: Select::Label("4x MRC"),
+            x: 14.0,
+            min_y: None,
+            max_y: Some(0.06),
+        },
+    ]
+}
+
+fn checks_fig10() -> Vec<Expectation> {
+    vec![
+        // "stereo backscatter significantly lowers BER vs overlay".
+        Expectation::SeriesBelow {
+            below: Select::Label("Stereo  1.6kbps"),
+            above: Select::Label("Overlay  1.6kbps"),
+            axis: Axis::Y,
+            slack: 0.0,
+        },
+        Expectation::SeriesBelow {
+            below: Select::Label("Stereo  3.2kbps"),
+            above: Select::Label("Overlay  3.2kbps"),
+            axis: Axis::Y,
+            slack: 0.0,
+        },
+        // Stereo is near error-free at -30 dBm close in.
+        Expectation::WithinBand {
+            series: Select::Contains("Stereo"),
+            axis: Axis::Y,
+            min: 0.0,
+            max: 0.005,
+        },
+    ]
+}
+
+fn checks_fig11() -> Vec<Expectation> {
+    vec![
+        // "consistently ~2 for -20..-40 dBm up to 20 ft".
+        Expectation::WithinBand {
+            series: Select::Label("-20 dBm"),
+            axis: Axis::Y,
+            min: 2.0,
+            max: 3.5,
+        },
+        Expectation::ThresholdAt {
+            series: Select::Label("-40 dBm"),
+            x: 18.0,
+            min_y: Some(1.9),
+            max_y: None,
+        },
+        // "-50 dBm good to 12 ft".
+        Expectation::ThresholdAt {
+            series: Select::Label("-50 dBm"),
+            x: 10.0,
+            min_y: Some(2.0),
+            max_y: None,
+        },
+        Expectation::SeriesBelow {
+            below: Select::Label("-60 dBm"),
+            above: Select::Label("-20 dBm"),
+            axis: Axis::Y,
+            slack: 0.1,
+        },
+    ]
+}
+
+fn checks_fig12() -> Vec<Expectation> {
+    vec![
+        // "around 4 for -20..-50 dBm (cancellation removes the
+        // programme)" — close in, every power is near the ceiling.
+        Expectation::ThresholdAt {
+            series: Select::All,
+            x: 2.0,
+            min_y: Some(3.5),
+            max_y: None,
+        },
+        Expectation::ThresholdAt {
+            series: Select::Label("-20 dBm"),
+            x: 6.0,
+            min_y: Some(3.8),
+            max_y: None,
+        },
+        // PESQ stays a sane score everywhere.
+        Expectation::WithinBand {
+            series: Select::All,
+            axis: Axis::Y,
+            min: 0.5,
+            max: 4.6,
+        },
+    ]
+}
+
+fn checks_fig13() -> Vec<Expectation> {
+    vec![
+        // "beats overlay at high power": overlay tops out near 2.9.
+        Expectation::ThresholdAt {
+            series: Select::Label("-20 dBm"),
+            x: 2.0,
+            min_y: Some(3.2),
+            max_y: None,
+        },
+        // "needs strong signal (pilot detect)": at -40 dBm far out the
+        // pilot is lost and the score collapses.
+        Expectation::ThresholdAt {
+            series: Select::Label("-40 dBm"),
+            x: 18.0,
+            min_y: None,
+            max_y: Some(0.5),
+        },
+        Expectation::MonotoneIn {
+            series: Select::Label("-20 dBm"),
+            dir: Dir::Decreasing,
+            slack: 0.3,
+        },
+    ]
+}
+
+fn checks_fig14() -> Vec<Expectation> {
+    vec![
+        // "works well up to 60 ft at -20/-30 dBm".
+        Expectation::ThresholdAt {
+            series: Select::Label("SNR -20 dBm"),
+            x: 60.0,
+            min_y: Some(15.0),
+            max_y: None,
+        },
+        Expectation::ThresholdAt {
+            series: Select::Label("PESQ -30 dBm"),
+            x: 50.0,
+            min_y: Some(1.5),
+            max_y: None,
+        },
+        Expectation::MonotoneIn {
+            series: Select::Label("SNR -20 dBm"),
+            dir: Dir::Decreasing,
+            slack: 2.0,
+        },
+    ]
+}
+
+fn checks_fig17() -> Vec<Expectation> {
+    vec![
+        // "100 bps < 0.005 even running".
+        Expectation::WithinBand {
+            series: Select::Label("100bps"),
+            axis: Axis::Y,
+            min: 0.0,
+            max: 0.005,
+        },
+        // 1.6 kbps with 2x MRC stays usable across motion.
+        Expectation::WithinBand {
+            series: Select::Label("1.6kbps w/ 2x MRC"),
+            axis: Axis::Y,
+            min: 0.0,
+            max: 0.05,
+        },
+        Expectation::SeriesBelow {
+            below: Select::Label("100bps"),
+            above: Select::Label("1.6kbps w/ 2x MRC"),
+            axis: Axis::Y,
+            slack: 0.01,
+        },
+    ]
+}
+
+fn checks_power() -> Vec<Expectation> {
+    vec![
+        // "1.0 + 9.94 + 0.13 = 11.07 uW".
+        Expectation::ThresholdAt {
+            series: Select::Contains("IC power"),
+            x: 3.0,
+            min_y: Some(11.0),
+            max_y: Some(11.1),
+        },
+        // "FM chip <12 h on a coin cell vs ~3 years backscatter".
+        Expectation::ThresholdAt {
+            series: Select::Contains("battery life"),
+            x: 0.0,
+            min_y: None,
+            max_y: Some(12.5),
+        },
+        Expectation::ThresholdAt {
+            series: Select::Contains("battery life"),
+            x: 1.0,
+            min_y: Some(17_000.0),
+            max_y: None,
+        },
+        // IC power grows with the backscatter shift frequency.
+        Expectation::MonotoneIn {
+            series: Select::Contains("f_back"),
+            dir: Dir::Increasing,
+            slack: 0.0,
+        },
+    ]
+}
+
+fn checks_rates() -> Vec<Expectation> {
+    vec![
+        // BER grows with symbol rate at a fixed marginal link.
+        Expectation::MonotoneIn {
+            series: Select::All,
+            dir: Dir::Increasing,
+            slack: 0.001,
+        },
+        // 100 sym/s is clean...
+        Expectation::ThresholdAt {
+            series: Select::All,
+            x: 100.0,
+            min_y: None,
+            max_y: Some(0.005),
+        },
+        // ..."degrades significantly above 400 sym/s".
+        Expectation::ThresholdAt {
+            series: Select::All,
+            x: 400.0,
+            min_y: Some(0.01),
+            max_y: None,
+        },
+    ]
+}
+
+fn checks_ablation() -> Vec<Expectation> {
+    vec![
+        // "square fundamental ~-3.9 dBc per sideband".
+        Expectation::ThresholdAt {
+            series: Select::Label("upper sideband power (dBc)"),
+            x: 0.0,
+            min_y: Some(-4.5),
+            max_y: Some(-3.3),
+        },
+        // "SSB suppresses the image (footnote 2)": at least 40 dB down
+        // on its own upper sideband.
+        Expectation::CompareAt {
+            x: 2.0,
+            below: Select::Label("image sideband power (dBc)"),
+            above: Select::Label("upper sideband power (dBc)"),
+            margin: 40.0,
+        },
+        // The physical chain recovers a clean tone with the square
+        // switch at the bench operating point.
+        Expectation::ThresholdAt {
+            series: Select::Contains("physical-chain"),
+            x: 0.0,
+            min_y: Some(30.0),
+            max_y: None,
+        },
+    ]
+}
+
+fn checks_network_capacity() -> Vec<Expectation> {
+    vec![
+        // "collision rate rises with density".
+        Expectation::MonotoneIn {
+            series: Select::Label("collision rate"),
+            dir: Dir::Increasing,
+            slack: 0.01,
+        },
+        // "energy-starved tags cap goodput well below mains power".
+        Expectation::SeriesBelow {
+            below: Select::Label("goodput (bps), streetlight harvest"),
+            above: Select::Contains("1024-slot frame"),
+            axis: Axis::Y,
+            slack: 0.0,
+        },
+        // "goodput scales with tags while free channels absorb them".
+        Expectation::ThresholdAt {
+            series: Select::Contains("256-slot frame"),
+            x: 128.0,
+            min_y: Some(40_000.0),
+            max_y: None,
+        },
+        Expectation::MonotoneIn {
+            series: Select::Label("goodput (bps), streetlight harvest"),
+            dir: Dir::Increasing,
+            slack: 0.0,
+        },
+    ]
+}
+
 /// One entry of the experiment registry.
 #[derive(Debug, Clone, Copy)]
 pub struct ExperimentSpec {
@@ -751,6 +1320,9 @@ pub struct ExperimentSpec {
     pub id: &'static str,
     /// Builds the experiment at a grid density.
     pub build: fn(Grid) -> Experiment,
+    /// The figure's machine-checkable paper expectations
+    /// (`repro --check` evaluates them on the Quick grid).
+    pub checks: fn() -> Vec<Expectation>,
 }
 
 /// Every experiment, in paper order.
@@ -758,101 +1330,158 @@ pub const REGISTRY: &[ExperimentSpec] = &[
     ExperimentSpec {
         id: "fig2a",
         build: fig2a,
+        checks: checks_fig2a,
     },
     ExperimentSpec {
         id: "fig2b",
         build: fig2b,
+        checks: checks_fig2b,
     },
     ExperimentSpec {
         id: "fig4a",
         build: fig4a,
+        checks: checks_fig4a,
     },
     ExperimentSpec {
         id: "fig4b",
         build: fig4b,
+        checks: checks_fig4b,
     },
     ExperimentSpec {
         id: "fig5",
         build: fig5,
+        checks: checks_fig5,
     },
     ExperimentSpec {
         id: "fig6",
         build: fig6,
+        checks: checks_fig6,
     },
     ExperimentSpec {
         id: "fig7",
         build: fig7,
+        checks: checks_fig7,
     },
     ExperimentSpec {
         id: "fig8a",
         build: fig8a,
+        checks: checks_fig8a,
     },
     ExperimentSpec {
         id: "fig8b",
         build: fig8b,
+        checks: checks_fig8b,
     },
     ExperimentSpec {
         id: "fig8c",
         build: fig8c,
+        checks: checks_fig8c,
     },
     ExperimentSpec {
         id: "fig9",
         build: fig9,
+        checks: checks_fig9,
     },
     ExperimentSpec {
         id: "fig10",
         build: fig10,
+        checks: checks_fig10,
     },
     ExperimentSpec {
         id: "fig11",
         build: fig11,
+        checks: checks_fig11,
     },
     ExperimentSpec {
         id: "fig12",
         build: fig12,
+        checks: checks_fig12,
     },
     ExperimentSpec {
         id: "fig13a",
         build: fig13a,
+        checks: checks_fig13,
     },
     ExperimentSpec {
         id: "fig13b",
         build: fig13b,
+        checks: checks_fig13,
     },
     ExperimentSpec {
         id: "fig14",
         build: fig14,
+        checks: checks_fig14,
     },
     ExperimentSpec {
         id: "fig17b",
         build: fig17,
+        checks: checks_fig17,
     },
     ExperimentSpec {
         id: "power",
         build: power_table,
+        checks: checks_power,
     },
     ExperimentSpec {
         id: "rates",
         build: rates_table,
+        checks: checks_rates,
     },
     ExperimentSpec {
         id: "ablation",
         build: ablation,
+        checks: checks_ablation,
     },
     ExperimentSpec {
         id: "network_capacity",
         build: network_capacity,
+        checks: checks_network_capacity,
     },
 ];
+
+/// Looks a registry entry up by id (accepting the `fig17` alias the
+/// paper text uses for `fig17b`).
+pub fn spec_by_id(id: &str) -> Option<&'static ExperimentSpec> {
+    let id = if id == "fig17" { "fig17b" } else { id };
+    REGISTRY.iter().find(|spec| spec.id == id)
+}
 
 /// Looks an experiment up by id (accepting the `fig17` alias the paper
 /// text uses for `fig17b`).
 pub fn by_id(id: &str, grid: Grid) -> Option<Experiment> {
-    let id = if id == "fig17" { "fig17b" } else { id };
-    REGISTRY
+    spec_by_id(id).map(|spec| (spec.build)(grid))
+}
+
+fn levenshtein(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev + usize::from(ca != cb);
+            prev = row[j + 1];
+            row[j + 1] = sub.min(prev + 1).min(row[j] + 1);
+        }
+    }
+    row[b.len()]
+}
+
+/// Near-miss suggestions for an unknown experiment id: registry ids
+/// within a small edit distance or sharing a substring, closest first.
+pub fn suggest_ids(unknown: &str, max: usize) -> Vec<&'static str> {
+    let mut scored: Vec<(bool, usize, &'static str)> = REGISTRY
         .iter()
-        .find(|spec| spec.id == id)
-        .map(|spec| (spec.build)(grid))
+        .map(|spec| {
+            let containment = spec.id.contains(unknown) || unknown.contains(spec.id);
+            (!containment, levenshtein(unknown, spec.id), spec.id)
+        })
+        .filter(|(not_contained, d, _)| !*not_contained || *d <= 3)
+        .collect();
+    // Substring matches (e.g. fig8 -> fig8a/b/c) outrank pure edit
+    // distance; ties break on distance, then lexically.
+    scored.sort();
+    scored.into_iter().take(max).map(|(_, _, id)| id).collect()
 }
 
 /// Every experiment, in paper order.
@@ -907,6 +1536,41 @@ mod tests {
         ids.dedup();
         assert_eq!(ids.len(), 22, "duplicate registry id");
         assert!(by_id("nope", Grid::Quick).is_none());
+    }
+
+    #[test]
+    fn every_spec_has_one_to_four_checks() {
+        for spec in REGISTRY {
+            let n = (spec.checks)().len();
+            assert!(
+                (1..=4).contains(&n),
+                "{} has {n} checks, want 1..=4",
+                spec.id
+            );
+        }
+    }
+
+    #[test]
+    fn cheap_figure_checks_pass_on_quick_grid() {
+        // The sweep-driven figures are exercised by `repro --check` in
+        // release CI; here the survey/occupancy/arithmetic figures (fast
+        // even in debug) prove the expectation wiring end to end.
+        for id in ["fig2a", "fig2b", "fig4a", "fig4b", "power"] {
+            let spec = spec_by_id(id).unwrap();
+            let e = (spec.build)(Grid::Quick);
+            let report = crate::check::check_experiment(&e, &(spec.checks)());
+            for o in &report.outcomes {
+                assert!(o.passed, "{id}: {} — {}", o.description, o.detail);
+            }
+        }
+    }
+
+    #[test]
+    fn suggest_ids_finds_near_misses() {
+        assert!(suggest_ids("fig8", 5).contains(&"fig8a"));
+        assert_eq!(suggest_ids("fig7", 1), vec!["fig7"]);
+        assert!(suggest_ids("network", 3).contains(&"network_capacity"));
+        assert!(suggest_ids("zzzzzzzzzzzz", 3).is_empty());
     }
 
     #[test]

@@ -194,6 +194,125 @@ pub fn record_net(path: &str, label: &str, samples: usize) -> Result<NetPerfReco
     Ok(rec)
 }
 
+// ------------------------------------------------------ regression gate
+
+/// Largest tolerated fractional throughput drop below the committed
+/// baseline before the perf gate fails (CI machines are noisy; a real
+/// hot-path regression blows well past this).
+pub const MAX_PERF_DROP: f64 = 0.30;
+
+/// Outcome of comparing a fresh measurement against a baseline.
+#[derive(Debug, Clone)]
+pub struct GateOutcome {
+    /// Which series was gated ("sweep serial", "network").
+    pub name: String,
+    /// Label of the baseline record.
+    pub baseline_label: String,
+    /// Baseline throughput.
+    pub baseline: f64,
+    /// Fresh measurement.
+    pub measured: f64,
+    /// Fractional drop below baseline (negative = faster).
+    pub drop_frac: f64,
+    /// Whether the measurement stays within `max_drop` of the baseline.
+    pub passed: bool,
+}
+
+impl GateOutcome {
+    /// One status line for the gate report.
+    pub fn render(&self) -> String {
+        format!(
+            "{} {}: {:.1} vs baseline {:.1} (\"{}\", {:+.1}%)",
+            if self.passed { "PASS" } else { "FAIL" },
+            self.name,
+            self.measured,
+            self.baseline,
+            self.baseline_label,
+            -100.0 * self.drop_frac,
+        )
+    }
+}
+
+/// Compares a measured throughput against a baseline value; fails when
+/// it drops more than `max_drop` (a fraction, e.g. 0.30) below it.
+pub fn compare(
+    name: &str,
+    measured: f64,
+    baseline_label: &str,
+    baseline: f64,
+    max_drop: f64,
+) -> GateOutcome {
+    // A baseline that is zero, negative or NaN is unusable: fail the
+    // gate rather than silently passing any measurement against it.
+    let usable = baseline.is_finite() && baseline > 0.0;
+    let drop_frac = if usable {
+        1.0 - measured / baseline
+    } else {
+        f64::INFINITY
+    };
+    GateOutcome {
+        name: name.to_string(),
+        baseline_label: baseline_label.to_string(),
+        baseline,
+        measured,
+        drop_frac,
+        // Tiny epsilon so a drop of exactly `max_drop` passes despite
+        // float rounding in the division.
+        passed: usable && drop_frac <= max_drop + 1e-12,
+    }
+}
+
+/// Reads the last record of the sweep series at `path`. Callers gating
+/// a fresh measurement must read the baseline *before* appending to the
+/// same file, or they would compare the measurement against itself.
+pub fn last_sweep_record(path: &str) -> Result<PerfRecord, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read baseline {path}: {e}"))?;
+    let series: PerfSeries =
+        serde_json::from_str(&text).map_err(|e| format!("{path} is not a perf series: {e:?}"))?;
+    series
+        .series
+        .last()
+        .cloned()
+        .ok_or_else(|| format!("{path} has no records"))
+}
+
+/// Reads the last record of the network series at `path` (same
+/// read-before-append caveat as [`last_sweep_record`]).
+pub fn last_net_record(path: &str) -> Result<NetPerfRecord, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read baseline {path}: {e}"))?;
+    let series: NetPerfSeries = serde_json::from_str(&text)
+        .map_err(|e| format!("{path} is not a net perf series: {e:?}"))?;
+    series
+        .series
+        .last()
+        .cloned()
+        .ok_or_else(|| format!("{path} has no records"))
+}
+
+/// Gates a fresh sweep measurement against a baseline record (serial
+/// points/s — the parallel number scales with the runner's core count).
+pub fn gate_sweep(baseline: &PerfRecord, measured: &PerfRecord, max_drop: f64) -> GateOutcome {
+    compare(
+        "sweep serial points/s",
+        measured.serial_points_per_sec,
+        &baseline.label,
+        baseline.serial_points_per_sec,
+        max_drop,
+    )
+}
+
+/// Gates a fresh network measurement against a baseline record
+/// (tag·slots/s).
+pub fn gate_net(baseline: &NetPerfRecord, measured: &NetPerfRecord, max_drop: f64) -> GateOutcome {
+    compare(
+        "network tag-slots/s",
+        measured.tag_slots_per_sec,
+        &baseline.label,
+        baseline.tag_slots_per_sec,
+        max_drop,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +336,50 @@ mod tests {
         // The cache must be doing real work on this grid: 25 points share
         // one host programme and one encoded payload.
         assert!(rec.cache.hits() > 0, "{:?}", rec.cache);
+    }
+
+    #[test]
+    fn compare_thirty_percent_edge() {
+        // Exactly at the allowed drop passes; just past it fails.
+        assert!(compare("s", 70.0, "base", 100.0, MAX_PERF_DROP).passed);
+        assert!(!compare("s", 69.9, "base", 100.0, MAX_PERF_DROP).passed);
+        // Faster than baseline is always fine.
+        let fast = compare("s", 140.0, "base", 100.0, MAX_PERF_DROP);
+        assert!(fast.passed && fast.drop_frac < 0.0);
+        // An unusable baseline (zero/negative/NaN) fails instead of
+        // silently disabling the gate.
+        assert!(!compare("s", 1e9, "base", 0.0, MAX_PERF_DROP).passed);
+        assert!(!compare("s", 1e9, "base", -5.0, MAX_PERF_DROP).passed);
+        assert!(!compare("s", 1e9, "base", f64::NAN, MAX_PERF_DROP).passed);
+    }
+
+    #[test]
+    fn gate_reads_last_committed_record() {
+        let dir = std::env::temp_dir().join("fmbs_perf_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_sweep.json");
+        let path = path.to_str().unwrap();
+        let mk = |label: &str, serial: f64| PerfRecord {
+            unix_time: 0,
+            label: label.into(),
+            grid_points: 25,
+            serial_points_per_sec: serial,
+            parallel_points_per_sec: serial,
+            cache: CacheStats::default(),
+        };
+        let series = PerfSeries {
+            series: vec![mk("old", 1_000.0), mk("newest", 100.0)],
+        };
+        std::fs::write(path, serde_json::to_string_pretty(&series).unwrap()).unwrap();
+        // The baseline is the *last* record: "newest" (100), not "old".
+        let baseline = last_sweep_record(path).unwrap();
+        assert_eq!(baseline.label, "newest");
+        let ok = gate_sweep(&baseline, &mk("fresh", 90.0), MAX_PERF_DROP);
+        assert!(ok.passed, "{}", ok.render());
+        let bad = gate_sweep(&baseline, &mk("fresh", 50.0), MAX_PERF_DROP);
+        assert!(!bad.passed);
+        assert!(last_sweep_record("/nonexistent/series.json").is_err());
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Integration tests for the `repro --check` verification subsystem:
+//! expectations catch deliberately perturbed physics, goldens round-trip
+//! bit-exactly through serde, and `--bless` output is byte-stable.
+
+use fmbs_bench::check::{
+    self, bless, canonical_json, check_experiment, diff_experiments, load_golden, Axis, Dir,
+    Expectation, Select, Tolerance,
+};
+use fmbs_bench::experiments::{self, Grid};
+use fmbs_bench::report::{Experiment, Series};
+use proptest::prelude::*;
+
+fn temp_dir(name: &str) -> String {
+    let dir = std::env::temp_dir().join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.to_str().unwrap().to_string()
+}
+
+/// A figure with known-good shape: BER rising with distance, the coded
+/// series under the uncoded one.
+fn healthy() -> Experiment {
+    Experiment {
+        id: "fig_synth".into(),
+        title: "synthetic BER vs distance".into(),
+        x_label: "distance (ft)".into(),
+        y_label: "BER".into(),
+        series: vec![
+            Series::new("uncoded", vec![(2.0, 0.01), (6.0, 0.05), (10.0, 0.2)]),
+            Series::new("coded", vec![(2.0, 0.0), (6.0, 0.01), (10.0, 0.08)]),
+        ],
+        paper_expectation: "BER rises with distance; coding helps".into(),
+    }
+}
+
+fn expectations() -> Vec<Expectation> {
+    vec![
+        Expectation::MonotoneIn {
+            series: Select::All,
+            dir: Dir::Increasing,
+            slack: 0.0,
+        },
+        Expectation::SeriesBelow {
+            below: Select::Label("coded"),
+            above: Select::Label("uncoded"),
+            axis: Axis::Y,
+            slack: 0.0,
+        },
+        Expectation::ThresholdAt {
+            series: Select::Label("uncoded"),
+            x: 10.0,
+            min_y: Some(0.1),
+            max_y: None,
+        },
+    ]
+}
+
+#[test]
+fn perturbed_experiment_fails_its_expectations() {
+    let good = healthy();
+    let report = check_experiment(&good, &expectations());
+    assert!(report.passed(), "{:?}", report.outcomes);
+
+    // A physics regression that flips the BER curve: coding now *hurts*.
+    let mut flipped = good.clone();
+    flipped.series.swap(0, 1);
+    for s in &mut flipped.series {
+        s.label = if s.label == "coded" {
+            "uncoded"
+        } else {
+            "coded"
+        }
+        .into();
+    }
+    let report = check_experiment(&flipped, &expectations());
+    assert!(!report.passed());
+    let failed: Vec<_> = report.outcomes.iter().filter(|o| !o.passed).collect();
+    // The ordering check names both series; the threshold check trips too
+    // (coded series now tops out at 0.08 < 0.1).
+    assert!(
+        failed
+            .iter()
+            .any(|o| o.description.contains("coded") && o.detail.contains("exceeds")),
+        "{failed:?}",
+    );
+
+    // A milder regression: the far point quietly improves tenfold.
+    let mut drifted = good;
+    drifted.series[0].points[2].1 = 0.02;
+    let report = check_experiment(&drifted, &expectations());
+    assert!(!report.passed());
+}
+
+#[test]
+fn golden_diff_catches_perturbation_and_names_the_point() {
+    let dir = temp_dir("fmbs_check_goldens_perturb");
+    let good = healthy();
+    bless(&dir, &good).unwrap();
+
+    // Clean re-run: no diffs.
+    let golden = load_golden(&dir, "fig_synth").unwrap();
+    assert!(diff_experiments(&good, &golden, &Tolerance::default()).is_empty());
+
+    // 1% drift on one point is far past the 0.1% default tolerance.
+    let mut drifted = good.clone();
+    drifted.series[1].points[2].1 *= 1.01;
+    let diffs = diff_experiments(&drifted, &golden, &Tolerance::default());
+    assert_eq!(diffs.len(), 1, "{diffs:?}");
+    assert_eq!(diffs[0].series.as_deref(), Some("coded"));
+    assert!(diffs[0].detail.contains("x=10"), "{}", diffs[0].detail);
+
+    // ...but a loose tolerance forgives it.
+    let loose = Tolerance {
+        rel: 0.05,
+        abs: 1e-6,
+    };
+    assert!(diff_experiments(&drifted, &golden, &loose).is_empty());
+}
+
+#[test]
+fn bless_output_is_byte_stable_for_a_real_figure() {
+    // fig4a is deterministic and cheap even in a debug build; two
+    // independent regenerations must produce identical golden bytes.
+    let dir = temp_dir("fmbs_check_goldens_stable");
+    let spec = experiments::spec_by_id("fig4a").unwrap();
+    let first = (spec.build)(Grid::Quick);
+    let second = (spec.build)(Grid::Quick);
+    let path = bless(&dir, &first).unwrap();
+    let bytes_first = std::fs::read(&path).unwrap();
+    bless(&dir, &second).unwrap();
+    let bytes_second = std::fs::read(&path).unwrap();
+    assert_eq!(bytes_first, bytes_second);
+    assert_eq!(bytes_first, canonical_json(&first).into_bytes());
+
+    // And its committed expectations hold on the fresh build.
+    let report = check_experiment(&first, &(spec.checks)());
+    assert!(report.passed(), "{:?}", report.outcomes);
+}
+
+#[test]
+fn golden_path_is_under_the_dir() {
+    assert_eq!(check::golden_path("goldens", "fig7"), "goldens/fig7.json");
+    assert_eq!(check::golden_path("goldens/", "fig7"), "goldens/fig7.json");
+}
+
+const LABELS: [&str; 4] = ["-20 dBm", "coded \"x\"", "tab\there", "λ/4 monopole"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Golden JSON round-trips bit-exactly through serde: every float
+    /// comes back with the identical bit pattern and re-rendering the
+    /// parsed experiment reproduces the exact bytes.
+    #[test]
+    fn golden_json_round_trips_bit_exactly(
+        xs in prop::collection::vec(-1.0e9f64..1.0e9, 1..12),
+        ys in prop::collection::vec(-1.0e-3f64..1.0e-3, 1..12),
+        label_idx in 0usize..LABELS.len(),
+        scale in -1.0e-9f64..1.0e9,
+    ) {
+        let points: Vec<(f64, f64)> = xs
+            .iter()
+            .zip(&ys)
+            .map(|(&x, &y)| (x, y * scale))
+            .collect();
+        let e = Experiment {
+            id: "prop".into(),
+            title: "property".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series::new(LABELS[label_idx], points.clone())],
+            paper_expectation: "round trip".into(),
+        };
+        let text = canonical_json(&e);
+        let back: Experiment = serde_json::from_str(&text).unwrap();
+        prop_assert_eq!(back.series[0].points.len(), points.len());
+        for (got, want) in back.series[0].points.iter().zip(&points) {
+            prop_assert_eq!(got.0.to_bits(), want.0.to_bits());
+            prop_assert_eq!(got.1.to_bits(), want.1.to_bits());
+        }
+        prop_assert_eq!(&back.series[0].label, LABELS[label_idx]);
+        // Render → parse → render is the identity on bytes.
+        prop_assert_eq!(canonical_json(&back), text);
+    }
+
+    /// The diff is symmetric in what it tolerates: any pair of
+    /// experiments differing by less than the tolerance produces no
+    /// diffs, in either direction.
+    #[test]
+    fn diff_tolerance_is_symmetric(
+        y in 0.001f64..1.0e6,
+        frac in -0.4f64..0.4,
+    ) {
+        let a = Experiment {
+            id: "t".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series::new("s", vec![(0.0, y)])],
+            paper_expectation: "t".into(),
+        };
+        let mut b = a.clone();
+        b.series[0].points[0].1 = y * (1.0 + frac * 1e-3);
+        let tol = Tolerance::default();
+        let ab = diff_experiments(&a, &b, &tol).is_empty();
+        let ba = diff_experiments(&b, &a, &tol).is_empty();
+        prop_assert_eq!(ab, ba);
+        // |frac| < 0.4 per mille is always within the 1e-3 relative tol.
+        prop_assert!(ab);
+    }
+}
