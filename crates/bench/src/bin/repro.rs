@@ -4,6 +4,11 @@
 //! repro                 # all experiments, quick grids
 //! repro --full          # the paper's dense grids (slow)
 //! repro fig8a fig11     # a subset (also works with --check/--bless)
+//! repro calibration     # the cross-tier calibration family
+//! repro --tier physical fig7
+//!                       # run a swept figure on the RF-rate physical
+//!                       # tier instead of the fast tier (swept physics
+//!                       # figures only; see --list)
 //! repro --list          # known experiment ids
 //! repro --json out/     # also write one JSON file per experiment
 //! repro --check         # re-run quick grids, assert every figure's
@@ -32,6 +37,7 @@ use fmbs_bench::check::{self, Tolerance};
 use fmbs_bench::experiments::{self, ExperimentSpec, Grid, REGISTRY};
 use fmbs_bench::perf;
 use fmbs_bench::report::Experiment;
+use fmbs_core::sim::Tier;
 
 struct Cli {
     full: bool,
@@ -39,6 +45,7 @@ struct Cli {
     check: bool,
     bless: bool,
     gate: bool,
+    tier: Tier,
     perf: Option<String>,
     label: String,
     json_dir: Option<String>,
@@ -54,6 +61,7 @@ fn parse_cli() -> Cli {
         check: false,
         bless: false,
         gate: false,
+        tier: Tier::Fast,
         perf: None,
         label: "unlabelled".into(),
         json_dir: None,
@@ -89,6 +97,20 @@ fn parse_cli() -> Cli {
                         .unwrap_or_else(|| "BENCH_sweep.json".into()),
                 );
             }
+            "--tier" => {
+                let name = required_value(&args, i, "--tier");
+                i += 1;
+                cli.tier = Tier::parse(&name).unwrap_or_else(|| {
+                    eprintln!("unknown tier: {name}");
+                    let near = experiments::suggest_tiers(&name);
+                    if !near.is_empty() {
+                        eprintln!("  did you mean: {}?", near.join(", "));
+                    }
+                    let known: Vec<&str> = Tier::ALL.iter().map(|t| t.name()).collect();
+                    eprintln!("  known tiers: {}", known.join(", "));
+                    std::process::exit(2);
+                });
+            }
             "--label" => {
                 cli.label = required_value(&args, i, "--label");
                 i += 1;
@@ -112,15 +134,22 @@ fn parse_cli() -> Cli {
     cli
 }
 
-/// Resolves experiment ids (all of them when none given); unknown ids
+/// Resolves experiment ids (all of them when none given); the family id
+/// `calibration` expands to every `calibration_*` figure; unknown ids
 /// exit non-zero with near-miss suggestions.
 fn resolve_specs(ids: &[String]) -> Vec<&'static ExperimentSpec> {
     if ids.is_empty() {
         return REGISTRY.iter().collect();
     }
     ids.iter()
-        .map(|id| {
-            experiments::spec_by_id(id).unwrap_or_else(|| {
+        .flat_map(|id| {
+            if id == "calibration" {
+                return REGISTRY
+                    .iter()
+                    .filter(|s| s.id.starts_with("calibration_"))
+                    .collect::<Vec<_>>();
+            }
+            vec![experiments::spec_by_id(id).unwrap_or_else(|| {
                 eprintln!("unknown experiment id: {id}");
                 let near = experiments::suggest_ids(id, 3);
                 if !near.is_empty() {
@@ -128,9 +157,33 @@ fn resolve_specs(ids: &[String]) -> Vec<&'static ExperimentSpec> {
                 }
                 eprintln!("  (repro --list shows all ids)");
                 std::process::exit(2);
-            })
+            })]
         })
         .collect()
+}
+
+/// Validates that every resolved figure can run on the requested tier;
+/// exits 2 naming the tier-capable figures otherwise.
+fn require_tier_capable(specs: &[&'static ExperimentSpec], tier: Tier) {
+    if tier == Tier::Fast {
+        return;
+    }
+    for spec in specs {
+        if spec.tiered.is_none() {
+            eprintln!(
+                "figure {} cannot run on the {} tier: its measurement does not sweep a \
+                 simulator (surveys, arithmetic tables and the calibration family run both \
+                 tiers or none)",
+                spec.id,
+                tier.name(),
+            );
+            eprintln!(
+                "  tier-capable figures: {}",
+                experiments::physical_capable_ids().join(", "),
+            );
+            std::process::exit(2);
+        }
+    }
 }
 
 fn run_perf(path: &str, label: &str, gate: bool) {
@@ -335,6 +388,16 @@ fn main() {
         eprintln!("--gate only applies to --perf runs");
         std::process::exit(2);
     }
+    if cli.tier != Tier::Fast && (cli.check || cli.bless || cli.perf.is_some()) {
+        // Goldens (and the perf series) are fast-tier canonical; a
+        // physical-tier run diffed against them would always "fail".
+        eprintln!(
+            "--tier {} does not combine with --check/--bless/--perf: goldens and the perf \
+             series are fast-tier canonical (the calibration figures compare tiers)",
+            cli.tier.name(),
+        );
+        std::process::exit(2);
+    }
     if let Some(path) = &cli.perf {
         run_perf(path, &cli.label, cli.gate);
         return;
@@ -345,7 +408,19 @@ fn main() {
         eprintln!("--full does not combine with --check/--bless: goldens are quick-grid canonical");
         std::process::exit(2);
     }
-    let specs = resolve_specs(&cli.ids);
+    let mut specs = resolve_specs(&cli.ids);
+    if cli.tier != Tier::Fast && cli.ids.is_empty() {
+        // A bare `--tier physical` means "everything that can": narrow
+        // the full registry to the tier-capable figures instead of
+        // tripping over the first survey figure.
+        specs.retain(|s| s.tiered.is_some());
+        eprintln!(
+            "no ids given: running all {} tier-capable figure(s) on the {} tier",
+            specs.len(),
+            cli.tier.name(),
+        );
+    }
+    require_tier_capable(&specs, cli.tier);
     if cli.check {
         run_check(&specs, &cli.goldens_dir);
         return;
@@ -357,10 +432,17 @@ fn main() {
 
     let grid = if cli.full { Grid::Full } else { Grid::Quick };
     eprintln!(
-        "regenerating {} experiment(s) ({grid:?} grid)...",
-        specs.len()
+        "regenerating {} experiment(s) ({grid:?} grid, {} tier)...",
+        specs.len(),
+        cli.tier.name(),
     );
-    let results: Vec<Experiment> = specs.iter().map(|spec| (spec.build)(grid)).collect();
+    let results: Vec<Experiment> = specs
+        .iter()
+        .map(|spec| match (cli.tier, spec.tiered) {
+            (Tier::Fast, _) | (_, None) => (spec.build)(grid),
+            (tier, Some(tiered)) => tiered(grid, tier),
+        })
+        .collect();
 
     for e in &results {
         println!("{}", e.render_text());

@@ -22,6 +22,7 @@ use fmbs_core::sim::fast::FastSim;
 use fmbs_core::sim::metric::{Ber, BerMrc, CoopPesq, Metric, Pesq, ToneSnr};
 use fmbs_core::sim::scenario::{Scenario, Workload};
 use fmbs_core::sim::sweep::{SweepBuilder, SweepResults};
+use fmbs_core::sim::Tier;
 use fmbs_net::prelude::{BerTable, BerTableSpec, NetCollisionRate, NetGoodput, NetSpec};
 use fmbs_survey::drive::DriveSurvey;
 use fmbs_survey::occupancy;
@@ -70,6 +71,16 @@ impl Grid {
             Grid::Quick => 2,
             Grid::Full => 6,
         }
+    }
+}
+
+/// Tags a figure title with the non-default tier it ran on, so a
+/// physical-tier rerun is never mistaken for the fast-tier canonical
+/// figure (whose title the golden records).
+fn tier_title(tier: Tier, title: &str) -> String {
+    match tier {
+        Tier::Fast => title.into(),
+        Tier::Physical => format!("{title} [physical tier]"),
     }
 }
 
@@ -183,6 +194,11 @@ pub fn fig5(grid: Grid) -> Experiment {
 
 /// Fig. 6 — receiver SNR versus backscattered tone frequency.
 pub fn fig6(grid: Grid) -> Experiment {
+    fig6_tier(grid, Tier::Fast)
+}
+
+/// [`fig6`] on a selectable simulation tier.
+pub fn fig6_tier(grid: Grid, tier: Tier) -> Experiment {
     let freqs: Vec<f64> = match grid {
         Grid::Quick => vec![
             500.0, 1_000.0, 2_000.0, 4_000.0, 6_000.0, 8_000.0, 10_000.0, 12_000.0, 13_000.0,
@@ -202,7 +218,7 @@ pub fn fig6(grid: Grid) -> Experiment {
         SweepBuilder::new(base.with_workload(workload))
             .tone_freqs_hz(freqs.iter().copied())
             .repeats(grid.repeats())
-            .run(&FastSim, &ToneSnr::default())
+            .run_on(tier, &ToneSnr::default())
             .series(|v| match v.scenario.workload {
                 Workload::Tone { freq_hz, .. } => freq_hz / 1_000.0,
                 _ => unreachable!(),
@@ -210,7 +226,10 @@ pub fn fig6(grid: Grid) -> Experiment {
     };
     Experiment {
         id: "fig6".into(),
-        title: "Received SNR vs backscattered audio frequency (Moto G1 model)".into(),
+        title: tier_title(
+            tier,
+            "Received SNR vs backscattered audio frequency (Moto G1 model)",
+        ),
         x_label: "frequency (kHz)".into(),
         y_label: "SNR (dB)".into(),
         series: vec![
@@ -223,16 +242,21 @@ pub fn fig6(grid: Grid) -> Experiment {
 
 /// Fig. 7 — SNR versus power and distance (1 kHz tone).
 pub fn fig7(grid: Grid) -> Experiment {
+    fig7_tier(grid, Tier::Fast)
+}
+
+/// [`fig7`] on a selectable simulation tier.
+pub fn fig7_tier(grid: Grid, tier: Tier) -> Experiment {
     let base = Scenario::bench(-20.0, 4.0, ProgramKind::Silence)
         .with_workload(Workload::tone(1_000.0, 0.5));
     let results = SweepBuilder::new(base)
         .powers_dbm(grid.powers_dbm())
         .distances_ft(grid.distances_ft())
         .repeats(grid.repeats())
-        .run(&FastSim, &ToneSnr::default());
+        .run_on(tier, &ToneSnr::default());
     Experiment {
         id: "fig7".into(),
-        title: "SNR vs receiving power and distance".into(),
+        title: tier_title(tier, "SNR vs receiving power and distance"),
         x_label: "distance (ft)".into(),
         y_label: "SNR (dB)".into(),
         series: series_per_dbm(&results),
@@ -241,7 +265,7 @@ pub fn fig7(grid: Grid) -> Experiment {
     }
 }
 
-fn fig8(grid: Grid, bitrate: Bitrate) -> Experiment {
+fn fig8(grid: Grid, bitrate: Bitrate, tier: Tier) -> Experiment {
     let id = match bitrate {
         Bitrate::Bps100 => "fig8a",
         Bitrate::Kbps1_6 => "fig8b",
@@ -256,10 +280,13 @@ fn fig8(grid: Grid, bitrate: Bitrate) -> Experiment {
         .distances_ft(grid.distances_ft())
         .programs([ProgramKind::News, ProgramKind::RockMusic])
         .repeats(grid.repeats())
-        .run(&FastSim, &Ber::default());
+        .run_on(tier, &Ber::default());
     Experiment {
         id: id.into(),
-        title: format!("BER with overlay backscatter — {}", bitrate.label()),
+        title: tier_title(
+            tier,
+            &format!("BER with overlay backscatter — {}", bitrate.label()),
+        ),
         x_label: "distance (ft)".into(),
         y_label: "Bit-error rate".into(),
         series: series_per_dbm(&results),
@@ -275,17 +302,32 @@ fn fig8(grid: Grid, bitrate: Bitrate) -> Experiment {
 
 /// Fig. 8a — BER of overlay backscatter at 100 bps.
 pub fn fig8a(grid: Grid) -> Experiment {
-    fig8(grid, Bitrate::Bps100)
+    fig8(grid, Bitrate::Bps100, Tier::Fast)
+}
+
+/// [`fig8a`] on a selectable simulation tier.
+pub fn fig8a_tier(grid: Grid, tier: Tier) -> Experiment {
+    fig8(grid, Bitrate::Bps100, tier)
 }
 
 /// Fig. 8b — BER of overlay backscatter at 1.6 kbps.
 pub fn fig8b(grid: Grid) -> Experiment {
-    fig8(grid, Bitrate::Kbps1_6)
+    fig8(grid, Bitrate::Kbps1_6, Tier::Fast)
+}
+
+/// [`fig8b`] on a selectable simulation tier.
+pub fn fig8b_tier(grid: Grid, tier: Tier) -> Experiment {
+    fig8(grid, Bitrate::Kbps1_6, tier)
 }
 
 /// Fig. 8c — BER of overlay backscatter at 3.2 kbps.
 pub fn fig8c(grid: Grid) -> Experiment {
-    fig8(grid, Bitrate::Kbps3_2)
+    fig8(grid, Bitrate::Kbps3_2, Tier::Fast)
+}
+
+/// [`fig8c`] on a selectable simulation tier.
+pub fn fig8c_tier(grid: Grid, tier: Tier) -> Experiment {
+    fig8(grid, Bitrate::Kbps3_2, tier)
 }
 
 /// Fig. 9 — BER with maximal-ratio combining (1.6 kbps).
@@ -298,6 +340,11 @@ pub fn fig8c(grid: Grid) -> Experiment {
 /// −60 dBm, where repetitions see independent impairments exactly as
 /// §3.4 assumes. Documented in EXPERIMENTS.md.
 pub fn fig9(grid: Grid) -> Experiment {
+    fig9_tier(grid, Tier::Fast)
+}
+
+/// [`fig9`] on a selectable simulation tier.
+pub fn fig9_tier(grid: Grid, tier: Tier) -> Experiment {
     let base = Scenario::bench(-60.0, 8.0, ProgramKind::RockMusic)
         .with_workload(Workload::data(Bitrate::Kbps1_6, grid.data_bits().max(800)));
     // MRC depth is a typed sweep axis: one grid, one engine run, four
@@ -306,7 +353,7 @@ pub fn fig9(grid: Grid) -> Experiment {
         .distances_ft([8.0, 10.0, 12.0, 13.0, 14.0])
         .mrc_depths([1, 2, 3, 4])
         .repeats(grid.repeats())
-        .run(&FastSim, &BerMrc::from_scenario());
+        .run_on(tier, &BerMrc::from_scenario());
     let series = results
         .series_by(|v| v.scenario.mrc_depth, |v| v.scenario.distance_ft)
         .into_iter()
@@ -321,7 +368,10 @@ pub fn fig9(grid: Grid) -> Experiment {
         .collect();
     Experiment {
         id: "fig9".into(),
-        title: "BER with MRC (overlay, 1.6 kbps, -60 dBm; see EXPERIMENTS.md)".into(),
+        title: tier_title(
+            tier,
+            "BER with MRC (overlay, 1.6 kbps, -60 dBm; see EXPERIMENTS.md)",
+        ),
         x_label: "distance (ft)".into(),
         y_label: "Bit-error rate".into(),
         series,
@@ -331,6 +381,11 @@ pub fn fig9(grid: Grid) -> Experiment {
 
 /// Fig. 10 — overlay vs stereo backscatter BER at −30 dBm.
 pub fn fig10(grid: Grid) -> Experiment {
+    fig10_tier(grid, Tier::Fast)
+}
+
+/// [`fig10`] on a selectable simulation tier.
+pub fn fig10_tier(grid: Grid, tier: Tier) -> Experiment {
     let base = Scenario::bench(-30.0, 1.0, ProgramKind::News);
     let mut series = Vec::new();
     for bitrate in [Bitrate::Kbps1_6, Bitrate::Kbps3_2] {
@@ -346,7 +401,7 @@ pub fn fig10(grid: Grid) -> Experiment {
             let results = SweepBuilder::new(base.with_workload(workload))
                 .distances_ft([1.0, 2.0, 3.0, 4.0])
                 .repeats(grid.repeats())
-                .run(&FastSim, &Ber::default());
+                .run_on(tier, &Ber::default());
             series.push(Series::new(
                 format!("{mode}  {rate}"),
                 results.series(|v| v.scenario.distance_ft),
@@ -355,7 +410,7 @@ pub fn fig10(grid: Grid) -> Experiment {
     }
     Experiment {
         id: "fig10".into(),
-        title: "BER: overlay vs stereo backscatter (-30 dBm)".into(),
+        title: tier_title(tier, "BER: overlay vs stereo backscatter (-30 dBm)"),
         x_label: "distance (ft)".into(),
         y_label: "Bit-error rate".into(),
         series,
@@ -365,15 +420,20 @@ pub fn fig10(grid: Grid) -> Experiment {
 
 /// Fig. 11 — PESQ of overlay audio backscatter.
 pub fn fig11(grid: Grid) -> Experiment {
+    fig11_tier(grid, Tier::Fast)
+}
+
+/// [`fig11`] on a selectable simulation tier.
+pub fn fig11_tier(grid: Grid, tier: Tier) -> Experiment {
     let base = Scenario::bench(-20.0, 2.0, ProgramKind::News)
         .with_workload(Workload::speech(grid.audio_secs()));
     let results = SweepBuilder::new(base)
         .powers_dbm(grid.powers_dbm())
         .distances_ft(grid.distances_ft())
-        .run(&FastSim, &Pesq::default());
+        .run_on(tier, &Pesq::default());
     Experiment {
         id: "fig11".into(),
-        title: "PESQ with overlay backscatter".into(),
+        title: tier_title(tier, "PESQ with overlay backscatter"),
         x_label: "distance (ft)".into(),
         y_label: "PESQ score".into(),
         series: series_per_dbm(&results),
@@ -384,15 +444,23 @@ pub fn fig11(grid: Grid) -> Experiment {
 
 /// Fig. 12 — PESQ of cooperative backscatter.
 pub fn fig12(grid: Grid) -> Experiment {
+    fig12_tier(grid, Tier::Fast)
+}
+
+/// [`fig12`] on a selectable simulation tier.
+pub fn fig12_tier(grid: Grid, tier: Tier) -> Experiment {
     let base = Scenario::bench(-20.0, 2.0, ProgramKind::News)
         .with_workload(Workload::coop_audio(grid.audio_secs()));
     let results = SweepBuilder::new(base)
         .powers_dbm([-20.0, -30.0, -40.0, -50.0])
         .distances_ft(grid.distances_ft())
-        .run(&FastSim, &CoopPesq::default());
+        .run_on(tier, &CoopPesq::default());
     Experiment {
         id: "fig12".into(),
-        title: "PESQ with cooperative backscatter (two-phone cancellation)".into(),
+        title: tier_title(
+            tier,
+            "PESQ with cooperative backscatter (two-phone cancellation)",
+        ),
         x_label: "distance (ft)".into(),
         y_label: "PESQ score".into(),
         series: series_per_dbm(&results),
@@ -400,7 +468,7 @@ pub fn fig12(grid: Grid) -> Experiment {
     }
 }
 
-fn fig13(grid: Grid, id: &str, title: &str) -> Experiment {
+fn fig13(grid: Grid, id: &str, title: &str, tier: Tier) -> Experiment {
     // Both host situations share the pipeline: a news host's L−R is
     // nearly empty, and a mono host contributes nothing to L−R once the
     // tag's pilot flips the receiver to stereo (§5.3).
@@ -409,10 +477,10 @@ fn fig13(grid: Grid, id: &str, title: &str) -> Experiment {
     let results = SweepBuilder::new(base)
         .powers_dbm([-20.0, -30.0, -40.0])
         .distances_ft(grid.distances_ft())
-        .run(&FastSim, &Pesq::default());
+        .run_on(tier, &Pesq::default());
     Experiment {
         id: id.into(),
-        title: title.into(),
+        title: tier_title(tier, title),
         x_label: "distance (ft)".into(),
         y_label: "PESQ score".into(),
         series: series_per_dbm(&results),
@@ -424,21 +492,42 @@ fn fig13(grid: Grid, id: &str, title: &str) -> Experiment {
 
 /// Fig. 13a — PESQ of stereo backscatter on a stereo news station.
 pub fn fig13a(grid: Grid) -> Experiment {
+    fig13a_tier(grid, Tier::Fast)
+}
+
+/// [`fig13a`] on a selectable simulation tier.
+pub fn fig13a_tier(grid: Grid, tier: Tier) -> Experiment {
     fig13(
         grid,
         "fig13a",
         "PESQ, stereo backscatter on a stereo news station",
+        tier,
     )
 }
 
 /// Fig. 13b — PESQ of stereo backscatter on a mono station converted to
 /// stereo.
 pub fn fig13b(grid: Grid) -> Experiment {
-    fig13(grid, "fig13b", "PESQ, mono station converted to stereo")
+    fig13b_tier(grid, Tier::Fast)
+}
+
+/// [`fig13b`] on a selectable simulation tier.
+pub fn fig13b_tier(grid: Grid, tier: Tier) -> Experiment {
+    fig13(
+        grid,
+        "fig13b",
+        "PESQ, mono station converted to stereo",
+        tier,
+    )
 }
 
 /// Fig. 14 — car receiver: SNR (a) and PESQ (b) versus range.
 pub fn fig14(grid: Grid) -> Experiment {
+    fig14_tier(grid, Tier::Fast)
+}
+
+/// [`fig14`] on a selectable simulation tier.
+pub fn fig14_tier(grid: Grid, tier: Tier) -> Experiment {
     let distances = [20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0];
     let powers = [-20.0, -30.0];
     let snr = SweepBuilder::new(
@@ -448,7 +537,7 @@ pub fn fig14(grid: Grid) -> Experiment {
     .powers_dbm(powers)
     .distances_ft(distances)
     .repeats(grid.repeats())
-    .run(&FastSim, &ToneSnr::default());
+    .run_on(tier, &ToneSnr::default());
     let pesq = SweepBuilder::new(
         Scenario::car(-20.0, 20.0, ProgramKind::News)
             .with_workload(Workload::speech(grid.audio_secs())),
@@ -456,7 +545,7 @@ pub fn fig14(grid: Grid) -> Experiment {
     .powers_dbm(powers)
     .distances_ft(distances)
     .repeats(grid.repeats())
-    .run(&FastSim, &Pesq::default());
+    .run_on(tier, &Pesq::default());
     // Interleave as the paper's panel order: SNR then PESQ per power.
     let mut series = Vec::new();
     for &p in &powers {
@@ -472,7 +561,7 @@ pub fn fig14(grid: Grid) -> Experiment {
     }
     Experiment {
         id: "fig14".into(),
-        title: "Overlay backscatter into a car receiver".into(),
+        title: tier_title(tier, "Overlay backscatter into a car receiver"),
         x_label: "distance (ft)".into(),
         y_label: "SNR (dB) / PESQ".into(),
         series,
@@ -482,6 +571,11 @@ pub fn fig14(grid: Grid) -> Experiment {
 
 /// Fig. 17b — smart-fabric BER across mobility.
 pub fn fig17(grid: Grid) -> Experiment {
+    fig17_tier(grid, Tier::Fast)
+}
+
+/// [`fig17`] on a selectable simulation tier.
+pub fn fig17_tier(grid: Grid, tier: Tier) -> Experiment {
     let motions = [
         MotionProfile::Standing,
         MotionProfile::Walking,
@@ -492,7 +586,7 @@ pub fn fig17(grid: Grid) -> Experiment {
         SweepBuilder::new(base.with_workload(workload))
             .motions(motions)
             .repeats(grid.repeats().max(2))
-            .run(&FastSim, metric)
+            .run_on(tier, metric)
             .series(|v| v.coords.motion as f64)
     };
     let s100 = run(
@@ -506,7 +600,7 @@ pub fn fig17(grid: Grid) -> Experiment {
     );
     Experiment {
         id: "fig17b".into(),
-        title: "Smart fabric BER (x: standing, walking, running)".into(),
+        title: tier_title(tier, "Smart fabric BER (x: standing, walking, running)"),
         x_label: "motion index".into(),
         y_label: "Bit-error rate".into(),
         series: vec![
@@ -579,19 +673,24 @@ pub fn power_table(_grid: Grid) -> Experiment {
 
 /// §3.4's rate ceiling: BER versus symbol rate at a fixed good link.
 pub fn rates_table(grid: Grid) -> Experiment {
+    rates_table_tier(grid, Tier::Fast)
+}
+
+/// [`rates_table`] on a selectable simulation tier.
+pub fn rates_table_tier(grid: Grid, tier: Tier) -> Experiment {
     let base = Scenario::bench(-50.0, 10.0, ProgramKind::News)
         .with_workload(Workload::data(Bitrate::Bps100, grid.data_bits()));
     let results = SweepBuilder::new(base)
         .bitrates(Bitrate::ALL.iter().copied())
         .repeats(grid.repeats())
-        .run(&FastSim, &Ber::default());
+        .run_on(tier, &Ber::default());
     let pts = results.series(|v| match v.scenario.workload {
         Workload::Data { bitrate, .. } => bitrate.symbol_rate(),
         _ => unreachable!(),
     });
     Experiment {
         id: "rates".into(),
-        title: "BER vs symbol rate at -50 dBm / 10 ft".into(),
+        title: tier_title(tier, "BER vs symbol rate at -50 dBm / 10 ft"),
         x_label: "symbols per second".into(),
         y_label: "Bit-error rate".into(),
         series: vec![Series::new("overlay", pts)],
@@ -741,6 +840,216 @@ pub fn network_capacity(grid: Grid) -> Experiment {
             "goodput scales with tags while free channels absorb them, then saturates as slotted \
              Aloha contention grows; collision rate rises with density; energy-starved tags cap \
              goodput well below mains power"
+                .into(),
+    }
+}
+
+// ------------------------------------------- cross-tier calibration
+//
+// Since PR 2 every swept figure runs on the approximated fast tier, and
+// the net tier's `BerTable` is calibrated against it; the `calibration`
+// figure family measures the error each abstraction layer introduces by
+// running the *same* grid on both tiers and bounding the per-point
+// disagreement. The budgets below are the documented tier-error
+// tolerances (quick-grid calibrated with ~2x margin over the observed
+// worst case; see README "Tier calibration") — `repro --check` gates
+// them like any other paper expectation.
+
+/// Largest tolerated per-cell |ΔBER| between the tiers on the
+/// calibration grid (observed quick-grid worst case: 0.008).
+pub const TIER_BER_BUDGET: f64 = 0.05;
+
+/// Largest tolerated per-cell |ΔPESQ| between the tiers (observed
+/// quick-grid worst case: 0.85 — the physical tier's sampled square
+/// wave caps its audio SNR near 48 dB, so its PESQ saturates ~2.25
+/// where the fast tier reaches ~3.1; see the note on
+/// `snr_falls_with_distance` in `sim/physical.rs`).
+pub const TIER_PESQ_BUDGET: f64 = 1.0;
+
+/// Largest tolerated per-cell |ΔBER| between a fast-calibrated and a
+/// physical-calibrated link table — the fast→link→net stack bound
+/// (observed quick-grid worst case: 0.021, a flat ~2% physical-tier
+/// settling floor the fast tier does not model).
+pub const TIER_TABLE_BUDGET: f64 = 0.08;
+
+/// Summary-quantile series of a |Δ| sample: (0.5, p50), (0.9, p90),
+/// (1.0, max) — nondecreasing by construction, which the figures'
+/// `MonotoneIn` expectation asserts as a self-check. Same nearest-rank
+/// convention as [`fmbs_net::prelude::TableDelta::quantile_abs`], so
+/// figure quantiles and the table-delta report never diverge.
+fn quantile_series(label: String, values: Vec<f64>) -> Series {
+    let q = |q: f64| fmbs_dsp::stats::quantile_nearest_rank(&values, q);
+    Series::new(label, vec![(0.5, q(0.5)), (0.9, q(0.9)), (1.0, q(1.0))])
+}
+
+/// Runs one sweep spec on **both** tiers and folds the per-point values
+/// into the calibration series set: per-cell tier means, per-cell mean
+/// |Δ|, the flat error-budget line the `SeriesBelow` expectation gates
+/// against, and the |Δ| summary quantiles. A cell is one grid
+/// coordinate with the repeat axis folded; x is the cell's index in
+/// grid order.
+fn cross_tier_series(
+    sweep: &SweepBuilder,
+    metric: &dyn Metric,
+    quantity: &str,
+    budget: f64,
+) -> Vec<Series> {
+    use fmbs_core::sim::sweep::Coords;
+    let fast = sweep.run_on(Tier::Fast, metric);
+    let phys = sweep.run_on(Tier::Physical, metric);
+    assert_eq!(fast.points.len(), phys.points.len());
+    // (cell coords, fast sum, physical sum, |delta| sum, count).
+    let mut cells: Vec<(Coords, f64, f64, f64, usize)> = Vec::new();
+    let mut deltas = Vec::new();
+    for (f, p) in fast.points.iter().zip(&phys.points) {
+        assert_eq!(f.coords, p.coords, "tier grids must expand identically");
+        let d = (f.value - p.value).abs();
+        deltas.push(d);
+        let mut key = f.coords;
+        key.repeat = 0;
+        match cells.iter_mut().find(|(k, ..)| *k == key) {
+            Some((_, fs, ps, ds, n)) => {
+                *fs += f.value;
+                *ps += p.value;
+                *ds += d;
+                *n += 1;
+            }
+            None => cells.push((key, f.value, p.value, d, 1)),
+        }
+    }
+    let mut fast_pts = Vec::with_capacity(cells.len());
+    let mut phys_pts = Vec::with_capacity(cells.len());
+    let mut delta_pts = Vec::with_capacity(cells.len());
+    let mut budget_pts = Vec::with_capacity(cells.len());
+    for (i, (_, fs, ps, ds, n)) in cells.iter().enumerate() {
+        let (x, n) = (i as f64, *n as f64);
+        fast_pts.push((x, fs / n));
+        phys_pts.push((x, ps / n));
+        delta_pts.push((x, ds / n));
+        budget_pts.push((x, budget));
+    }
+    vec![
+        Series::new(format!("fast tier {quantity}"), fast_pts),
+        Series::new(format!("physical tier {quantity}"), phys_pts),
+        Series::new(format!("|delta {quantity}|"), delta_pts),
+        Series::new("tier error budget", budget_pts),
+        quantile_series(
+            format!("|delta {quantity}| quantiles (p50/p90/max)"),
+            deltas,
+        ),
+    ]
+}
+
+/// Calibration figure: fast-vs-physical **BER** agreement, point by
+/// point, on a shared power×distance data grid.
+pub fn calibration_ber(grid: Grid) -> Experiment {
+    let (bits, repeats) = match grid {
+        Grid::Quick => (240, 2),
+        Grid::Full => (960, 4),
+    };
+    let distances = match grid {
+        Grid::Quick => vec![4.0, 10.0, 16.0],
+        Grid::Full => vec![2.0, 6.0, 10.0, 14.0, 18.0],
+    };
+    let base = Scenario::bench(-30.0, 4.0, ProgramKind::News)
+        .with_workload(Workload::data(Bitrate::Kbps1_6, bits));
+    let sweep = SweepBuilder::new(base)
+        .powers_dbm([-30.0, -50.0])
+        .distances_ft(distances)
+        .repeats(repeats);
+    Experiment {
+        id: "calibration_ber".into(),
+        title: "Tier calibration: fast vs physical BER (1.6 kbps overlay)".into(),
+        x_label: "grid cell (power-major)".into(),
+        y_label: "BER / |delta BER|".into(),
+        series: cross_tier_series(&sweep, &Ber::default(), "BER", TIER_BER_BUDGET),
+        paper_expectation:
+            "the audio-domain equivalence (section 3.3) holds: fast-tier BER tracks the RF-rate \
+             reference within the documented budget on every cell"
+                .into(),
+    }
+}
+
+/// Calibration figure: fast-vs-physical **PESQ** agreement on a shared
+/// speech grid.
+pub fn calibration_pesq(grid: Grid) -> Experiment {
+    let (secs, repeats) = match grid {
+        Grid::Quick => (0.75, 1),
+        Grid::Full => (2.0, 2),
+    };
+    let base = Scenario::bench(-20.0, 4.0, ProgramKind::News).with_workload(Workload::speech(secs));
+    let sweep = SweepBuilder::new(base)
+        .powers_dbm([-20.0, -40.0])
+        .distances_ft([4.0, 12.0])
+        .repeats(repeats);
+    Experiment {
+        id: "calibration_pesq".into(),
+        title: "Tier calibration: fast vs physical PESQ (overlay speech)".into(),
+        x_label: "grid cell (power-major)".into(),
+        y_label: "PESQ / |delta PESQ|".into(),
+        series: cross_tier_series(&sweep, &Pesq::default(), "PESQ", TIER_PESQ_BUDGET),
+        paper_expectation:
+            "audio quality scored through the full RF chain matches the fast tier within the \
+             documented budget on every cell"
+                .into(),
+    }
+}
+
+/// Calibration figure: the network tier's link table re-calibrated from
+/// the physical tier ([`BerTable::from_physical`]) against the standard
+/// fast-calibrated table — the per-cell |Δ| bounds what the whole
+/// fast→link→net stack inherits from the fast approximation.
+pub fn calibration_link(grid: Grid) -> Experiment {
+    let spec = match grid {
+        Grid::Quick => BerTableSpec {
+            powers_dbm: vec![-55.0, -45.0, -35.0],
+            distances_ft: vec![4.0, 10.0, 16.0],
+            bitrates: vec![Bitrate::Kbps1_6],
+            bits_per_point: 192,
+            repeats: 1,
+            seed: 0xCA11B,
+        },
+        Grid::Full => BerTableSpec {
+            powers_dbm: vec![-60.0, -50.0, -40.0, -30.0, -20.0],
+            distances_ft: vec![2.0, 6.0, 10.0, 14.0, 18.0],
+            bitrates: vec![Bitrate::Kbps1_6],
+            bits_per_point: 448,
+            repeats: 2,
+            seed: 0xCA11B,
+        },
+    };
+    let fast_table = BerTable::calibrate(Tier::Fast.simulator(), &spec);
+    let phys_table = BerTable::from_physical(&spec);
+    let delta = phys_table.delta(&fast_table);
+    let mut fast_pts = Vec::with_capacity(delta.cells.len());
+    let mut phys_pts = Vec::with_capacity(delta.cells.len());
+    let mut delta_pts = Vec::with_capacity(delta.cells.len());
+    let mut budget_pts = Vec::with_capacity(delta.cells.len());
+    for (i, c) in delta.cells.iter().enumerate() {
+        let x = i as f64;
+        fast_pts.push((x, c.other));
+        phys_pts.push((x, c.reference));
+        delta_pts.push((x, c.abs_delta()));
+        budget_pts.push((x, TIER_TABLE_BUDGET));
+    }
+    Experiment {
+        id: "calibration_link".into(),
+        title: "Tier calibration: link table, fast- vs physical-calibrated".into(),
+        x_label: "table cell (power-major)".into(),
+        y_label: "tabulated BER / |delta|".into(),
+        series: vec![
+            Series::new("fast table BER", fast_pts),
+            Series::new("physical table BER", phys_pts),
+            Series::new("|delta table BER|", delta_pts),
+            Series::new("tier error budget", budget_pts),
+            quantile_series(
+                "|delta table BER| quantiles (p50/p90/max)".into(),
+                delta.cells.iter().map(|c| c.abs_delta()).collect(),
+            ),
+        ],
+        paper_expectation:
+            "a link table calibrated from the RF-rate reference agrees cell-by-cell with the \
+             fast-calibrated table within the documented budget (bounding fast->link->net)"
                 .into(),
     }
 }
@@ -1313,6 +1622,78 @@ fn checks_network_capacity() -> Vec<Expectation> {
     ]
 }
 
+fn checks_calibration_ber() -> Vec<Expectation> {
+    vec![
+        // The headline: per-cell tier disagreement stays under the
+        // documented budget line, point by point.
+        Expectation::SeriesBelow {
+            below: Select::Label("|delta BER|"),
+            above: Select::Label("tier error budget"),
+            axis: Axis::Y,
+            slack: 0.0,
+        },
+        // Quantile summaries are nondecreasing (p50 <= p90 <= max).
+        Expectation::MonotoneIn {
+            series: Select::Contains("quantiles"),
+            dir: Dir::Increasing,
+            slack: 0.0,
+        },
+        // Both tiers report sane BERs everywhere on the grid.
+        Expectation::WithinBand {
+            series: Select::Contains("tier BER"),
+            axis: Axis::Y,
+            min: 0.0,
+            max: 0.6,
+        },
+    ]
+}
+
+fn checks_calibration_pesq() -> Vec<Expectation> {
+    vec![
+        Expectation::SeriesBelow {
+            below: Select::Label("|delta PESQ|"),
+            above: Select::Label("tier error budget"),
+            axis: Axis::Y,
+            slack: 0.0,
+        },
+        Expectation::MonotoneIn {
+            series: Select::Contains("quantiles"),
+            dir: Dir::Increasing,
+            slack: 0.0,
+        },
+        // PESQ-like scores stay in range, and the strong close-in cell
+        // is genuinely good on both tiers.
+        Expectation::ThresholdAt {
+            series: Select::Contains("tier PESQ"),
+            x: 0.0,
+            min_y: Some(1.5),
+            max_y: Some(4.7),
+        },
+    ]
+}
+
+fn checks_calibration_link() -> Vec<Expectation> {
+    vec![
+        Expectation::SeriesBelow {
+            below: Select::Label("|delta table BER|"),
+            above: Select::Label("tier error budget"),
+            axis: Axis::Y,
+            slack: 0.0,
+        },
+        Expectation::MonotoneIn {
+            series: Select::Contains("quantiles"),
+            dir: Dir::Increasing,
+            slack: 0.0,
+        },
+        Expectation::WithinBand {
+            series: Select::Contains("table BER"),
+            axis: Axis::Y,
+            min: 0.0,
+            max: 0.6,
+        },
+    ]
+}
+
 /// One entry of the experiment registry.
 #[derive(Debug, Clone, Copy)]
 pub struct ExperimentSpec {
@@ -1320,124 +1701,188 @@ pub struct ExperimentSpec {
     pub id: &'static str,
     /// Builds the experiment at a grid density.
     pub build: fn(Grid) -> Experiment,
+    /// The tier-selectable builder behind `repro --tier`: present only
+    /// for figures whose measurement sweeps a [`Simulator`] (surveys,
+    /// arithmetic tables and the calibration family — which runs both
+    /// tiers by construction — have none).
+    ///
+    /// [`Simulator`]: fmbs_core::sim::Simulator
+    pub tiered: Option<fn(Grid, Tier) -> Experiment>,
     /// The figure's machine-checkable paper expectations
     /// (`repro --check` evaluates them on the Quick grid).
     pub checks: fn() -> Vec<Expectation>,
 }
 
-/// Every experiment, in paper order.
+/// Every experiment, in paper order (calibration family last).
 pub const REGISTRY: &[ExperimentSpec] = &[
     ExperimentSpec {
         id: "fig2a",
         build: fig2a,
+        tiered: None,
         checks: checks_fig2a,
     },
     ExperimentSpec {
         id: "fig2b",
         build: fig2b,
+        tiered: None,
         checks: checks_fig2b,
     },
     ExperimentSpec {
         id: "fig4a",
         build: fig4a,
+        tiered: None,
         checks: checks_fig4a,
     },
     ExperimentSpec {
         id: "fig4b",
         build: fig4b,
+        tiered: None,
         checks: checks_fig4b,
     },
     ExperimentSpec {
         id: "fig5",
         build: fig5,
+        tiered: None,
         checks: checks_fig5,
     },
     ExperimentSpec {
         id: "fig6",
         build: fig6,
+        tiered: Some(fig6_tier),
         checks: checks_fig6,
     },
     ExperimentSpec {
         id: "fig7",
         build: fig7,
+        tiered: Some(fig7_tier),
         checks: checks_fig7,
     },
     ExperimentSpec {
         id: "fig8a",
         build: fig8a,
+        tiered: Some(fig8a_tier),
         checks: checks_fig8a,
     },
     ExperimentSpec {
         id: "fig8b",
         build: fig8b,
+        tiered: Some(fig8b_tier),
         checks: checks_fig8b,
     },
     ExperimentSpec {
         id: "fig8c",
         build: fig8c,
+        tiered: Some(fig8c_tier),
         checks: checks_fig8c,
     },
     ExperimentSpec {
         id: "fig9",
         build: fig9,
+        tiered: Some(fig9_tier),
         checks: checks_fig9,
     },
     ExperimentSpec {
         id: "fig10",
         build: fig10,
+        tiered: Some(fig10_tier),
         checks: checks_fig10,
     },
     ExperimentSpec {
         id: "fig11",
         build: fig11,
+        tiered: Some(fig11_tier),
         checks: checks_fig11,
     },
     ExperimentSpec {
         id: "fig12",
         build: fig12,
+        tiered: Some(fig12_tier),
         checks: checks_fig12,
     },
     ExperimentSpec {
         id: "fig13a",
         build: fig13a,
+        tiered: Some(fig13a_tier),
         checks: checks_fig13,
     },
     ExperimentSpec {
         id: "fig13b",
         build: fig13b,
+        tiered: Some(fig13b_tier),
         checks: checks_fig13,
     },
     ExperimentSpec {
         id: "fig14",
         build: fig14,
+        tiered: Some(fig14_tier),
         checks: checks_fig14,
     },
     ExperimentSpec {
         id: "fig17b",
         build: fig17,
+        tiered: Some(fig17_tier),
         checks: checks_fig17,
     },
     ExperimentSpec {
         id: "power",
         build: power_table,
+        tiered: None,
         checks: checks_power,
     },
     ExperimentSpec {
         id: "rates",
         build: rates_table,
+        tiered: Some(rates_table_tier),
         checks: checks_rates,
     },
     ExperimentSpec {
         id: "ablation",
         build: ablation,
+        tiered: None,
         checks: checks_ablation,
     },
     ExperimentSpec {
         id: "network_capacity",
         build: network_capacity,
+        tiered: None,
         checks: checks_network_capacity,
     },
+    ExperimentSpec {
+        id: "calibration_ber",
+        build: calibration_ber,
+        tiered: None,
+        checks: checks_calibration_ber,
+    },
+    ExperimentSpec {
+        id: "calibration_pesq",
+        build: calibration_pesq,
+        tiered: None,
+        checks: checks_calibration_pesq,
+    },
+    ExperimentSpec {
+        id: "calibration_link",
+        build: calibration_link,
+        tiered: None,
+        checks: checks_calibration_link,
+    },
 ];
+
+/// Registry ids whose figures accept a simulation tier
+/// (`repro --tier physical <id>`).
+pub fn physical_capable_ids() -> Vec<&'static str> {
+    REGISTRY
+        .iter()
+        .filter(|s| s.tiered.is_some())
+        .map(|s| s.id)
+        .collect()
+}
+
+/// Near-miss suggestions for an unknown tier name, closest first (same
+/// scoring as [`suggest_ids`] so the CLI's two "did you mean" surfaces
+/// never diverge).
+pub fn suggest_tiers(unknown: &str) -> Vec<&'static str> {
+    suggest_near(unknown, Tier::ALL.iter().map(|t| t.name()), Tier::ALL.len())
+}
 
 /// Looks a registry entry up by id (accepting the `fig17` alias the
 /// paper text uses for `fig17b`).
@@ -1467,21 +1912,31 @@ fn levenshtein(a: &str, b: &str) -> usize {
     row[b.len()]
 }
 
-/// Near-miss suggestions for an unknown experiment id: registry ids
-/// within a small edit distance or sharing a substring, closest first.
-pub fn suggest_ids(unknown: &str, max: usize) -> Vec<&'static str> {
-    let mut scored: Vec<(bool, usize, &'static str)> = REGISTRY
-        .iter()
-        .map(|spec| {
-            let containment = spec.id.contains(unknown) || unknown.contains(spec.id);
-            (!containment, levenshtein(unknown, spec.id), spec.id)
+/// Shared near-miss scoring behind [`suggest_ids`] and
+/// [`suggest_tiers`]: candidates within a small edit distance or
+/// sharing a substring, closest first. Substring matches (e.g. `fig8`
+/// → `fig8a/b/c`) outrank pure edit distance; ties break on distance,
+/// then lexically.
+fn suggest_near(
+    unknown: &str,
+    candidates: impl Iterator<Item = &'static str>,
+    max: usize,
+) -> Vec<&'static str> {
+    let mut scored: Vec<(bool, usize, &'static str)> = candidates
+        .map(|c| {
+            let containment = c.contains(unknown) || unknown.contains(c);
+            (!containment, levenshtein(unknown, c), c)
         })
         .filter(|(not_contained, d, _)| !*not_contained || *d <= 3)
         .collect();
-    // Substring matches (e.g. fig8 -> fig8a/b/c) outrank pure edit
-    // distance; ties break on distance, then lexically.
     scored.sort();
-    scored.into_iter().take(max).map(|(_, _, id)| id).collect()
+    scored.into_iter().take(max).map(|(_, _, c)| c).collect()
+}
+
+/// Near-miss suggestions for an unknown experiment id: registry ids
+/// within a small edit distance or sharing a substring, closest first.
+pub fn suggest_ids(unknown: &str, max: usize) -> Vec<&'static str> {
+    suggest_near(unknown, REGISTRY.iter().map(|spec| spec.id), max)
 }
 
 /// Every experiment, in paper order.
@@ -1531,11 +1986,54 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_resolvable() {
         let mut ids: Vec<&str> = REGISTRY.iter().map(|s| s.id).collect();
-        assert_eq!(ids.len(), 22);
+        assert_eq!(ids.len(), 25);
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 22, "duplicate registry id");
+        assert_eq!(ids.len(), 25, "duplicate registry id");
         assert!(by_id("nope", Grid::Quick).is_none());
+    }
+
+    #[test]
+    fn physical_capable_set_is_the_swept_physics_figures() {
+        let ids = physical_capable_ids();
+        assert_eq!(ids.len(), 14);
+        for id in ["fig6", "fig7", "fig8a", "fig9", "fig14", "fig17b", "rates"] {
+            assert!(ids.contains(&id), "{id} should be tier-selectable");
+        }
+        for id in [
+            "fig2a",
+            "power",
+            "ablation",
+            "network_capacity",
+            "calibration_ber",
+        ] {
+            assert!(!ids.contains(&id), "{id} should not be tier-selectable");
+        }
+    }
+
+    #[test]
+    fn suggest_tiers_finds_near_misses() {
+        assert_eq!(suggest_tiers("physcial"), vec!["physical"]);
+        assert_eq!(suggest_tiers("Fast"), vec!["fast"]);
+        assert!(suggest_tiers("warp-speed").is_empty());
+    }
+
+    #[test]
+    fn quantile_series_is_nondecreasing_and_nearest_rank() {
+        let s = quantile_series("q".into(), vec![0.3, 0.0, 0.1, 0.2]);
+        assert_eq!(s.points.len(), 3);
+        // Nearest rank on 4 samples: p50 = 2nd, p90 = 4th, max = 4th.
+        assert_eq!(s.points[0], (0.5, 0.1));
+        assert_eq!(s.points[1], (0.9, 0.3));
+        assert_eq!(s.points[2], (1.0, 0.3));
+        let empty = quantile_series("q".into(), Vec::new());
+        assert!(empty.points.iter().all(|p| p.1 == 0.0));
+    }
+
+    #[test]
+    fn tier_title_tags_only_the_physical_tier() {
+        assert_eq!(tier_title(Tier::Fast, "T"), "T");
+        assert_eq!(tier_title(Tier::Physical, "T"), "T [physical tier]");
     }
 
     #[test]

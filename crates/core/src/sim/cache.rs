@@ -10,7 +10,14 @@
 //! * `(program_seed, programme, duration, rate)` → host audio
 //!   (mono, L−R), the [`Scenario::host_audio`] derivation;
 //! * the [`Workload`]'s own fields + rate → synthesised tag baseband,
-//!   the [`Workload::synthesise`] derivation.
+//!   the [`Workload::synthesise`] derivation;
+//! * for the physical tier, the full RF **front end** — host modulator
+//!   IQ and the tag's un-scaled backscatter product — keyed by the host
+//!   and payload derivation inputs plus both sample rates and `f_back`.
+//!   Power scaling, fading and noise are per-point (geometry, seed) and
+//!   applied downstream, so a power×distance grid modulates its host
+//!   station once per programme realisation instead of once per point —
+//!   what makes physical-tier sweeps tractable.
 //!
 //! The cache is **semantically invisible**: keys capture every input of
 //! the derivation, values are exactly what the uncached path computes,
@@ -29,6 +36,7 @@
 use super::scenario::{Scenario, SynthesisedPayload, Workload};
 use crate::modem::Bitrate;
 use fmbs_audio::program::ProgramKind;
+use fmbs_dsp::complex::Complex;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -114,6 +122,55 @@ impl PayloadKey {
     }
 }
 
+/// Physical front-end cache key: every input of the
+/// [`super::physical::PhysicalSim`] RF front end (host modulator output
+/// and the tag's un-scaled backscatter product). Geometry, link budget,
+/// fading and noise are applied *after* the front end, so they stay out
+/// of the key. The host-station configuration is fixed by the physical
+/// tier's scenario path (mono, no pre-emphasis); if that ever becomes
+/// scenario-dependent it must join the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct FrontEndKey {
+    program_seed: u64,
+    program: ProgramKind,
+    payload: PayloadKey,
+    /// Host-audio length in samples at [`super::fast::FAST_AUDIO_RATE`].
+    n: usize,
+    /// Rate the tag baseband enters the chain at (48 kHz mono-band,
+    /// 192 kHz stereo multiplex).
+    tag_rate_bits: u64,
+    iq_rate_bits: u64,
+    f_back_bits: u64,
+    stereo_band: bool,
+}
+
+/// A cached RF front end: `(host_iq, backscatter_iq)` before power
+/// scaling, fading and noise.
+pub type RfFrontEnd = Arc<(Vec<Complex>, Vec<Complex>)>;
+
+/// Upper bound on the total IQ samples the front-end cache retains
+/// across all entries (both vectors counted). Front-end buffers are
+/// huge — a 0.5 s tone at 2.56 MHz is ~2.6M samples (~41 MB) per
+/// entry, an 8 s `--full` speech realisation ~41M (~656 MB) — and a
+/// sweep's repetitions each key their own entry, so an unbounded map
+/// could grow to multiple GB on dense physical grids. Past the budget
+/// new entries are simply not retained: every lookup stays
+/// semantically invisible (the computed value is returned either way),
+/// oversized sweeps just recompute per point.
+const FRONT_END_MAX_SAMPLES: usize = 64_000_000; // ~1 GB at 16 B/sample
+
+/// Hit/miss counters of the physical tier's front-end cache, reported
+/// in [`super::sweep::SweepResults::front_end`]. Kept out of
+/// [`CacheStats`] so the perf series' committed JSON records (which
+/// embed `CacheStats`) stay parseable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontEndStats {
+    /// Front-end derivations served from the cache.
+    pub hits: usize,
+    /// Front-end derivations computed (then inserted).
+    pub misses: usize,
+}
+
 /// Hit/miss counters of one sweep's cache, reported in
 /// [`super::sweep::SweepResults`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -149,10 +206,17 @@ pub struct SweepCache {
     host: Mutex<HashMap<HostKey, HostAudio>>,
     // Keyed by (workload derivation inputs, sample-rate bits).
     payload: Mutex<HashMap<(PayloadKey, u64), Arc<SynthesisedPayload>>>,
+    // The physical tier's scenario-invariant RF front end.
+    front_end: Mutex<HashMap<FrontEndKey, RfFrontEnd>>,
+    // IQ samples currently retained by `front_end` (mutated only under
+    // its lock; atomic so `stats` can read without locking).
+    front_end_samples: AtomicUsize,
     host_hits: AtomicUsize,
     host_misses: AtomicUsize,
     payload_hits: AtomicUsize,
     payload_misses: AtomicUsize,
+    front_end_hits: AtomicUsize,
+    front_end_misses: AtomicUsize,
 }
 
 impl SweepCache {
@@ -188,6 +252,56 @@ impl SweepCache {
         self.host_misses.fetch_add(1, Ordering::Relaxed);
         let computed = s.host_audio_uncached(rate, n);
         self.host.lock().insert(key, Arc::new(computed.clone()));
+        computed
+    }
+
+    /// Snapshot of the physical front-end counters.
+    pub fn front_end_stats(&self) -> FrontEndStats {
+        FrontEndStats {
+            hits: self.front_end_hits.load(Ordering::Relaxed),
+            misses: self.front_end_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The physical tier's RF front end (host modulator output + un-scaled
+    /// tag backscatter product), memoised behind every derivation input:
+    /// the host-audio key, the payload key, both sample rates and
+    /// `f_back`. `compute` runs outside the lock; a racing duplicate
+    /// insert stores the identical (deterministic) value.
+    pub fn physical_front_end(
+        &self,
+        scenario: &Scenario,
+        n: usize,
+        tag_rate: f64,
+        iq_rate: f64,
+        compute: impl FnOnce() -> (Vec<Complex>, Vec<Complex>),
+    ) -> RfFrontEnd {
+        let key = FrontEndKey {
+            program_seed: scenario.program_seed,
+            program: scenario.program,
+            payload: PayloadKey::new(&scenario.workload),
+            n,
+            tag_rate_bits: tag_rate.to_bits(),
+            iq_rate_bits: iq_rate.to_bits(),
+            f_back_bits: scenario.f_back_hz.to_bits(),
+            stereo_band: scenario.workload.stereo_band(),
+        };
+        if let Some(hit) = self.front_end.lock().get(&key).cloned() {
+            self.front_end_hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.front_end_misses.fetch_add(1, Ordering::Relaxed);
+        let computed = Arc::new(compute());
+        // Retain the entry only while the sample budget holds
+        // ([`FRONT_END_MAX_SAMPLES`]); the computed value is returned
+        // either way, so the cap never changes results.
+        let samples = computed.0.len() + computed.1.len();
+        let mut map = self.front_end.lock();
+        if self.front_end_samples.load(Ordering::Relaxed) + samples <= FRONT_END_MAX_SAMPLES
+            && map.insert(key, computed.clone()).is_none()
+        {
+            self.front_end_samples.fetch_add(samples, Ordering::Relaxed);
+        }
         computed
     }
 

@@ -60,6 +60,7 @@ pub mod sweep;
 
 use fmbs_channel::backscatter_link::LinkBudget;
 use scenario::Scenario;
+use std::sync::LazyLock;
 
 /// What any simulation tier produces for one scenario.
 #[derive(Debug, Clone)]
@@ -85,6 +86,58 @@ pub struct SimOutput {
     pub payload_ref: Vec<f64>,
     /// The transmitted bits (data workloads only).
     pub tx_bits: Vec<bool>,
+}
+
+/// A *named* simulation tier, selectable at run time (`repro --tier`).
+///
+/// Every figure sweep takes a `&dyn Simulator`; `Tier` is the small
+/// registry mapping the two tier names onto shared simulator instances,
+/// so CLI surfaces and calibration harnesses can plug either tier into
+/// the same sweep spec. [`Tier::Physical`] resolves to one process-wide
+/// [`physical::PhysicalSim`] at the paper's bench configuration — the
+/// scenario itself carries the link budget, geometry, `f_back` and
+/// seeds, so a single instance serves every sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// The audio-domain equivalence tier ([`fast::FastSim`]).
+    Fast,
+    /// The RF-rate reference tier ([`physical::PhysicalSim`]).
+    Physical,
+}
+
+impl Tier {
+    /// Every tier, fast first.
+    pub const ALL: [Tier; 2] = [Tier::Fast, Tier::Physical];
+
+    /// The tier's CLI/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Fast => "fast",
+            Tier::Physical => "physical",
+        }
+    }
+
+    /// Parses a CLI tier name (case-insensitive).
+    pub fn parse(name: &str) -> Option<Tier> {
+        Tier::ALL
+            .into_iter()
+            .find(|t| t.name().eq_ignore_ascii_case(name))
+    }
+
+    /// The shared simulator instance this tier names.
+    pub fn simulator(self) -> &'static dyn Simulator {
+        static FAST: fast::FastSim = fast::FastSim;
+        static PHYSICAL: LazyLock<physical::PhysicalSim> = LazyLock::new(|| {
+            // The construction-time power/distance are placeholders: the
+            // `Simulator` impl reads link budget, geometry, `f_back` and
+            // seeds from each scenario.
+            physical::PhysicalSim::new(physical::PhysicalSimConfig::bench(-30.0, 4.0))
+        });
+        match self {
+            Tier::Fast => &FAST,
+            Tier::Physical => &*PHYSICAL,
+        }
+    }
 }
 
 /// A simulation tier: maps a complete [`Scenario`] — including its

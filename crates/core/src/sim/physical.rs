@@ -123,6 +123,43 @@ impl PhysicalSim {
         )
     }
 
+    /// The scenario-invariant RF **front end**: the host station's
+    /// unit-amplitude IQ multiplex and the tag's un-scaled backscatter
+    /// product. Everything downstream (power scaling, fading, noise, the
+    /// receivers) depends on the point's geometry and seed; the front
+    /// end depends only on the host audio, the tag baseband and the
+    /// `iq_rate`/`f_back` configuration — which is what lets the sweep
+    /// cache share it across a whole power×distance grid
+    /// ([`super::cache::SweepCache::physical_front_end`]).
+    fn front_end(
+        &self,
+        station: StationConfig,
+        host_left: &[f64],
+        host_right: &[f64],
+        audio_rate: f64,
+        tag_baseband: &[f64],
+    ) -> (Vec<Complex>, Vec<Complex>) {
+        let iq_rate = self.cfg.iq_rate;
+        // 1. Host station: unit-amplitude IQ at offset 0.
+        let tx = FmTransmitter::new(station, iq_rate, 0.0);
+        let host_iq = tx.modulate(host_left, host_right, audio_rate);
+        let n = host_iq.len();
+
+        // 2. Tag: switch waveform from its baseband, multiplied into the
+        //    incident signal. (The incident amplitude at the tag is
+        //    irrelevant to the *shape*; absolute powers are applied at the
+        //    receiver below, on a 0 dBm ↔ unit-power scale.)
+        let mut tag_bb = fmbs_dsp::resample::resample_linear(tag_baseband, audio_rate, iq_rate);
+        tag_bb.resize(n, 0.0);
+        let mut tag = Tag::new(TagConfig {
+            f_back_hz: self.cfg.f_back_hz,
+            deviation_hz: 75_000.0,
+            sample_rate: iq_rate,
+        });
+        let bs_iq = tag.backscatter(&host_iq, &tag_bb);
+        (host_iq, bs_iq)
+    }
+
     /// The full chain with channel/receiver options: `car_receiver`
     /// selects the car stereo's RF chain; `fader` applies per-block
     /// motion fading to the backscatter path (same 10 ms block process
@@ -137,32 +174,33 @@ impl PhysicalSim {
         tag_baseband: &[f64],
         decode_host_channel: bool,
         car_receiver: bool,
+        fader: Option<JakesFader>,
+    ) -> PhysicalOutput {
+        let (host_iq, bs_iq) =
+            self.front_end(station, host_left, host_right, audio_rate, tag_baseband);
+        self.run_back_end(host_iq, bs_iq, decode_host_channel, car_receiver, fader)
+    }
+
+    /// The per-point **back end**: scales the front end to the link
+    /// budget, applies motion fading and thermal noise, and runs the
+    /// receiver(s). Takes the buffers by value so a freshly computed
+    /// (uncached) front end is consumed in place — only a cache hit
+    /// pays a copy out of the shared entry. Results are bit-identical
+    /// either way.
+    fn run_back_end(
+        &self,
+        host_iq: Vec<Complex>,
+        mut bs_iq: Vec<Complex>,
+        decode_host_channel: bool,
+        car_receiver: bool,
         mut fader: Option<JakesFader>,
     ) -> PhysicalOutput {
         let iq_rate = self.cfg.iq_rate;
-        // 1. Host station: unit-amplitude IQ at offset 0.
-        let tx = FmTransmitter::new(station, iq_rate, 0.0);
-        let host_iq = tx.modulate(host_left, host_right, audio_rate);
-        let n = host_iq.len();
-
-        // 2. Tag: switch waveform from its baseband, multiplied into the
-        //    incident signal. (The incident amplitude at the tag is
-        //    irrelevant to the *shape*; absolute powers are applied at the
-        //    receiver below, on a 0 dBm ↔ unit-power scale.)
-        let tag_bb = fmbs_dsp::resample::resample_linear(tag_baseband, audio_rate, iq_rate);
-        let mut tag_bb = tag_bb;
-        tag_bb.resize(n, 0.0);
-        let mut tag = Tag::new(TagConfig {
-            f_back_hz: self.cfg.f_back_hz,
-            deviation_hz: 75_000.0,
-            sample_rate: iq_rate,
-        });
-        let mut bs_iq = tag.backscatter(&host_iq, &tag_bb);
 
         // 3. Powers. The budget's backscatter_at_rx already includes the
-        //    square-wave conversion loss; the multiplication above applies
-        //    that loss physically, so the stream is scaled to the
-        //    *pre-conversion* level.
+        //    square-wave conversion loss; the switch multiplication in the
+        //    front end applies that loss physically, so the stream is
+        //    scaled to the *pre-conversion* level.
         let budget = self.cfg.link.budget_at_feet(self.cfg.distance_ft);
         scale_to_power(
             &mut bs_iq,
@@ -230,9 +268,9 @@ impl Simulator for PhysicalSim {
 
     /// Runs the scenario through the full RF chain.
     ///
-    /// The configuration's `iq_rate`/`f_back_hz` are kept; the link
-    /// budget, distance and seed are taken from the scenario, so one
-    /// `PhysicalSim` serves a whole sweep. The host station is modelled
+    /// The configuration's `iq_rate` is kept; the link budget, distance,
+    /// `f_back` and seed are taken from the scenario, so one
+    /// `PhysicalSim` serves a whole sweep (including `f_backs_hz` axes). The host station is modelled
     /// as a mono transmitter carrying the scenario's programme (no
     /// pre-emphasis, matching the fast tier's audio-domain model);
     /// stereo-band workloads are placed in a proper 19 kHz-pilot + 38 kHz
@@ -264,6 +302,9 @@ impl Simulator for PhysicalSim {
             link: scenario.link(),
             distance_ft: scenario.distance_ft,
             seed: scenario.seed,
+            // The scenario owns `f_back` (it is a sweep axis); only the
+            // IQ rate comes from the construction-time configuration.
+            f_back_hz: scenario.f_back_hz,
             ..self.cfg.clone()
         });
         let mut station = StationConfig::mono();
@@ -275,30 +316,32 @@ impl Simulator for PhysicalSim {
         // The chain takes host audio and tag baseband at one shared rate:
         // the stereo multiplex needs its 192 kHz rate (38 kHz subcarrier),
         // so lift the host audio to match in that case.
-        let out = if (tag_rate - FAST_AUDIO_RATE).abs() < f64::EPSILON {
-            rf.run_chain(
-                station,
-                &host_mono,
-                &host_mono,
-                FAST_AUDIO_RATE,
-                &tag_bb,
-                false,
-                car,
-                Some(fader),
-            )
+        let host = if (tag_rate - FAST_AUDIO_RATE).abs() < f64::EPSILON {
+            host_mono.clone()
         } else {
-            let host_up = resample_linear(&host_mono, FAST_AUDIO_RATE, tag_rate);
-            rf.run_chain(
-                station,
-                &host_up,
-                &host_up,
-                tag_rate,
-                &tag_bb,
-                false,
-                car,
-                Some(fader),
-            )
+            resample_linear(&host_mono, FAST_AUDIO_RATE, tag_rate)
         };
+        // The expensive scenario-invariant front end (host modulator IQ,
+        // tag switch product) reads through the sweep cache when one is
+        // installed; fresh computation otherwise. Either way the back end
+        // applies this point's powers, fading and noise — bit-identical
+        // results (property-tested in `tests/tests/properties.rs`).
+        let (host_iq, bs_iq) = match super::cache::active() {
+            Some(cache) => {
+                let fe = cache.physical_front_end(
+                    scenario,
+                    synth.wave.len(),
+                    tag_rate,
+                    rf.cfg.iq_rate,
+                    || rf.front_end(station, &host, &host, tag_rate, &tag_bb),
+                );
+                // Copy out of the shared entry: the back end scales and
+                // fades in place, per point.
+                (fe.0.clone(), fe.1.clone())
+            }
+            None => rf.front_end(station, &host, &host, tag_rate, &tag_bb),
+        };
+        let out = rf.run_back_end(host_iq, bs_iq, false, car, Some(fader));
         let rx = out.backscatter_rx;
 
         // Resample receiver audio to the tier-agnostic rate and trim to

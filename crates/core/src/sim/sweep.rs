@@ -11,10 +11,10 @@
 //! results are bit-identical whether the grid runs serially, in
 //! parallel, or in any scheduling order.
 
-use super::cache::{self, CacheStats, SweepCache};
+use super::cache::{self, CacheStats, FrontEndStats, SweepCache};
 use super::metric::Metric;
 use super::scenario::Scenario;
-use super::Simulator;
+use super::{Simulator, Tier};
 use crate::modem::Bitrate;
 use crossbeam::channel;
 use fmbs_audio::program::ProgramKind;
@@ -84,6 +84,9 @@ pub struct SweepResults {
     /// Hit/miss counters of the sweep's content-addressed cache (all
     /// zeros when the cache was disabled).
     pub cache: CacheStats,
+    /// Hit/miss counters of the physical tier's RF front-end cache (all
+    /// zeros for fast-tier sweeps or when the cache was disabled).
+    pub front_end: FrontEndStats,
 }
 
 impl SweepResults {
@@ -505,8 +508,16 @@ impl SweepBuilder {
             .collect();
         SweepResults {
             points,
-            cache: shared.map(|c| c.stats()).unwrap_or_default(),
+            cache: shared.as_ref().map(|c| c.stats()).unwrap_or_default(),
+            front_end: shared.map(|c| c.front_end_stats()).unwrap_or_default(),
         }
+    }
+
+    /// Executes the sweep on a named simulation tier — the pluggable-tier
+    /// entry point `repro --tier` goes through. Identical to
+    /// [`Self::run`] with [`Tier::simulator`]'s instance.
+    pub fn run_on(&self, tier: Tier, metric: &dyn Metric) -> SweepResults {
+        self.run(tier.simulator(), metric)
     }
 
     /// Executes the sweep in parallel over scoped worker threads.
@@ -572,7 +583,8 @@ impl SweepBuilder {
                     value: v.expect("every sweep point evaluated"),
                 })
                 .collect(),
-            cache: shared.map(|c| c.stats()).unwrap_or_default(),
+            cache: shared.as_ref().map(|c| c.stats()).unwrap_or_default(),
+            front_end: shared.map(|c| c.front_end_stats()).unwrap_or_default(),
         }
     }
 }

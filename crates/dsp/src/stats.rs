@@ -86,6 +86,23 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     sorted[lo] * (1.0 - frac) + sorted[hi] * frac
 }
 
+/// Nearest-rank quantile, `q` in [0, 1] (clamped): the smallest sample
+/// such that at least `q` of the distribution is at or below it — the
+/// convention the tier-calibration reports use, so a "max" quantile
+/// (`q = 1`) is an actual sample, never an interpolation. Returns 0.0
+/// for an empty slice (an empty error sample has zero error).
+pub fn quantile_nearest_rank(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize)
+        .saturating_sub(1)
+        .min(sorted.len() - 1);
+    sorted[idx]
+}
+
 /// An empirical cumulative distribution function.
 ///
 /// # Example
@@ -271,5 +288,18 @@ mod tests {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(rms(&[]), 0.0);
         assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn nearest_rank_quantile_edges() {
+        let xs = [0.3, 0.0, 0.1, 0.2];
+        // On 4 samples: p50 = 2nd smallest, p90 = 4th, max = 4th.
+        assert_eq!(quantile_nearest_rank(&xs, 0.5), 0.1);
+        assert_eq!(quantile_nearest_rank(&xs, 0.9), 0.3);
+        assert_eq!(quantile_nearest_rank(&xs, 1.0), 0.3);
+        // q clamps, the minimum is the first sample, empty is 0.
+        assert_eq!(quantile_nearest_rank(&xs, -1.0), 0.0);
+        assert_eq!(quantile_nearest_rank(&xs, 2.0), 0.3);
+        assert_eq!(quantile_nearest_rank(&[], 0.5), 0.0);
     }
 }

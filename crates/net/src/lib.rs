@@ -61,6 +61,6 @@ pub mod prelude {
     pub use crate::engine::{
         Event, EventQueue, NetRun, NetStats, NetworkConfig, NetworkSim, Outcome, TraceEvent,
     };
-    pub use crate::link::{BerTable, BerTableSpec};
+    pub use crate::link::{BerTable, BerTableSpec, TableDelta, TableDeltaCell};
     pub use crate::metrics::{NetCollisionRate, NetFairness, NetGoodput, NetLatency, NetSpec};
 }

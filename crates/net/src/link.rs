@@ -124,6 +124,21 @@ impl BerTable {
         }
     }
 
+    /// Calibrates the table from the RF-rate **physical** tier
+    /// ([`fmbs_core::sim::physical::PhysicalSim`] via
+    /// [`fmbs_core::sim::Tier::Physical`]): the same sweep-engine
+    /// calibration as [`Self::calibrate`], but sampling the reference
+    /// physics instead of the fast approximation — so the network tier
+    /// can be re-grounded past *two* abstraction layers, and
+    /// [`Self::delta`] against a fast-calibrated table bounds the full
+    /// fast→link→net stack. Physical sampling is orders of magnitude
+    /// slower per point; keep the spec's grid small (the sweep cache
+    /// shares the RF front end across each repetition's grid points,
+    /// which is what makes even dense physical specs tractable).
+    pub fn from_physical(spec: &BerTableSpec) -> Self {
+        Self::calibrate(fmbs_core::sim::Tier::Physical.simulator(), spec)
+    }
+
     /// Builds a table from explicit values (rate-major, then power, then
     /// distance) — for synthetic tables in tests and benches.
     pub fn from_grid(
@@ -183,6 +198,123 @@ impl BerTable {
     /// The bit rates this table was calibrated for.
     pub fn bitrates(&self) -> &[Bitrate] {
         &self.bitrates
+    }
+
+    /// Cell-by-cell comparison against another table on the *identical*
+    /// grid (panics otherwise — a delta across different grids would be
+    /// an interpolation artefact, not a physics difference). Convention:
+    /// `self` is the reference (e.g. physical-calibrated), `other` the
+    /// approximation under test.
+    pub fn delta(&self, other: &BerTable) -> TableDelta {
+        assert_eq!(self.powers_dbm, other.powers_dbm, "power grids differ");
+        assert_eq!(
+            self.distances_ft, other.distances_ft,
+            "distance grids differ"
+        );
+        assert_eq!(self.bitrates, other.bitrates, "bit-rate sets differ");
+        let nd = self.distances_ft.len();
+        let np = self.powers_dbm.len();
+        let cells = self
+            .ber
+            .iter()
+            .zip(&other.ber)
+            .enumerate()
+            .map(|(i, (&a, &b))| {
+                let (rate, rest) = (i / (np * nd), i % (np * nd));
+                TableDeltaCell {
+                    bitrate: self.bitrates[rate],
+                    power_dbm: self.powers_dbm[rest / nd],
+                    distance_ft: self.distances_ft[rest % nd],
+                    reference: a,
+                    other: b,
+                }
+            })
+            .collect();
+        TableDelta { cells }
+    }
+}
+
+/// One grid cell of a [`TableDelta`].
+#[derive(Debug, Clone, Copy)]
+pub struct TableDeltaCell {
+    /// Bit rate of the cell.
+    pub bitrate: Bitrate,
+    /// Ambient power of the cell.
+    pub power_dbm: f64,
+    /// Distance of the cell.
+    pub distance_ft: f64,
+    /// BER in the reference table (`self` in [`BerTable::delta`]).
+    pub reference: f64,
+    /// BER in the compared table.
+    pub other: f64,
+}
+
+impl TableDeltaCell {
+    /// Absolute BER difference at this cell.
+    pub fn abs_delta(&self) -> f64 {
+        (self.reference - self.other).abs()
+    }
+}
+
+/// A fast-vs-physical link-table comparison: the per-cell |ΔBER| that
+/// bounds how much error the link abstraction inherits from being
+/// calibrated on the approximated tier ([`BerTable::delta`]).
+#[derive(Debug, Clone)]
+pub struct TableDelta {
+    /// Every compared cell, rate-major then power then distance.
+    pub cells: Vec<TableDeltaCell>,
+}
+
+impl TableDelta {
+    /// Largest per-cell |ΔBER|.
+    pub fn max_abs(&self) -> f64 {
+        self.cells
+            .iter()
+            .map(TableDeltaCell::abs_delta)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean per-cell |ΔBER|.
+    pub fn mean_abs(&self) -> f64 {
+        if self.cells.is_empty() {
+            return 0.0;
+        }
+        self.cells
+            .iter()
+            .map(TableDeltaCell::abs_delta)
+            .sum::<f64>()
+            / self.cells.len() as f64
+    }
+
+    /// The `q`-quantile (0..=1, nearest-rank) of the per-cell |ΔBER|.
+    pub fn quantile_abs(&self, q: f64) -> f64 {
+        let deltas: Vec<f64> = self.cells.iter().map(TableDeltaCell::abs_delta).collect();
+        fmbs_dsp::stats::quantile_nearest_rank(&deltas, q)
+    }
+
+    /// A human-readable table-delta report: one line per cell plus the
+    /// summary quantiles.
+    pub fn render(&self) -> String {
+        let mut out = String::from("rate        power   dist   reference  compared   |delta|\n");
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:<10} {:>6} {:>6}   {:>9.4} {:>9.4} {:>9.4}\n",
+                c.bitrate.label(),
+                c.power_dbm,
+                c.distance_ft,
+                c.reference,
+                c.other,
+                c.abs_delta(),
+            ));
+        }
+        out.push_str(&format!(
+            "p50 {:.4}  p90 {:.4}  max {:.4}  mean {:.4}\n",
+            self.quantile_abs(0.5),
+            self.quantile_abs(0.9),
+            self.max_abs(),
+            self.mean_abs(),
+        ));
+        out
     }
 }
 
@@ -328,5 +460,42 @@ mod tests {
     #[should_panic(expected = "not calibrated")]
     fn uncalibrated_rate_panics() {
         ramp_table().lookup(Bitrate::Bps100, -40.0, 5.0);
+    }
+
+    #[test]
+    fn delta_reports_cells_and_quantiles() {
+        let a = ramp_table();
+        let b = BerTable::from_grid(
+            vec![-60.0, -40.0],
+            vec![5.0, 10.0, 15.0],
+            vec![Bitrate::Kbps1_6],
+            vec![0.01, 0.1, 0.18, 0.1, 0.24, 0.3],
+        );
+        let d = a.delta(&b);
+        assert_eq!(d.cells.len(), 6);
+        // Cell coordinates unwind rate-major, power, then distance.
+        assert_eq!(d.cells[1].power_dbm, -60.0);
+        assert_eq!(d.cells[1].distance_ft, 10.0);
+        assert!((d.cells[2].abs_delta() - 0.02).abs() < 1e-12);
+        assert!((d.max_abs() - 0.04).abs() < 1e-12);
+        // |deltas| = {0.01, 0, 0.02, 0, 0.04, 0}.
+        assert!((d.mean_abs() - 0.07 / 6.0).abs() < 1e-12);
+        assert!((d.quantile_abs(0.5) - 0.0).abs() < 1e-12);
+        assert!((d.quantile_abs(1.0) - 0.04).abs() < 1e-12);
+        let report = d.render();
+        assert!(report.contains("max 0.0400"), "{report}");
+    }
+
+    #[test]
+    #[should_panic(expected = "distance grids differ")]
+    fn delta_refuses_mismatched_grids() {
+        let a = ramp_table();
+        let b = BerTable::from_grid(
+            vec![-60.0, -40.0],
+            vec![5.0, 10.0],
+            vec![Bitrate::Kbps1_6],
+            vec![0.0, 0.1, 0.1, 0.2],
+        );
+        let _ = a.delta(&b);
     }
 }

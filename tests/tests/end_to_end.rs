@@ -84,6 +84,64 @@ fn fast_and_physical_tiers_agree() {
     assert!(phys_snr > 20.0 && fast_snr > 20.0);
 }
 
+/// Held-out cross-tier agreement on the *decoded-bits* level: fast and
+/// physical BER pin to each other within the documented tier-error
+/// budget (`fmbs_bench::experiments::TIER_BER_BUDGET`) on five
+/// seed-fixed working-region scenarios — tightening the single
+/// median-of-seeds SNR check above into a per-scenario contract
+/// (observed worst case here: 0.008 = one bit of 128).
+///
+/// Scope, matching the link-table contract in `network.rs`: the
+/// *approach* to the range cliff is covered (−60 dBm / 10 ft), but the
+/// cliff itself is not a point-agreement region — the fast tier applies
+/// the paper-calibrated FM threshold collapse (clicks) a few feet
+/// before the physical tier's AWGN-limited discriminator gives up, so
+/// in the collapse band the contract is one-sided (the approximation
+/// must err pessimistic, never optimistic) and far past it both tiers
+/// must agree the link is dead.
+#[test]
+fn tiers_agree_on_ber_across_held_out_scenarios() {
+    use fmbs_core::modem::Bitrate;
+    use fmbs_core::sim::metric::{Ber, Metric};
+    use fmbs_core::sim::scenario::Workload;
+    use fmbs_core::sim::Tier;
+    let ber_at = |p: f64, d: f64, sim: &dyn fmbs_core::sim::Simulator| {
+        let s = Scenario::bench(p, d, ProgramKind::News)
+            .with_seed(0x7157)
+            .with_workload(Workload::data(Bitrate::Kbps1_6, 128));
+        Ber::default().evaluate(sim, &s)
+    };
+    let physical = Tier::Physical.simulator();
+    let working = [
+        (-25.0, 4.0),
+        (-30.0, 8.0),
+        (-40.0, 6.0),
+        (-45.0, 10.0),
+        (-60.0, 10.0),
+    ];
+    for (p, d) in working {
+        let fast = ber_at(p, d, &FastSim);
+        let phys = ber_at(p, d, physical);
+        assert!(
+            (fast - phys).abs() <= fmbs_bench::experiments::TIER_BER_BUDGET,
+            "({p} dBm, {d} ft): fast {fast:.4} vs physical {phys:.4} (budget {})",
+            fmbs_bench::experiments::TIER_BER_BUDGET,
+        );
+    }
+    // In the collapse band the fast tier must only ever be *worse*.
+    let (fast, phys) = (ber_at(-60.0, 18.0, &FastSim), ber_at(-60.0, 18.0, physical));
+    assert!(
+        fast + 1e-12 >= phys,
+        "fast tier optimistic at the cliff: fast {fast:.4} vs physical {phys:.4}"
+    );
+    // Far past the cliff both tiers agree the link is dead.
+    let (fast, phys) = (ber_at(-70.0, 30.0, &FastSim), ber_at(-70.0, 30.0, physical));
+    assert!(
+        fast > 0.25 && phys > 0.25,
+        "both tiers must report a dead link at -70 dBm / 30 ft: fast {fast:.4} vs physical {phys:.4}"
+    );
+}
+
 /// Overlay data rides over every programme genre.
 #[test]
 fn all_genres_carry_data() {

@@ -12,6 +12,106 @@ use fmbs_integration_tests::tone;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Path to the compiled `repro` binary. Integration tests run from
+/// `target/<profile>/deps/<test-bin>`; the workspace binaries sit one
+/// level up. (`CARGO_BIN_EXE_*` is only set for the package that owns
+/// the binary, which this cross-crate test package is not.)
+fn repro_bin() -> std::path::PathBuf {
+    let mut dir = std::env::current_exe().expect("test executable path");
+    dir.pop(); // deps/
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    let bin = dir.join(format!("repro{}", std::env::consts::EXE_SUFFIX));
+    assert!(
+        bin.exists(),
+        "repro binary not found at {} — run the full `cargo test` so workspace \
+         binaries are built",
+        bin.display()
+    );
+    bin
+}
+
+/// Runs `repro` with `args`, returning (exit code, stderr).
+fn run_repro(args: &[&str]) -> (Option<i32>, String) {
+    let out = std::process::Command::new(repro_bin())
+        .args(args)
+        .output()
+        .expect("spawn repro");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// `repro --tier` with a misspelled tier exits 2 with a near-miss
+/// suggestion and the known-tier list — not a panic, not a silent
+/// fast-tier run.
+#[test]
+fn repro_unknown_tier_exits_2_with_suggestion() {
+    let (code, stderr) = run_repro(&["--tier", "physcial", "fig7"]);
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("unknown tier"), "{stderr}");
+    assert!(
+        stderr.contains("did you mean: physical"),
+        "near-miss suggestion missing: {stderr}"
+    );
+    assert!(stderr.contains("known tiers: fast, physical"), "{stderr}");
+}
+
+/// A tier nothing resembles still exits 2 and lists the known tiers
+/// (no suggestion line to mislead).
+#[test]
+fn repro_hopeless_tier_lists_known_tiers() {
+    let (code, stderr) = run_repro(&["--tier", "warp-speed", "fig7"]);
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+    assert!(!stderr.contains("did you mean"), "{stderr}");
+    assert!(stderr.contains("known tiers"), "{stderr}");
+}
+
+/// `repro --tier physical` with a figure whose measurement cannot run
+/// on a selectable tier (no swept simulator) exits 2 naming the
+/// tier-capable figures.
+#[test]
+fn repro_physical_tier_rejects_unsweepable_figure() {
+    for id in ["power", "fig2a", "calibration_ber"] {
+        let (code, stderr) = run_repro(&["--tier", "physical", id]);
+        assert_eq!(code, Some(2), "{id} stderr: {stderr}");
+        assert!(
+            stderr.contains("cannot run on the physical tier"),
+            "{id}: {stderr}"
+        );
+        assert!(
+            stderr.contains("tier-capable figures") && stderr.contains("fig7"),
+            "{id}: capable-figure suggestion missing: {stderr}"
+        );
+    }
+}
+
+/// `--tier physical` refuses golden/check/perf modes (those are
+/// fast-tier canonical) instead of diffing apples against oranges.
+#[test]
+fn repro_physical_tier_rejects_check_bless_perf() {
+    for mode in [&["--check"][..], &["--bless"], &["--perf", "/tmp/x.json"]] {
+        let mut args = vec!["--tier", "physical"];
+        args.extend_from_slice(mode);
+        args.push("fig7");
+        let (code, stderr) = run_repro(&args);
+        assert_eq!(code, Some(2), "{mode:?} stderr: {stderr}");
+        assert!(stderr.contains("fast-tier canonical"), "{mode:?}: {stderr}");
+    }
+}
+
+/// Unknown experiment ids keep their near-miss suggestions when a tier
+/// is selected (id resolution runs before tier-capability checks).
+#[test]
+fn repro_unknown_id_with_tier_still_suggests() {
+    let (code, stderr) = run_repro(&["--tier", "physical", "fig8"]);
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("unknown experiment id"), "{stderr}");
+    assert!(stderr.contains("fig8a"), "{stderr}");
+}
+
 /// A frame decoded at the wrong bitrate must not produce a (CRC-valid)
 /// frame.
 #[test]

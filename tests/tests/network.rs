@@ -67,6 +67,56 @@ fn link_table_matches_physics_on_held_out_points() {
     }
 }
 
+/// Acceptance: a **physical**-calibrated link table
+/// ([`BerTable::from_physical`]) agrees with direct physical-tier
+/// simulation on held-out off-grid points, mirroring the FastSim
+/// contract above — so the network tier can be re-grounded on the
+/// reference physics, not just the fast approximation. The tolerance is
+/// wider than the fast test's 0.05 because debug-budget physical
+/// estimates use 128-bit single-repetition samples (granularity
+/// 1/128 ≈ 0.008) on top of the documented tier floor.
+#[test]
+fn physical_link_table_matches_physical_sim_on_held_out_points() {
+    use fmbs_core::sim::Tier;
+    const TOLERANCE: f64 = 0.08;
+    let spec = BerTableSpec {
+        powers_dbm: vec![-50.0, -40.0, -30.0],
+        distances_ft: vec![3.0, 8.0, 13.0],
+        bitrates: vec![Bitrate::Kbps1_6],
+        bits_per_point: 128,
+        repeats: 1,
+        seed: 0x9B1E,
+    };
+    let table = BerTable::from_physical(&spec);
+    let held_out = [(-45.0, 5.5), (-35.0, 10.5)];
+    for (p, d) in held_out {
+        let base = Scenario::bench(p, d, ProgramKind::News)
+            .with_seed(0x9B1E)
+            .with_workload(Workload::data(Bitrate::Kbps1_6, 128));
+        let direct = SweepBuilder::new(base)
+            .repeats(1)
+            .run(Tier::Physical.simulator(), &Ber::default())
+            .mean();
+        let interpolated = table.lookup(Bitrate::Kbps1_6, p, d);
+        assert!(
+            (interpolated - direct).abs() <= TOLERANCE,
+            "held-out ({p} dBm, {d} ft): table {interpolated:.4} vs direct physical {direct:.4}"
+        );
+    }
+    // The fast-vs-physical table delta — the report bounding the whole
+    // fast→link→net stack — stays within the documented budget on this
+    // working-region grid, and its quantiles are coherent.
+    let fast = BerTable::calibrate(&FastSim, &spec);
+    let delta = table.delta(&fast);
+    assert!(
+        delta.max_abs() <= fmbs_bench::experiments::TIER_TABLE_BUDGET,
+        "table delta exceeds the documented budget:\n{}",
+        delta.render()
+    );
+    assert!(delta.quantile_abs(0.5) <= delta.quantile_abs(0.9));
+    assert!(delta.quantile_abs(0.9) <= delta.max_abs());
+}
+
 /// Acceptance: two same-seed network runs produce identical event traces
 /// and metrics; flipping the seed changes the trace.
 #[test]

@@ -296,3 +296,54 @@ proptest! {
         }
     }
 }
+
+// Physical-tier sweeps are orders of magnitude slower per point than the
+// fast tier's, so their engine-invariant properties run in a separate
+// block with a small case count (each case already exercises three full
+// sweep executions).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Physical-tier sweeps hold the same engine invariants the fast
+    /// tier is property-tested for: parallel execution is bit-identical
+    /// to serial, and the sweep cache — including the physical RF
+    /// front-end memoisation — is semantically invisible
+    /// (`.cache(false)` bit-identical) while actually engaging (grid
+    /// points sharing a programme realisation share one front end).
+    #[test]
+    fn physical_sweep_parallel_serial_and_cache_invisible(
+        threads in 2usize..5,
+        distance in 3.0f64..9.0,
+        repeats in 1usize..3,
+    ) {
+        use fmbs_core::sim::metric::ToneSnr;
+        use fmbs_core::sim::scenario::Workload;
+        use fmbs_core::sim::sweep::SweepBuilder;
+        use fmbs_core::sim::Tier;
+        let physical = Tier::Physical.simulator();
+        let base = Scenario::bench(-30.0, distance, ProgramKind::News)
+            .with_workload(Workload::tone(2_000.0, 0.05));
+        let sweep = SweepBuilder::new(base)
+            .powers_dbm([-30.0, -50.0])
+            .repeats(repeats);
+        let metric = ToneSnr::default();
+        let serial = sweep.run_serial(physical, &metric);
+        let parallel = sweep.clone().threads(threads).run(physical, &metric);
+        let uncached = sweep.clone().cache(false).run_serial(physical, &metric);
+        prop_assert_eq!(serial.points.len(), 2 * repeats);
+        for (s, p) in serial.points.iter().zip(&parallel.points) {
+            prop_assert_eq!(s.coords, p.coords);
+            prop_assert_eq!(s.value.to_bits(), p.value.to_bits());
+        }
+        for (s, u) in serial.points.iter().zip(&uncached.points) {
+            prop_assert_eq!(s.value.to_bits(), u.value.to_bits());
+        }
+        // Both powers of one repetition share (programme, payload,
+        // f_back), so the expensive front end derives once per
+        // repetition and hits thereafter; a disabled cache reports
+        // nothing.
+        prop_assert_eq!(serial.front_end.misses, repeats);
+        prop_assert_eq!(serial.front_end.hits, repeats);
+        prop_assert_eq!(uncached.front_end, Default::default());
+    }
+}
