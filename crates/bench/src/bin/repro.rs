@@ -134,19 +134,20 @@ fn parse_cli() -> Cli {
     cli
 }
 
-/// Resolves experiment ids (all of them when none given); the family id
-/// `calibration` expands to every `calibration_*` figure; unknown ids
-/// exit non-zero with near-miss suggestions.
+/// Resolves experiment ids (all of them when none given); the family
+/// ids `calibration` and `workload_slo` expand to every figure sharing
+/// the prefix; unknown ids exit non-zero with near-miss suggestions.
 fn resolve_specs(ids: &[String]) -> Vec<&'static ExperimentSpec> {
     if ids.is_empty() {
         return REGISTRY.iter().collect();
     }
     ids.iter()
         .flat_map(|id| {
-            if id == "calibration" {
+            if id == "calibration" || id == "workload_slo" {
+                let prefix = format!("{id}_");
                 return REGISTRY
                     .iter()
-                    .filter(|s| s.id.starts_with("calibration_"))
+                    .filter(|s| s.id.starts_with(&prefix))
                     .collect::<Vec<_>>();
             }
             vec![experiments::spec_by_id(id).unwrap_or_else(|| {
@@ -195,6 +196,7 @@ fn run_perf(path: &str, label: &str, gate: bool) {
         (
             perf::last_sweep_record("BENCH_sweep.json"),
             perf::last_net_record("BENCH_net.json"),
+            perf::last_net_workload_record("BENCH_net.json"),
         )
     });
     let rec = match perf::record(path, label, 3) {
@@ -230,13 +232,43 @@ fn run_perf(path: &str, label: &str, gate: bool) {
             std::process::exit(1);
         }
     };
-    if let Some((sweep_baseline, net_baseline)) = baselines {
+    let workload_rec = match perf::record_net_workload(&net_path, label, 2) {
+        Ok(rec) => {
+            println!(
+                "workload throughput: {} tags x {} slots (poisson trace) in {:.2} s \
+                 ({:.2e} tag-slots/s, {} packets delivered) -> {net_path}",
+                rec.n_tags, rec.n_slots, rec.elapsed_s, rec.tag_slots_per_sec, rec.delivered,
+            );
+            rec
+        }
+        Err(e) => {
+            eprintln!("--perf (workload) failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some((sweep_baseline, net_baseline, workload_baseline)) = baselines {
+        // The workload population is newer than the shared series file:
+        // a parseable file with no workload record yet seeds the series
+        // instead of failing the gate.
+        let workload_outcome = match workload_baseline {
+            Ok(Some(b)) => Some(Ok(perf::gate_net_workload(
+                &b,
+                &workload_rec,
+                perf::MAX_PERF_DROP,
+            ))),
+            Ok(None) => {
+                println!("workload tag-slots/s: no committed baseline yet; seeding the series");
+                None
+            }
+            Err(e) => Some(Err(e)),
+        };
         let outcomes = [
-            sweep_baseline.map(|b| perf::gate_sweep(&b, &rec, perf::MAX_PERF_DROP)),
-            net_baseline.map(|b| perf::gate_net(&b, &net_rec, perf::MAX_PERF_DROP)),
+            Some(sweep_baseline.map(|b| perf::gate_sweep(&b, &rec, perf::MAX_PERF_DROP))),
+            Some(net_baseline.map(|b| perf::gate_net(&b, &net_rec, perf::MAX_PERF_DROP))),
+            workload_outcome,
         ];
         let mut failed = false;
-        for outcome in outcomes {
+        for outcome in outcomes.into_iter().flatten() {
             match outcome {
                 Ok(o) => {
                     println!("{}", o.render());

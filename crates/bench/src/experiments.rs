@@ -20,7 +20,7 @@ use fmbs_channel::fading::MotionProfile;
 use fmbs_core::modem::Bitrate;
 use fmbs_core::sim::fast::FastSim;
 use fmbs_core::sim::metric::{Ber, BerMrc, CoopPesq, Metric, Pesq, ToneSnr};
-use fmbs_core::sim::scenario::{Scenario, Workload};
+use fmbs_core::sim::scenario::{AppProfile, ArrivalModel, Scenario, Workload};
 use fmbs_core::sim::sweep::{SweepBuilder, SweepResults};
 use fmbs_core::sim::Tier;
 use fmbs_net::prelude::{BerTable, BerTableSpec, NetCollisionRate, NetGoodput, NetSpec};
@@ -29,6 +29,9 @@ use fmbs_survey::occupancy;
 use fmbs_survey::stations::City;
 use fmbs_survey::stereo_util;
 use fmbs_survey::temporal::TemporalSurvey;
+use fmbs_workload::prelude::{
+    DeadlineMissRate, OfferedVsGoodput, Policy, SloLatencyP99, SloLatencyP999, WorkloadSpec,
+};
 use std::sync::Arc;
 
 /// Grid density selector.
@@ -844,6 +847,152 @@ pub fn network_capacity(grid: Grid) -> Experiment {
     }
 }
 
+// ------------------------------------------- workload SLO family
+//
+// PR 6's traffic tier: instead of saturating every tag, these figures
+// replay seeded arrival traces (fmbs-workload) through the network
+// engine and ask the capacity-planning question — how dense can a
+// deployment get before the p99 sojourn or the deadline SLO breaks,
+// and what do admission policies buy?
+
+/// Traffic-axis defaults shared by the workload figures: a moderate
+/// per-tag load where low densities meet the sensor-beacon SLO and the
+/// densest grid point visibly does not.
+const WORKLOAD_OFFERED_LOAD: f64 = 0.02;
+
+fn workload_tags(grid: Grid) -> Vec<u32> {
+    match grid {
+        Grid::Quick => vec![4, 16, 64, 256],
+        Grid::Full => vec![4, 16, 64, 256, 1_024, 4_096],
+    }
+}
+
+fn workload_slots(grid: Grid) -> u32 {
+    match grid {
+        Grid::Quick => 400,
+        Grid::Full => 1_200,
+    }
+}
+
+fn workload_base(grid: Grid, model: ArrivalModel) -> Scenario {
+    let mut s = Scenario::bench(-40.0, 16.0, ProgramKind::News)
+        .with_workload(Workload::data(Bitrate::Kbps1_6, 256))
+        .with_traffic(model, WORKLOAD_OFFERED_LOAD, AppProfile::SensorBeacon);
+    s.mac_slots = workload_slots(grid);
+    s
+}
+
+fn workload_table(grid: Grid) -> Arc<BerTable> {
+    let table_spec = match grid {
+        Grid::Quick => BerTableSpec::quick(),
+        Grid::Full => BerTableSpec::dense(),
+    };
+    Arc::new(BerTable::calibrate(&FastSim, &table_spec))
+}
+
+/// p99/p999 sojourn time versus tag density under each arrival model,
+/// plus the rate-cap policy's effect on the Poisson tail.
+pub fn workload_slo_latency(grid: Grid) -> Experiment {
+    let table = workload_table(grid);
+    let tags = workload_tags(grid);
+    let spec = || WorkloadSpec::new(NetSpec::new(table.clone()));
+
+    let mut series = Vec::new();
+    for (model, name) in [
+        (ArrivalModel::Poisson, "poisson"),
+        (ArrivalModel::Diurnal, "diurnal"),
+        (ArrivalModel::Mmpp, "mmpp"),
+    ] {
+        let run = SweepBuilder::new(workload_base(grid, model))
+            .n_tags(tags.iter().copied())
+            .run(&FastSim, &SloLatencyP99(spec()));
+        series.push(Series::new(
+            format!("p99 sojourn (s), {name}"),
+            run.series(|v| v.scenario.n_tags as f64),
+        ));
+    }
+    let p999 = SweepBuilder::new(workload_base(grid, ArrivalModel::Poisson))
+        .n_tags(tags.iter().copied())
+        .run(&FastSim, &SloLatencyP999(spec()));
+    series.push(Series::new(
+        "p999 sojourn (s), poisson",
+        p999.series(|v| v.scenario.n_tags as f64),
+    ));
+    let capped = SweepBuilder::new(workload_base(grid, ArrivalModel::Poisson))
+        .n_tags(tags.iter().copied())
+        .run(
+            &FastSim,
+            &SloLatencyP99(spec().with_policy(Policy::RateCap {
+                max_load: WORKLOAD_OFFERED_LOAD / 2.0,
+            })),
+        );
+    series.push(Series::new(
+        "p99 sojourn (s), poisson + rate-cap",
+        capped.series(|v| v.scenario.n_tags as f64),
+    ));
+
+    Experiment {
+        id: "workload_slo_latency".into(),
+        title: "Sojourn-time SLO vs tag density (fmbs-workload over fmbs-net)".into(),
+        x_label: "deployed tags".into(),
+        y_label: "sojourn (s)".into(),
+        series,
+        paper_expectation:
+            "queueing delay stays near one packet airtime while free channels absorb the load, \
+             then the tail explodes with density; the p999 tail sits above p99; a rate cap \
+             shortens the tail of what it admits"
+                .into(),
+    }
+}
+
+/// Deadline-miss rate and absorbed demand versus tag density under each
+/// admission policy (Poisson arrivals, sensor-beacon deadlines).
+pub fn workload_slo_miss(grid: Grid) -> Experiment {
+    let table = workload_table(grid);
+    let tags = workload_tags(grid);
+    let spec = || WorkloadSpec::new(NetSpec::new(table.clone()));
+
+    let mut series = Vec::new();
+    for (policy, name) in [
+        (Policy::AdmitAll, "admit-all"),
+        (
+            Policy::RateCap {
+                max_load: WORKLOAD_OFFERED_LOAD / 2.0,
+            },
+            "rate-cap",
+        ),
+        (Policy::DeadlineAware, "deadline-aware"),
+    ] {
+        let run = SweepBuilder::new(workload_base(grid, ArrivalModel::Poisson))
+            .n_tags(tags.iter().copied())
+            .run(&FastSim, &DeadlineMissRate(spec().with_policy(policy)));
+        series.push(Series::new(
+            format!("deadline-miss rate, {name}"),
+            run.series(|v| v.scenario.n_tags as f64),
+        ));
+    }
+    let absorbed = SweepBuilder::new(workload_base(grid, ArrivalModel::Poisson))
+        .n_tags(tags.iter().copied())
+        .run(&FastSim, &OfferedVsGoodput(spec()));
+    series.push(Series::new(
+        "delivered / offered, admit-all",
+        absorbed.series(|v| v.scenario.n_tags as f64),
+    ));
+
+    Experiment {
+        id: "workload_slo_miss".into(),
+        title: "Deadline SLO vs tag density under admission policies".into(),
+        x_label: "deployed tags".into(),
+        y_label: "fraction of offered packets".into(),
+        series,
+        paper_expectation:
+            "sparse deployments meet the sensor-beacon deadline; misses grow with density as \
+             contention queues build; a half-load rate cap trades admission sheds for shorter \
+             queues; delivered fraction falls as demand outgrows capacity"
+                .into(),
+    }
+}
+
 // ------------------------------------------- cross-tier calibration
 //
 // Since PR 2 every swept figure runs on the approximated fast tier, and
@@ -1622,6 +1771,73 @@ fn checks_network_capacity() -> Vec<Expectation> {
     ]
 }
 
+fn checks_workload_slo_latency() -> Vec<Expectation> {
+    vec![
+        // "the p999 tail sits above p99", point for point.
+        Expectation::SeriesBelow {
+            below: Select::Label("p99 sojourn (s), poisson"),
+            above: Select::Label("p999 sojourn (s), poisson"),
+            axis: Axis::Y,
+            slack: 1e-9,
+        },
+        // "a rate cap shortens the tail of what it admits".
+        Expectation::SeriesBelow {
+            below: Select::Label("p99 sojourn (s), poisson + rate-cap"),
+            above: Select::Label("p99 sojourn (s), poisson"),
+            axis: Axis::Y,
+            slack: 1e-9,
+        },
+        // "queueing delay stays near one packet airtime while free
+        // channels absorb the load": a sparse cell's p99 is a few slots
+        // (slot = 0.16 s at 1.6 kbps / 256 bits).
+        Expectation::ThresholdAt {
+            series: Select::Label("p99 sojourn (s), poisson"),
+            x: 4.0,
+            min_y: Some(0.0),
+            max_y: Some(1.0),
+        },
+        // "the tail explodes with density": the densest quick point's
+        // p999 is well past the sparse cell's few-slot sojourns.
+        Expectation::ThresholdAt {
+            series: Select::Label("p999 sojourn (s), poisson"),
+            x: 256.0,
+            min_y: Some(1.0),
+            max_y: None,
+        },
+    ]
+}
+
+fn checks_workload_slo_miss() -> Vec<Expectation> {
+    vec![
+        // Every series is a fraction of the offered packets.
+        Expectation::WithinBand {
+            series: Select::All,
+            axis: Axis::Y,
+            min: 0.0,
+            max: 1.0,
+        },
+        // "misses grow with density as contention queues build".
+        Expectation::MonotoneIn {
+            series: Select::Label("deadline-miss rate, admit-all"),
+            dir: Dir::Increasing,
+            slack: 0.05,
+        },
+        // "sparse deployments meet the sensor-beacon deadline".
+        Expectation::ThresholdAt {
+            series: Select::Label("deadline-miss rate, admit-all"),
+            x: 4.0,
+            min_y: None,
+            max_y: Some(0.3),
+        },
+        // "delivered fraction falls as demand outgrows capacity".
+        Expectation::MonotoneIn {
+            series: Select::Label("delivered / offered, admit-all"),
+            dir: Dir::Decreasing,
+            slack: 0.05,
+        },
+    ]
+}
+
 fn checks_calibration_ber() -> Vec<Expectation> {
     vec![
         // The headline: per-cell tier disagreement stays under the
@@ -1848,6 +2064,18 @@ pub const REGISTRY: &[ExperimentSpec] = &[
         checks: checks_network_capacity,
     },
     ExperimentSpec {
+        id: "workload_slo_latency",
+        build: workload_slo_latency,
+        tiered: None,
+        checks: checks_workload_slo_latency,
+    },
+    ExperimentSpec {
+        id: "workload_slo_miss",
+        build: workload_slo_miss,
+        tiered: None,
+        checks: checks_workload_slo_miss,
+    },
+    ExperimentSpec {
         id: "calibration_ber",
         build: calibration_ber,
         tiered: None,
@@ -1986,10 +2214,10 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_resolvable() {
         let mut ids: Vec<&str> = REGISTRY.iter().map(|s| s.id).collect();
-        assert_eq!(ids.len(), 25);
+        assert_eq!(ids.len(), 27);
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 25, "duplicate registry id");
+        assert_eq!(ids.len(), 27, "duplicate registry id");
         assert!(by_id("nope", Grid::Quick).is_none());
     }
 
@@ -2005,6 +2233,8 @@ mod tests {
             "power",
             "ablation",
             "network_capacity",
+            "workload_slo_latency",
+            "workload_slo_miss",
             "calibration_ber",
         ] {
             assert!(!ids.contains(&id), "{id} should not be tier-selectable");

@@ -179,6 +179,79 @@ pub fn measure_net(label: &str, samples: usize) -> NetPerfRecord {
 /// Measures the network run and appends to the series file at `path`
 /// (same create/don't-clobber policy as [`record`]).
 pub fn record_net(path: &str, label: &str, samples: usize) -> Result<NetPerfRecord, String> {
+    append_net(path, measure_net(label, samples))
+}
+
+/// Label suffix marking the workload (trace-driven) records inside the
+/// shared `BENCH_net.json` series. The vendored serde stand-in cannot
+/// deserialise records with unknown-or-missing fields, so the workload
+/// series reuses [`NetPerfRecord`] verbatim and the two populations are
+/// told apart by label alone.
+pub const WORKLOAD_LABEL_SUFFIX: &str = "+workload";
+
+/// Whether a net-series record belongs to the workload population.
+pub fn is_workload_label(label: &str) -> bool {
+    label.ends_with(WORKLOAD_LABEL_SUFFIX)
+}
+
+/// Measures the workload acceptance-bar run — the same 10,000 tags ×
+/// 1,000 slots, but trace-driven: Poisson arrivals at a moderate load
+/// through the per-tag FIFO queues instead of full-buffer saturation.
+/// Trace generation and table calibration are untimed, like the
+/// saturated benchmark's calibration.
+pub fn measure_net_workload(label: &str, samples: usize) -> NetPerfRecord {
+    use fmbs_core::sim::fast::FastSim as Fast;
+    use fmbs_core::sim::scenario::{AppProfile, ArrivalModel};
+    use fmbs_net::prelude::{BerTable, BerTableSpec, NetworkConfig, NetworkSim, Traffic};
+    use fmbs_workload::arrivals::TraceSpec;
+    let (n_tags, n_slots) = (10_000usize, 1_000u64);
+    let table = std::sync::Arc::new(BerTable::calibrate(&Fast, &BerTableSpec::quick()));
+    let mut cfg = NetworkConfig::new(n_tags, n_slots);
+    let trace = TraceSpec {
+        n_tags,
+        n_slots,
+        slot_secs: cfg.slot_secs(),
+        model: ArrivalModel::Poisson,
+        offered_load: 0.05,
+        profile: AppProfile::SensorBeacon,
+        seed: cfg.seed,
+    }
+    .generate();
+    cfg.traffic = Traffic::Trace(std::sync::Arc::new(trace));
+    let sim = NetworkSim::new(cfg, table);
+    let mut best = f64::INFINITY;
+    let mut delivered = 0;
+    for _ in 0..samples.max(1) {
+        let t = Instant::now();
+        let run = sim.run();
+        best = best.min(t.elapsed().as_secs_f64());
+        delivered = run.stats.delivered;
+        debug_assert!(run.stats.queue_conserved(), "{:?}", run.stats);
+    }
+    NetPerfRecord {
+        unix_time: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        label: format!("{label}{WORKLOAD_LABEL_SUFFIX}"),
+        n_tags,
+        n_slots,
+        elapsed_s: best,
+        tag_slots_per_sec: n_tags as f64 * n_slots as f64 / best,
+        delivered,
+    }
+}
+
+/// Measures the workload run and appends to the shared net series file.
+pub fn record_net_workload(
+    path: &str,
+    label: &str,
+    samples: usize,
+) -> Result<NetPerfRecord, String> {
+    append_net(path, measure_net_workload(label, samples))
+}
+
+fn append_net(path: &str, rec: NetPerfRecord) -> Result<NetPerfRecord, String> {
     let mut series: NetPerfSeries = if std::path::Path::new(path).exists() {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("read existing {path}: {e}"))?;
@@ -187,7 +260,6 @@ pub fn record_net(path: &str, label: &str, samples: usize) -> Result<NetPerfReco
     } else {
         NetPerfSeries::default()
     };
-    let rec = measure_net(label, samples);
     series.series.push(rec.clone());
     let json = serde_json::to_string_pretty(&series).map_err(|e| format!("serialise: {e:?}"))?;
     std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
@@ -276,17 +348,36 @@ pub fn last_sweep_record(path: &str) -> Result<PerfRecord, String> {
         .ok_or_else(|| format!("{path} has no records"))
 }
 
-/// Reads the last record of the network series at `path` (same
-/// read-before-append caveat as [`last_sweep_record`]).
+/// Reads the last *saturated* record of the network series at `path`
+/// (workload records share the file but are a separate population —
+/// see [`WORKLOAD_LABEL_SUFFIX`]; same read-before-append caveat as
+/// [`last_sweep_record`]).
 pub fn last_net_record(path: &str) -> Result<NetPerfRecord, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read baseline {path}: {e}"))?;
     let series: NetPerfSeries = serde_json::from_str(&text)
         .map_err(|e| format!("{path} is not a net perf series: {e:?}"))?;
     series
         .series
-        .last()
+        .iter()
+        .rev()
+        .find(|r| !is_workload_label(&r.label))
         .cloned()
-        .ok_or_else(|| format!("{path} has no records"))
+        .ok_or_else(|| format!("{path} has no saturated network records"))
+}
+
+/// Reads the last *workload* record of the network series at `path`.
+/// `Ok(None)` means the file parses but no workload record exists yet
+/// (the population is new); callers seed the series instead of gating.
+pub fn last_net_workload_record(path: &str) -> Result<Option<NetPerfRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read baseline {path}: {e}"))?;
+    let series: NetPerfSeries = serde_json::from_str(&text)
+        .map_err(|e| format!("{path} is not a net perf series: {e:?}"))?;
+    Ok(series
+        .series
+        .iter()
+        .rev()
+        .find(|r| is_workload_label(&r.label))
+        .cloned())
 }
 
 /// Gates a fresh sweep measurement against a baseline record (serial
@@ -306,6 +397,22 @@ pub fn gate_sweep(baseline: &PerfRecord, measured: &PerfRecord, max_drop: f64) -
 pub fn gate_net(baseline: &NetPerfRecord, measured: &NetPerfRecord, max_drop: f64) -> GateOutcome {
     compare(
         "network tag-slots/s",
+        measured.tag_slots_per_sec,
+        &baseline.label,
+        baseline.tag_slots_per_sec,
+        max_drop,
+    )
+}
+
+/// Gates a fresh workload (trace-driven) measurement against a
+/// workload baseline record.
+pub fn gate_net_workload(
+    baseline: &NetPerfRecord,
+    measured: &NetPerfRecord,
+    max_drop: f64,
+) -> GateOutcome {
+    compare(
+        "workload tag-slots/s",
         measured.tag_slots_per_sec,
         &baseline.label,
         baseline.tag_slots_per_sec,
@@ -379,6 +486,44 @@ mod tests {
         let bad = gate_sweep(&baseline, &mk("fresh", 50.0), MAX_PERF_DROP);
         assert!(!bad.passed);
         assert!(last_sweep_record("/nonexistent/series.json").is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn net_baseline_lookups_split_the_populations() {
+        let dir = std::env::temp_dir().join("fmbs_perf_workload_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_net.json");
+        let path = path.to_str().unwrap();
+        let mk = |label: &str, tps: f64| NetPerfRecord {
+            unix_time: 0,
+            label: label.into(),
+            n_tags: 10_000,
+            n_slots: 1_000,
+            elapsed_s: 1.0,
+            tag_slots_per_sec: tps,
+            delivered: 1,
+        };
+        // Saturated-only series: no workload baseline yet.
+        let series = NetPerfSeries {
+            series: vec![mk("old", 1.0), mk("new", 2.0)],
+        };
+        std::fs::write(path, serde_json::to_string_pretty(&series).unwrap()).unwrap();
+        assert_eq!(last_net_record(path).unwrap().label, "new");
+        assert!(last_net_workload_record(path).unwrap().is_none());
+        // Mixed series: each lookup finds its own population's last
+        // record, not the file's last record.
+        let series = NetPerfSeries {
+            series: vec![mk("old", 1.0), mk("ci+workload", 3.0), mk("new", 2.0)],
+        };
+        std::fs::write(path, serde_json::to_string_pretty(&series).unwrap()).unwrap();
+        assert_eq!(last_net_record(path).unwrap().label, "new");
+        assert_eq!(
+            last_net_workload_record(path).unwrap().unwrap().label,
+            "ci+workload"
+        );
+        assert!(is_workload_label("ci+workload"));
+        assert!(!is_workload_label("ci"));
         let _ = std::fs::remove_file(path);
     }
 

@@ -37,6 +37,40 @@ pub enum TagKind {
     SmartFabric,
 }
 
+/// How messages arrive at a tag in the workload tier (`fmbs-workload`).
+///
+/// `Saturated` is the pre-workload network-tier behaviour: every awake
+/// tag always has a frame to send. The other models generate per-tag
+/// message arrival traces at the scenario's [`Scenario::offered_load`];
+/// a tag with an empty queue then stays idle instead of contending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArrivalModel {
+    /// Full-buffer traffic: every tag always has a frame queued.
+    Saturated,
+    /// Homogeneous Poisson arrivals (exponential inter-arrival times).
+    Poisson,
+    /// A diurnal rate curve: the offered load is modulated by a
+    /// day-shaped profile compressed onto the simulated horizon.
+    Diurnal,
+    /// Bursty two-state Markov-modulated Poisson process (quiet/burst).
+    Mmpp,
+}
+
+/// Application preset mapping a message arrival to a size and deadline
+/// (the workload tier's message-size and deadline distributions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AppProfile {
+    /// Single-packet sensor readings with a relaxed multi-second
+    /// deadline (§8's city sensing).
+    SensorBeacon,
+    /// Multi-packet audio snippets with an interactive ~1–2 s deadline
+    /// (the talking-poster application).
+    TalkingPoster,
+    /// Small smart-fabric telemetry frames with a tight sub-second
+    /// deadline (§6.2's fitness workloads).
+    FabricTelemetry,
+}
+
 /// What the tag backscatters during the experiment.
 ///
 /// The workload carries its own `payload_seed` (where applicable) so
@@ -330,6 +364,17 @@ pub struct Scenario {
     /// single-tag physics figures). Sweepable via
     /// [`super::sweep::SweepBuilder::n_tags`].
     pub n_tags: u32,
+    /// How messages arrive at each tag in the workload tier
+    /// (`Saturated` = the pre-workload full-buffer network tier).
+    /// Sweepable via [`super::sweep::SweepBuilder::arrival_models`].
+    pub arrival_model: ArrivalModel,
+    /// Mean offered load per tag in messages per second (consumed by
+    /// the non-saturated arrival models; ignored under `Saturated`).
+    /// Sweepable via [`super::sweep::SweepBuilder::offered_loads`].
+    pub offered_load: f64,
+    /// Application preset: message-size and deadline distributions.
+    /// Sweepable via [`super::sweep::SweepBuilder::app_profiles`].
+    pub app_profile: AppProfile,
     /// What the tag backscatters.
     pub workload: Workload,
 }
@@ -350,8 +395,20 @@ impl Scenario {
             mrc_depth: 1,
             mac_slots: 1_000,
             n_tags: 1,
+            arrival_model: ArrivalModel::Saturated,
+            offered_load: 1.0,
+            app_profile: AppProfile::SensorBeacon,
             workload: Workload::silence(Workload::DEFAULT_SECS),
         }
+    }
+
+    /// With a non-saturated traffic model: arrival process, offered
+    /// load (messages per tag per second) and application preset.
+    pub fn with_traffic(mut self, model: ArrivalModel, load: f64, profile: AppProfile) -> Self {
+        self.arrival_model = model;
+        self.offered_load = load;
+        self.app_profile = profile;
+        self
     }
 
     /// With a different seed (for repetition averaging). Re-ties the

@@ -3,7 +3,8 @@
 //! Every figure of the paper's evaluation is a sweep: a metric evaluated
 //! over a grid of scenarios spanning some subset of {ambient power,
 //! distance, bit rate, programme, motion, receiver, tag, tone frequency,
-//! `f_back`, MRC depth, MAC slot count, tag count} × repetitions. [`SweepBuilder`] declares those axes; `run` expands
+//! `f_back`, MRC depth, MAC slot count, tag count, arrival model,
+//! offered load, application profile} × repetitions. [`SweepBuilder`] declares those axes; `run` expands
 //! the grid and executes it on N scoped worker threads (generalising the
 //! bounded two-stage pipeline in [`super::stream`] to an N-worker
 //! engine), with **deterministic per-point seeding**: each point's seed
@@ -51,6 +52,12 @@ pub struct Coords {
     pub mac_slots: usize,
     /// Index into the tag-count axis.
     pub n_tags: usize,
+    /// Index into the arrival-model axis (workload tier).
+    pub arrival: usize,
+    /// Index into the offered-load axis (workload tier).
+    pub offered: usize,
+    /// Index into the application-profile axis (workload tier).
+    pub profile: usize,
     /// Repetition index.
     pub repeat: usize,
 }
@@ -184,6 +191,9 @@ pub struct SweepBuilder {
     mrc_depths: Vec<u32>,
     mac_slot_counts: Vec<u32>,
     n_tags: Vec<u32>,
+    arrival_models: Vec<super::scenario::ArrivalModel>,
+    offered_loads: Vec<f64>,
+    app_profiles: Vec<super::scenario::AppProfile>,
     repeats: usize,
     threads: Option<usize>,
     cache: bool,
@@ -233,6 +243,9 @@ fn point_seed(base: u64, c: &Coords) -> u64 {
         (11, c.mrc),
         (12, c.mac_slots),
         (13, c.n_tags),
+        (14, c.arrival),
+        (15, c.offered),
+        (16, c.profile),
     ] {
         if v != 0 {
             h = splitmix64(h ^ ((axis << 32) | v as u64));
@@ -259,6 +272,9 @@ impl SweepBuilder {
             mrc_depths: Vec::new(),
             mac_slot_counts: Vec::new(),
             n_tags: Vec::new(),
+            arrival_models: Vec::new(),
+            offered_loads: Vec::new(),
+            app_profiles: Vec::new(),
             repeats: 1,
             threads: None,
             cache: true,
@@ -343,6 +359,31 @@ impl SweepBuilder {
         self
     }
 
+    /// Sweeps the traffic arrival model (workload tier).
+    pub fn arrival_models(
+        mut self,
+        models: impl IntoIterator<Item = super::scenario::ArrivalModel>,
+    ) -> Self {
+        self.arrival_models = models.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the offered load in messages per tag per second
+    /// (workload tier).
+    pub fn offered_loads(mut self, loads: impl IntoIterator<Item = f64>) -> Self {
+        self.offered_loads = loads.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the application profile (workload tier).
+    pub fn app_profiles(
+        mut self,
+        profiles: impl IntoIterator<Item = super::scenario::AppProfile>,
+    ) -> Self {
+        self.app_profiles = profiles.into_iter().collect();
+        self
+    }
+
     /// Runs each grid point `n` times with rotated seeds (noise *and*
     /// payload), for averaging.
     pub fn repeats(mut self, n: usize) -> Self {
@@ -368,7 +409,7 @@ impl SweepBuilder {
     /// Expands the grid into concrete points, axis order: power ×
     /// distance × bitrate × programme × motion × receiver × tag ×
     /// tone-frequency × f_back × MRC depth × MAC slots × tag count ×
-    /// repeat.
+    /// arrival model × offered load × app profile × repeat.
     pub fn points(&self) -> Vec<SweepPoint> {
         // Singleton placeholder for undeclared axes: `None` means "keep
         // the base scenario's value".
@@ -392,6 +433,9 @@ impl SweepBuilder {
         let mrcs = axis(&self.mrc_depths);
         let mac_slots = axis(&self.mac_slot_counts);
         let n_tags = axis(&self.n_tags);
+        let arrivals = axis(&self.arrival_models);
+        let offered = axis(&self.offered_loads);
+        let profiles = axis(&self.app_profiles);
 
         // Odometer over the axis lengths — first axis slowest, repeats
         // fastest, matching the nested-loop order the engine has always
@@ -409,13 +453,16 @@ impl SweepBuilder {
             mrcs.len(),
             mac_slots.len(),
             n_tags.len(),
+            arrivals.len(),
+            offered.len(),
+            profiles.len(),
             self.repeats,
         ];
         let total: usize = lens.iter().product();
         let mut out = Vec::with_capacity(total);
-        let mut idx = [0usize; 13];
+        let mut idx = [0usize; 16];
         for _ in 0..total {
-            let rep = idx[12];
+            let rep = idx[15];
             let coords = Coords {
                 power: idx[0],
                 distance: idx[1],
@@ -429,6 +476,9 @@ impl SweepBuilder {
                 mrc: idx[9],
                 mac_slots: idx[10],
                 n_tags: idx[11],
+                arrival: idx[12],
+                offered: idx[13],
+                profile: idx[14],
                 repeat: rep,
             };
             let mut s = self.base;
@@ -468,6 +518,15 @@ impl SweepBuilder {
             if let Some(n) = n_tags[idx[11]] {
                 s.n_tags = n;
             }
+            if let Some(a) = arrivals[idx[12]] {
+                s.arrival_model = a;
+            }
+            if let Some(l) = offered[idx[13]] {
+                s.offered_load = l;
+            }
+            if let Some(p) = profiles[idx[14]] {
+                s.app_profile = p;
+            }
             // Deterministic per-point seed: a hash of the base seed and
             // the grid coordinates — never of execution order.
             s.seed = point_seed(self.base.seed, &coords);
@@ -481,7 +540,7 @@ impl SweepBuilder {
                 scenario: s,
                 coords,
             });
-            for d in (0..13).rev() {
+            for d in (0..16).rev() {
                 idx[d] += 1;
                 if idx[d] < lens[d] {
                     break;

@@ -91,16 +91,35 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
 /// convention the tier-calibration reports use, so a "max" quantile
 /// (`q = 1`) is an actual sample, never an interpolation. Returns 0.0
 /// for an empty slice (an empty error sample has zero error).
+///
+/// # Small samples
+///
+/// Nearest rank needs at least `1 / (1 - q)` samples before the `q`
+/// quantile is distinguishable from the maximum: a p999 over fewer than
+/// 1000 samples *silently degrades to the max* (and a p99 over fewer
+/// than 100 does the same). Callers quoting tail quantiles should use
+/// [`quantile_nearest_rank_counted`] and report the support alongside,
+/// so a degenerate tail is visible instead of masquerading as a
+/// resolved one.
 pub fn quantile_nearest_rank(xs: &[f64], q: f64) -> f64 {
+    quantile_nearest_rank_counted(xs, q).0
+}
+
+/// [`quantile_nearest_rank`] plus the sample count it was computed
+/// over: `(quantile, n)`. `n` is the caller's guard against the
+/// small-sample degradation documented there — when
+/// `n < 1 / (1 - q)` the returned quantile equals the sample maximum.
+/// Never panics: an empty slice returns `(0.0, 0)`.
+pub fn quantile_nearest_rank_counted(xs: &[f64], q: f64) -> (f64, usize) {
     if xs.is_empty() {
-        return 0.0;
+        return (0.0, 0);
     }
     let mut sorted = xs.to_vec();
     sorted.sort_by(|a, b| a.total_cmp(b));
     let idx = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize)
         .saturating_sub(1)
         .min(sorted.len() - 1);
-    sorted[idx]
+    (sorted[idx], sorted.len())
 }
 
 /// An empirical cumulative distribution function.
@@ -301,5 +320,25 @@ mod tests {
         assert_eq!(quantile_nearest_rank(&xs, -1.0), 0.0);
         assert_eq!(quantile_nearest_rank(&xs, 2.0), 0.3);
         assert_eq!(quantile_nearest_rank(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn counted_quantile_reports_support() {
+        // n = 0 must not panic and must report zero support.
+        assert_eq!(quantile_nearest_rank_counted(&[], 0.999), (0.0, 0));
+        // n = 1: every quantile is the single sample.
+        assert_eq!(quantile_nearest_rank_counted(&[7.0], 0.0), (7.0, 1));
+        assert_eq!(quantile_nearest_rank_counted(&[7.0], 0.999), (7.0, 1));
+        // The documented degradation: p999 over n < 1000 samples is the
+        // max — the count is what lets a caller notice.
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let (p999, n) = quantile_nearest_rank_counted(&xs, 0.999);
+        assert_eq!((p999, n), (99.0, 100));
+        assert_eq!(p999, quantile_nearest_rank(&xs, 1.0));
+        // With enough support the tail quantile separates from the max.
+        let xs: Vec<f64> = (0..2_000).map(|i| i as f64).collect();
+        let (p999, n) = quantile_nearest_rank_counted(&xs, 0.999);
+        assert_eq!(n, 2_000);
+        assert!(p999 < 1_999.0);
     }
 }

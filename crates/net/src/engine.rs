@@ -12,6 +12,10 @@
 //!   harvester needs to close the deficit ([`crate::deploy::HarvestProfile`]).
 //! * **Link** — a transmission that wins its slot is delivered with the
 //!   packet-success probability of the [`crate::link::BerTable`].
+//! * **Traffic** — under [`Traffic::Saturated`] every awake tag always
+//!   has a frame; under [`Traffic::Trace`] each tag serves a FIFO
+//!   arrival queue (idle when empty) and the engine tracks sojourn
+//!   times, deadline hits and queue conservation.
 //!
 //! # Determinism
 //!
@@ -116,6 +120,45 @@ pub struct TraceEvent {
     pub outcome: Outcome,
 }
 
+/// One queued message packet of a non-saturated traffic trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Arrival {
+    /// Slot the packet enters its tag's FIFO queue.
+    pub slot: u64,
+    /// Allowed sojourn (arrival → delivery, in slots) before the
+    /// message's deadline is missed.
+    pub deadline_slots: u32,
+}
+
+/// Per-tag message arrival lists driving a [`Traffic::Trace`] run.
+///
+/// Entry `i` is tag `i`'s FIFO queue contents, ascending by slot (tags
+/// beyond the list's length simply receive no traffic). Generators live
+/// a layer up, in `fmbs-workload`; the engine only replays traces.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalTrace {
+    /// Arrivals per tag, each list ascending by slot.
+    pub per_tag: Vec<Vec<Arrival>>,
+}
+
+impl ArrivalTrace {
+    /// Total packets in the trace.
+    pub fn offered(&self) -> u64 {
+        self.per_tag.iter().map(|a| a.len() as u64).sum()
+    }
+}
+
+/// What keeps tags transmitting.
+#[derive(Debug, Clone)]
+pub enum Traffic {
+    /// Full-buffer broadcast: every awake tag always has a frame (the
+    /// pre-workload network-tier behaviour; capacity figures).
+    Saturated,
+    /// Trace-driven: each tag serves its FIFO arrival queue and stays
+    /// idle — not contending, not spending energy — while it is empty.
+    Trace(Arc<ArrivalTrace>),
+}
+
 /// Everything that parameterises one network run.
 #[derive(Debug, Clone)]
 pub struct NetworkConfig {
@@ -150,6 +193,14 @@ pub struct NetworkConfig {
     pub seed: u64,
     /// Record the per-attempt trace (off for large capacity runs).
     pub record_trace: bool,
+    /// What keeps tags transmitting: full-buffer saturation or a
+    /// per-tag arrival trace (the workload tier).
+    pub traffic: Traffic,
+    /// Deadline-aware head-of-line shedding: before keying the radio, a
+    /// tag drops queued packets whose deadline has already passed
+    /// instead of burning slots (and energy) on late data. Only
+    /// meaningful under [`Traffic::Trace`].
+    pub drop_expired: bool,
 }
 
 impl NetworkConfig {
@@ -171,6 +222,8 @@ impl NetworkConfig {
             coding: true,
             seed: 0x5EED,
             record_trace: false,
+            traffic: Traffic::Saturated,
+            drop_expired: false,
         }
     }
 
@@ -229,6 +282,21 @@ pub struct NetStats {
     /// actual transmission → delivery; energy-recharge sleeps before
     /// the first transmission are excluded), ascending.
     pub latencies_slots: Vec<u32>,
+    /// Packets the traffic trace offered inside the slot horizon
+    /// (0 for saturated runs, where "offered" is unbounded).
+    pub offered: u64,
+    /// Delivered packets whose sojourn met their deadline (trace runs).
+    pub on_time: u64,
+    /// Queued packets shed because their deadline had already passed
+    /// before transmission (`drop_expired` runs).
+    pub expired_dropped: u64,
+    /// Offered packets neither delivered nor shed by the horizon —
+    /// still waiting in a FIFO queue or mid-backoff (trace runs).
+    pub still_queued: u64,
+    /// Per-delivery *sojourn* in slots — arrival → delivery, so
+    /// queueing delay counts, unlike `latencies_slots` — ascending
+    /// (trace runs only).
+    pub sojourn_slots: Vec<u32>,
 }
 
 impl NetStats {
@@ -270,6 +338,36 @@ impl NetStats {
         let idx = ((self.latencies_slots.len() - 1) as f64 * p.clamp(0.0, 1.0)).round() as usize;
         self.latencies_slots[idx] as f64 * self.slot_secs
     }
+
+    /// Sojourn times (arrival → delivery) in seconds, ascending — the
+    /// series the workload tier's SLO quantiles are computed over.
+    pub fn sojourn_secs(&self) -> Vec<f64> {
+        self.sojourn_slots
+            .iter()
+            .map(|&s| s as f64 * self.slot_secs)
+            .collect()
+    }
+
+    /// Fraction of offered packets that failed their deadline. Late
+    /// deliveries, expired-shed packets and packets still queued at the
+    /// horizon all count as misses; 0 when nothing was offered
+    /// (saturated runs have no deadlines).
+    pub fn deadline_miss_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        1.0 - self.on_time as f64 / self.offered as f64
+    }
+
+    /// Queue conservation: every offered packet is delivered, shed as
+    /// expired, or still queued at the horizon. Trivially true for
+    /// saturated runs (`offered == 0` and no queues exist).
+    pub fn queue_conserved(&self) -> bool {
+        if self.offered == 0 {
+            return self.still_queued == 0 && self.expired_dropped == 0;
+        }
+        self.offered == self.delivered + self.expired_dropped + self.still_queued
+    }
 }
 
 /// One run's outputs: statistics plus the optional event trace.
@@ -297,6 +395,9 @@ struct TagState {
     /// mistaken for contention.
     first_attempt: u64,
     delivered: u32,
+    /// Index of the head of this tag's FIFO arrival queue (trace mode):
+    /// everything before it was delivered or shed as expired.
+    next_unserved: usize,
 }
 
 /// The network simulator: a config plus the link table it reads BER
@@ -379,6 +480,7 @@ impl NetworkSim {
                 tx_cost_uj: site.tx_cost_uj,
                 first_attempt: u64::MAX,
                 delivered: 0,
+                next_unserved: 0,
             })
             .collect();
 
@@ -391,12 +493,29 @@ impl NetworkSim {
         };
         let mut trace = Vec::new();
 
-        // Everybody desynchronises over an initial window so slot 0 is
-        // not a guaranteed pile-up.
-        let initial_window = 16u64.min(cfg.n_slots.max(1));
-        for (i, t) in tags.iter_mut().enumerate() {
-            let start = t.rng.gen_range(0..initial_window);
-            Self::schedule(t, i as u32, start, slot_secs, cfg, &mut q, &mut stats);
+        match &cfg.traffic {
+            Traffic::Saturated => {
+                // Everybody desynchronises over an initial window so
+                // slot 0 is not a guaranteed pile-up.
+                let initial_window = 16u64.min(cfg.n_slots.max(1));
+                for (i, t) in tags.iter_mut().enumerate() {
+                    let start = t.rng.gen_range(0..initial_window);
+                    Self::schedule(t, i as u32, start, slot_secs, cfg, &mut q, &mut stats);
+                }
+            }
+            Traffic::Trace(arrivals) => {
+                // Trace mode needs no desync draw: arrival times are the
+                // desynchroniser. Each tag wakes at its first arrival;
+                // out-of-horizon arrivals are never offered.
+                for (i, t) in tags.iter_mut().enumerate() {
+                    let queue = arrivals.per_tag.get(i).map_or(&[][..], Vec::as_slice);
+                    stats.offered +=
+                        queue.iter().take_while(|a| a.slot < cfg.n_slots).count() as u64;
+                    if let Some(first) = queue.first() {
+                        Self::schedule(t, i as u32, first.slot, slot_secs, cfg, &mut q, &mut stats);
+                    }
+                }
+            }
         }
 
         // Per-channel attempt buckets for the slot being resolved.
@@ -409,6 +528,39 @@ impl NetworkSim {
             let slot = first.at;
             while q.peek().is_some_and(|e| e.at == slot) {
                 let ev = q.pop().expect("peeked event present");
+                if let Traffic::Trace(arrivals) = &cfg.traffic {
+                    let t = &mut tags[ev.tag as usize];
+                    let queue = arrivals
+                        .per_tag
+                        .get(ev.tag as usize)
+                        .map_or(&[][..], Vec::as_slice);
+                    if cfg.drop_expired {
+                        // Shed head-of-line packets whose deadline has
+                        // already passed: delivering in this slot would
+                        // complete at slot+1 with sojourn > deadline.
+                        while queue
+                            .get(t.next_unserved)
+                            .is_some_and(|h| h.slot.saturating_add(h.deadline_slots as u64) <= slot)
+                        {
+                            t.next_unserved += 1;
+                            stats.expired_dropped += 1;
+                            t.first_attempt = u64::MAX;
+                        }
+                    }
+                    match queue.get(t.next_unserved) {
+                        // Queue drained: the tag idles until (in this
+                        // trace) forever — no contention, no energy
+                        // spend.
+                        None => continue,
+                        // Head not arrived yet: sleep until it does.
+                        Some(h) if h.slot > slot => {
+                            Self::schedule(t, ev.tag, h.slot, slot_secs, cfg, &mut q, &mut stats);
+                            continue;
+                        }
+                        // Head is waiting: contend for this slot.
+                        Some(_) => {}
+                    }
+                }
                 let ch = tags[ev.tag as usize].channel as usize;
                 if pending[ch].is_empty() {
                     touched.push(ch as u16);
@@ -429,6 +581,16 @@ impl NetworkSim {
 
         stats.per_tag_delivered = tags.iter().map(|t| t.delivered).collect();
         stats.latencies_slots.sort_unstable();
+        if let Traffic::Trace(arrivals) = &cfg.traffic {
+            // Conservation: whatever was offered but neither delivered
+            // nor shed is still sitting in a queue at the horizon.
+            for (i, t) in tags.iter().enumerate() {
+                let queue = arrivals.per_tag.get(i).map_or(&[][..], Vec::as_slice);
+                let servable = queue.iter().take_while(|a| a.slot < cfg.n_slots).count();
+                stats.still_queued += servable.saturating_sub(t.next_unserved) as u64;
+            }
+            stats.sojourn_slots.sort_unstable();
+        }
         NetRun { stats, trace }
     }
 
@@ -512,21 +674,42 @@ impl NetworkSim {
                             .push((slot + 1).saturating_sub(t.first_attempt) as u32);
                         t.backoff_exp = 0;
                         t.first_attempt = u64::MAX;
-                        (Outcome::Delivered, slot + 1)
+                        let next = match &cfg.traffic {
+                            Traffic::Saturated => Some(slot + 1),
+                            Traffic::Trace(arrivals) => {
+                                // The delivered packet is the queue
+                                // head; record its sojourn (queueing
+                                // delay included) and advance. Wake for
+                                // the next head, or idle if drained.
+                                let queue = arrivals
+                                    .per_tag
+                                    .get(tag as usize)
+                                    .map_or(&[][..], Vec::as_slice);
+                                let head = queue[t.next_unserved];
+                                let sojourn = (slot + 1).saturating_sub(head.slot) as u32;
+                                stats.sojourn_slots.push(sojourn);
+                                if sojourn <= head.deadline_slots {
+                                    stats.on_time += 1;
+                                }
+                                t.next_unserved += 1;
+                                queue.get(t.next_unserved).map(|h| h.slot.max(slot + 1))
+                            }
+                        };
+                        (Outcome::Delivered, next)
                     } else {
                         // A corrupted packet is a link loss, not
                         // congestion: retry with a short jitter but no
                         // backoff growth.
                         stats.corrupt += 1;
                         let jitter = t.rng.gen_range(0..2u64);
-                        (Outcome::Corrupt, slot + 1 + jitter)
+                        (Outcome::Corrupt, Some(slot + 1 + jitter))
                     }
                 } else {
                     stats.collided += 1;
                     t.backoff_exp = (t.backoff_exp + 1).min(cfg.max_backoff_exp);
                     let window = 1u64 << t.backoff_exp;
                     let delay = t.rng.gen_range(0..window);
-                    (Outcome::Collided, slot + 1 + delay)
+                    (Outcome::Collided, Some(slot + 1 + delay))
                 };
                 if cfg.record_trace {
                     trace.push(TraceEvent {
@@ -536,15 +719,17 @@ impl NetworkSim {
                         outcome,
                     });
                 }
-                Self::schedule(
-                    &mut tags[tag as usize],
-                    tag,
-                    next_earliest,
-                    slot_secs,
-                    cfg,
-                    q,
-                    stats,
-                );
+                if let Some(next_earliest) = next_earliest {
+                    Self::schedule(
+                        &mut tags[tag as usize],
+                        tag,
+                        next_earliest,
+                        slot_secs,
+                        cfg,
+                        q,
+                        stats,
+                    );
+                }
             }
         }
         touched.clear();
@@ -664,6 +849,91 @@ mod tests {
         assert_eq!(cfg.bitrate, Bitrate::Kbps3_2);
         assert_eq!(cfg.mean_power_dbm, -35.0);
         assert_eq!(cfg.cell_radius_ft, 12.0);
+    }
+
+    fn trace_of(per_tag: Vec<Vec<(u64, u32)>>) -> Traffic {
+        Traffic::Trace(Arc::new(ArrivalTrace {
+            per_tag: per_tag
+                .into_iter()
+                .map(|v| {
+                    v.into_iter()
+                        .map(|(slot, deadline_slots)| Arrival {
+                            slot,
+                            deadline_slots,
+                        })
+                        .collect()
+                })
+                .collect(),
+        }))
+    }
+
+    #[test]
+    fn empty_queue_keeps_a_tag_idle() {
+        let mut cfg = NetworkConfig::new(2, 300);
+        cfg.traffic = trace_of(vec![vec![(5, 50), (40, 50)], vec![]]);
+        let run = NetworkSim::new(cfg, table()).run();
+        assert_eq!(run.stats.offered, 2);
+        assert!(run.stats.delivered <= 2);
+        assert_eq!(run.stats.per_tag_delivered[1], 0, "no traffic, no frames");
+        // Two packets over 300 slots: nowhere near the ~300 attempts a
+        // saturated tag would make.
+        assert!(run.stats.attempts < 20, "{:?}", run.stats);
+        assert!(run.stats.queue_conserved(), "{:?}", run.stats);
+        assert_eq!(run.stats.sojourn_slots.len() as u64, run.stats.delivered);
+    }
+
+    #[test]
+    fn sojourn_counts_queueing_delay() {
+        // A burst of 4 packets arriving together must drain serially, so
+        // later deliveries carry queueing delay: sojourns strictly grow.
+        let mut cfg = NetworkConfig::new(1, 500);
+        cfg.traffic = trace_of(vec![vec![(10, 100); 4]]);
+        let run = NetworkSim::new(cfg, table()).run();
+        assert!(run.stats.delivered >= 2, "{:?}", run.stats);
+        let s = &run.stats.sojourn_slots;
+        assert!(s.windows(2).all(|w| w[0] < w[1]), "{s:?}");
+        assert!(run.stats.on_time <= run.stats.delivered);
+        assert!(run.stats.queue_conserved(), "{:?}", run.stats);
+    }
+
+    #[test]
+    fn drop_expired_sheds_dead_packets_without_transmitting() {
+        let mut cfg = NetworkConfig::new(1, 100);
+        // Deadline 0 can never be met (delivery completes at slot+1).
+        cfg.traffic = trace_of(vec![vec![(0, 0), (0, 0)]]);
+        cfg.drop_expired = true;
+        let run = NetworkSim::new(cfg.clone(), table()).run();
+        assert_eq!(run.stats.expired_dropped, 2);
+        assert_eq!(run.stats.attempts, 0, "shed before keying the radio");
+        assert_eq!(run.stats.delivered, 0);
+        assert!(run.stats.queue_conserved(), "{:?}", run.stats);
+        assert!((run.stats.deadline_miss_rate() - 1.0).abs() < 1e-12);
+        // Without the policy the tag still transmits the late data.
+        cfg.drop_expired = false;
+        let late = NetworkSim::new(cfg, table()).run();
+        assert!(late.stats.attempts > 0);
+        assert_eq!(late.stats.on_time, 0);
+        assert!(late.stats.queue_conserved(), "{:?}", late.stats);
+    }
+
+    #[test]
+    fn trace_mode_is_deterministic_and_seed_sensitive() {
+        // Every tag arrives in the same slots, so channel-mates collide
+        // and the seeded backoff draws shape the trace.
+        let arrivals: Vec<Vec<(u64, u32)>> = (0..200)
+            .map(|_| (0..5).map(|k| (37 * k, 60u32)).collect())
+            .collect();
+        let mut cfg = NetworkConfig::new(200, 300);
+        cfg.traffic = trace_of(arrivals);
+        cfg.record_trace = true;
+        let a = NetworkSim::new(cfg.clone(), table()).run();
+        let b = NetworkSim::new(cfg.clone(), table()).run();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.stats.sojourn_slots, b.stats.sojourn_slots);
+        assert!(a.stats.queue_conserved(), "{:?}", a.stats);
+        cfg.seed ^= 1;
+        let c = NetworkSim::new(cfg, table()).run();
+        assert_ne!(a.trace, c.trace, "different seed must change the trace");
     }
 
     #[test]

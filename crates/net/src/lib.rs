@@ -19,7 +19,10 @@
 //!   ordered events with stable tie-breaking drives per-tag state
 //!   machines (slotted Aloha with binary-exponential backoff, energy
 //!   accrual, link-table packet trials). Same-seed runs are
-//!   trace-identical.
+//!   trace-identical. Tags either run saturated (full-buffer capacity
+//!   figures) or serve per-tag FIFO arrival queues
+//!   ([`engine::Traffic::Trace`], fed by the `fmbs-workload` crate)
+//!   with sojourn and deadline accounting.
 //! * [`metrics`] — network [`fmbs_core::sim::metric::Metric`]s
 //!   (goodput, collision rate, Jain fairness, latency percentiles) that
 //!   plug straight into [`fmbs_core::sim::sweep::SweepBuilder`], making
@@ -59,7 +62,8 @@ pub mod metrics;
 pub mod prelude {
     pub use crate::deploy::{city_occupancy, Deployment, HarvestProfile, TagSite};
     pub use crate::engine::{
-        Event, EventQueue, NetRun, NetStats, NetworkConfig, NetworkSim, Outcome, TraceEvent,
+        Arrival, ArrivalTrace, Event, EventQueue, NetRun, NetStats, NetworkConfig, NetworkSim,
+        Outcome, TraceEvent, Traffic,
     };
     pub use crate::link::{BerTable, BerTableSpec, TableDelta, TableDeltaCell};
     pub use crate::metrics::{NetCollisionRate, NetFairness, NetGoodput, NetLatency, NetSpec};

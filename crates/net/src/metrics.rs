@@ -65,16 +65,29 @@ impl NetSpec {
         self
     }
 
-    /// Runs the deployment the scenario describes and returns its
-    /// statistics.
-    pub fn run(&self, scenario: &Scenario) -> NetStats {
+    /// The [`NetworkConfig`] this spec runs `scenario` under — exposed
+    /// so the workload tier can read the slot duration and attach a
+    /// traffic trace before running.
+    pub fn config(&self, scenario: &Scenario) -> NetworkConfig {
         let mut cfg = NetworkConfig::from_scenario(scenario);
         cfg.harvest = self.harvest;
         cfg.packet_bits = self.packet_bits;
         cfg.storage_uj = self.storage_uj;
+        cfg
+    }
+
+    /// Runs an explicit config over the spec's shared link table and
+    /// packet model.
+    pub fn run_config(&self, cfg: NetworkConfig) -> NetStats {
         NetworkSim::with_packet_model(cfg, self.table.clone(), self.packets.clone())
             .run()
             .stats
+    }
+
+    /// Runs the deployment the scenario describes and returns its
+    /// statistics.
+    pub fn run(&self, scenario: &Scenario) -> NetStats {
+        self.run_config(self.config(scenario))
     }
 }
 

@@ -1,0 +1,85 @@
+//! Application profiles: what one *message* looks like.
+//!
+//! The paper's three applications stress the MAC differently: city
+//! sensing sends single readings with relaxed deadlines, talking
+//! posters push multi-packet audio snippets people are waiting for, and
+//! smart-fabric telemetry streams tiny frames with tight freshness
+//! requirements (§6.2, §8). A [`MessageShape`] captures that as a
+//! packets-per-message range and a deadline range; the arrival
+//! generators sample both per message from the tag's private stream.
+
+use fmbs_core::sim::scenario::AppProfile;
+
+/// Message-size and deadline distributions for one application preset.
+///
+/// Both are sampled uniformly from the inclusive ranges below — wide
+/// enough to exercise the queues, narrow enough that a profile keeps
+/// its character across seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MessageShape {
+    /// Fewest packets a message expands to.
+    pub packets_min: u32,
+    /// Most packets a message expands to.
+    pub packets_max: u32,
+    /// Tightest per-message deadline in seconds (arrival → delivery of
+    /// each of its packets).
+    pub deadline_min_s: f64,
+    /// Most relaxed per-message deadline in seconds.
+    pub deadline_max_s: f64,
+}
+
+impl MessageShape {
+    /// Mean packets per message (what converts a packet-load target
+    /// into a message rate).
+    pub fn mean_packets(&self) -> f64 {
+        (self.packets_min as f64 + self.packets_max as f64) / 2.0
+    }
+}
+
+/// The shape of `profile`'s messages.
+pub fn shape_of(profile: AppProfile) -> MessageShape {
+    match profile {
+        // One reading, multi-second freshness window: the §8 city
+        // sensing deployment.
+        AppProfile::SensorBeacon => MessageShape {
+            packets_min: 1,
+            packets_max: 1,
+            deadline_min_s: 2.0,
+            deadline_max_s: 5.0,
+        },
+        // A short audio snippet someone is standing next to the poster
+        // waiting for: several packets, interactive deadline.
+        AppProfile::TalkingPoster => MessageShape {
+            packets_min: 4,
+            packets_max: 8,
+            deadline_min_s: 1.0,
+            deadline_max_s: 2.0,
+        },
+        // Fitness telemetry frames: small and fresh (§6.2).
+        AppProfile::FabricTelemetry => MessageShape {
+            packets_min: 1,
+            packets_max: 2,
+            deadline_min_s: 0.3,
+            deadline_max_s: 0.6,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_are_ordered_by_urgency() {
+        let beacon = shape_of(AppProfile::SensorBeacon);
+        let poster = shape_of(AppProfile::TalkingPoster);
+        let fabric = shape_of(AppProfile::FabricTelemetry);
+        assert!(fabric.deadline_max_s < poster.deadline_min_s);
+        assert!(poster.deadline_max_s < beacon.deadline_min_s + beacon.deadline_max_s);
+        assert!(poster.mean_packets() > beacon.mean_packets());
+        for s in [beacon, poster, fabric] {
+            assert!(s.packets_min >= 1 && s.packets_min <= s.packets_max);
+            assert!(s.deadline_min_s > 0.0 && s.deadline_min_s <= s.deadline_max_s);
+        }
+    }
+}

@@ -134,6 +134,22 @@ proptest! {
         s.mrc_depth = 1 + (seed % 4) as u32;
         s.mac_slots = 1 + (payload_seed % 10_000) as u32;
         s.n_tags = 1 + (payload_seed % 5_000) as u32;
+        // Likewise the PR-6 workload axes.
+        {
+            use fmbs_core::sim::scenario::{AppProfile, ArrivalModel};
+            s.arrival_model = [
+                ArrivalModel::Saturated,
+                ArrivalModel::Poisson,
+                ArrivalModel::Diurnal,
+                ArrivalModel::Mmpp,
+            ][(seed % 4) as usize];
+            s.offered_load = (payload_seed % 100) as f64 / 1_000.0;
+            s.app_profile = [
+                AppProfile::SensorBeacon,
+                AppProfile::TalkingPoster,
+                AppProfile::FabricTelemetry,
+            ][(payload_seed % 3) as usize];
+        }
         let json = serde_json::to_string(&s).unwrap();
         let back: Scenario = serde_json::from_str(&json).unwrap();
         prop_assert_eq!(back, s);
@@ -263,6 +279,53 @@ proptest! {
         }
     }
 
+    /// Trace generation (§8 workload tier) is a pure function of its
+    /// spec: the same seed reproduces the trace bit-for-bit, a
+    /// different seed moves the arrivals, and every arrival respects
+    /// the spec's horizon and ordering.
+    #[test]
+    fn workload_trace_same_seed_bit_identical(
+        n_tags in 2usize..48,
+        n_slots in 100u64..600,
+        load in 0.01f64..0.12,
+        model_idx in 0usize..3,
+        profile_idx in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        use fmbs_core::sim::scenario::{AppProfile, ArrivalModel};
+        use fmbs_workload::arrivals::TraceSpec;
+        let spec = TraceSpec {
+            n_tags,
+            n_slots,
+            slot_secs: 0.08,
+            model: [ArrivalModel::Poisson, ArrivalModel::Diurnal, ArrivalModel::Mmpp][model_idx],
+            offered_load: load,
+            profile: [
+                AppProfile::SensorBeacon,
+                AppProfile::TalkingPoster,
+                AppProfile::FabricTelemetry,
+            ][profile_idx],
+            seed,
+        };
+        let a = spec.generate();
+        let b = spec.generate();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.per_tag.len(), n_tags);
+        for tag in &a.per_tag {
+            for w in tag.windows(2) {
+                prop_assert!(w[0].slot <= w[1].slot);
+            }
+            for arr in tag {
+                prop_assert!(arr.slot < n_slots);
+                prop_assert!(arr.deadline_slots >= 1);
+            }
+        }
+        if a.offered() > 0 {
+            let other = TraceSpec { seed: seed ^ 0x9E37_79B9, ..spec }.generate();
+            prop_assert_ne!(&a, &other);
+        }
+    }
+
     /// RDS blocks round-trip for arbitrary information words.
     #[test]
     fn rds_block_round_trip(info in any::<u16>(), pos in 0usize..4) {
@@ -345,5 +408,102 @@ proptest! {
         prop_assert_eq!(serial.front_end.misses, repeats);
         prop_assert_eq!(serial.front_end.hits, repeats);
         prop_assert_eq!(uncached.front_end, Default::default());
+    }
+}
+
+/// One quick-calibrated link table shared by the workload-tier property
+/// tests below (calibration is deterministic, so sharing is invisible).
+fn shared_ber_table() -> std::sync::Arc<fmbs_net::prelude::BerTable> {
+    use fmbs_core::sim::fast::FastSim;
+    use fmbs_net::prelude::{BerTable, BerTableSpec};
+    static TABLE: std::sync::OnceLock<std::sync::Arc<BerTable>> = std::sync::OnceLock::new();
+    TABLE
+        .get_or_init(|| std::sync::Arc::new(BerTable::calibrate(&FastSim, &BerTableSpec::quick())))
+        .clone()
+}
+
+// Workload-tier runs execute the full queued discrete-event engine per
+// case, so a smaller case count keeps the suite fast.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Queue conservation through policy and engine: every packet a tag
+    /// ever offered is delivered, shed by admission, dropped expired,
+    /// or still queued when the horizon ends — under every arrival
+    /// model and admission policy.
+    #[test]
+    fn workload_queue_conservation(
+        n_tags in 2u32..120,
+        mac_slots in 100u32..700,
+        load in 0.005f64..0.15,
+        model_idx in 0usize..3,
+        profile_idx in 0usize..3,
+        policy_idx in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        use fmbs_core::modem::Bitrate;
+        use fmbs_core::sim::scenario::{AppProfile, ArrivalModel, Workload};
+        use fmbs_net::prelude::NetSpec;
+        use fmbs_workload::prelude::{Policy, WorkloadSpec};
+        let model =
+            [ArrivalModel::Poisson, ArrivalModel::Diurnal, ArrivalModel::Mmpp][model_idx];
+        let profile = [
+            AppProfile::SensorBeacon,
+            AppProfile::TalkingPoster,
+            AppProfile::FabricTelemetry,
+        ][profile_idx];
+        let policy = [
+            Policy::AdmitAll,
+            Policy::RateCap { max_load: load / 2.0 },
+            Policy::DeadlineAware,
+        ][policy_idx];
+        let mut s = Scenario::bench(-40.0, 16.0, ProgramKind::News)
+            .with_workload(Workload::data(Bitrate::Kbps1_6, 256))
+            .with_seed(seed)
+            .with_traffic(model, load, profile);
+        s.n_tags = n_tags;
+        s.mac_slots = mac_slots;
+        let stats = WorkloadSpec::new(NetSpec::new(shared_ber_table()))
+            .with_policy(policy)
+            .run(&s);
+        prop_assert!(stats.conserved(), "{:?}", stats);
+        prop_assert_eq!(
+            stats.net.offered + stats.admission_shed,
+            stats.offered_raw
+        );
+    }
+
+    /// Workload sweeps inherit the engine's determinism: parallel
+    /// execution over the new arrival-model and offered-load axes is
+    /// bit-identical to serial.
+    #[test]
+    fn workload_sweep_parallel_equals_serial(
+        threads in 2usize..6,
+        n_tags in 4u32..64,
+        seed in any::<u64>(),
+    ) {
+        use fmbs_core::modem::Bitrate;
+        use fmbs_core::sim::fast::FastSim;
+        use fmbs_core::sim::scenario::{AppProfile, ArrivalModel, Workload};
+        use fmbs_core::sim::sweep::SweepBuilder;
+        use fmbs_net::prelude::NetSpec;
+        use fmbs_workload::prelude::{DeadlineMissRate, WorkloadSpec};
+        let mut base = Scenario::bench(-40.0, 16.0, ProgramKind::News)
+            .with_workload(Workload::data(Bitrate::Kbps1_6, 256))
+            .with_seed(seed);
+        base.n_tags = n_tags;
+        base.mac_slots = 300;
+        let metric = DeadlineMissRate(WorkloadSpec::new(NetSpec::new(shared_ber_table())));
+        let sweep = SweepBuilder::new(base)
+            .arrival_models([ArrivalModel::Poisson, ArrivalModel::Mmpp])
+            .offered_loads([0.01, 0.05])
+            .app_profiles([AppProfile::SensorBeacon, AppProfile::FabricTelemetry]);
+        let serial = sweep.run_serial(&FastSim, &metric);
+        let parallel = sweep.clone().threads(threads).run(&FastSim, &metric);
+        prop_assert_eq!(serial.points.len(), 2 * 2 * 2);
+        for (s, p) in serial.points.iter().zip(&parallel.points) {
+            prop_assert_eq!(s.coords, p.coords);
+            prop_assert_eq!(s.value.to_bits(), p.value.to_bits());
+        }
     }
 }
