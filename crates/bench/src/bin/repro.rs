@@ -9,6 +9,10 @@
 //!                       # run a swept figure on the RF-rate physical
 //!                       # tier instead of the fast tier (swept physics
 //!                       # figures only; see --list)
+//! repro --fault outage fault_resilience
+//!                       # re-run the fault-resilience family restricted
+//!                       # to one injected fault class (outage, brownout,
+//!                       # burst, reset)
 //! repro --list          # known experiment ids
 //! repro --json out/     # also write one JSON file per experiment
 //! repro --check         # re-run quick grids, assert every figure's
@@ -38,6 +42,7 @@ use fmbs_bench::experiments::{self, ExperimentSpec, Grid, REGISTRY};
 use fmbs_bench::perf;
 use fmbs_bench::report::Experiment;
 use fmbs_core::sim::Tier;
+use fmbs_net::faults::FaultKind;
 
 struct Cli {
     full: bool,
@@ -46,6 +51,7 @@ struct Cli {
     bless: bool,
     gate: bool,
     tier: Tier,
+    fault: Option<FaultKind>,
     perf: Option<String>,
     label: String,
     json_dir: Option<String>,
@@ -62,6 +68,7 @@ fn parse_cli() -> Cli {
         bless: false,
         gate: false,
         tier: Tier::Fast,
+        fault: None,
         perf: None,
         label: "unlabelled".into(),
         json_dir: None,
@@ -111,6 +118,20 @@ fn parse_cli() -> Cli {
                     std::process::exit(2);
                 });
             }
+            "--fault" => {
+                let name = required_value(&args, i, "--fault");
+                i += 1;
+                cli.fault = Some(FaultKind::parse(&name).unwrap_or_else(|| {
+                    eprintln!("unknown fault kind: {name}");
+                    let near = experiments::suggest_faults(&name);
+                    if !near.is_empty() {
+                        eprintln!("  did you mean: {}?", near.join(", "));
+                    }
+                    let known: Vec<&str> = FaultKind::ALL.iter().map(|k| k.name()).collect();
+                    eprintln!("  known fault kinds: {}", known.join(", "));
+                    std::process::exit(2);
+                }));
+            }
             "--label" => {
                 cli.label = required_value(&args, i, "--label");
                 i += 1;
@@ -135,15 +156,16 @@ fn parse_cli() -> Cli {
 }
 
 /// Resolves experiment ids (all of them when none given); the family
-/// ids `calibration` and `workload_slo` expand to every figure sharing
-/// the prefix; unknown ids exit non-zero with near-miss suggestions.
+/// ids `calibration`, `workload_slo` and `fault_resilience` expand to
+/// every figure sharing the prefix; unknown ids exit non-zero with
+/// near-miss suggestions.
 fn resolve_specs(ids: &[String]) -> Vec<&'static ExperimentSpec> {
     if ids.is_empty() {
         return REGISTRY.iter().collect();
     }
     ids.iter()
         .flat_map(|id| {
-            if id == "calibration" || id == "workload_slo" {
+            if id == "calibration" || id == "workload_slo" || id == "fault_resilience" {
                 let prefix = format!("{id}_");
                 return REGISTRY
                     .iter()
@@ -187,6 +209,29 @@ fn require_tier_capable(specs: &[&'static ExperimentSpec], tier: Tier) {
     }
 }
 
+/// Validates that every resolved figure accepts a `--fault` restriction
+/// (only the fault-resilience family injects faults); exits 2 naming
+/// the capable figures otherwise.
+fn require_fault_capable(specs: &[&'static ExperimentSpec], fault: Option<FaultKind>) {
+    let Some(kind) = fault else {
+        return;
+    };
+    for spec in specs {
+        if !spec.id.starts_with("fault_resilience") {
+            eprintln!(
+                "figure {} does not inject faults: --fault {} only applies to the \
+                 fault_resilience family",
+                spec.id,
+                kind.name(),
+            );
+            eprintln!(
+                "  fault-capable figures: fault_resilience_goodput, fault_resilience_recovery"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
 fn run_perf(path: &str, label: &str, gate: bool) {
     // Baselines are read from the committed repo-root series *before*
     // anything is appended: with the default path the fresh record lands
@@ -197,6 +242,7 @@ fn run_perf(path: &str, label: &str, gate: bool) {
             perf::last_sweep_record("BENCH_sweep.json"),
             perf::last_net_record("BENCH_net.json"),
             perf::last_net_workload_record("BENCH_net.json"),
+            perf::last_net_faults_record("BENCH_net.json"),
         )
     });
     let rec = match perf::record(path, label, 3) {
@@ -246,10 +292,24 @@ fn run_perf(path: &str, label: &str, gate: bool) {
             std::process::exit(1);
         }
     };
-    if let Some((sweep_baseline, net_baseline, workload_baseline)) = baselines {
-        // The workload population is newer than the shared series file:
-        // a parseable file with no workload record yet seeds the series
-        // instead of failing the gate.
+    let faults_rec = match perf::record_net_faults(&net_path, label, 2) {
+        Ok(rec) => {
+            println!(
+                "faults throughput: {} tags x {} slots (all fault classes + ARQ) in {:.2} s \
+                 ({:.2e} tag-slots/s, {} packets delivered) -> {net_path}",
+                rec.n_tags, rec.n_slots, rec.elapsed_s, rec.tag_slots_per_sec, rec.delivered,
+            );
+            rec
+        }
+        Err(e) => {
+            eprintln!("--perf (faults) failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some((sweep_baseline, net_baseline, workload_baseline, faults_baseline)) = baselines {
+        // The workload and faults populations are newer than the shared
+        // series file: a parseable file with no such record yet seeds
+        // the series instead of failing the gate.
         let workload_outcome = match workload_baseline {
             Ok(Some(b)) => Some(Ok(perf::gate_net_workload(
                 &b,
@@ -262,10 +322,23 @@ fn run_perf(path: &str, label: &str, gate: bool) {
             }
             Err(e) => Some(Err(e)),
         };
+        let faults_outcome = match faults_baseline {
+            Ok(Some(b)) => Some(Ok(perf::gate_net_faults(
+                &b,
+                &faults_rec,
+                perf::MAX_PERF_DROP,
+            ))),
+            Ok(None) => {
+                println!("faults tag-slots/s: no committed baseline yet; seeding the series");
+                None
+            }
+            Err(e) => Some(Err(e)),
+        };
         let outcomes = [
             Some(sweep_baseline.map(|b| perf::gate_sweep(&b, &rec, perf::MAX_PERF_DROP))),
             Some(net_baseline.map(|b| perf::gate_net(&b, &net_rec, perf::MAX_PERF_DROP))),
             workload_outcome,
+            faults_outcome,
         ];
         let mut failed = false;
         for outcome in outcomes.into_iter().flatten() {
@@ -420,6 +493,15 @@ fn main() {
         eprintln!("--gate only applies to --perf runs");
         std::process::exit(2);
     }
+    if cli.fault.is_some() && (cli.check || cli.bless || cli.perf.is_some()) {
+        // Goldens record the full fault-class series set; a restricted
+        // build diffed against them would always "fail".
+        eprintln!(
+            "--fault does not combine with --check/--bless/--perf: goldens and the perf \
+             series record the full fault-class set",
+        );
+        std::process::exit(2);
+    }
     if cli.tier != Tier::Fast && (cli.check || cli.bless || cli.perf.is_some()) {
         // Goldens (and the perf series) are fast-tier canonical; a
         // physical-tier run diffed against them would always "fail".
@@ -441,6 +523,18 @@ fn main() {
         std::process::exit(2);
     }
     let mut specs = resolve_specs(&cli.ids);
+    if cli.fault.is_some() && cli.ids.is_empty() {
+        // A bare `--fault burst` means "the figures that inject faults":
+        // narrow to the fault-resilience family instead of tripping over
+        // the first physics figure.
+        specs.retain(|s| s.id.starts_with("fault_resilience"));
+        eprintln!(
+            "no ids given: running the {} fault_resilience figure(s) restricted to --fault {}",
+            specs.len(),
+            cli.fault.map(|k| k.name()).unwrap_or_default(),
+        );
+    }
+    require_fault_capable(&specs, cli.fault);
     if cli.tier != Tier::Fast && cli.ids.is_empty() {
         // A bare `--tier physical` means "everything that can": narrow
         // the full registry to the tier-capable figures instead of
@@ -470,9 +564,15 @@ fn main() {
     );
     let results: Vec<Experiment> = specs
         .iter()
-        .map(|spec| match (cli.tier, spec.tiered) {
-            (Tier::Fast, _) | (_, None) => (spec.build)(grid),
-            (tier, Some(tiered)) => tiered(grid, tier),
+        .map(|spec| match (cli.fault, cli.tier, spec.tiered) {
+            (Some(kind), _, _) if spec.id == "fault_resilience_goodput" => {
+                experiments::fault_resilience_goodput_for(grid, Some(kind))
+            }
+            (Some(kind), _, _) if spec.id == "fault_resilience_recovery" => {
+                experiments::fault_resilience_recovery_for(grid, Some(kind))
+            }
+            (_, Tier::Fast, _) | (_, _, None) => (spec.build)(grid),
+            (_, tier, Some(tiered)) => tiered(grid, tier),
         })
         .collect();
 

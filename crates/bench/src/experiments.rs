@@ -23,14 +23,17 @@ use fmbs_core::sim::metric::{Ber, BerMrc, CoopPesq, Metric, Pesq, ToneSnr};
 use fmbs_core::sim::scenario::{AppProfile, ArrivalModel, Scenario, Workload};
 use fmbs_core::sim::sweep::{SweepBuilder, SweepResults};
 use fmbs_core::sim::Tier;
-use fmbs_net::prelude::{BerTable, BerTableSpec, NetCollisionRate, NetGoodput, NetSpec};
+use fmbs_net::prelude::{
+    ArqConfig, BerTable, BerTableSpec, FaultKind, FaultSpec, NetCollisionRate, NetGoodput, NetSpec,
+};
 use fmbs_survey::drive::DriveSurvey;
 use fmbs_survey::occupancy;
 use fmbs_survey::stations::City;
 use fmbs_survey::stereo_util;
 use fmbs_survey::temporal::TemporalSurvey;
 use fmbs_workload::prelude::{
-    DeadlineMissRate, OfferedVsGoodput, Policy, SloLatencyP99, SloLatencyP999, WorkloadSpec,
+    DeadlineMissRate, DeliveryRatio, OfferedVsGoodput, Policy, RecoveryTimeSlots, RetxOverhead,
+    SloLatencyP99, SloLatencyP999, WorkloadSpec,
 };
 use std::sync::Arc;
 
@@ -993,6 +996,164 @@ pub fn workload_slo_miss(grid: Grid) -> Experiment {
     }
 }
 
+// ------------------------------------------- fault resilience family
+//
+// PR 7's robustness layer: deterministic fault schedules
+// (`fmbs_net::faults`) against the engine's link-layer ARQ. The goodput
+// figure asks what each fault class costs in delivered fraction and
+// what retransmissions cost in airtime; the recovery figure asks how
+// fast a deployment climbs back after a station outage as the
+// retransmission budget grows.
+
+/// The canned fault plan behind the `fault_resilience` figures and the
+/// `repro --fault <kind>` filter: one representative intensity per
+/// fault class, scaled to the quick-grid horizon (400 slots). The spec
+/// seed is picked so the single outage lands mid-run there ([224, 324)
+/// of 400), with a full goodput window of steady state before it — a
+/// window flush against either end of the horizon would leave the
+/// recovery metric without a pre-fault baseline or pin it at its cap,
+/// and the recovery figure would measure nothing.
+pub fn fault_plan(kind: FaultKind) -> FaultSpec {
+    let base = FaultSpec::none().with_seed(10);
+    match kind {
+        FaultKind::Outage => base.with_outages(1, 100),
+        FaultKind::Brownout => base.with_brownouts(2, 150, 0.1),
+        FaultKind::Burst => base.with_bursts(2, 120, 0.05),
+        FaultKind::Reset => base.with_resets(8),
+    }
+}
+
+/// Shared deployment under test: streetlight-harvested tags (so
+/// brownouts actually starve something) with the default ARQ on.
+fn fault_workload(table: &Arc<BerTable>) -> WorkloadSpec {
+    WorkloadSpec::new(
+        NetSpec::new(table.clone())
+            .with_harvest(fmbs_net::prelude::HarvestProfile::Solar(
+                fmbs_core::harvest::Illumination::Streetlight,
+            ))
+            .with_arq(ArqConfig::default()),
+    )
+}
+
+/// Delivery ratio and retransmission overhead versus tag density under
+/// each fault class (ARQ on throughout). `kind` narrows the fault
+/// series — the `repro --fault` path; `None` plots every class.
+pub fn fault_resilience_goodput_for(grid: Grid, kind: Option<FaultKind>) -> Experiment {
+    let table = workload_table(grid);
+    let tags = workload_tags(grid);
+    let kinds: Vec<FaultKind> = kind.map_or_else(|| FaultKind::ALL.to_vec(), |k| vec![k]);
+    let sweep = |metric: &dyn Metric| {
+        SweepBuilder::new(workload_base(grid, ArrivalModel::Poisson))
+            .n_tags(tags.iter().copied())
+            .run(&FastSim, metric)
+            .series(|v| v.scenario.n_tags as f64)
+    };
+
+    let mut series = vec![Series::new(
+        "delivery ratio, no fault",
+        sweep(&DeliveryRatio(fault_workload(&table))),
+    )];
+    for k in &kinds {
+        let mut spec = fault_workload(&table);
+        spec.net.faults = fault_plan(*k);
+        series.push(Series::new(
+            format!("delivery ratio, {}", k.name()),
+            sweep(&DeliveryRatio(spec)),
+        ));
+    }
+    // What reliability costs in airtime: the retransmitted share of
+    // attempts on the clean channel versus the fault class that works
+    // the ARQ hardest (the restricted build mirrors its own kind).
+    series.push(Series::new(
+        "retx overhead, no fault",
+        sweep(&RetxOverhead(fault_workload(&table))),
+    ));
+    let stressor = kind.unwrap_or(FaultKind::Burst);
+    let mut spec = fault_workload(&table);
+    spec.net.faults = fault_plan(stressor);
+    series.push(Series::new(
+        format!("retx overhead, {}", stressor.name()),
+        sweep(&RetxOverhead(spec)),
+    ));
+
+    Experiment {
+        id: "fault_resilience_goodput".into(),
+        title: "Delivery under injected faults vs tag density (ARQ on)".into(),
+        x_label: "deployed tags".into(),
+        y_label: "fraction".into(),
+        series,
+        paper_expectation:
+            "every fault class costs delivered fraction relative to the clean channel — a \
+             station outage silences the deployment outright; retransmissions stay a bounded \
+             share of airtime; sparse clean deployments deliver nearly everything"
+                .into(),
+    }
+}
+
+/// Registry entry point for the goodput figure (all fault classes).
+pub fn fault_resilience_goodput(grid: Grid) -> Experiment {
+    fault_resilience_goodput_for(grid, None)
+}
+
+/// Goodput recovery time after a fault window versus the ARQ
+/// retransmission budget, averaged over a spread of tag densities (a
+/// single cell's recovery is a step function of burst alignment and
+/// far too jumpy to carry a trend). `kind` swaps the injected fault
+/// class (`repro --fault`; default station outage — resets have no
+/// window to recover from and report zero throughout).
+pub fn fault_resilience_recovery_for(grid: Grid, kind: Option<FaultKind>) -> Experiment {
+    let table = workload_table(grid);
+    let kind = kind.unwrap_or(FaultKind::Outage);
+    let budgets: [u32; 4] = [0, 1, 4, 8];
+    let cells: [u32; 10] = [16, 24, 32, 48, 64, 80, 96, 112, 128, 160];
+
+    let mut recovery = Vec::new();
+    let mut overhead = Vec::new();
+    for b in budgets {
+        let (mut r_mean, mut o_mean) = (0.0, 0.0);
+        for n in cells {
+            let mut scenario = workload_base(grid, ArrivalModel::Poisson);
+            scenario.n_tags = n;
+            let mut spec = fault_workload(&table);
+            spec.net.faults = fault_plan(kind);
+            spec.net.arq = Some(ArqConfig {
+                max_retx: b,
+                ..ArqConfig::default()
+            });
+            r_mean += RecoveryTimeSlots::new(spec.clone()).evaluate(&FastSim, &scenario)
+                / cells.len() as f64;
+            o_mean += RetxOverhead(spec).evaluate(&FastSim, &scenario) / cells.len() as f64;
+        }
+        recovery.push((b as f64, r_mean));
+        overhead.push((b as f64, o_mean));
+    }
+
+    Experiment {
+        id: "fault_resilience_recovery".into(),
+        title: format!(
+            "Goodput recovery after {} faults vs retransmission budget (mean over {} densities)",
+            kind.name(),
+            cells.len(),
+        ),
+        x_label: "ARQ retransmission budget (max_retx)".into(),
+        y_label: "slots / fraction".into(),
+        series: vec![
+            Series::new("recovery time (slots)", recovery),
+            Series::new("retx overhead", overhead),
+        ],
+        paper_expectation:
+            "recovery time is finite and falls as the retransmission budget grows — \
+             retransmitted backlog refills the post-fault goodput window faster than fresh \
+             arrivals alone; the airtime spent on retransmissions grows with the budget"
+                .into(),
+    }
+}
+
+/// Registry entry point for the recovery figure (station outage).
+pub fn fault_resilience_recovery(grid: Grid) -> Experiment {
+    fault_resilience_recovery_for(grid, None)
+}
+
 // ------------------------------------------- cross-tier calibration
 //
 // Since PR 2 every swept figure runs on the approximated fast tier, and
@@ -1838,6 +1999,72 @@ fn checks_workload_slo_miss() -> Vec<Expectation> {
     ]
 }
 
+fn checks_fault_resilience_goodput() -> Vec<Expectation> {
+    vec![
+        // Every series is a fraction (of offered packets / of attempts).
+        Expectation::WithinBand {
+            series: Select::All,
+            axis: Axis::Y,
+            min: 0.0,
+            max: 1.0,
+        },
+        // "a station outage costs delivered fraction", point for point.
+        Expectation::SeriesBelow {
+            below: Select::Label("delivery ratio, outage"),
+            above: Select::Label("delivery ratio, no fault"),
+            axis: Axis::Y,
+            slack: 1e-9,
+        },
+        // "sparse clean deployments deliver nearly everything".
+        Expectation::ThresholdAt {
+            series: Select::Label("delivery ratio, no fault"),
+            x: 4.0,
+            min_y: Some(0.7),
+            max_y: None,
+        },
+        // "delivered fraction falls as demand outgrows capacity".
+        Expectation::MonotoneIn {
+            series: Select::Label("delivery ratio, no fault"),
+            dir: Dir::Decreasing,
+            slack: 0.05,
+        },
+    ]
+}
+
+fn checks_fault_resilience_recovery() -> Vec<Expectation> {
+    vec![
+        // The acceptance bar: recovery time is monotone nonincreasing in
+        // the retransmission budget on the quick grid (the density-mean
+        // is strictly decreasing there; one slot of slack absorbs
+        // threshold-crossing jitter).
+        Expectation::MonotoneIn {
+            series: Select::Label("recovery time (slots)"),
+            dir: Dir::Decreasing,
+            slack: 1.0,
+        },
+        // Finite and capped by the quick-grid horizon.
+        Expectation::WithinBand {
+            series: Select::Label("recovery time (slots)"),
+            axis: Axis::Y,
+            min: 0.0,
+            max: 400.0,
+        },
+        // "the airtime spent on retransmissions grows with the budget".
+        Expectation::MonotoneIn {
+            series: Select::Label("retx overhead"),
+            dir: Dir::Increasing,
+            slack: 0.02,
+        },
+        // A zero budget cannot retransmit at all.
+        Expectation::ThresholdAt {
+            series: Select::Label("retx overhead"),
+            x: 0.0,
+            min_y: None,
+            max_y: Some(1e-9),
+        },
+    ]
+}
+
 fn checks_calibration_ber() -> Vec<Expectation> {
     vec![
         // The headline: per-cell tier disagreement stays under the
@@ -2076,6 +2303,18 @@ pub const REGISTRY: &[ExperimentSpec] = &[
         checks: checks_workload_slo_miss,
     },
     ExperimentSpec {
+        id: "fault_resilience_goodput",
+        build: fault_resilience_goodput,
+        tiered: None,
+        checks: checks_fault_resilience_goodput,
+    },
+    ExperimentSpec {
+        id: "fault_resilience_recovery",
+        build: fault_resilience_recovery,
+        tiered: None,
+        checks: checks_fault_resilience_recovery,
+    },
+    ExperimentSpec {
         id: "calibration_ber",
         build: calibration_ber,
         tiered: None,
@@ -2110,6 +2349,16 @@ pub fn physical_capable_ids() -> Vec<&'static str> {
 /// never diverge).
 pub fn suggest_tiers(unknown: &str) -> Vec<&'static str> {
     suggest_near(unknown, Tier::ALL.iter().map(|t| t.name()), Tier::ALL.len())
+}
+
+/// Near-miss suggestions for an unknown `--fault` kind, closest first
+/// (same scoring as [`suggest_ids`] and [`suggest_tiers`]).
+pub fn suggest_faults(unknown: &str) -> Vec<&'static str> {
+    suggest_near(
+        unknown,
+        FaultKind::ALL.iter().map(|k| k.name()),
+        FaultKind::ALL.len(),
+    )
 }
 
 /// Looks a registry entry up by id (accepting the `fig17` alias the
@@ -2214,10 +2463,10 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_resolvable() {
         let mut ids: Vec<&str> = REGISTRY.iter().map(|s| s.id).collect();
-        assert_eq!(ids.len(), 27);
+        assert_eq!(ids.len(), 29);
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 27, "duplicate registry id");
+        assert_eq!(ids.len(), 29, "duplicate registry id");
         assert!(by_id("nope", Grid::Quick).is_none());
     }
 
@@ -2235,9 +2484,38 @@ mod tests {
             "network_capacity",
             "workload_slo_latency",
             "workload_slo_miss",
+            "fault_resilience_goodput",
+            "fault_resilience_recovery",
             "calibration_ber",
         ] {
             assert!(!ids.contains(&id), "{id} should not be tier-selectable");
+        }
+    }
+
+    #[test]
+    fn suggest_faults_finds_near_misses() {
+        assert_eq!(suggest_faults("outge"), vec!["outage"]);
+        assert_eq!(suggest_faults("brownouts"), vec!["brownout"]);
+        assert!(suggest_faults("meteor-strike").is_empty());
+    }
+
+    #[test]
+    fn fault_plans_cover_every_kind_and_only_their_own() {
+        for kind in FaultKind::ALL {
+            let plan = fault_plan(kind);
+            assert!(!plan.is_none(), "{} plan injects nothing", kind.name());
+            // The plan for one class must not smuggle another in: its
+            // schedule has windows (or resets) only for its own kind.
+            let sched = plan.schedule(400, 64);
+            let populated = [
+                (FaultKind::Outage, !sched.outages.is_empty()),
+                (FaultKind::Brownout, !sched.brownouts.is_empty()),
+                (FaultKind::Burst, !sched.bursts.is_empty()),
+                (FaultKind::Reset, !sched.resets.is_empty()),
+            ];
+            for (k, has) in populated {
+                assert_eq!(has, k == kind, "{:?} plan vs {:?} windows", kind, k);
+            }
         }
     }
 

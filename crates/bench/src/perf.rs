@@ -251,6 +251,66 @@ pub fn record_net_workload(
     append_net(path, measure_net_workload(label, samples))
 }
 
+/// Label suffix marking the fault-injection records (full fault plan +
+/// ARQ over the saturated run) inside the shared `BENCH_net.json`
+/// series — same label-only population split as
+/// [`WORKLOAD_LABEL_SUFFIX`].
+pub const FAULTS_LABEL_SUFFIX: &str = "+faults";
+
+/// Whether a net-series record belongs to the fault-injection
+/// population.
+pub fn is_faults_label(label: &str) -> bool {
+    label.ends_with(FAULTS_LABEL_SUFFIX)
+}
+
+/// Measures the fault-injection acceptance-bar run — the saturated
+/// 10,000 tags × 1,000 slots with every fault class active and the
+/// default ARQ on, so the fault bookkeeping and retransmission paths
+/// are all on the timed hot path.
+pub fn measure_net_faults(label: &str, samples: usize) -> NetPerfRecord {
+    use fmbs_core::sim::fast::FastSim as Fast;
+    use fmbs_net::prelude::{
+        ArqConfig, BerTable, BerTableSpec, FaultSpec, NetworkConfig, NetworkSim,
+    };
+    let (n_tags, n_slots) = (10_000usize, 1_000u64);
+    let table = std::sync::Arc::new(BerTable::calibrate(&Fast, &BerTableSpec::quick()));
+    let mut cfg = NetworkConfig::new(n_tags, n_slots);
+    cfg.arq = Some(ArqConfig::default());
+    cfg.faults = FaultSpec::none()
+        .with_outages(1, 120)
+        .with_brownouts(2, 150, 0.25)
+        .with_bursts(2, 80, 0.03)
+        .with_resets(64);
+    let sim = NetworkSim::new(cfg, table);
+    let mut best = f64::INFINITY;
+    let mut delivered = 0;
+    for _ in 0..samples.max(1) {
+        let t = Instant::now();
+        let run = sim.run();
+        best = best.min(t.elapsed().as_secs_f64());
+        delivered = run.stats.delivered;
+        debug_assert!(run.stats.queue_conserved(), "{:?}", run.stats);
+    }
+    NetPerfRecord {
+        unix_time: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        label: format!("{label}{FAULTS_LABEL_SUFFIX}"),
+        n_tags,
+        n_slots,
+        elapsed_s: best,
+        tag_slots_per_sec: n_tags as f64 * n_slots as f64 / best,
+        delivered,
+    }
+}
+
+/// Measures the fault-injection run and appends to the shared net
+/// series file.
+pub fn record_net_faults(path: &str, label: &str, samples: usize) -> Result<NetPerfRecord, String> {
+    append_net(path, measure_net_faults(label, samples))
+}
+
 fn append_net(path: &str, rec: NetPerfRecord) -> Result<NetPerfRecord, String> {
     let mut series: NetPerfSeries = if std::path::Path::new(path).exists() {
         let text =
@@ -348,9 +408,10 @@ pub fn last_sweep_record(path: &str) -> Result<PerfRecord, String> {
         .ok_or_else(|| format!("{path} has no records"))
 }
 
-/// Reads the last *saturated* record of the network series at `path`
-/// (workload records share the file but are a separate population —
-/// see [`WORKLOAD_LABEL_SUFFIX`]; same read-before-append caveat as
+/// Reads the last *saturated clean* record of the network series at
+/// `path` (workload and fault-injection records share the file but are
+/// separate populations — see [`WORKLOAD_LABEL_SUFFIX`] /
+/// [`FAULTS_LABEL_SUFFIX`]; same read-before-append caveat as
 /// [`last_sweep_record`]).
 pub fn last_net_record(path: &str) -> Result<NetPerfRecord, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read baseline {path}: {e}"))?;
@@ -360,7 +421,7 @@ pub fn last_net_record(path: &str) -> Result<NetPerfRecord, String> {
         .series
         .iter()
         .rev()
-        .find(|r| !is_workload_label(&r.label))
+        .find(|r| !is_workload_label(&r.label) && !is_faults_label(&r.label))
         .cloned()
         .ok_or_else(|| format!("{path} has no saturated network records"))
 }
@@ -377,6 +438,22 @@ pub fn last_net_workload_record(path: &str) -> Result<Option<NetPerfRecord>, Str
         .iter()
         .rev()
         .find(|r| is_workload_label(&r.label))
+        .cloned())
+}
+
+/// Reads the last *fault-injection* record of the network series at
+/// `path`. `Ok(None)` means the file parses but no faults record exists
+/// yet (the population is new); callers seed the series instead of
+/// gating.
+pub fn last_net_faults_record(path: &str) -> Result<Option<NetPerfRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read baseline {path}: {e}"))?;
+    let series: NetPerfSeries = serde_json::from_str(&text)
+        .map_err(|e| format!("{path} is not a net perf series: {e:?}"))?;
+    Ok(series
+        .series
+        .iter()
+        .rev()
+        .find(|r| is_faults_label(&r.label))
         .cloned())
 }
 
@@ -413,6 +490,22 @@ pub fn gate_net_workload(
 ) -> GateOutcome {
     compare(
         "workload tag-slots/s",
+        measured.tag_slots_per_sec,
+        &baseline.label,
+        baseline.tag_slots_per_sec,
+        max_drop,
+    )
+}
+
+/// Gates a fresh fault-injection measurement against a faults baseline
+/// record.
+pub fn gate_net_faults(
+    baseline: &NetPerfRecord,
+    measured: &NetPerfRecord,
+    max_drop: f64,
+) -> GateOutcome {
+    compare(
+        "faults tag-slots/s",
         measured.tag_slots_per_sec,
         &baseline.label,
         baseline.tag_slots_per_sec,
@@ -514,7 +607,12 @@ mod tests {
         // Mixed series: each lookup finds its own population's last
         // record, not the file's last record.
         let series = NetPerfSeries {
-            series: vec![mk("old", 1.0), mk("ci+workload", 3.0), mk("new", 2.0)],
+            series: vec![
+                mk("old", 1.0),
+                mk("ci+workload", 3.0),
+                mk("new", 2.0),
+                mk("ci+faults", 4.0),
+            ],
         };
         std::fs::write(path, serde_json::to_string_pretty(&series).unwrap()).unwrap();
         assert_eq!(last_net_record(path).unwrap().label, "new");
@@ -522,8 +620,14 @@ mod tests {
             last_net_workload_record(path).unwrap().unwrap().label,
             "ci+workload"
         );
+        assert_eq!(
+            last_net_faults_record(path).unwrap().unwrap().label,
+            "ci+faults"
+        );
         assert!(is_workload_label("ci+workload"));
         assert!(!is_workload_label("ci"));
+        assert!(is_faults_label("ci+faults"));
+        assert!(!is_faults_label("ci+workload"));
         let _ = std::fs::remove_file(path);
     }
 

@@ -1,0 +1,501 @@
+//! Deterministic fault injection for the network tier.
+//!
+//! A [`FaultSpec`] is a *seeded generator* of fault schedules, the same
+//! discipline as [`crate::engine::Traffic::Trace`]: the spec draws every
+//! window placement from its own private RNG stream (never a tag's), so
+//! same-seed schedules are bit-identical and a zero-count spec produces
+//! an empty schedule the engine cannot distinguish from no spec at all.
+//!
+//! Four fault classes model the ways an ambient-backscatter city
+//! deployment degrades:
+//!
+//! * **Station outages** — the host FM station goes dark for a window.
+//!   Every tag rides the one host carrier
+//!   ([`crate::engine::NetworkConfig::host`]), so during the window no
+//!   packet can be backscattered, and tags on
+//!   [`crate::deploy::HarvestProfile::RfAmbient`] also stop harvesting.
+//! * **Harvest brownouts** — `harvest_uw` is scaled by
+//!   [`FaultSpec::brownout_scale`] inside the window (streetlight
+//!   failure, overcast solar, a sagging rectifier).
+//! * **Interference bursts** — the raw BER every attempt sees (the
+//!   [`crate::link::BerTable`] lookup made at deployment time) is
+//!   elevated by [`FaultSpec::burst_ber`] inside the window before the
+//!   packet-survival curve is applied.
+//! * **Tag resets** — a single tag's volatile state (FIFO queue,
+//!   backoff exponent, ARQ counters) is wiped at a slot; arrived but
+//!   undelivered packets count as abandoned.
+//!
+//! The engine consumes the generated [`FaultSchedule`]; the spec itself
+//! never touches engine state.
+
+use crate::engine::{Outcome, TraceEvent};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One injectable fault class (the `repro --fault` axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Host FM station dark: no carrier to backscatter, no RF harvest.
+    Outage,
+    /// Windowed scaling of every tag's harvested power.
+    Brownout,
+    /// Windowed raw-BER elevation on every link.
+    Burst,
+    /// Single-tag state wipe (queue, backoff, ARQ counters).
+    Reset,
+}
+
+impl FaultKind {
+    /// Every kind, in the order schedules are generated.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::Outage,
+        FaultKind::Brownout,
+        FaultKind::Burst,
+        FaultKind::Reset,
+    ];
+
+    /// The CLI-facing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Outage => "outage",
+            FaultKind::Brownout => "brownout",
+            FaultKind::Burst => "burst",
+            FaultKind::Reset => "reset",
+        }
+    }
+
+    /// Parses a CLI-facing name.
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// A seeded, reproducible fault plan. Counts of zero (the default)
+/// generate an empty schedule — the engine's zero-fault paths are then
+/// bit-identical to a run with no spec at all.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Seed of the spec's private RNG stream (independent of run seed).
+    pub seed: u64,
+    /// Number of station-outage windows.
+    pub outages: u32,
+    /// Length of each outage window in slots.
+    pub outage_slots: u32,
+    /// Number of harvest-brownout windows.
+    pub brownouts: u32,
+    /// Length of each brownout window in slots.
+    pub brownout_slots: u32,
+    /// Harvest multiplier inside a brownout window (0 = total loss).
+    pub brownout_scale: f64,
+    /// Number of interference-burst windows.
+    pub bursts: u32,
+    /// Length of each burst window in slots.
+    pub burst_slots: u32,
+    /// Raw-BER elevation added inside a burst window.
+    pub burst_ber: f64,
+    /// Number of single-tag reset events.
+    pub resets: u32,
+}
+
+impl FaultSpec {
+    /// The fault-free spec: every count zero.
+    pub fn none() -> Self {
+        FaultSpec {
+            seed: 0xFA17,
+            outages: 0,
+            outage_slots: 120,
+            brownouts: 0,
+            brownout_slots: 150,
+            brownout_scale: 0.25,
+            bursts: 0,
+            burst_slots: 80,
+            burst_ber: 0.03,
+            resets: 0,
+        }
+    }
+
+    /// Whether this spec injects nothing (all counts zero).
+    pub fn is_none(&self) -> bool {
+        self.outages == 0 && self.brownouts == 0 && self.bursts == 0 && self.resets == 0
+    }
+
+    /// Replaces the spec seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adds `n` station-outage windows of `slots` slots each.
+    pub fn with_outages(mut self, n: u32, slots: u32) -> Self {
+        self.outages = n;
+        self.outage_slots = slots;
+        self
+    }
+
+    /// Adds `n` brownout windows of `slots` slots at `scale` harvest.
+    pub fn with_brownouts(mut self, n: u32, slots: u32, scale: f64) -> Self {
+        self.brownouts = n;
+        self.brownout_slots = slots;
+        self.brownout_scale = scale;
+        self
+    }
+
+    /// Adds `n` interference bursts of `slots` slots at `+ber` raw BER.
+    pub fn with_bursts(mut self, n: u32, slots: u32, ber: f64) -> Self {
+        self.bursts = n;
+        self.burst_slots = slots;
+        self.burst_ber = ber;
+        self
+    }
+
+    /// Adds `n` single-tag reset events.
+    pub fn with_resets(mut self, n: u32) -> Self {
+        self.resets = n;
+        self
+    }
+
+    /// Generates the schedule for a horizon of `n_slots` over `n_tags`.
+    ///
+    /// Placement draws come from the spec's own RNG stream in a fixed
+    /// order (outages, brownouts, bursts, resets), so the schedule is a
+    /// pure function of `(self, n_slots, n_tags)` — property-tested for
+    /// same-seed bit-identity. Windows are clamped inside the horizon.
+    pub fn schedule(&self, n_slots: u64, n_tags: usize) -> FaultSchedule {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (0xFA17 << 32));
+        let mut windows = |count: u32, len: u32| -> Vec<Window> {
+            if n_slots == 0 || len == 0 {
+                return Vec::new();
+            }
+            let len = (len as u64).min(n_slots);
+            let mut v: Vec<Window> = (0..count)
+                .map(|_| {
+                    let start = rng.gen_range(0..=n_slots - len);
+                    Window {
+                        start,
+                        end: start + len,
+                    }
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let outages = windows(self.outages, self.outage_slots);
+        let brownouts = windows(self.brownouts, self.brownout_slots);
+        let bursts = windows(self.bursts, self.burst_slots);
+        let mut resets: Vec<(u64, u32)> = if n_slots == 0 || n_tags == 0 {
+            Vec::new()
+        } else {
+            (0..self.resets)
+                .map(|_| (rng.gen_range(0..n_slots), rng.gen_range(0..n_tags) as u32))
+                .collect()
+        };
+        resets.sort_unstable();
+        FaultSchedule {
+            outages,
+            brownouts,
+            bursts,
+            resets,
+            brownout_scale: self.brownout_scale,
+            burst_ber: self.burst_ber,
+        }
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec::none()
+    }
+}
+
+/// A half-open slot interval `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Window {
+    /// First slot inside the window.
+    pub start: u64,
+    /// First slot after the window.
+    pub end: u64,
+}
+
+impl Window {
+    /// Whether `slot` falls inside the window.
+    pub fn contains(&self, slot: u64) -> bool {
+        self.start <= slot && slot < self.end
+    }
+}
+
+/// A concrete fault plan the engine replays: sorted windows per class
+/// plus sorted `(slot, tag)` reset events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    /// Station-outage windows, ascending.
+    pub outages: Vec<Window>,
+    /// Harvest-brownout windows, ascending.
+    pub brownouts: Vec<Window>,
+    /// Interference-burst windows, ascending.
+    pub bursts: Vec<Window>,
+    /// Tag resets as `(slot, tag)`, ascending.
+    pub resets: Vec<(u64, u32)>,
+    /// Harvest multiplier inside brownout windows.
+    pub brownout_scale: f64,
+    /// Raw-BER elevation inside burst windows.
+    pub burst_ber: f64,
+}
+
+impl FaultSchedule {
+    /// Whether the schedule injects nothing. The engine takes its
+    /// pre-fault code paths (bit-identical draw order) when this holds.
+    pub fn is_empty(&self) -> bool {
+        self.outages.is_empty()
+            && self.brownouts.is_empty()
+            && self.bursts.is_empty()
+            && self.resets.is_empty()
+    }
+
+    /// Whether the host station is dark in `slot`.
+    pub fn outage_at(&self, slot: u64) -> bool {
+        self.outages.iter().any(|w| w.contains(slot))
+    }
+
+    /// Whether harvest is browned out in `slot`.
+    pub fn brownout_at(&self, slot: u64) -> bool {
+        self.brownouts.iter().any(|w| w.contains(slot))
+    }
+
+    /// Whether interference is elevated in `slot`.
+    pub fn burst_at(&self, slot: u64) -> bool {
+        self.bursts.iter().any(|w| w.contains(slot))
+    }
+
+    /// The hull of every *windowed* fault (outages, brownouts, bursts):
+    /// earliest start to latest end. `None` when only resets (or
+    /// nothing) are scheduled — resets are points, not windows.
+    pub fn span(&self) -> Option<Window> {
+        let all = self
+            .outages
+            .iter()
+            .chain(&self.brownouts)
+            .chain(&self.bursts);
+        let (mut start, mut end) = (u64::MAX, 0u64);
+        for w in all {
+            start = start.min(w.start);
+            end = end.max(w.end);
+        }
+        (start < end).then_some(Window { start, end })
+    }
+
+    /// Harvest-weighted slot count over `[from, to)`: each slot
+    /// contributes its harvest factor (0 inside an outage when the tag
+    /// harvests RF, `brownout_scale` inside a brownout, 1 otherwise).
+    /// Piecewise-constant, so the walk visits each distinct segment
+    /// once in ascending order — deterministic float summation.
+    pub fn effective_slots(&self, from: u64, to: u64, rf_harvest: bool) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        if self.brownouts.is_empty() && (self.outages.is_empty() || !rf_harvest) {
+            return (to - from) as f64;
+        }
+        let mut cuts: Vec<u64> = vec![from, to];
+        for w in self.outages.iter().chain(&self.brownouts) {
+            for b in [w.start, w.end] {
+                if from < b && b < to {
+                    cuts.push(b);
+                }
+            }
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut sum = 0.0;
+        for seg in cuts.windows(2) {
+            let factor = if rf_harvest && self.outage_at(seg[0]) {
+                0.0
+            } else if self.brownout_at(seg[0]) {
+                self.brownout_scale
+            } else {
+                1.0
+            };
+            sum += (seg[1] - seg[0]) as f64 * factor;
+        }
+        sum
+    }
+}
+
+/// Slots after `fault_end` until goodput first returns to within
+/// `frac` (e.g. 0.9) of its pre-fault level, capped at the horizon.
+///
+/// Goodput is deliveries per slot over a trailing `window`: the
+/// pre-fault level is measured over the `window` slots ending at
+/// `fault_start`, and recovery is the first slot `s >= fault_end` whose
+/// window `[s, s + window)` reaches `frac` times that level. A run that
+/// never recovers inside the horizon reports `horizon - fault_end` —
+/// finite by construction, so expectation checks can band it.
+pub fn recovery_time_slots(
+    trace: &[TraceEvent],
+    fault_start: u64,
+    fault_end: u64,
+    window: u64,
+    horizon: u64,
+    frac: f64,
+) -> u64 {
+    if fault_end >= horizon {
+        return 0;
+    }
+    let window = window.max(1);
+    // Prefix sums of deliveries: delivered in [a, b) = pre[b] - pre[a].
+    let mut pre = vec![0u64; horizon as usize + 1];
+    for e in trace {
+        if e.outcome == Outcome::Delivered && e.slot < horizon {
+            pre[e.slot as usize + 1] += 1;
+        }
+    }
+    for i in 0..horizon as usize {
+        pre[i + 1] += pre[i];
+    }
+    let count = |a: u64, b: u64| pre[b.min(horizon) as usize] - pre[a.min(horizon) as usize];
+    let pre_from = fault_start.saturating_sub(window);
+    let pre_len = fault_start - pre_from;
+    if pre_len == 0 {
+        return 0; // no pre-fault baseline: nothing to recover to
+    }
+    let pre_rate = count(pre_from, fault_start) as f64 / pre_len as f64;
+    if pre_rate <= 0.0 {
+        return 0;
+    }
+    let target = frac * pre_rate;
+    let mut s = fault_end;
+    while s + window <= horizon {
+        let rate = count(s, s + window) as f64 / window as f64;
+        if rate >= target {
+            return s - fault_end;
+        }
+        s += 1;
+    }
+    horizon - fault_end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_count_spec_generates_an_empty_schedule() {
+        for seed in [0u64, 1, 0xFA17, u64::MAX] {
+            let sched = FaultSpec::none().with_seed(seed).schedule(10_000, 64);
+            assert!(sched.is_empty(), "seed {seed}: {sched:?}");
+            assert_eq!(sched.span(), None);
+            assert_eq!(sched.effective_slots(0, 100, true), 100.0);
+        }
+    }
+
+    #[test]
+    fn same_seed_schedules_are_bit_identical() {
+        let spec = FaultSpec::none()
+            .with_outages(2, 120)
+            .with_brownouts(1, 200, 0.3)
+            .with_bursts(3, 50, 0.02)
+            .with_resets(5);
+        let a = spec.schedule(5_000, 100);
+        let b = spec.schedule(5_000, 100);
+        assert_eq!(a, b);
+        let c = spec.clone().with_seed(spec.seed ^ 1).schedule(5_000, 100);
+        assert_ne!(a, c, "different fault seed must move the windows");
+    }
+
+    #[test]
+    fn windows_are_sorted_clamped_and_queryable() {
+        let spec = FaultSpec::none().with_outages(8, 300).with_resets(16);
+        let sched = spec.schedule(1_000, 10);
+        assert!(sched.outages.windows(2).all(|w| w[0] <= w[1]));
+        assert!(sched
+            .outages
+            .iter()
+            .all(|w| w.end <= 1_000 && w.start < w.end));
+        assert!(sched.resets.windows(2).all(|w| w[0] <= w[1]));
+        assert!(sched.resets.iter().all(|&(s, t)| s < 1_000 && t < 10));
+        let span = sched.span().expect("windows exist");
+        assert!(sched
+            .outages
+            .iter()
+            .all(|w| span.start <= w.start && w.end <= span.end));
+        // A lone window's edges are crisp (overlap-free by design).
+        let one = FaultSpec::none().with_outages(1, 100).schedule(1_000, 10);
+        let w = one.outages[0];
+        assert!(one.outage_at(w.start) && one.outage_at(w.end - 1));
+        assert!(!one.outage_at(w.end) && !one.outage_at(w.start.wrapping_sub(1)));
+    }
+
+    #[test]
+    fn windows_longer_than_the_horizon_are_clamped() {
+        let sched = FaultSpec::none().with_outages(1, 10_000).schedule(50, 4);
+        assert_eq!(sched.outages, vec![Window { start: 0, end: 50 }]);
+        // Degenerate horizons generate nothing rather than panicking.
+        assert!(FaultSpec::none()
+            .with_outages(1, 10)
+            .schedule(0, 4)
+            .is_empty());
+        assert!(FaultSpec::none().with_resets(3).schedule(10, 0).is_empty());
+    }
+
+    #[test]
+    fn effective_slots_integrates_the_harvest_factors() {
+        let sched = FaultSchedule {
+            outages: vec![Window { start: 10, end: 20 }],
+            brownouts: vec![Window { start: 15, end: 40 }],
+            bursts: Vec::new(),
+            resets: Vec::new(),
+            brownout_scale: 0.5,
+            burst_ber: 0.0,
+        };
+        // RF harvest: slots 0-9 full, 10-19 outage (0), 20-39 brownout
+        // (0.5), 40-49 full.
+        assert!((sched.effective_slots(0, 50, true) - (10.0 + 0.0 + 10.0 + 10.0)).abs() < 1e-12);
+        // Non-RF harvest ignores the outage but not the brownout:
+        // 0-14 full, 15-39 at 0.5, 40-49 full.
+        assert!((sched.effective_slots(0, 50, false) - (15.0 + 12.5 + 10.0)).abs() < 1e-12);
+        assert_eq!(sched.effective_slots(7, 7, true), 0.0);
+        // Interval fully inside the outage.
+        assert_eq!(sched.effective_slots(12, 15, true), 0.0);
+    }
+
+    #[test]
+    fn fault_kinds_round_trip_their_names() {
+        for k in FaultKind::ALL {
+            assert_eq!(FaultKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(FaultKind::parse("warpcore"), None);
+    }
+
+    fn delivered_at(slots: &[u64]) -> Vec<TraceEvent> {
+        slots
+            .iter()
+            .map(|&slot| TraceEvent {
+                slot,
+                tag: 0,
+                channel: 0,
+                outcome: Outcome::Delivered,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovery_time_finds_the_first_recovered_window() {
+        // One delivery per slot before the fault, silence during
+        // [40, 60), one per slot again from slot 70.
+        let mut slots: Vec<u64> = (0..40).collect();
+        slots.extend(70..100);
+        let trace = delivered_at(&slots);
+        let t = recovery_time_slots(&trace, 40, 60, 10, 100, 0.9);
+        // Window [69, 79) already holds 9 deliveries — exactly 90% of
+        // the pre-fault rate, so recovery lands one slot before the
+        // full-rate window at 70.
+        assert_eq!(t, 9);
+        // A run that never recovers caps at the horizon.
+        let dead = delivered_at(&(0..40).collect::<Vec<_>>());
+        assert_eq!(recovery_time_slots(&dead, 40, 60, 10, 100, 0.9), 40);
+        // No pre-fault baseline: nothing to recover to.
+        assert_eq!(recovery_time_slots(&trace, 0, 10, 10, 100, 0.9), 0);
+        // Fault reaching the horizon: recovery is vacuous.
+        assert_eq!(recovery_time_slots(&trace, 90, 100, 10, 100, 0.9), 0);
+    }
+}

@@ -23,6 +23,11 @@
 //!   figures) or serve per-tag FIFO arrival queues
 //!   ([`engine::Traffic::Trace`], fed by the `fmbs-workload` crate)
 //!   with sojourn and deadline accounting.
+//! * [`faults`] — deterministic fault injection: seeded schedules of
+//!   station outages, harvest brownouts, interference bursts and tag
+//!   resets ([`faults::FaultSpec`]); paired with the engine's
+//!   link-layer ARQ ([`engine::ArqConfig`]) for resilience studies.
+//!   A zero-count spec is bit-identical to no spec at all.
 //! * [`metrics`] — network [`fmbs_core::sim::metric::Metric`]s
 //!   (goodput, collision rate, Jain fairness, latency percentiles) that
 //!   plug straight into [`fmbs_core::sim::sweep::SweepBuilder`], making
@@ -55,6 +60,7 @@
 
 pub mod deploy;
 pub mod engine;
+pub mod faults;
 pub mod link;
 pub mod metrics;
 
@@ -62,9 +68,10 @@ pub mod metrics;
 pub mod prelude {
     pub use crate::deploy::{city_occupancy, Deployment, HarvestProfile, TagSite};
     pub use crate::engine::{
-        Arrival, ArrivalTrace, Event, EventQueue, NetRun, NetStats, NetworkConfig, NetworkSim,
-        Outcome, TraceEvent, Traffic,
+        ArqConfig, Arrival, ArrivalTrace, Event, EventQueue, NetRun, NetStats, NetworkConfig,
+        NetworkSim, Outcome, TraceEvent, Traffic,
     };
+    pub use crate::faults::{recovery_time_slots, FaultKind, FaultSchedule, FaultSpec, Window};
     pub use crate::link::{BerTable, BerTableSpec, TableDelta, TableDeltaCell};
     pub use crate::metrics::{NetCollisionRate, NetFairness, NetGoodput, NetLatency, NetSpec};
 }

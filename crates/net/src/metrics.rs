@@ -14,7 +14,8 @@
 //! abstraction.
 
 use crate::deploy::HarvestProfile;
-use crate::engine::{NetStats, NetworkConfig, NetworkSim};
+use crate::engine::{ArqConfig, NetRun, NetStats, NetworkConfig, NetworkSim};
+use crate::faults::FaultSpec;
 use crate::link::{BerTable, PacketModel};
 use fmbs_core::sim::metric::Metric;
 use fmbs_core::sim::scenario::Scenario;
@@ -33,6 +34,11 @@ pub struct NetSpec {
     pub packet_bits: u32,
     /// Per-tag energy storage in µJ.
     pub storage_uj: f64,
+    /// Deterministic fault plan every run inherits (zero-count — and
+    /// therefore invisible — by default).
+    pub faults: FaultSpec,
+    /// Link-layer ARQ; `None` keeps the fire-and-forget MAC.
+    pub arq: Option<ArqConfig>,
     /// The frame-survival curve for `packet_bits` — measured once per
     /// spec (see [`PacketModel::for_frame`]) so a sweep's grid points
     /// share one FEC Monte-Carlo instead of re-running it per point.
@@ -48,6 +54,8 @@ impl NetSpec {
             harvest: HarvestProfile::Mains,
             packet_bits,
             storage_uj: 40.0,
+            faults: FaultSpec::none(),
+            arq: None,
             packets: Arc::new(PacketModel::for_frame(packet_bits, true)),
         }
     }
@@ -55,6 +63,18 @@ impl NetSpec {
     /// Replaces the harvest profile.
     pub fn with_harvest(mut self, harvest: HarvestProfile) -> Self {
         self.harvest = harvest;
+        self
+    }
+
+    /// Replaces the fault plan.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Switches the link-layer ARQ on.
+    pub fn with_arq(mut self, arq: ArqConfig) -> Self {
+        self.arq = Some(arq);
         self
     }
 
@@ -73,15 +93,22 @@ impl NetSpec {
         cfg.harvest = self.harvest;
         cfg.packet_bits = self.packet_bits;
         cfg.storage_uj = self.storage_uj;
+        cfg.faults = self.faults.clone();
+        cfg.arq = self.arq.clone();
         cfg
     }
 
     /// Runs an explicit config over the spec's shared link table and
     /// packet model.
     pub fn run_config(&self, cfg: NetworkConfig) -> NetStats {
-        NetworkSim::with_packet_model(cfg, self.table.clone(), self.packets.clone())
-            .run()
-            .stats
+        self.run_config_full(cfg).stats
+    }
+
+    /// Like [`NetSpec::run_config`] but returns the full [`NetRun`] —
+    /// the form resilience metrics use, since recovery time is computed
+    /// over the per-attempt trace.
+    pub fn run_config_full(&self, cfg: NetworkConfig) -> NetRun {
+        NetworkSim::with_packet_model(cfg, self.table.clone(), self.packets.clone()).run()
     }
 
     /// Runs the deployment the scenario describes and returns its

@@ -19,6 +19,10 @@
 //!   and `OfferedVsGoodput` as ordinary
 //!   [`fmbs_core::sim::metric::Metric`]s, so the traffic axes sweep
 //!   like any other axis with parallel == serial bit-identity.
+//! * [`resilience`] — fault-facing metrics over the same runs:
+//!   `DeliveryRatio`, `RetxOverhead` and `RecoveryTimeSlots` measure
+//!   how a deployment degrades and recovers under the fault plans of
+//!   [`fmbs_net::faults`] with the engine's link-layer ARQ.
 //!
 //! ```
 //! use fmbs_audio::program::ProgramKind;
@@ -48,6 +52,7 @@ pub mod arrivals;
 pub mod metrics;
 pub mod policy;
 pub mod profile;
+pub mod resilience;
 
 /// Convenience re-exports covering the main API surface.
 pub mod prelude {
@@ -58,4 +63,5 @@ pub mod prelude {
     };
     pub use crate::policy::{Admitted, Policy};
     pub use crate::profile::{shape_of, MessageShape};
+    pub use crate::resilience::{DeliveryRatio, RecoveryTimeSlots, RetxOverhead};
 }

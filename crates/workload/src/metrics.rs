@@ -101,13 +101,30 @@ impl WorkloadSpec {
     /// denominators are all zero and the network statistics carry the
     /// result.
     pub fn run(&self, scenario: &Scenario) -> WorkloadStats {
+        self.run_traced(scenario, false).0
+    }
+
+    /// Like [`WorkloadSpec::run`] but optionally records and returns
+    /// the engine's per-attempt trace — the resilience metrics need it
+    /// to measure goodput recovery around a fault window. `run` is this
+    /// with recording off (an empty trace costs nothing).
+    pub fn run_traced(
+        &self,
+        scenario: &Scenario,
+        record_trace: bool,
+    ) -> (WorkloadStats, Vec<fmbs_net::engine::TraceEvent>) {
         let mut cfg = self.net.config(scenario);
+        cfg.record_trace = record_trace;
         if scenario.arrival_model == ArrivalModel::Saturated {
-            return WorkloadStats {
-                net: self.net.run_config(cfg),
-                offered_raw: 0,
-                admission_shed: 0,
-            };
+            let run = self.net.run_config_full(cfg);
+            return (
+                WorkloadStats {
+                    net: run.stats,
+                    offered_raw: 0,
+                    admission_shed: 0,
+                },
+                run.trace,
+            );
         }
         let trace = TraceSpec::from_scenario(scenario, cfg.slot_secs()).generate();
         let Admitted {
@@ -118,11 +135,15 @@ impl WorkloadSpec {
         } = self.policy.apply(trace);
         cfg.traffic = Traffic::Trace(Arc::new(trace));
         cfg.drop_expired = drop_expired;
-        WorkloadStats {
-            net: self.net.run_config(cfg),
-            offered_raw,
-            admission_shed,
-        }
+        let run = self.net.run_config_full(cfg);
+        (
+            WorkloadStats {
+                net: run.stats,
+                offered_raw,
+                admission_shed,
+            },
+            run.trace,
+        )
     }
 }
 

@@ -112,6 +112,67 @@ fn repro_unknown_id_with_tier_still_suggests() {
     assert!(stderr.contains("fig8a"), "{stderr}");
 }
 
+/// `repro --fault` with a misspelled fault kind exits 2 with a
+/// near-miss suggestion and the known-kind list — not a panic, not a
+/// silent fault-free run.
+#[test]
+fn repro_unknown_fault_exits_2_with_suggestion() {
+    let (code, stderr) = run_repro(&["--fault", "outge", "fault_resilience"]);
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("unknown fault kind"), "{stderr}");
+    assert!(
+        stderr.contains("did you mean: outage"),
+        "near-miss suggestion missing: {stderr}"
+    );
+    assert!(
+        stderr.contains("known fault kinds: outage, brownout, burst, reset"),
+        "{stderr}"
+    );
+}
+
+/// A fault kind nothing resembles still exits 2 and lists the known
+/// kinds (no suggestion line to mislead).
+#[test]
+fn repro_hopeless_fault_lists_known_kinds() {
+    let (code, stderr) = run_repro(&["--fault", "meteor-strike", "fault_resilience"]);
+    assert_eq!(code, Some(2), "stderr: {stderr}");
+    assert!(!stderr.contains("did you mean"), "{stderr}");
+    assert!(stderr.contains("known fault kinds"), "{stderr}");
+}
+
+/// `--fault` only applies to the fault-resilience family; a valid kind
+/// with any other figure exits 2 naming the fault-capable figures.
+#[test]
+fn repro_fault_rejects_non_fault_figure() {
+    for id in ["fig7", "power", "workload_slo_miss"] {
+        let (code, stderr) = run_repro(&["--fault", "burst", id]);
+        assert_eq!(code, Some(2), "{id} stderr: {stderr}");
+        assert!(stderr.contains("does not inject faults"), "{id}: {stderr}");
+        assert!(
+            stderr.contains("fault-capable figures") && stderr.contains("fault_resilience_goodput"),
+            "{id}: capable-figure suggestion missing: {stderr}"
+        );
+    }
+}
+
+/// `--fault` refuses golden/check/perf modes (goldens and the perf
+/// series record the full fault-class set) instead of diffing a
+/// restricted build against full-set references.
+#[test]
+fn repro_fault_rejects_check_bless_perf() {
+    for mode in [&["--check"][..], &["--bless"], &["--perf", "/tmp/x.json"]] {
+        let mut args = vec!["--fault", "outage"];
+        args.extend_from_slice(mode);
+        args.push("fault_resilience_goodput");
+        let (code, stderr) = run_repro(&args);
+        assert_eq!(code, Some(2), "{mode:?} stderr: {stderr}");
+        assert!(
+            stderr.contains("does not combine with --check/--bless/--perf"),
+            "{mode:?}: {stderr}"
+        );
+    }
+}
+
 /// A frame decoded at the wrong bitrate must not produce a (CRC-valid)
 /// frame.
 #[test]

@@ -507,3 +507,189 @@ proptest! {
         }
     }
 }
+
+/// One random fault plan exercising the kind picked by `kind_idx`
+/// (outage, brownout, burst or reset), with window lengths and
+/// intensities drawn from the supplied knobs.
+fn chaos_fault_spec(
+    kind_idx: usize,
+    fault_seed: u64,
+    n: u32,
+    len: u32,
+    level: f64,
+) -> fmbs_net::prelude::FaultSpec {
+    use fmbs_net::prelude::FaultSpec;
+    let base = FaultSpec::none().with_seed(fault_seed);
+    match kind_idx {
+        0 => base.with_outages(n, len),
+        1 => base.with_brownouts(n, len, level),
+        2 => base.with_bursts(n, len, level / 2.0),
+        _ => base.with_resets(n * 8),
+    }
+}
+
+/// A workload scenario shared by the chaos properties below.
+fn chaos_scenario(n_tags: u32, mac_slots: u32, load: f64, seed: u64) -> Scenario {
+    use fmbs_core::modem::Bitrate;
+    use fmbs_core::sim::scenario::{AppProfile, ArrivalModel, Workload};
+    let mut s = Scenario::bench(-40.0, 16.0, ProgramKind::News)
+        .with_workload(Workload::data(Bitrate::Kbps1_6, 256))
+        .with_seed(seed)
+        .with_traffic(ArrivalModel::Poisson, load, AppProfile::SensorBeacon);
+    s.n_tags = n_tags;
+    s.mac_slots = mac_slots;
+    s
+}
+
+// Chaos suite (§PR-7): the queued engine under fault injection and ARQ
+// must keep every invariant the fault-free engine holds. Each case runs
+// the full discrete-event engine several times, so the case count stays
+// small; CI elevates it via `PROPTEST_CASES`.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Queue conservation survives every fault kind crossed with every
+    /// admission policy, with and without ARQ: offered packets are
+    /// always exactly partitioned into delivered, shed, expired,
+    /// abandoned and still-queued.
+    #[test]
+    fn chaos_queue_conservation(
+        n_tags in 2u32..100,
+        mac_slots in 120u32..600,
+        load in 0.005f64..0.12,
+        kind_idx in 0usize..4,
+        policy_idx in 0usize..3,
+        arq_on in any::<bool>(),
+        n_faults in 1u32..4,
+        fault_len in 10u32..200,
+        level in 0.05f64..0.9,
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        use fmbs_net::prelude::{ArqConfig, NetSpec};
+        use fmbs_workload::prelude::{Policy, WorkloadSpec};
+        let policy = [
+            Policy::AdmitAll,
+            Policy::RateCap { max_load: load / 2.0 },
+            Policy::DeadlineAware,
+        ][policy_idx];
+        let mut net = NetSpec::new(shared_ber_table())
+            .with_faults(chaos_fault_spec(kind_idx, fault_seed, n_faults, fault_len, level));
+        if arq_on {
+            net = net.with_arq(ArqConfig::default());
+        }
+        let stats = WorkloadSpec::new(net)
+            .with_policy(policy)
+            .run(&chaos_scenario(n_tags, mac_slots, load, seed));
+        prop_assert!(stats.conserved(), "{:?}", stats);
+        prop_assert!(stats.net.queue_conserved(), "{:?}", stats.net);
+        prop_assert_eq!(stats.net.offered + stats.admission_shed, stats.offered_raw);
+    }
+
+    /// Fault injection is deterministic end to end: the same scenario
+    /// seed and the same fault seed reproduce the run bit-for-bit,
+    /// ARQ included.
+    #[test]
+    fn chaos_same_seed_bit_identical(
+        n_tags in 2u32..64,
+        kind_idx in 0usize..4,
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        use fmbs_net::prelude::{ArqConfig, NetSpec};
+        use fmbs_workload::prelude::WorkloadSpec;
+        let spec = WorkloadSpec::new(
+            NetSpec::new(shared_ber_table())
+                .with_faults(chaos_fault_spec(kind_idx, fault_seed, 2, 80, 0.3))
+                .with_arq(ArqConfig::default()),
+        );
+        let s = chaos_scenario(n_tags, 300, 0.04, seed);
+        let a = spec.run(&s);
+        let b = spec.run(&s);
+        prop_assert_eq!(format!("{:?}", a), format!("{:?}", b));
+    }
+
+    /// Faulted sweeps inherit the engine's scheduling independence:
+    /// parallel delivery-ratio sweeps are bit-identical to serial.
+    #[test]
+    fn chaos_sweep_parallel_equals_serial(
+        threads in 2usize..6,
+        n_tags in 4u32..48,
+        kind_idx in 0usize..4,
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        use fmbs_core::sim::fast::FastSim;
+        use fmbs_core::sim::scenario::{AppProfile, ArrivalModel};
+        use fmbs_core::sim::sweep::SweepBuilder;
+        use fmbs_net::prelude::{ArqConfig, NetSpec};
+        use fmbs_workload::prelude::{DeliveryRatio, WorkloadSpec};
+        let metric = DeliveryRatio(WorkloadSpec::new(
+            NetSpec::new(shared_ber_table())
+                .with_faults(chaos_fault_spec(kind_idx, fault_seed, 2, 60, 0.4))
+                .with_arq(ArqConfig::default()),
+        ));
+        let sweep = SweepBuilder::new(chaos_scenario(n_tags, 250, 0.03, seed))
+            .arrival_models([ArrivalModel::Poisson, ArrivalModel::Mmpp])
+            .app_profiles([AppProfile::SensorBeacon, AppProfile::TalkingPoster]);
+        let serial = sweep.run_serial(&FastSim, &metric);
+        let parallel = sweep.clone().threads(threads).run(&FastSim, &metric);
+        prop_assert_eq!(serial.points.len(), 2 * 2);
+        for (s, p) in serial.points.iter().zip(&parallel.points) {
+            prop_assert_eq!(s.coords, p.coords);
+            prop_assert_eq!(s.value.to_bits(), p.value.to_bits());
+        }
+    }
+
+    /// A fault spec with all counts at zero is invisible: whatever its
+    /// seed, the run is bit-identical to one with no spec at all (the
+    /// fault layer must not perturb the engine's RNG draw order).
+    #[test]
+    fn chaos_zero_fault_invisibility(
+        n_tags in 2u32..64,
+        arq_on in any::<bool>(),
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        use fmbs_net::prelude::{ArqConfig, FaultSpec, NetSpec};
+        use fmbs_workload::prelude::WorkloadSpec;
+        let mk = |net: NetSpec| {
+            let net = if arq_on { net.with_arq(ArqConfig::default()) } else { net };
+            WorkloadSpec::new(net)
+        };
+        let s = chaos_scenario(n_tags, 300, 0.04, seed);
+        let plain = mk(NetSpec::new(shared_ber_table())).run(&s);
+        let zeroed = mk(NetSpec::new(shared_ber_table())
+            .with_faults(FaultSpec::none().with_seed(fault_seed)))
+            .run(&s);
+        prop_assert_eq!(format!("{:?}", plain), format!("{:?}", zeroed));
+    }
+
+    /// Fault schedules are a pure function of their spec: the same spec
+    /// regenerates identically, every window lies inside the horizon,
+    /// and every reset names a real tag.
+    #[test]
+    fn chaos_schedule_is_pure_and_in_bounds(
+        n_slots in 50u64..2_000,
+        n_tags in 1usize..200,
+        kind_idx in 0usize..4,
+        n_faults in 1u32..6,
+        fault_len in 1u32..400,
+        level in 0.01f64..0.99,
+        fault_seed in any::<u64>(),
+    ) {
+        let spec = chaos_fault_spec(kind_idx, fault_seed, n_faults, fault_len, level);
+        let a = spec.schedule(n_slots, n_tags);
+        let b = spec.schedule(n_slots, n_tags);
+        prop_assert_eq!(format!("{:?}", a), format!("{:?}", b));
+        prop_assert!(!a.is_empty());
+        for w in a.outages.iter().chain(&a.brownouts).chain(&a.bursts) {
+            prop_assert!(w.start < w.end, "{:?}", w);
+            prop_assert!(w.end <= n_slots, "{:?} beyond horizon {}", w, n_slots);
+        }
+        for &(slot, tag) in &a.resets {
+            prop_assert!(slot < n_slots);
+            prop_assert!((tag as usize) < n_tags);
+        }
+    }
+}

@@ -44,6 +44,19 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// Number of cases to actually run: the `PROPTEST_CASES` environment
+    /// variable, when set to a positive integer, overrides the configured
+    /// count (mirroring upstream proptest). Invalid values are ignored.
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(s) => match s.trim().parse::<u32>() {
+                Ok(n) if n > 0 => n,
+                _ => self.cases,
+            },
+            Err(_) => self.cases,
+        }
+    }
 }
 
 impl Default for ProptestConfig {
@@ -266,7 +279,7 @@ macro_rules! proptest {
         fn $name() {
             let cfg: $crate::ProptestConfig = $cfg;
             let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
-            for case in 0..cfg.cases {
+            for case in 0..cfg.resolved_cases() {
                 $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
                 let outcome: ::std::result::Result<(), $crate::TestCaseError> =
                     (|| { $body ::std::result::Result::Ok(()) })();
