@@ -29,6 +29,23 @@
 //! repro --perf ... --gate
 //!                       # additionally fail if throughput drops >30%
 //!                       # below the last committed BENCH entry
+//! repro --profile network_capacity
+//!                       # regenerate with an observability collector
+//!                       # installed and print a per-figure stage
+//!                       # breakdown (calls, total/self seconds, % of
+//!                       # figure wall-time) plus counters
+//! repro --profile fig4a --trace-out spans.jsonl
+//!                       # additionally export every recorded span as
+//!                       # JSON-lines (one object per stage invocation,
+//!                       # trailing truncation-accounting line)
+//! repro network_capacity --manifest manifest.json
+//!                       # write a canonical-JSON run manifest (figure
+//!                       # shapes + wall times, grid, tier, seed model,
+//!                       # observability snapshot, git describe, last
+//!                       # committed BENCH baselines)
+//! repro --validate-manifest manifest.json
+//!                       # parse a manifest and assert it is canonical
+//!                       # (byte-identical under re-canonicalization)
 //! ```
 //!
 //! Experiment ids resolve through [`fmbs_bench::experiments::REGISTRY`]
@@ -39,10 +56,19 @@
 
 use fmbs_bench::check::{self, Tolerance};
 use fmbs_bench::experiments::{self, ExperimentSpec, Grid, REGISTRY};
+use fmbs_bench::manifest::{self, FigureEntry};
 use fmbs_bench::perf;
 use fmbs_bench::report::Experiment;
 use fmbs_core::sim::Tier;
 use fmbs_net::faults::FaultKind;
+use fmbs_obs::Collector;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Spans retained by `--trace-out` before truncation accounting kicks
+/// in: enough for every quick-grid figure, bounded so a `--full` run
+/// cannot balloon the export.
+const TRACE_SPAN_CAP: usize = 1 << 20;
 
 struct Cli {
     full: bool,
@@ -50,12 +76,16 @@ struct Cli {
     check: bool,
     bless: bool,
     gate: bool,
+    profile: bool,
     tier: Tier,
     fault: Option<FaultKind>,
     perf: Option<String>,
     label: String,
     json_dir: Option<String>,
     goldens_dir: String,
+    trace_out: Option<String>,
+    manifest: Option<String>,
+    validate_manifest: Option<String>,
     ids: Vec<String>,
 }
 
@@ -67,12 +97,16 @@ fn parse_cli() -> Cli {
         check: false,
         bless: false,
         gate: false,
+        profile: false,
         tier: Tier::Fast,
         fault: None,
         perf: None,
         label: "unlabelled".into(),
         json_dir: None,
         goldens_dir: "goldens".into(),
+        trace_out: None,
+        manifest: None,
+        validate_manifest: None,
         ids: Vec::new(),
     };
     let mut i = 0;
@@ -142,6 +176,19 @@ fn parse_cli() -> Cli {
             }
             "--goldens" => {
                 cli.goldens_dir = required_value(&args, i, "--goldens");
+                i += 1;
+            }
+            "--profile" => cli.profile = true,
+            "--trace-out" => {
+                cli.trace_out = Some(required_value(&args, i, "--trace-out"));
+                i += 1;
+            }
+            "--manifest" => {
+                cli.manifest = Some(required_value(&args, i, "--manifest"));
+                i += 1;
+            }
+            "--validate-manifest" => {
+                cli.validate_manifest = Some(required_value(&args, i, "--validate-manifest"));
                 i += 1;
             }
             flag if flag.starts_with("--") => {
@@ -245,7 +292,7 @@ fn run_perf(path: &str, label: &str, gate: bool) {
             perf::last_net_faults_record("BENCH_net.json"),
         )
     });
-    let rec = match perf::record(path, label, 3) {
+    let rec = match perf::record_full(path, label, 3) {
         Ok(rec) => {
             println!(
                 "sweep throughput: {:.1} points/s serial, {:.1} points/s parallel \
@@ -256,6 +303,9 @@ fn run_perf(path: &str, label: &str, gate: bool) {
                 rec.cache.hits(),
                 rec.cache.misses(),
             );
+            for (id, wall_s) in &rec.figure_wall_s {
+                println!("  figure wall: {id:<20} {wall_s:>8.3} s (quick grid)");
+            }
             rec
         }
         Err(e) => {
@@ -481,8 +531,111 @@ fn run_bless(specs: &[&'static ExperimentSpec], goldens_dir: &str) {
     }
 }
 
+/// Output paths must be creatable *before* minutes of regeneration run:
+/// a missing parent directory exits 2 up front with a clear message.
+fn require_writable_parent(flag: &str, path: &str) {
+    let parent = match std::path::Path::new(path).parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    if !parent.is_dir() {
+        eprintln!(
+            "{flag} {path}: parent directory `{}` does not exist (create it first; \
+             {flag} does not mkdir)",
+            parent.display(),
+        );
+        std::process::exit(2);
+    }
+}
+
+/// Prints one figure's stage breakdown: calls, total/self wall-time and
+/// each stage's self-time share of the figure's wall-time. Self-times
+/// are disjoint (nested stages subtract), so the shares add up and the
+/// trailing coverage line is a meaningful "how much of the run the
+/// instrumentation explains".
+fn print_profile(id: &str, c: &Collector, wall_s: f64) {
+    let stats = c.stage_stats();
+    println!("profile {id} (wall {wall_s:.3} s):");
+    if stats.is_empty() {
+        println!("  no instrumented stages ran (survey/arithmetic figure)");
+        return;
+    }
+    println!(
+        "  {:<22} {:>9} {:>10} {:>10} {:>7}",
+        "stage", "calls", "total s", "self s", "% wall"
+    );
+    for (name, s) in &stats {
+        println!(
+            "  {:<22} {:>9} {:>10.4} {:>10.4} {:>6.1}%",
+            name,
+            s.calls,
+            s.total_nanos as f64 * 1e-9,
+            s.self_nanos as f64 * 1e-9,
+            100.0 * (s.self_nanos as f64 * 1e-9) / wall_s.max(1e-12),
+        );
+    }
+    let covered = c.self_time_secs();
+    println!(
+        "  stage self-times cover {covered:.3} s = {:.1}% of figure wall-time",
+        100.0 * covered / wall_s.max(1e-12),
+    );
+    let counters = c.counters();
+    if !counters.is_empty() {
+        let rendered: Vec<String> = counters
+            .iter()
+            .map(|(name, v)| format!("{name}={v}"))
+            .collect();
+        println!("  counters: {}", rendered.join(" "));
+    }
+}
+
+/// `--trace-out`: one JSON object per recorded span, plus a trailing
+/// accounting line so truncation at the span cap is never silent.
+fn write_trace(path: &str, c: &Collector) {
+    let (spans, dropped) = c.spans();
+    let mut out = String::new();
+    for s in &spans {
+        out.push_str(&format!(
+            "{{\"stage\": \"{}\", \"worker\": {}, \"start_nanos\": {}, \"dur_nanos\": {}}}\n",
+            s.stage, s.worker, s.start_nanos, s.dur_nanos,
+        ));
+    }
+    out.push_str(&format!(
+        "{{\"spans_recorded\": {}, \"spans_dropped\": {}}}\n",
+        spans.len(),
+        dropped,
+    ));
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("--trace-out {path}: {e}");
+        std::process::exit(1);
+    }
+    if dropped > 0 {
+        eprintln!(
+            "wrote {path} ({} spans, {dropped} dropped past the {TRACE_SPAN_CAP}-span cap)",
+            spans.len(),
+        );
+    } else {
+        eprintln!("wrote {path} ({} spans)", spans.len());
+    }
+}
+
 fn main() {
     let cli = parse_cli();
+    if let Some(path) = &cli.validate_manifest {
+        match manifest::validate(path) {
+            Ok(()) => {
+                println!(
+                    "ok   {path}: canonical manifest, version <= {}",
+                    manifest::MANIFEST_VERSION,
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("FAIL {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     if cli.list {
         for spec in REGISTRY {
             println!("{}", spec.id);
@@ -492,6 +645,29 @@ fn main() {
     if cli.gate && cli.perf.is_none() {
         eprintln!("--gate only applies to --perf runs");
         std::process::exit(2);
+    }
+    if cli.trace_out.is_some() && !cli.profile {
+        eprintln!("--trace-out requires --profile: spans are only recorded while profiling");
+        std::process::exit(2);
+    }
+    if cli.profile && (cli.check || cli.bless || cli.perf.is_some()) {
+        // Profiling adds clock reads around every stage; keeping it out
+        // of the perf series and golden verification keeps both honest.
+        eprintln!("--profile does not combine with --check/--bless/--perf: profile a plain run");
+        std::process::exit(2);
+    }
+    if cli.manifest.is_some() && (cli.check || cli.bless || cli.perf.is_some()) {
+        eprintln!(
+            "--manifest does not combine with --check/--bless/--perf: a manifest records a \
+             regeneration run",
+        );
+        std::process::exit(2);
+    }
+    if let Some(path) = &cli.trace_out {
+        require_writable_parent("--trace-out", path);
+    }
+    if let Some(path) = &cli.manifest {
+        require_writable_parent("--manifest", path);
     }
     if cli.fault.is_some() && (cli.check || cli.bless || cli.perf.is_some()) {
         // Goldens record the full fault-class series set; a restricted
@@ -558,26 +734,76 @@ fn main() {
 
     let grid = if cli.full { Grid::Full } else { Grid::Quick };
     eprintln!(
-        "regenerating {} experiment(s) ({grid:?} grid, {} tier)...",
+        "regenerating {} experiment(s) ({grid:?} grid, {} tier{})...",
         specs.len(),
         cli.tier.name(),
+        if cli.profile { ", profiled" } else { "" },
     );
-    let results: Vec<Experiment> = specs
-        .iter()
-        .map(|spec| match (cli.fault, cli.tier, spec.tiered) {
-            (Some(kind), _, _) if spec.id == "fault_resilience_goodput" => {
-                experiments::fault_resilience_goodput_for(grid, Some(kind))
+    // One collector spans the whole invocation (the manifest snapshots
+    // it); each figure additionally runs under its own child so the
+    // `--profile` breakdown is per figure, absorbed back afterwards.
+    let run_collector: Option<Arc<Collector>> =
+        (cli.profile || cli.manifest.is_some()).then(|| {
+            if cli.trace_out.is_some() {
+                Collector::with_spans(TRACE_SPAN_CAP)
+            } else {
+                Collector::new()
             }
-            (Some(kind), _, _) if spec.id == "fault_resilience_recovery" => {
-                experiments::fault_resilience_recovery_for(grid, Some(kind))
+        });
+    let mut results: Vec<Experiment> = Vec::with_capacity(specs.len());
+    let mut figures: Vec<FigureEntry> = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        let fig_collector = run_collector.as_ref().map(|parent| parent.child(0));
+        let started = Instant::now();
+        let e = {
+            let _obs = fmbs_obs::install(fig_collector.clone());
+            match (cli.fault, cli.tier, spec.tiered) {
+                (Some(kind), _, _) if spec.id == "fault_resilience_goodput" => {
+                    experiments::fault_resilience_goodput_for(grid, Some(kind))
+                }
+                (Some(kind), _, _) if spec.id == "fault_resilience_recovery" => {
+                    experiments::fault_resilience_recovery_for(grid, Some(kind))
+                }
+                (_, Tier::Fast, _) | (_, _, None) => (spec.build)(grid),
+                (_, tier, Some(tiered)) => tiered(grid, tier),
             }
-            (_, Tier::Fast, _) | (_, _, None) => (spec.build)(grid),
-            (_, tier, Some(tiered)) => tiered(grid, tier),
-        })
-        .collect();
+        };
+        let wall_s = started.elapsed().as_secs_f64();
+        if let (Some(parent), Some(child)) = (&run_collector, &fig_collector) {
+            if cli.profile {
+                print_profile(spec.id, child, wall_s);
+            }
+            parent.absorb(child);
+        }
+        figures.push(FigureEntry::from_experiment(&e, wall_s));
+        results.push(e);
+    }
 
     for e in &results {
         println!("{}", e.render_text());
+    }
+
+    if let Some(path) = &cli.trace_out {
+        if let Some(c) = &run_collector {
+            write_trace(path, c);
+        }
+    }
+    if let Some(path) = &cli.manifest {
+        let grid_label = if cli.full { "full" } else { "quick" };
+        let built = manifest::build(
+            grid_label,
+            cli.tier.name(),
+            &figures,
+            run_collector.as_deref(),
+            "BENCH_sweep.json",
+        );
+        match manifest::write(path, &built) {
+            Ok(text) => eprintln!("wrote {path} ({} bytes, canonical JSON)", text.len()),
+            Err(e) => {
+                eprintln!("--manifest failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     if let Some(dir) = cli.json_dir {

@@ -625,17 +625,24 @@ fn write_canonical(v: &Value, out: &mut String, depth: usize) {
     }
 }
 
-/// Renders an experiment as canonical golden JSON: recursively sorted
-/// object keys, shortest-round-trip floats, two-space indent and one
-/// trailing newline. Byte-stable across runs for deterministic figures,
-/// and bit-exact through [`serde_json::from_str`].
-pub fn canonical_json(e: &Experiment) -> String {
-    let mut v = e.to_value();
+/// Renders any value tree in the goldens' canonical form: recursively
+/// sorted object keys, shortest-round-trip floats, two-space indent and
+/// one trailing newline. Run manifests reuse this so they byte-compare
+/// (and re-canonicalize to themselves) the same way goldens do.
+pub fn canonical_value(v: &Value) -> String {
+    let mut v = v.clone();
     sort_maps(&mut v);
     let mut out = String::new();
     write_canonical(&v, &mut out, 0);
     out.push('\n');
     out
+}
+
+/// Renders an experiment as canonical golden JSON (see
+/// [`canonical_value`]). Byte-stable across runs for deterministic
+/// figures, and bit-exact through [`serde_json::from_str`].
+pub fn canonical_json(e: &Experiment) -> String {
+    canonical_value(&e.to_value())
 }
 
 // ------------------------------------------------------------- goldens

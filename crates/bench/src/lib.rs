@@ -11,5 +11,6 @@
 
 pub mod check;
 pub mod experiments;
+pub mod manifest;
 pub mod perf;
 pub mod report;

@@ -14,11 +14,16 @@ use fmbs_core::sim::fast::FastSim;
 use fmbs_core::sim::metric::Ber;
 use fmbs_core::sim::scenario::{Scenario, Workload};
 use fmbs_core::sim::sweep::SweepBuilder;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::time::Instant;
 
 /// One measurement of the perf series.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Serialization is hand-written (the vendored serde derive has no
+/// field defaults): committed `BENCH_sweep.json` records predate
+/// `figure_wall_s`, so deserialization defaults it to empty instead of
+/// erroring.
+#[derive(Debug, Clone)]
 pub struct PerfRecord {
     /// Seconds since the Unix epoch when the measurement ran.
     pub unix_time: u64,
@@ -32,6 +37,47 @@ pub struct PerfRecord {
     pub parallel_points_per_sec: f64,
     /// Derivation-cache counters of the serial run.
     pub cache: CacheStats,
+    /// Per-figure wall time in seconds (`(figure id, wall_s)`, the
+    /// [`PERF_FIGURES`] subset at the quick grid); empty in records
+    /// committed before the column existed.
+    pub figure_wall_s: Vec<(String, f64)>,
+}
+
+impl Serialize for PerfRecord {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("unix_time".into(), self.unix_time.to_value()),
+            ("label".into(), self.label.to_value()),
+            ("grid_points".into(), self.grid_points.to_value()),
+            (
+                "serial_points_per_sec".into(),
+                self.serial_points_per_sec.to_value(),
+            ),
+            (
+                "parallel_points_per_sec".into(),
+                self.parallel_points_per_sec.to_value(),
+            ),
+            ("cache".into(), self.cache.to_value()),
+            ("figure_wall_s".into(), self.figure_wall_s.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for PerfRecord {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        Ok(PerfRecord {
+            unix_time: u64::from_value(v.get_field("unix_time")?)?,
+            label: String::from_value(v.get_field("label")?)?,
+            grid_points: usize::from_value(v.get_field("grid_points")?)?,
+            serial_points_per_sec: f64::from_value(v.get_field("serial_points_per_sec")?)?,
+            parallel_points_per_sec: f64::from_value(v.get_field("parallel_points_per_sec")?)?,
+            cache: CacheStats::from_value(v.get_field("cache")?)?,
+            figure_wall_s: match v.get_field("figure_wall_s") {
+                Ok(f) => Vec::<(String, f64)>::from_value(f)?,
+                Err(_) => Vec::new(),
+            },
+        })
+    }
 }
 
 /// The persisted series (newest record last).
@@ -77,13 +123,45 @@ pub fn measure(label: &str, samples: usize) -> PerfRecord {
         serial_points_per_sec: n_points as f64 / serial_best,
         parallel_points_per_sec: n_points as f64 / parallel_best,
         cache,
+        figure_wall_s: Vec::new(),
     }
+}
+
+/// Figures timed for the per-figure wall-time column of `repro --perf`:
+/// a sweep-engine figure and a net-engine figure, both at the quick
+/// grid, so both hot paths show up in the committed series.
+pub const PERF_FIGURES: &[&str] = &["fig4a", "network_capacity"];
+
+/// Times each [`PERF_FIGURES`] regeneration (quick grid, one run each)
+/// as `(figure id, wall seconds)`.
+pub fn measure_figure_walls() -> Vec<(String, f64)> {
+    crate::experiments::REGISTRY
+        .iter()
+        .filter(|spec| PERF_FIGURES.contains(&spec.id))
+        .map(|spec| {
+            let t = Instant::now();
+            std::hint::black_box((spec.build)(crate::experiments::Grid::Quick));
+            (spec.id.to_string(), t.elapsed().as_secs_f64())
+        })
+        .collect()
 }
 
 /// Measures and appends to the series file at `path` (created when
 /// missing; unreadable or unparseable files are reported, not
 /// clobbered — the trajectory is the whole point of the file).
 pub fn record(path: &str, label: &str, samples: usize) -> Result<PerfRecord, String> {
+    append_sweep(path, measure(label, samples))
+}
+
+/// Like [`record`] but with the per-figure wall-time column measured
+/// and attached — the `repro --perf` entry point.
+pub fn record_full(path: &str, label: &str, samples: usize) -> Result<PerfRecord, String> {
+    let mut rec = measure(label, samples);
+    rec.figure_wall_s = measure_figure_walls();
+    append_sweep(path, rec)
+}
+
+fn append_sweep(path: &str, rec: PerfRecord) -> Result<PerfRecord, String> {
     let mut series: PerfSeries = if std::path::Path::new(path).exists() {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("read existing {path}: {e}"))?;
@@ -92,7 +170,6 @@ pub fn record(path: &str, label: &str, samples: usize) -> Result<PerfRecord, Str
     } else {
         PerfSeries::default()
     };
-    let rec = measure(label, samples);
     series.series.push(rec.clone());
     let json = serde_json::to_string_pretty(&series).map_err(|e| format!("serialise: {e:?}"))?;
     std::fs::write(path, json).map_err(|e| format!("write {path}: {e}"))?;
@@ -566,6 +643,7 @@ mod tests {
             serial_points_per_sec: serial,
             parallel_points_per_sec: serial,
             cache: CacheStats::default(),
+            figure_wall_s: Vec::new(),
         };
         let series = PerfSeries {
             series: vec![mk("old", 1_000.0), mk("newest", 100.0)],
@@ -629,6 +707,50 @@ mod tests {
         assert!(is_faults_label("ci+faults"));
         assert!(!is_faults_label("ci+workload"));
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn legacy_records_without_new_fields_still_parse() {
+        // A committed pre-observability record: no `figure_wall_s`, no
+        // `version`/`front_end_*` inside the cache block. The series
+        // file is append-only history, so this must keep parsing.
+        let text = concat!(
+            r#"{"series":[{"unix_time":1,"label":"old","grid_points":25,"#,
+            r#""serial_points_per_sec":10.0,"parallel_points_per_sec":20.0,"#,
+            r#""cache":{"host_hits":4,"host_misses":1,"payload_hits":4,"payload_misses":1}}]}"#,
+        );
+        let series: PerfSeries = serde_json::from_str(text).unwrap();
+        let rec = &series.series[0];
+        assert!(rec.figure_wall_s.is_empty());
+        assert_eq!(rec.cache.version, 1, "unversioned records read as v1");
+        assert_eq!(rec.cache.host_hits, 4);
+        assert_eq!(rec.cache.front_end_hits, 0);
+        assert_eq!(rec.cache.front_end_misses, 0);
+    }
+
+    #[test]
+    fn perf_record_round_trips_the_new_fields() {
+        let rec = PerfRecord {
+            unix_time: 7,
+            label: "v2".into(),
+            grid_points: 25,
+            serial_points_per_sec: 10.0,
+            parallel_points_per_sec: 20.0,
+            cache: CacheStats {
+                front_end_hits: 3,
+                front_end_misses: 1,
+                ..CacheStats::default()
+            },
+            figure_wall_s: vec![("fig4a".into(), 0.25)],
+        };
+        let text = serde_json::to_string_pretty(&rec).unwrap();
+        let back: PerfRecord = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.cache, rec.cache);
+        assert_eq!(
+            back.cache.version,
+            fmbs_core::sim::cache::CACHE_STATS_VERSION
+        );
+        assert_eq!(back.figure_wall_s, rec.figure_wall_s);
     }
 
     #[test]

@@ -38,7 +38,7 @@ use crate::modem::Bitrate;
 use fmbs_audio::program::ProgramKind;
 use fmbs_dsp::complex::Complex;
 use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -159,22 +159,24 @@ pub type RfFrontEnd = Arc<(Vec<Complex>, Vec<Complex>)>;
 /// oversized sweeps just recompute per point.
 const FRONT_END_MAX_SAMPLES: usize = 64_000_000; // ~1 GB at 16 B/sample
 
-/// Hit/miss counters of the physical tier's front-end cache, reported
-/// in [`super::sweep::SweepResults::front_end`]. Kept out of
-/// [`CacheStats`] so the perf series' committed JSON records (which
-/// embed `CacheStats`) stay parseable.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct FrontEndStats {
-    /// Front-end derivations served from the cache.
-    pub hits: usize,
-    /// Front-end derivations computed (then inserted).
-    pub misses: usize,
-}
+/// Schema version written by [`CacheStats::to_value`]. Version 1 (the
+/// implicit pre-versioned schema) lacked the `version` and
+/// `front_end_*` fields; version 2 carries every counter the cache
+/// keeps, physical front end included.
+pub const CACHE_STATS_VERSION: u32 = 2;
 
 /// Hit/miss counters of one sweep's cache, reported in
 /// [`super::sweep::SweepResults`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialization is hand-written (the vendored serde derive has no
+/// field defaults): committed perf records embed this struct, and the
+/// series predates the `version` and `front_end_*` fields, so
+/// deserialization defaults anything missing instead of erroring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
+    /// Schema version of the serialized form (see
+    /// [`CACHE_STATS_VERSION`]); records without the field read as 1.
+    pub version: u32,
     /// Host-audio derivations served from the cache.
     pub host_hits: usize,
     /// Host-audio derivations computed (then inserted).
@@ -183,17 +185,84 @@ pub struct CacheStats {
     pub payload_hits: usize,
     /// Payload syntheses computed (then inserted).
     pub payload_misses: usize,
+    /// Physical-tier RF front-end derivations served from the cache.
+    pub front_end_hits: usize,
+    /// Physical-tier RF front-end derivations computed (then inserted).
+    pub front_end_misses: usize,
+}
+
+impl Default for CacheStats {
+    fn default() -> Self {
+        CacheStats {
+            version: CACHE_STATS_VERSION,
+            host_hits: 0,
+            host_misses: 0,
+            payload_hits: 0,
+            payload_misses: 0,
+            front_end_hits: 0,
+            front_end_misses: 0,
+        }
+    }
 }
 
 impl CacheStats {
     /// Total lookups served from the cache.
     pub fn hits(&self) -> usize {
-        self.host_hits + self.payload_hits
+        self.host_hits + self.payload_hits + self.front_end_hits
     }
 
     /// Total lookups that had to compute.
     pub fn misses(&self) -> usize {
-        self.host_misses + self.payload_misses
+        self.host_misses + self.payload_misses + self.front_end_misses
+    }
+}
+
+impl Serialize for CacheStats {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("version".into(), Value::U64(u64::from(self.version))),
+            ("host_hits".into(), Value::U64(self.host_hits as u64)),
+            ("host_misses".into(), Value::U64(self.host_misses as u64)),
+            ("payload_hits".into(), Value::U64(self.payload_hits as u64)),
+            (
+                "payload_misses".into(),
+                Value::U64(self.payload_misses as u64),
+            ),
+            (
+                "front_end_hits".into(),
+                Value::U64(self.front_end_hits as u64),
+            ),
+            (
+                "front_end_misses".into(),
+                Value::U64(self.front_end_misses as u64),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for CacheStats {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        // Absent fields default rather than error so version-1 records
+        // (committed before the front-end counters were serialized)
+        // stay parseable.
+        fn field<T: Deserialize + Default>(v: &Value, name: &str) -> Result<T, serde::Error> {
+            match v.get_field(name) {
+                Ok(f) => T::from_value(f),
+                Err(_) => Ok(T::default()),
+            }
+        }
+        Ok(CacheStats {
+            version: match v.get_field("version") {
+                Ok(f) => u32::from_value(f)?,
+                Err(_) => 1,
+            },
+            host_hits: field(v, "host_hits")?,
+            host_misses: field(v, "host_misses")?,
+            payload_hits: field(v, "payload_hits")?,
+            payload_misses: field(v, "payload_misses")?,
+            front_end_hits: field(v, "front_end_hits")?,
+            front_end_misses: field(v, "front_end_misses")?,
+        })
     }
 }
 
@@ -225,13 +294,17 @@ impl SweepCache {
         Arc::new(SweepCache::default())
     }
 
-    /// Snapshot of the hit/miss counters.
+    /// Snapshot of the hit/miss counters (all derivation kinds,
+    /// physical front end included).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
+            version: CACHE_STATS_VERSION,
             host_hits: self.host_hits.load(Ordering::Relaxed),
             host_misses: self.host_misses.load(Ordering::Relaxed),
             payload_hits: self.payload_hits.load(Ordering::Relaxed),
             payload_misses: self.payload_misses.load(Ordering::Relaxed),
+            front_end_hits: self.front_end_hits.load(Ordering::Relaxed),
+            front_end_misses: self.front_end_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -245,22 +318,16 @@ impl SweepCache {
         };
         if let Some(hit) = self.host.lock().get(&key).cloned() {
             self.host_hits.fetch_add(1, Ordering::Relaxed);
+            fmbs_obs::counter!("cache.host_hits");
             return (*hit).clone();
         }
         // Compute outside the lock; a racing duplicate insert stores the
         // identical (deterministic) value, so last-write-wins is fine.
         self.host_misses.fetch_add(1, Ordering::Relaxed);
+        fmbs_obs::counter!("cache.host_misses");
         let computed = s.host_audio_uncached(rate, n);
         self.host.lock().insert(key, Arc::new(computed.clone()));
         computed
-    }
-
-    /// Snapshot of the physical front-end counters.
-    pub fn front_end_stats(&self) -> FrontEndStats {
-        FrontEndStats {
-            hits: self.front_end_hits.load(Ordering::Relaxed),
-            misses: self.front_end_misses.load(Ordering::Relaxed),
-        }
     }
 
     /// The physical tier's RF front end (host modulator output + un-scaled
@@ -288,9 +355,11 @@ impl SweepCache {
         };
         if let Some(hit) = self.front_end.lock().get(&key).cloned() {
             self.front_end_hits.fetch_add(1, Ordering::Relaxed);
+            fmbs_obs::counter!("cache.front_end_hits");
             return hit;
         }
         self.front_end_misses.fetch_add(1, Ordering::Relaxed);
+        fmbs_obs::counter!("cache.front_end_misses");
         let computed = Arc::new(compute());
         // Retain the entry only while the sample budget holds
         // ([`FRONT_END_MAX_SAMPLES`]); the computed value is returned
@@ -310,11 +379,13 @@ impl SweepCache {
         let key = (PayloadKey::new(w), rate.to_bits());
         if let Some(hit) = self.payload.lock().get(&key).cloned() {
             self.payload_hits.fetch_add(1, Ordering::Relaxed);
+            fmbs_obs::counter!("cache.payload_hits");
             return (*hit).clone();
         }
         // Compute outside the lock; a racing duplicate insert stores the
         // identical (deterministic) value, so last-write-wins is fine.
         self.payload_misses.fetch_add(1, Ordering::Relaxed);
+        fmbs_obs::counter!("cache.payload_misses");
         let computed = w.synthesise_uncached(rate);
         self.payload.lock().insert(key, Arc::new(computed.clone()));
         computed

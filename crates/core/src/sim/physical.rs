@@ -139,6 +139,7 @@ impl PhysicalSim {
         audio_rate: f64,
         tag_baseband: &[f64],
     ) -> (Vec<Complex>, Vec<Complex>) {
+        fmbs_obs::span!(fmbs_obs::stages::RF_FRONT_END);
         let iq_rate = self.cfg.iq_rate;
         // 1. Host station: unit-amplitude IQ at offset 0.
         let tx = FmTransmitter::new(station, iq_rate, 0.0);

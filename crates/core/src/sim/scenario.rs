@@ -254,6 +254,7 @@ impl Workload {
 
     /// The cache-bypassing synthesis behind [`Self::synthesise`].
     pub fn synthesise_uncached(&self, sample_rate: f64) -> SynthesisedPayload {
+        fmbs_obs::span!(fmbs_obs::stages::PAYLOAD_SYNTH);
         match *self {
             Workload::Silence { secs } => {
                 let wave = vec![0.0; (sample_rate * secs) as usize];
@@ -463,6 +464,7 @@ impl Scenario {
 
     /// The cache-bypassing derivation behind [`Self::host_audio`].
     pub fn host_audio_uncached(&self, rate: f64, n: usize) -> (Vec<f64>, Vec<f64>) {
+        fmbs_obs::span!(fmbs_obs::stages::HOST_AUDIO);
         let host = fmbs_audio::program::ProgramGenerator::new(rate, self.program_seed ^ 0xA5)
             .generate(self.program, n.max(1) as f64 / rate);
         let mut mono = host.mono();

@@ -12,7 +12,7 @@
 //! results are bit-identical whether the grid runs serially, in
 //! parallel, or in any scheduling order.
 
-use super::cache::{self, CacheStats, FrontEndStats, SweepCache};
+use super::cache::{self, CacheStats, SweepCache};
 use super::metric::Metric;
 use super::scenario::Scenario;
 use super::{Simulator, Tier};
@@ -89,11 +89,9 @@ pub struct SweepResults {
     /// expands them.
     pub points: Vec<SweepValue>,
     /// Hit/miss counters of the sweep's content-addressed cache (all
-    /// zeros when the cache was disabled).
+    /// zeros when the cache was disabled). Physical front-end counters
+    /// are included; they stay zero for fast-tier sweeps.
     pub cache: CacheStats,
-    /// Hit/miss counters of the physical tier's RF front-end cache (all
-    /// zeros for fast-tier sweeps or when the cache was disabled).
-    pub front_end: FrontEndStats,
 }
 
 impl SweepResults {
@@ -562,13 +560,15 @@ impl SweepBuilder {
             .map(|p| SweepValue {
                 scenario: p.scenario,
                 coords: p.coords,
-                value: metric.evaluate(sim, &p.scenario),
+                value: {
+                    fmbs_obs::span!(fmbs_obs::stages::SWEEP_POINT);
+                    metric.evaluate(sim, &p.scenario)
+                },
             })
             .collect();
         SweepResults {
             points,
-            cache: shared.as_ref().map(|c| c.stats()).unwrap_or_default(),
-            front_end: shared.map(|c| c.front_end_stats()).unwrap_or_default(),
+            cache: shared.map(|c| c.stats()).unwrap_or_default(),
         }
     }
 
@@ -603,23 +603,36 @@ impl SweepBuilder {
         }
 
         let shared: Option<Arc<SweepCache>> = self.cache.then(SweepCache::new);
+        // Each worker profiles into its own child collector (timings and
+        // counters only — no RNG is touched), merged back in worker
+        // order after the scope so the aggregate is schedule-independent.
+        let obs_parent = fmbs_obs::active();
+        let obs_children: Vec<Option<Arc<fmbs_obs::Collector>>> = (0..workers)
+            .map(|w| obs_parent.as_ref().map(|p| p.child(w as u32)))
+            .collect();
         let cursor = AtomicUsize::new(0);
         let (tx, rx) = channel::bounded::<(usize, f64)>(points.len());
         let mut values: Vec<Option<f64>> = vec![None; points.len()];
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            for obs in obs_children.iter().take(workers) {
                 let tx = tx.clone();
                 let cursor = &cursor;
                 let points = &points;
                 let shared = shared.clone();
+                let obs = obs.clone();
                 scope.spawn(move || {
                     // Every worker reads through the one shared cache;
                     // the guard keeps the install scoped to this worker.
                     let _guard = cache::install(shared);
+                    let _obs_guard = fmbs_obs::install(obs);
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(p) = points.get(i) else { break };
-                        if tx.send((i, metric.evaluate(sim, &p.scenario))).is_err() {
+                        let value = {
+                            fmbs_obs::span!(fmbs_obs::stages::SWEEP_POINT);
+                            metric.evaluate(sim, &p.scenario)
+                        };
+                        if tx.send((i, value)).is_err() {
                             break; // collector gone
                         }
                     }
@@ -631,6 +644,11 @@ impl SweepBuilder {
                 values[i] = Some(v);
             }
         });
+        if let Some(parent) = obs_parent {
+            for child in obs_children.into_iter().flatten() {
+                parent.absorb(&child);
+            }
+        }
 
         SweepResults {
             points: points
@@ -642,8 +660,7 @@ impl SweepBuilder {
                     value: v.expect("every sweep point evaluated"),
                 })
                 .collect(),
-            cache: shared.as_ref().map(|c| c.stats()).unwrap_or_default(),
-            front_end: shared.map(|c| c.front_end_stats()).unwrap_or_default(),
+            cache: shared.map(|c| c.stats()).unwrap_or_default(),
         }
     }
 }

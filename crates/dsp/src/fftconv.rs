@@ -111,6 +111,7 @@ impl OverlapSave {
     /// output continues the previous call's convolution exactly like
     /// [`crate::fir::Fir::process`].
     pub fn process(&mut self, input: &[f64]) -> Vec<f64> {
+        fmbs_obs::span!(fmbs_obs::stages::FFT_CONV);
         let mut out = Vec::with_capacity(input.len());
         let mut pos = 0usize;
         while pos < input.len() {
@@ -204,6 +205,7 @@ impl OverlapSaveComplex {
     /// Filters an IQ buffer, appending to `out` (lets callers decimate or
     /// reuse allocations).
     pub fn process_into(&mut self, input: &[Complex], out: &mut Vec<Complex>) {
+        fmbs_obs::span!(fmbs_obs::stages::FFT_CONV);
         out.reserve(input.len());
         let mut pos = 0usize;
         while pos < input.len() {

@@ -108,17 +108,113 @@ pub enum Outcome {
     Collided,
 }
 
+/// What one trace record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A transmission attempt in the tag's collision domain, and what
+    /// happened to it.
+    Attempt {
+        /// The attempt's collision domain.
+        channel: u16,
+        /// What happened.
+        outcome: Outcome,
+    },
+    /// A scheduled tag reset was applied: volatile MAC/ARQ state wiped.
+    Reset,
+    /// A queued packet was given up for good (retransmission budget
+    /// exhausted, or wiped from the queue by a reset).
+    Abandon,
+    /// A queued packet was shed before transmission because its
+    /// deadline had already passed (`drop_expired` runs).
+    Expired,
+}
+
 /// One entry of the (optional) event trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceEvent {
-    /// Slot the attempt happened in.
+    /// Slot the event happened in.
     pub slot: u64,
-    /// The transmitting tag.
+    /// The tag it happened to.
     pub tag: u32,
-    /// Its collision domain.
-    pub channel: u16,
     /// What happened.
-    pub outcome: Outcome,
+    pub kind: TraceKind,
+}
+
+impl TraceEvent {
+    /// The attempt outcome, when this event is an attempt.
+    pub fn outcome(&self) -> Option<Outcome> {
+        match self.kind {
+            TraceKind::Attempt { outcome, .. } => Some(outcome),
+            _ => None,
+        }
+    }
+}
+
+/// A bounded slot-level event trace. Pushes past the configured cap
+/// ([`NetworkConfig::trace_cap`]) are counted, never silently lost:
+/// [`EventTrace::dropped`] reports exactly how many events the cap cut.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventTrace {
+    /// Recorded events, in emission order.
+    pub events: Vec<TraceEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Default for EventTrace {
+    fn default() -> Self {
+        EventTrace::new(usize::MAX)
+    }
+}
+
+impl EventTrace {
+    /// An empty trace retaining at most `cap` events.
+    pub fn new(cap: usize) -> Self {
+        EventTrace {
+            events: Vec::new(),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Records `ev`, or counts it as dropped once the cap is reached.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.cap {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates the recorded events in emission order.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceEvent> {
+        self.events.iter()
+    }
+
+    /// The configured retention cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Events the cap cut (0 means the trace is complete).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Whether the cap cut any events.
+    pub fn truncated(&self) -> bool {
+        self.dropped > 0
+    }
 }
 
 /// One queued message packet of a non-saturated traffic trace.
@@ -235,8 +331,12 @@ pub struct NetworkConfig {
     pub coding: bool,
     /// Run seed.
     pub seed: u64,
-    /// Record the per-attempt trace (off for large capacity runs).
+    /// Record the slot-level event trace (off for large capacity runs).
     pub record_trace: bool,
+    /// Retention cap of the recorded trace: events past it are counted
+    /// in [`EventTrace::dropped`] instead of stored, so truncation is
+    /// always explicit. The default keeps everything.
+    pub trace_cap: usize,
     /// What keeps tags transmitting: full-buffer saturation or a
     /// per-tag arrival trace (the workload tier).
     pub traffic: Traffic,
@@ -274,6 +374,7 @@ impl NetworkConfig {
             coding: true,
             seed: 0x5EED,
             record_trace: false,
+            trace_cap: usize::MAX,
             traffic: Traffic::Saturated,
             drop_expired: false,
             faults: FaultSpec::none(),
@@ -444,8 +545,9 @@ impl NetStats {
 pub struct NetRun {
     /// Aggregate statistics.
     pub stats: NetStats,
-    /// Per-attempt trace (empty unless `record_trace` was set).
-    pub trace: Vec<TraceEvent>,
+    /// Slot-level event trace (empty unless `record_trace` was set),
+    /// bounded by [`NetworkConfig::trace_cap`].
+    pub trace: EventTrace,
 }
 
 struct TagState {
@@ -537,6 +639,7 @@ impl NetworkSim {
 
     /// Runs the deployment to the slot horizon.
     pub fn run(&self) -> NetRun {
+        fmbs_obs::span!(fmbs_obs::stages::NET_ENGINE);
         let cfg = &self.cfg;
         let slot_secs = cfg.slot_secs();
         // The fault plan is generated from the spec's own RNG stream, so
@@ -629,7 +732,7 @@ impl NetworkSim {
             slot_secs,
             ..NetStats::default()
         };
-        let mut trace = Vec::new();
+        let mut trace = EventTrace::new(cfg.trace_cap);
 
         match &cfg.traffic {
             Traffic::Saturated => {
@@ -688,6 +791,13 @@ impl NetworkSim {
                 t.consec_successes = 0;
                 t.fallback = false;
                 t.first_attempt = u64::MAX;
+                if cfg.record_trace {
+                    trace.push(TraceEvent {
+                        slot: at,
+                        tag,
+                        kind: TraceKind::Reset,
+                    });
+                }
                 if let Traffic::Trace(arrivals) = &cfg.traffic {
                     let queue = arrivals
                         .per_tag
@@ -696,6 +806,13 @@ impl NetworkSim {
                     while queue.get(t.next_unserved).is_some_and(|h| h.slot <= at) {
                         t.next_unserved += 1;
                         stats.abandoned += 1;
+                        if cfg.record_trace {
+                            trace.push(TraceEvent {
+                                slot: at,
+                                tag,
+                                kind: TraceKind::Abandon,
+                            });
+                        }
                     }
                 }
             }
@@ -720,6 +837,13 @@ impl NetworkSim {
                             stats.expired_dropped += 1;
                             t.first_attempt = u64::MAX;
                             t.pkt_attempts = 0;
+                            if cfg.record_trace {
+                                trace.push(TraceEvent {
+                                    slot,
+                                    tag: ev.tag,
+                                    kind: TraceKind::Expired,
+                                });
+                            }
                         }
                     }
                     match queue.get(t.next_unserved) {
@@ -792,6 +916,9 @@ impl NetworkSim {
                 stats.still_queued += servable.saturating_sub(t.next_unserved) as u64;
             }
             stats.sojourn_slots.sort_unstable();
+        }
+        if trace.dropped() > 0 {
+            fmbs_obs::counter!("net.trace_dropped", trace.dropped());
         }
         NetRun { stats, trace }
     }
@@ -869,6 +996,7 @@ impl NetworkSim {
         fb_available: bool,
         stats: &mut NetStats,
     ) -> Option<u64> {
+        fmbs_obs::span!(fmbs_obs::stages::ARQ_RETX);
         t.consec_successes = 0;
         t.consec_losses = t.consec_losses.saturating_add(1);
         if fb_available && !t.fallback && t.consec_losses >= arq.fallback_after {
@@ -911,7 +1039,7 @@ impl NetworkSim {
         slot_secs: f64,
         q: &mut EventQueue,
         stats: &mut NetStats,
-        trace: &mut Vec<TraceEvent>,
+        trace: &mut EventTrace,
         fx: Option<&FaultSchedule>,
         rf: bool,
         fb_plan: Option<(Bitrate, u64)>,
@@ -947,6 +1075,9 @@ impl NetworkSim {
                     t.first_attempt = slot;
                 }
 
+                // ARQ abandons surface only as a counter bump inside
+                // `arq_on_loss`; the delta turns them into trace events.
+                let abandoned_before = stats.abandoned;
                 let (outcome, next_earliest) = if solo {
                     // The link the draw is tested against: the fallback
                     // rate's BER if fallen back, elevated inside an
@@ -1039,9 +1170,18 @@ impl NetworkSim {
                     trace.push(TraceEvent {
                         slot,
                         tag,
-                        channel: ch,
-                        outcome,
+                        kind: TraceKind::Attempt {
+                            channel: ch,
+                            outcome,
+                        },
                     });
+                    if stats.abandoned > abandoned_before {
+                        trace.push(TraceEvent {
+                            slot,
+                            tag,
+                            kind: TraceKind::Abandon,
+                        });
+                    }
                 }
                 if let Some(next_earliest) = next_earliest {
                     Self::schedule(
@@ -1159,6 +1299,27 @@ mod tests {
         cfg.seed ^= 1;
         let c = NetworkSim::new(cfg, table()).run();
         assert_ne!(a.trace, c.trace, "different seed must change the trace");
+    }
+
+    #[test]
+    fn trace_cap_truncates_with_explicit_accounting() {
+        let mut cfg = NetworkConfig::new(4, 300);
+        cfg.record_trace = true;
+        let full = NetworkSim::new(cfg.clone(), table()).run();
+        assert!(!full.trace.truncated());
+        assert_eq!(full.trace.dropped(), 0);
+        let total = full.trace.len();
+        assert!(total > 16, "need enough events to truncate");
+        cfg.trace_cap = 16;
+        let capped = NetworkSim::new(cfg, table()).run();
+        // The cap keeps a prefix and accounts for every cut event —
+        // nothing disappears silently, and the run itself is unchanged.
+        assert_eq!(capped.trace.len(), 16);
+        assert!(capped.trace.truncated());
+        assert_eq!(capped.trace.dropped(), (total - 16) as u64);
+        assert_eq!(capped.trace.events[..], full.trace.events[..16]);
+        assert_eq!(capped.stats.attempts, full.stats.attempts);
+        assert_eq!(capped.stats.delivered, full.stats.delivered);
     }
 
     #[test]
@@ -1325,7 +1486,7 @@ mod tests {
         assert!(
             run.trace
                 .iter()
-                .any(|e| e.slot > end && e.outcome == Outcome::Delivered),
+                .any(|e| e.slot > end && e.outcome() == Some(Outcome::Delivered)),
             "must deliver again after the burst"
         );
     }
@@ -1342,7 +1503,7 @@ mod tests {
             run.trace
                 .iter()
                 .filter(|e| w.contains(e.slot))
-                .all(|e| e.outcome != Outcome::Delivered),
+                .all(|e| e.outcome() != Some(Outcome::Delivered)),
             "no carrier, no deliveries inside the outage"
         );
         assert!(run.stats.delivered > 0, "recovers outside the window");

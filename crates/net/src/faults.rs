@@ -162,6 +162,7 @@ impl FaultSpec {
     /// pure function of `(self, n_slots, n_tags)` — property-tested for
     /// same-seed bit-identity. Windows are clamped inside the horizon.
     pub fn schedule(&self, n_slots: u64, n_tags: usize) -> FaultSchedule {
+        fmbs_obs::span!(fmbs_obs::stages::FAULT_SCHEDULE);
         let mut rng = StdRng::seed_from_u64(self.seed ^ (0xFA17 << 32));
         let mut windows = |count: u32, len: u32| -> Vec<Window> {
             if n_slots == 0 || len == 0 {
@@ -345,7 +346,7 @@ pub fn recovery_time_slots(
     // Prefix sums of deliveries: delivered in [a, b) = pre[b] - pre[a].
     let mut pre = vec![0u64; horizon as usize + 1];
     for e in trace {
-        if e.outcome == Outcome::Delivered && e.slot < horizon {
+        if e.outcome() == Some(Outcome::Delivered) && e.slot < horizon {
             pre[e.slot as usize + 1] += 1;
         }
     }
@@ -472,8 +473,10 @@ mod tests {
             .map(|&slot| TraceEvent {
                 slot,
                 tag: 0,
-                channel: 0,
-                outcome: Outcome::Delivered,
+                kind: crate::engine::TraceKind::Attempt {
+                    channel: 0,
+                    outcome: Outcome::Delivered,
+                },
             })
             .collect()
     }

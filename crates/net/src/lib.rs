@@ -68,8 +68,8 @@ pub mod metrics;
 pub mod prelude {
     pub use crate::deploy::{city_occupancy, Deployment, HarvestProfile, TagSite};
     pub use crate::engine::{
-        ArqConfig, Arrival, ArrivalTrace, Event, EventQueue, NetRun, NetStats, NetworkConfig,
-        NetworkSim, Outcome, TraceEvent, Traffic,
+        ArqConfig, Arrival, ArrivalTrace, Event, EventQueue, EventTrace, NetRun, NetStats,
+        NetworkConfig, NetworkSim, Outcome, TraceEvent, TraceKind, Traffic,
     };
     pub use crate::faults::{recovery_time_slots, FaultKind, FaultSchedule, FaultSpec, Window};
     pub use crate::link::{BerTable, BerTableSpec, TableDelta, TableDeltaCell};

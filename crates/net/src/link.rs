@@ -95,6 +95,7 @@ impl BerTable {
     /// through the ordinary sweep engine (so calibration itself runs on
     /// parallel workers with deterministic per-point seeding).
     pub fn calibrate(sim: &dyn Simulator, spec: &BerTableSpec) -> Self {
+        fmbs_obs::span!(fmbs_obs::stages::BER_CALIBRATE);
         let np = spec.powers_dbm.len();
         let nd = spec.distances_ft.len();
         let mut ber = Vec::with_capacity(spec.bitrates.len() * np * nd);
@@ -168,6 +169,7 @@ impl BerTable {
     /// Panics if `bitrate` was not calibrated — a rate the table has
     /// never seen cannot be meaningfully interpolated.
     pub fn lookup(&self, bitrate: Bitrate, power_dbm: f64, distance_ft: f64) -> f64 {
+        fmbs_obs::span!(fmbs_obs::stages::BER_LOOKUP);
         let bi = self
             .bitrates
             .iter()
@@ -344,6 +346,7 @@ impl PacketModel {
     /// rate-1/2 convolutional code with block interleaving, `trials`
     /// frames per grid BER. Deterministic in `seed`.
     pub fn coded(packet_bits: u32, trials: u32, seed: u64) -> Self {
+        fmbs_obs::span!(fmbs_obs::stages::PACKET_MODEL);
         use fmbs_core::modem::fec::{decode_from_rx, encode_for_tx};
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};

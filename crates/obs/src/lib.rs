@@ -1,0 +1,516 @@
+//! Deterministic, opt-in tracing and metrics.
+//!
+//! Every layer of the stack — DSP kernels, the sweep engine's caches,
+//! the network event loop, the repro CLI — can mark *stages* (named
+//! wall-time regions) and bump *counters* without knowing whether
+//! anyone is listening. A [`Collector`] is *installed* into a
+//! thread-local ([`install`]) for the duration of a profiled run;
+//! while none is installed, [`stage`] and [`counter`] reduce to one
+//! thread-local read and touch nothing else — no clock reads, no
+//! allocation, and (critically) **no RNG stream**, so a profiled run
+//! is bit-identical to an unprofiled one.
+//!
+//! # Stage accounting
+//!
+//! Stages nest: the network event loop contains ARQ handling, a sweep
+//! point contains host-audio synthesis. Each [`StageGuard`] therefore
+//! tracks two durations — `total` (guard construction to drop) and
+//! `self` (total minus the time spent in *nested* stages, via a
+//! thread-local stack of child accumulators). Self-times of all stages
+//! are disjoint by construction, so their sum is a lower bound on run
+//! wall-time and a per-figure breakdown table adds up instead of
+//! double-counting.
+//!
+//! # Parallel merges
+//!
+//! The sweep engine gives each worker thread its own child collector
+//! ([`Collector::child`], sharing the parent's epoch so span
+//! timestamps stay on one axis) and absorbs them **in worker order**
+//! after the scope joins ([`Collector::absorb`]). Stage and counter
+//! maps are `BTreeMap`s, so report ordering is deterministic however
+//! the workers interleaved.
+//!
+//! # Spans
+//!
+//! When constructed with [`Collector::with_spans`], every stage call
+//! additionally records a [`SpanRecord`] (stage, worker, start offset,
+//! duration) up to a hard cap; past it, spans are counted as dropped —
+//! never silently discarded — and the exporter reports the truncation.
+//!
+//! # Worked example
+//!
+//! `repro --profile network_capacity` installs a collector around the
+//! figure regeneration and prints the per-stage breakdown:
+//!
+//! ```text
+//! profile network_capacity (wall 0.127 s):
+//!   stage                      calls    total s     self s  % wall
+//!   ber_calibrate                  1     0.0554     0.0001    0.1%
+//!   fft_conv                      88     0.0178     0.0178   14.0%
+//!   net_engine                    20     0.0442     0.0441   34.6%
+//!   packet_model                   3     0.0272     0.0272   21.4%
+//!   sweep_point                   52     0.0996     0.0357   28.0%
+//!   ...
+//!   stage self-times cover 0.127 s = 99.7% of figure wall-time
+//!   counters: cache.host_hits=30 cache.host_misses=2 ...
+//! ```
+//!
+//! The same data can be exported as JSONL spans (`--trace-out`) or
+//! snapshotted into a canonical-JSON run manifest (`--manifest`). The
+//! equivalent in-process use:
+//!
+//! ```
+//! let collector = fmbs_obs::Collector::new();
+//! {
+//!     let _guard = fmbs_obs::install(Some(collector.clone()));
+//!     {
+//!         fmbs_obs::span!("my_stage");
+//!         fmbs_obs::counter!("items", 3);
+//!     }
+//! }
+//! assert_eq!(collector.stage_stats()[0].1.calls, 1);
+//! assert_eq!(collector.counter_value("items"), 3);
+//! ```
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Canonical stage names, so call sites and report readers agree on
+/// spelling. Free-form names work too — these are the stages the repro
+/// profiler documents.
+pub mod stages {
+    /// Host-programme audio synthesis (`Scenario::host_audio`).
+    pub const HOST_AUDIO: &str = "host_audio_synth";
+    /// Tag payload waveform synthesis (`Workload::synthesise`).
+    pub const PAYLOAD_SYNTH: &str = "payload_synth";
+    /// The physical tier's RF front end (host modulator + backscatter
+    /// product).
+    pub const RF_FRONT_END: &str = "rf_front_end";
+    /// FFT-based convolution (overlap–save) in the DSP layer.
+    pub const FFT_CONV: &str = "fft_conv";
+    /// One sweep point: a metric evaluated against one scenario.
+    pub const SWEEP_POINT: &str = "sweep_point";
+    /// Link-table BER lookups (deployment-time and fallback).
+    pub const BER_LOOKUP: &str = "ber_lookup";
+    /// Link-table calibration (the nested sweep it runs).
+    pub const BER_CALIBRATE: &str = "ber_calibrate";
+    /// Packet-survival Monte-Carlo through the FEC decoder.
+    pub const PACKET_MODEL: &str = "packet_model";
+    /// The network engine's event loop (one full run).
+    pub const NET_ENGINE: &str = "net_engine";
+    /// ARQ loss handling (retransmit/abandon bookkeeping).
+    pub const ARQ_RETX: &str = "arq_retx";
+    /// Fault schedule generation from a `FaultSpec`.
+    pub const FAULT_SCHEDULE: &str = "fault_schedule";
+    /// Workload arrival-trace generation.
+    pub const TRACE_GEN: &str = "workload_trace_gen";
+}
+
+/// Aggregate wall-time of one named stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Times the stage was entered.
+    pub calls: u64,
+    /// Wall-time inside the stage, nested stages included (ns).
+    pub total_nanos: u64,
+    /// Wall-time exclusive to the stage: `total` minus time spent in
+    /// nested stages (ns). Self-times of all stages are disjoint.
+    pub self_nanos: u64,
+}
+
+/// One recorded stage invocation (span export; see
+/// [`Collector::with_spans`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Stage name.
+    pub stage: &'static str,
+    /// Worker index the span ran on (0 = the installing thread).
+    pub worker: u32,
+    /// Start offset from the collector's epoch (ns).
+    pub start_nanos: u64,
+    /// Duration, nested stages included (ns).
+    pub dur_nanos: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    stages: BTreeMap<&'static str, StageStats>,
+    counters: BTreeMap<&'static str, u64>,
+    spans: Vec<SpanRecord>,
+    spans_dropped: u64,
+}
+
+/// A profiling sink: aggregate stage stats, counters and (optionally)
+/// per-invocation spans. Install with [`install`]; share across sweep
+/// workers via [`Collector::child`] + [`Collector::absorb`].
+#[derive(Debug)]
+pub struct Collector {
+    inner: Mutex<Inner>,
+    /// Common time origin for span start offsets (children copy it).
+    epoch: Instant,
+    /// Max spans retained (0 = span recording off).
+    span_cap: usize,
+    /// Worker index stamped onto recorded spans.
+    worker: u32,
+}
+
+impl Collector {
+    /// An aggregate-only collector (no span records).
+    pub fn new() -> Arc<Collector> {
+        Arc::new(Collector {
+            inner: Mutex::new(Inner::default()),
+            epoch: Instant::now(),
+            span_cap: 0,
+            worker: 0,
+        })
+    }
+
+    /// A collector that also records up to `cap` individual spans;
+    /// further spans count as dropped ([`Collector::spans`] reports
+    /// the count — truncation is never silent).
+    pub fn with_spans(cap: usize) -> Arc<Collector> {
+        Arc::new(Collector {
+            inner: Mutex::new(Inner::default()),
+            epoch: Instant::now(),
+            span_cap: cap,
+            worker: 0,
+        })
+    }
+
+    /// A per-worker child sharing this collector's epoch (span
+    /// timestamps stay on one axis) and span cap. Absorb it back with
+    /// [`Collector::absorb`] once the worker joins.
+    pub fn child(&self, worker: u32) -> Arc<Collector> {
+        Arc::new(Collector {
+            inner: Mutex::new(Inner::default()),
+            epoch: self.epoch,
+            span_cap: self.span_cap,
+            worker,
+        })
+    }
+
+    /// Merges a child's stages, counters and spans into this
+    /// collector. Call in worker order: `BTreeMap` keys make stage and
+    /// counter reports order-independent anyway, but span order then
+    /// follows `(worker, start)` deterministically for equal inputs.
+    pub fn absorb(&self, child: &Collector) {
+        let c = child.inner.lock().expect("child collector lock");
+        let mut inner = self.inner.lock().expect("collector lock");
+        for (name, s) in &c.stages {
+            let e = inner.stages.entry(name).or_default();
+            e.calls += s.calls;
+            e.total_nanos += s.total_nanos;
+            e.self_nanos += s.self_nanos;
+        }
+        for (name, v) in &c.counters {
+            *inner.counters.entry(name).or_default() += v;
+        }
+        inner.spans_dropped += c.spans_dropped;
+        for span in &c.spans {
+            if inner.spans.len() < self.span_cap {
+                inner.spans.push(*span);
+            } else {
+                inner.spans_dropped += 1;
+            }
+        }
+    }
+
+    fn record_stage(&self, name: &'static str, total: u64, self_nanos: u64, start: u64) {
+        let mut inner = self.inner.lock().expect("collector lock");
+        let e = inner.stages.entry(name).or_default();
+        e.calls += 1;
+        e.total_nanos += total;
+        e.self_nanos += self_nanos;
+        if self.span_cap > 0 {
+            if inner.spans.len() < self.span_cap {
+                let worker = self.worker;
+                inner.spans.push(SpanRecord {
+                    stage: name,
+                    worker,
+                    start_nanos: start,
+                    dur_nanos: total,
+                });
+            } else {
+                inner.spans_dropped += 1;
+            }
+        }
+    }
+
+    fn add_counter(&self, name: &'static str, delta: u64) {
+        let mut inner = self.inner.lock().expect("collector lock");
+        *inner.counters.entry(name).or_default() += delta;
+    }
+
+    /// Snapshot of the stage stats, sorted by name.
+    pub fn stage_stats(&self) -> Vec<(&'static str, StageStats)> {
+        let inner = self.inner.lock().expect("collector lock");
+        inner.stages.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// Snapshot of the counters, sorted by name.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        let inner = self.inner.lock().expect("collector lock");
+        inner.counters.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// One counter's value (0 when never bumped).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        let inner = self.inner.lock().expect("collector lock");
+        inner.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of the recorded spans plus the number dropped past the
+    /// cap.
+    pub fn spans(&self) -> (Vec<SpanRecord>, u64) {
+        let inner = self.inner.lock().expect("collector lock");
+        (inner.spans.clone(), inner.spans_dropped)
+    }
+
+    /// Sum of all stage self-times in seconds — a lower bound on the
+    /// run's wall-time (self-times are disjoint).
+    pub fn self_time_secs(&self) -> f64 {
+        let inner = self.inner.lock().expect("collector lock");
+        inner.stages.values().map(|s| s.self_nanos).sum::<u64>() as f64 * 1e-9
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Arc<Collector>>> = const { RefCell::new(None) };
+    // Per-thread stack of child-time accumulators, one per live stage
+    // guard: dropping a guard adds its total to the parent's slot, so
+    // the parent's self-time excludes it.
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The collector installed on this thread, if any.
+pub fn active() -> Option<Arc<Collector>> {
+    ACTIVE.with(|a| a.borrow().clone())
+}
+
+/// Installs `collector` as this thread's active sink until the
+/// returned guard drops (restoring whatever was active before, so
+/// nested profiled runs stay correct).
+pub fn install(collector: Option<Arc<Collector>>) -> ObsGuard {
+    let prev = ACTIVE.with(|a| a.replace(collector));
+    ObsGuard { prev }
+}
+
+/// Restores the previously active collector on drop (see [`install`]).
+pub struct ObsGuard {
+    prev: Option<Arc<Collector>>,
+}
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        ACTIVE.with(|a| *a.borrow_mut() = prev);
+    }
+}
+
+/// Opens a named stage; the returned guard closes it on drop. With no
+/// collector installed this is one thread-local read — no clock, no
+/// lock, no allocation.
+pub fn stage(name: &'static str) -> StageGuard {
+    let Some(collector) = ACTIVE.with(|a| a.borrow().clone()) else {
+        return StageGuard { open: None };
+    };
+    STACK.with(|s| s.borrow_mut().push(0));
+    StageGuard {
+        open: Some((collector, name, Instant::now())),
+    }
+}
+
+/// Adds `delta` to a named counter (no-op without a collector).
+pub fn counter(name: &'static str, delta: u64) {
+    ACTIVE.with(|a| {
+        if let Some(c) = a.borrow().as_ref() {
+            c.add_counter(name, delta);
+        }
+    });
+}
+
+/// An open stage: records stats into the collector on drop.
+pub struct StageGuard {
+    open: Option<(Arc<Collector>, &'static str, Instant)>,
+}
+
+impl Drop for StageGuard {
+    fn drop(&mut self) {
+        let Some((collector, name, start)) = self.open.take() else {
+            return;
+        };
+        let total = start.elapsed().as_nanos() as u64;
+        let child = STACK.with(|s| s.borrow_mut().pop()).unwrap_or(0);
+        STACK.with(|s| {
+            if let Some(parent) = s.borrow_mut().last_mut() {
+                *parent += total;
+            }
+        });
+        let start_off = start.saturating_duration_since(collector.epoch).as_nanos() as u64;
+        collector.record_stage(name, total, total.saturating_sub(child), start_off);
+    }
+}
+
+/// Opens a stage for the rest of the enclosing block:
+/// `span!(stages::NET_ENGINE);`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        let _fmbs_obs_span_guard = $crate::stage($name);
+    };
+}
+
+/// Bumps a counter: `counter!("cache.host_hits")` or
+/// `counter!("net.trace_dropped", n)`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {
+        $crate::counter($name, 1)
+    };
+    ($name:expr, $delta:expr) => {
+        $crate::counter($name, $delta)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_stage_records_nothing() {
+        assert!(active().is_none());
+        {
+            span!("idle");
+            counter!("idle", 5);
+        }
+        assert!(active().is_none());
+    }
+
+    #[test]
+    fn stage_and_counter_aggregate() {
+        let c = Collector::new();
+        {
+            let _g = install(Some(c.clone()));
+            for _ in 0..3 {
+                span!("outer");
+                counter!("work", 2);
+            }
+        }
+        let stats = c.stage_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].0, "outer");
+        assert_eq!(stats[0].1.calls, 3);
+        assert_eq!(c.counter_value("work"), 6);
+        assert_eq!(c.counter_value("missing"), 0);
+        assert!(active().is_none(), "guard restored the empty state");
+    }
+
+    #[test]
+    fn nested_stages_split_self_time() {
+        let c = Collector::new();
+        {
+            let _g = install(Some(c.clone()));
+            let _outer = stage("outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = stage("inner");
+                std::thread::sleep(std::time::Duration::from_millis(4));
+            }
+        }
+        let stats: BTreeMap<_, _> = c.stage_stats().into_iter().collect();
+        let outer = stats["outer"];
+        let inner = stats["inner"];
+        // The parent's total covers the child; its self-time excludes it.
+        assert!(outer.total_nanos >= inner.total_nanos);
+        assert!(outer.self_nanos <= outer.total_nanos - inner.total_nanos);
+        assert_eq!(inner.self_nanos, inner.total_nanos);
+        // Disjoint self-times: the sum never exceeds the outer total.
+        assert!(inner.self_nanos + outer.self_nanos <= outer.total_nanos);
+    }
+
+    #[test]
+    fn install_restores_the_previous_collector() {
+        let a = Collector::new();
+        let b = Collector::new();
+        let _ga = install(Some(a.clone()));
+        {
+            let _gb = install(Some(b.clone()));
+            counter!("who", 1);
+        }
+        counter!("who", 10);
+        assert_eq!(b.counter_value("who"), 1);
+        assert_eq!(a.counter_value("who"), 10);
+    }
+
+    #[test]
+    fn worker_ordered_merge_is_deterministic() {
+        // Two children with different contents, absorbed in worker
+        // order: the merged report must be identical however the
+        // children's own work interleaved, and a second identical merge
+        // must reproduce it exactly.
+        let merged = || {
+            let parent = Collector::with_spans(16);
+            let c0 = parent.child(0);
+            let c1 = parent.child(1);
+            for (c, n) in [(&c0, 2u64), (&c1, 3u64)] {
+                let _g = install(Some((*c).clone()));
+                for _ in 0..n {
+                    span!("stage_b");
+                    counter!("n", 1);
+                }
+                span!("stage_a");
+            }
+            parent.absorb(&c0);
+            parent.absorb(&c1);
+            (
+                parent
+                    .stage_stats()
+                    .iter()
+                    .map(|(k, v)| (*k, v.calls))
+                    .collect::<Vec<_>>(),
+                parent.counters(),
+            )
+        };
+        let (stages_a, counters_a) = merged();
+        let (stages_b, counters_b) = merged();
+        assert_eq!(stages_a, vec![("stage_a", 2), ("stage_b", 5)]);
+        assert_eq!(counters_a, vec![("n", 5)]);
+        assert_eq!(stages_a, stages_b);
+        assert_eq!(counters_a, counters_b);
+    }
+
+    #[test]
+    fn span_cap_counts_drops_instead_of_silently_losing() {
+        let c = Collector::with_spans(4);
+        {
+            let _g = install(Some(c.clone()));
+            for _ in 0..10 {
+                span!("s");
+            }
+        }
+        let (spans, dropped) = c.spans();
+        assert_eq!(spans.len(), 4);
+        assert_eq!(dropped, 6);
+        // Aggregates keep counting past the span cap.
+        assert_eq!(c.stage_stats()[0].1.calls, 10);
+    }
+
+    #[test]
+    fn absorb_respects_the_parent_span_cap() {
+        let parent = Collector::with_spans(3);
+        let child = parent.child(7);
+        {
+            let _g = install(Some(child.clone()));
+            for _ in 0..5 {
+                span!("s");
+            }
+        }
+        parent.absorb(&child);
+        let (spans, dropped) = parent.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(dropped, 2);
+        assert!(spans.iter().all(|s| s.worker == 7));
+    }
+}

@@ -86,6 +86,7 @@ impl TraceSpec {
     /// bit-for-bit. [`ArrivalModel::Saturated`] has no trace (the
     /// engine's full-buffer mode replaces it) and yields empty queues.
     pub fn generate(&self) -> ArrivalTrace {
+        fmbs_obs::span!(fmbs_obs::stages::TRACE_GEN);
         let shape = shape_of(self.profile);
         let msg_rate = self.offered_load.max(0.0) / shape.mean_packets();
         let per_tag = (0..self.n_tags)

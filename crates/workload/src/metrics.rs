@@ -105,14 +105,14 @@ impl WorkloadSpec {
     }
 
     /// Like [`WorkloadSpec::run`] but optionally records and returns
-    /// the engine's per-attempt trace — the resilience metrics need it
-    /// to measure goodput recovery around a fault window. `run` is this
-    /// with recording off (an empty trace costs nothing).
+    /// the engine's slot-level event trace — the resilience metrics
+    /// need it to measure goodput recovery around a fault window. `run`
+    /// is this with recording off (an empty trace costs nothing).
     pub fn run_traced(
         &self,
         scenario: &Scenario,
         record_trace: bool,
-    ) -> (WorkloadStats, Vec<fmbs_net::engine::TraceEvent>) {
+    ) -> (WorkloadStats, fmbs_net::engine::EventTrace) {
         let mut cfg = self.net.config(scenario);
         cfg.record_trace = record_trace;
         if scenario.arrival_model == ArrivalModel::Saturated {

@@ -109,7 +109,7 @@ impl Metric for RecoveryTimeSlots {
         let (stats, trace) = self.spec.run_traced(scenario, true);
         debug_assert!(stats.conserved(), "queue conservation violated");
         recovery_time_slots(
-            &trace,
+            &trace.events,
             span.start,
             span.end,
             self.window_slots,

@@ -279,6 +279,58 @@ proptest! {
         }
     }
 
+    /// Observability is semantically invisible on the sweep engine:
+    /// installing a span-recording collector around a sweep — serial or
+    /// parallel — leaves every point bit-identical to an unprofiled
+    /// run, while the collector really does fill with stage data (the
+    /// no-op path must not silently extend to the installed path).
+    #[test]
+    fn sweep_observability_is_invisible(
+        threads in 2usize..6,
+        n_powers in 1usize..3,
+        repeats in 1usize..3,
+    ) {
+        use fmbs_core::modem::Bitrate;
+        use fmbs_core::sim::fast::FastSim;
+        use fmbs_core::sim::metric::Ber;
+        use fmbs_core::sim::scenario::Workload;
+        use fmbs_core::sim::sweep::SweepBuilder;
+        let base = Scenario::bench(-40.0, 4.0, ProgramKind::News)
+            .with_workload(Workload::data(Bitrate::Kbps3_2, 60));
+        let sweep = SweepBuilder::new(base)
+            .powers_dbm((0..n_powers).map(|i| -30.0 - 10.0 * i as f64))
+            .repeats(repeats);
+        let plain_serial = sweep.run_serial(&FastSim, &Ber::default());
+        let plain_parallel = sweep.clone().threads(threads).run(&FastSim, &Ber::default());
+        let obs = fmbs_obs::Collector::with_spans(1 << 14);
+        let (prof_serial, prof_parallel) = {
+            let _g = fmbs_obs::install(Some(obs.clone()));
+            (
+                sweep.run_serial(&FastSim, &Ber::default()),
+                sweep.clone().threads(threads).run(&FastSim, &Ber::default()),
+            )
+        };
+        for (a, b) in plain_serial.points.iter().zip(&prof_serial.points) {
+            prop_assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
+        for (a, b) in plain_parallel.points.iter().zip(&prof_parallel.points) {
+            prop_assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
+        prop_assert_eq!(plain_serial.cache, prof_serial.cache);
+        // The collector listened: both runs' sweep points were staged,
+        // and cache counters mirror the profiled runs' serialized stats
+        // (parallel miss counts are racy — concurrent workers may both
+        // miss one key — so only the profiled runs' own totals match).
+        let stages: std::collections::BTreeMap<_, _> =
+            obs.stage_stats().into_iter().collect();
+        let expected = 2 * plain_serial.points.len() as u64;
+        prop_assert_eq!(stages[fmbs_obs::stages::SWEEP_POINT].calls, expected);
+        prop_assert_eq!(
+            obs.counter_value("cache.host_misses") as usize,
+            prof_serial.cache.host_misses + prof_parallel.cache.host_misses
+        );
+    }
+
     /// Trace generation (§8 workload tier) is a pure function of its
     /// spec: the same seed reproduces the trace bit-for-bit, a
     /// different seed moves the arrivals, and every arrival respects
@@ -405,9 +457,26 @@ proptest! {
         // f_back), so the expensive front end derives once per
         // repetition and hits thereafter; a disabled cache reports
         // nothing.
-        prop_assert_eq!(serial.front_end.misses, repeats);
-        prop_assert_eq!(serial.front_end.hits, repeats);
-        prop_assert_eq!(uncached.front_end, Default::default());
+        prop_assert_eq!(serial.cache.front_end_misses, repeats);
+        prop_assert_eq!(serial.cache.front_end_hits, repeats);
+        prop_assert_eq!(uncached.cache, Default::default());
+        // Observability on the physical tier is equally invisible: a
+        // profiled serial run is bit-identical, and the collector saw
+        // the RF front end run.
+        let obs = fmbs_obs::Collector::new();
+        let profiled = {
+            let _g = fmbs_obs::install(Some(obs.clone()));
+            sweep.run_serial(physical, &metric)
+        };
+        for (s, p) in serial.points.iter().zip(&profiled.points) {
+            prop_assert_eq!(s.value.to_bits(), p.value.to_bits());
+        }
+        prop_assert_eq!(
+            obs.counter_value("cache.front_end_misses") as usize,
+            repeats
+        );
+        let stages: Vec<&str> = obs.stage_stats().iter().map(|(n, _)| *n).collect();
+        prop_assert!(stages.contains(&fmbs_obs::stages::RF_FRONT_END));
     }
 }
 
@@ -663,6 +732,49 @@ proptest! {
             .with_faults(FaultSpec::none().with_seed(fault_seed)))
             .run(&s);
         prop_assert_eq!(format!("{:?}", plain), format!("{:?}", zeroed));
+    }
+
+    /// Observability is invisible to the queued engine under its most
+    /// eventful configurations: saturated, traced and faulted runs
+    /// (ARQ on or off) are bit-identical — statistics *and* the
+    /// slot-level event trace — with a span-recording collector
+    /// installed, while the collector fills with engine stages.
+    #[test]
+    fn chaos_observability_is_invisible(
+        n_tags in 2u32..64,
+        kind_idx in 0usize..4,
+        model_idx in 0usize..3,
+        arq_on in any::<bool>(),
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        use fmbs_core::sim::scenario::ArrivalModel;
+        use fmbs_net::prelude::{ArqConfig, NetSpec};
+        use fmbs_workload::prelude::WorkloadSpec;
+        let mut net = NetSpec::new(shared_ber_table())
+            .with_faults(chaos_fault_spec(kind_idx, fault_seed, 2, 80, 0.3));
+        if arq_on {
+            net = net.with_arq(ArqConfig::default());
+        }
+        let spec = WorkloadSpec::new(net);
+        let mut s = chaos_scenario(n_tags, 300, 0.05, seed);
+        s.arrival_model =
+            [ArrivalModel::Poisson, ArrivalModel::Saturated, ArrivalModel::Mmpp][model_idx];
+        let (plain_stats, plain_trace) = spec.run_traced(&s, true);
+        let obs = fmbs_obs::Collector::with_spans(1 << 14);
+        let (prof_stats, prof_trace) = {
+            let _g = fmbs_obs::install(Some(obs.clone()));
+            spec.run_traced(&s, true)
+        };
+        prop_assert_eq!(
+            format!("{:?}", plain_stats),
+            format!("{:?}", prof_stats)
+        );
+        prop_assert_eq!(plain_trace.events, prof_trace.events);
+        prop_assert_eq!(plain_trace.dropped(), prof_trace.dropped());
+        let stages: Vec<&str> = obs.stage_stats().iter().map(|(n, _)| *n).collect();
+        prop_assert!(stages.contains(&fmbs_obs::stages::NET_ENGINE));
+        prop_assert!(stages.contains(&fmbs_obs::stages::FAULT_SCHEDULE));
     }
 
     /// Fault schedules are a pure function of their spec: the same spec
