@@ -203,16 +203,20 @@ fn parse_cli() -> Cli {
 }
 
 /// Resolves experiment ids (all of them when none given); the family
-/// ids `calibration`, `workload_slo` and `fault_resilience` expand to
-/// every figure sharing the prefix; unknown ids exit non-zero with
-/// near-miss suggestions.
+/// ids `calibration`, `workload_slo`, `fault_resilience` and
+/// `metro_scale` expand to every figure sharing the prefix; unknown ids
+/// exit non-zero with near-miss suggestions.
 fn resolve_specs(ids: &[String]) -> Vec<&'static ExperimentSpec> {
     if ids.is_empty() {
         return REGISTRY.iter().collect();
     }
     ids.iter()
         .flat_map(|id| {
-            if id == "calibration" || id == "workload_slo" || id == "fault_resilience" {
+            if id == "calibration"
+                || id == "workload_slo"
+                || id == "fault_resilience"
+                || id == "metro_scale"
+            {
                 let prefix = format!("{id}_");
                 return REGISTRY
                     .iter()
@@ -230,6 +234,21 @@ fn resolve_specs(ids: &[String]) -> Vec<&'static ExperimentSpec> {
             })]
         })
         .collect()
+}
+
+/// Build-time validation for the metro figures before any regeneration
+/// runs: an invalid deployment exits 2 with the typed
+/// [`fmbs_net::prelude::DeploymentError`]'s message and hint — the same
+/// UX as an unknown id or tier, instead of a panic minutes into a run.
+fn require_valid_metro(specs: &[&'static ExperimentSpec], grid: Grid) {
+    if !specs.iter().any(|s| s.id.starts_with("metro_scale")) {
+        return;
+    }
+    if let Err(e) = experiments::metro_preflight(grid) {
+        eprintln!("invalid metro deployment: {e}");
+        eprintln!("  hint: {}", e.hint());
+        std::process::exit(2);
+    }
 }
 
 /// Validates that every resolved figure can run on the requested tier;
@@ -290,6 +309,7 @@ fn run_perf(path: &str, label: &str, gate: bool) {
             perf::last_net_record("BENCH_net.json"),
             perf::last_net_workload_record("BENCH_net.json"),
             perf::last_net_faults_record("BENCH_net.json"),
+            perf::last_net_metro_record("BENCH_net.json"),
         )
     });
     let rec = match perf::record_full(path, label, 3) {
@@ -356,7 +376,30 @@ fn run_perf(path: &str, label: &str, gate: bool) {
             std::process::exit(1);
         }
     };
-    if let Some((sweep_baseline, net_baseline, workload_baseline, faults_baseline)) = baselines {
+    // The metro run is the 10^6-tag x 10^4-slot acceptance bar: one
+    // timed sample (it dwarfs the others), sharded on every core.
+    let metro_rec = match perf::record_net_metro(&net_path, label, 1) {
+        Ok(rec) => {
+            println!(
+                "metro throughput: {} tags x {} slots (16 cells, capture on) in {:.2} s \
+                 ({:.2e} tag-slots/s, {} packets delivered) -> {net_path}",
+                rec.n_tags, rec.n_slots, rec.elapsed_s, rec.tag_slots_per_sec, rec.delivered,
+            );
+            rec
+        }
+        Err(e) => {
+            eprintln!("--perf (metro) failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some((
+        sweep_baseline,
+        net_baseline,
+        workload_baseline,
+        faults_baseline,
+        metro_baseline,
+    )) = baselines
+    {
         // The workload and faults populations are newer than the shared
         // series file: a parseable file with no such record yet seeds
         // the series instead of failing the gate.
@@ -384,11 +427,24 @@ fn run_perf(path: &str, label: &str, gate: bool) {
             }
             Err(e) => Some(Err(e)),
         };
+        let metro_outcome = match metro_baseline {
+            Ok(Some(b)) => Some(Ok(perf::gate_net_metro(
+                &b,
+                &metro_rec,
+                perf::MAX_PERF_DROP,
+            ))),
+            Ok(None) => {
+                println!("metro tag-slots/s: no committed baseline yet; seeding the series");
+                None
+            }
+            Err(e) => Some(Err(e)),
+        };
         let outcomes = [
             Some(sweep_baseline.map(|b| perf::gate_sweep(&b, &rec, perf::MAX_PERF_DROP))),
             Some(net_baseline.map(|b| perf::gate_net(&b, &net_rec, perf::MAX_PERF_DROP))),
             workload_outcome,
             faults_outcome,
+            metro_outcome,
         ];
         let mut failed = false;
         for outcome in outcomes.into_iter().flatten() {
@@ -723,6 +779,7 @@ fn main() {
         );
     }
     require_tier_capable(&specs, cli.tier);
+    require_valid_metro(&specs, if cli.full { Grid::Full } else { Grid::Quick });
     if cli.check {
         run_check(&specs, &cli.goldens_dir);
         return;

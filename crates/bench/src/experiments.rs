@@ -24,7 +24,8 @@ use fmbs_core::sim::scenario::{AppProfile, ArrivalModel, Scenario, Workload};
 use fmbs_core::sim::sweep::{SweepBuilder, SweepResults};
 use fmbs_core::sim::Tier;
 use fmbs_net::prelude::{
-    ArqConfig, BerTable, BerTableSpec, FaultKind, FaultSpec, NetCollisionRate, NetGoodput, NetSpec,
+    ArqConfig, BerTable, BerTableSpec, Deployment, FaultKind, FaultSpec, NetCollisionRate,
+    NetGoodput, NetSpec, Receiver, Station,
 };
 use fmbs_survey::drive::DriveSurvey;
 use fmbs_survey::occupancy;
@@ -32,8 +33,8 @@ use fmbs_survey::stations::City;
 use fmbs_survey::stereo_util;
 use fmbs_survey::temporal::TemporalSurvey;
 use fmbs_workload::prelude::{
-    DeadlineMissRate, DeliveryRatio, OfferedVsGoodput, Policy, RecoveryTimeSlots, RetxOverhead,
-    SloLatencyP99, SloLatencyP999, WorkloadSpec,
+    domain_fairness, DeadlineMissRate, DeliveryRatio, OfferedVsGoodput, Policy, RecoveryTimeSlots,
+    RetxOverhead, SloLatencyP99, SloLatencyP999, WorkloadSpec,
 };
 use std::sync::Arc;
 
@@ -779,6 +780,15 @@ pub fn ablation(_grid: Grid) -> Experiment {
     }
 }
 
+/// Since PR 9 every figure's flat network spec is assembled through the
+/// [`Deployment`] builder and the `From<Deployment> for NetSpec` shim,
+/// so build-time validation (band, ARQ, fault windows) fronts each
+/// sweep. The builder's tag count is a placeholder here: a flat
+/// [`NetSpec`] takes its density from the scenario's `n_tags` axis.
+fn deployed(table: &Arc<BerTable>) -> Deployment {
+    Deployment::city(1).link(table.clone())
+}
+
 /// §8 at deployment scale — aggregate goodput and collision rate versus
 /// tag density, simulated on the `fmbs-net` network tier over a link
 /// abstraction calibrated from the fast physics tier.
@@ -804,7 +814,7 @@ pub fn network_capacity(grid: Grid) -> Experiment {
     let goodput = SweepBuilder::new(base)
         .n_tags(n_tags.iter().copied())
         .mac_slot_counts(frames)
-        .run(&FastSim, &NetGoodput(NetSpec::new(table.clone())));
+        .run(&FastSim, &NetGoodput(NetSpec::from(deployed(&table))));
     let mut series: Vec<Series> = goodput
         .series_by(|v| v.scenario.mac_slots, |v| v.scenario.n_tags as f64)
         .into_iter()
@@ -816,11 +826,9 @@ pub fn network_capacity(grid: Grid) -> Experiment {
         .mac_slot_counts([frames[1]])
         .run(
             &FastSim,
-            &NetGoodput(
-                NetSpec::new(table.clone()).with_harvest(HarvestProfile::Solar(
-                    fmbs_core::harvest::Illumination::Streetlight,
-                )),
-            ),
+            &NetGoodput(NetSpec::from(deployed(&table).harvest(
+                HarvestProfile::Solar(fmbs_core::harvest::Illumination::Streetlight),
+            ))),
         );
     series.push(Series::new(
         "goodput (bps), streetlight harvest",
@@ -830,7 +838,7 @@ pub fn network_capacity(grid: Grid) -> Experiment {
     let collisions = SweepBuilder::new(base)
         .n_tags(n_tags.iter().copied())
         .mac_slot_counts([frames[1]])
-        .run(&FastSim, &NetCollisionRate(NetSpec::new(table)));
+        .run(&FastSim, &NetCollisionRate(NetSpec::from(deployed(&table))));
     series.push(Series::new(
         "collision rate",
         collisions.series(|v| v.scenario.n_tags as f64),
@@ -898,7 +906,7 @@ fn workload_table(grid: Grid) -> Arc<BerTable> {
 pub fn workload_slo_latency(grid: Grid) -> Experiment {
     let table = workload_table(grid);
     let tags = workload_tags(grid);
-    let spec = || WorkloadSpec::new(NetSpec::new(table.clone()));
+    let spec = || WorkloadSpec::new(NetSpec::from(deployed(&table)));
 
     let mut series = Vec::new();
     for (model, name) in [
@@ -953,7 +961,7 @@ pub fn workload_slo_latency(grid: Grid) -> Experiment {
 pub fn workload_slo_miss(grid: Grid) -> Experiment {
     let table = workload_table(grid);
     let tags = workload_tags(grid);
-    let spec = || WorkloadSpec::new(NetSpec::new(table.clone()));
+    let spec = || WorkloadSpec::new(NetSpec::from(deployed(&table)));
 
     let mut series = Vec::new();
     for (policy, name) in [
@@ -1026,13 +1034,13 @@ pub fn fault_plan(kind: FaultKind) -> FaultSpec {
 /// Shared deployment under test: streetlight-harvested tags (so
 /// brownouts actually starve something) with the default ARQ on.
 fn fault_workload(table: &Arc<BerTable>) -> WorkloadSpec {
-    WorkloadSpec::new(
-        NetSpec::new(table.clone())
-            .with_harvest(fmbs_net::prelude::HarvestProfile::Solar(
+    WorkloadSpec::new(NetSpec::from(
+        deployed(table)
+            .harvest(fmbs_net::prelude::HarvestProfile::Solar(
                 fmbs_core::harvest::Illumination::Streetlight,
             ))
-            .with_arq(ArqConfig::default()),
-    )
+            .arq(ArqConfig::default()),
+    ))
 }
 
 /// Delivery ratio and retransmission overhead versus tag density under
@@ -1152,6 +1160,150 @@ pub fn fault_resilience_recovery_for(grid: Grid, kind: Option<FaultKind>) -> Exp
 /// Registry entry point for the recovery figure (station outage).
 pub fn fault_resilience_recovery(grid: Grid) -> Experiment {
     fault_resilience_recovery_for(grid, None)
+}
+
+// ------------------------------------------- metro-scale family
+//
+// PR 9's sharded tier: multi-receiver cells partition the tag
+// population into collision domains with channel-plan-aware spatial
+// reuse, one event queue per domain stepped on a worker pool with
+// parallel == serial bit-identity. These figures ask what receiver
+// density buys a city-scale deployment and what the capture effect
+// rescues from collisions under contention.
+
+fn metro_tags(grid: Grid) -> Vec<usize> {
+    match grid {
+        Grid::Quick => vec![64, 256, 1_024, 4_096],
+        Grid::Full => vec![64, 256, 1_024, 4_096, 16_384, 65_536],
+    }
+}
+
+/// The shared metro geometry under test: an FM station ~3 km out
+/// (putting the shadowed ambient power mid-table), receiver cells on a
+/// 40 ft pitch, uniform-disc tag placement.
+fn metro_geometry(n_tags: usize, grid: Grid) -> Deployment {
+    Deployment::city(n_tags)
+        .slots(match grid {
+            Grid::Quick => 240,
+            Grid::Full => 1_000,
+        })
+        .stations([Station::at(10_000.0, 0.0)])
+}
+
+fn metro_deployment(n_tags: usize, grid: Grid, table: &Arc<BerTable>) -> Deployment {
+    metro_geometry(n_tags, grid).link(table.clone())
+}
+
+/// Build-time validation of every deployment the metro figures run,
+/// *without* the (expensive) link-table calibration — `repro` calls
+/// this before regenerating a `metro_scale` figure and turns the typed
+/// [`fmbs_net::prelude::DeploymentError`] into exit 2 plus its hint,
+/// the same near-miss UX as unknown ids and tiers.
+pub fn metro_preflight(grid: Grid) -> Result<(), fmbs_net::prelude::DeploymentError> {
+    let n = *metro_tags(grid)
+        .last()
+        .expect("metro tag grid is non-empty");
+    for (nx, ny) in [(1usize, 1usize), (2, 2), (4, 4)] {
+        metro_geometry(n, grid)
+            .receivers(Receiver::grid(nx, ny, 40.0))
+            .capture(6.0)
+            .build()?;
+    }
+    Ok(())
+}
+
+/// City-wide goodput versus tag density at 1/4/16 receiver cells, plus
+/// cross-cell fairness at the densest receiver grid — the spatial-reuse
+/// dividend of sharding one cell into many collision domains.
+pub fn metro_scale_goodput(grid: Grid) -> Experiment {
+    let table = workload_table(grid);
+    let tags = metro_tags(grid);
+
+    let mut series = Vec::new();
+    let mut fairness = Vec::new();
+    for (nx, ny) in [(1usize, 1usize), (2, 2), (4, 4)] {
+        let cells = nx * ny;
+        let mut pts = Vec::new();
+        for &n in &tags {
+            let run = metro_deployment(n, grid, &table)
+                .receivers(Receiver::grid(nx, ny, 40.0))
+                .capture(6.0)
+                .build()
+                .expect("metro goodput deployment is valid")
+                .sim()
+                .run();
+            pts.push((n as f64, run.stats.goodput_bps()));
+            if cells == 16 {
+                fairness.push((n as f64, domain_fairness(&run.per_domain)));
+            }
+        }
+        let label = if cells == 1 {
+            "goodput (bps), 1 receiver cell".to_string()
+        } else {
+            format!("goodput (bps), {cells} receiver cells")
+        };
+        series.push(Series::new(label, pts));
+    }
+    series.push(Series::new("domain fairness (Jain), 16 cells", fairness));
+
+    Experiment {
+        id: "metro_scale_goodput".into(),
+        title: "Metro-scale goodput vs receiver-cell density (sharded fmbs-net tier)".into(),
+        x_label: "deployed tags".into(),
+        y_label: "bps / index".into(),
+        series,
+        paper_expectation:
+            "one receiver cell saturates on slotted-Aloha contention; partitioning the same \
+             population into 4 and 16 cells multiplies goodput through spatial reuse of the \
+             channel plan; uniform placement keeps cross-cell fairness high"
+                .into(),
+    }
+}
+
+/// Collision rate and goodput with the capture effect off versus a 6 dB
+/// capture margin, at 4 receiver cells — what physics rescues when the
+/// strongest colliding tag is decodable anyway.
+pub fn metro_scale_capture(grid: Grid) -> Experiment {
+    let table = workload_table(grid);
+    let tags = metro_tags(grid);
+
+    let mut collisions: Vec<Vec<(f64, f64)>> = vec![Vec::new(), Vec::new()];
+    let mut goodputs: Vec<Vec<(f64, f64)>> = vec![Vec::new(), Vec::new()];
+    for (i, margin) in [None, Some(6.0)].into_iter().enumerate() {
+        for &n in &tags {
+            let mut d = metro_deployment(n, grid, &table).receivers(Receiver::grid(2, 2, 40.0));
+            if let Some(m) = margin {
+                d = d.capture(m);
+            }
+            let run = d
+                .build()
+                .expect("metro capture deployment is valid")
+                .sim()
+                .run();
+            collisions[i].push((n as f64, run.stats.collision_rate()));
+            goodputs[i].push((n as f64, run.stats.goodput_bps()));
+        }
+    }
+    let [coll_off, coll_on] = [collisions.remove(0), collisions.remove(0)];
+    let [good_off, good_on] = [goodputs.remove(0), goodputs.remove(0)];
+
+    Experiment {
+        id: "metro_scale_capture".into(),
+        title: "Capture effect under metro contention (4 receiver cells)".into(),
+        x_label: "deployed tags".into(),
+        y_label: "rate / bps".into(),
+        series: vec![
+            Series::new("collision rate, capture off", coll_off),
+            Series::new("collision rate, 6 dB capture margin", coll_on),
+            Series::new("goodput (bps), capture off", good_off),
+            Series::new("goodput (bps), 6 dB capture margin", good_on),
+        ],
+        paper_expectation:
+            "under dense contention a 6 dB capture margin converts part of each collision into \
+             a delivery for the strongest tag: the collision rate drops and goodput rises \
+             relative to capture-off at the same density"
+                .into(),
+    }
 }
 
 // ------------------------------------------- cross-tier calibration
@@ -2065,6 +2217,74 @@ fn checks_fault_resilience_recovery() -> Vec<Expectation> {
     ]
 }
 
+fn checks_metro_scale_goodput() -> Vec<Expectation> {
+    vec![
+        // "partitioning the same population into ... 16 cells multiplies
+        // goodput through spatial reuse", at the densest quick point.
+        Expectation::CompareAt {
+            x: 4_096.0,
+            below: Select::Label("goodput (bps), 1 receiver cell"),
+            above: Select::Label("goodput (bps), 16 receiver cells"),
+            margin: 0.0,
+        },
+        // The 4-cell deployment also beats the single cell there.
+        Expectation::CompareAt {
+            x: 4_096.0,
+            below: Select::Label("goodput (bps), 1 receiver cell"),
+            above: Select::Label("goodput (bps), 4 receiver cells"),
+            margin: 0.0,
+        },
+        // "uniform placement keeps cross-cell fairness high": Jain over
+        // the 16 per-domain goodputs is an index in (0, 1].
+        Expectation::WithinBand {
+            series: Select::Contains("fairness"),
+            axis: Axis::Y,
+            min: 0.5,
+            max: 1.0,
+        },
+        // The sharded tier is carrying real traffic at every density.
+        Expectation::ThresholdAt {
+            series: Select::Label("goodput (bps), 16 receiver cells"),
+            x: 4_096.0,
+            min_y: Some(1_000.0),
+            max_y: None,
+        },
+    ]
+}
+
+fn checks_metro_scale_capture() -> Vec<Expectation> {
+    vec![
+        // Collision rates are fractions of attempts.
+        Expectation::WithinBand {
+            series: Select::Contains("collision rate"),
+            axis: Axis::Y,
+            min: 0.0,
+            max: 1.0,
+        },
+        // "the collision rate drops ... relative to capture-off" at the
+        // densest quick point.
+        Expectation::CompareAt {
+            x: 4_096.0,
+            below: Select::Label("collision rate, 6 dB capture margin"),
+            above: Select::Label("collision rate, capture off"),
+            margin: 0.0,
+        },
+        // "... and goodput rises" there too.
+        Expectation::CompareAt {
+            x: 4_096.0,
+            below: Select::Label("goodput (bps), capture off"),
+            above: Select::Label("goodput (bps), 6 dB capture margin"),
+            margin: 0.0,
+        },
+        // Contention grows with density whether or not capture is on.
+        Expectation::MonotoneIn {
+            series: Select::Label("collision rate, capture off"),
+            dir: Dir::Increasing,
+            slack: 0.02,
+        },
+    ]
+}
+
 fn checks_calibration_ber() -> Vec<Expectation> {
     vec![
         // The headline: per-cell tier disagreement stays under the
@@ -2315,6 +2535,18 @@ pub const REGISTRY: &[ExperimentSpec] = &[
         checks: checks_fault_resilience_recovery,
     },
     ExperimentSpec {
+        id: "metro_scale_goodput",
+        build: metro_scale_goodput,
+        tiered: None,
+        checks: checks_metro_scale_goodput,
+    },
+    ExperimentSpec {
+        id: "metro_scale_capture",
+        build: metro_scale_capture,
+        tiered: None,
+        checks: checks_metro_scale_capture,
+    },
+    ExperimentSpec {
         id: "calibration_ber",
         build: calibration_ber,
         tiered: None,
@@ -2463,10 +2695,10 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_resolvable() {
         let mut ids: Vec<&str> = REGISTRY.iter().map(|s| s.id).collect();
-        assert_eq!(ids.len(), 29);
+        assert_eq!(ids.len(), 31);
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 29, "duplicate registry id");
+        assert_eq!(ids.len(), 31, "duplicate registry id");
         assert!(by_id("nope", Grid::Quick).is_none());
     }
 
@@ -2486,6 +2718,8 @@ mod tests {
             "workload_slo_miss",
             "fault_resilience_goodput",
             "fault_resilience_recovery",
+            "metro_scale_goodput",
+            "metro_scale_capture",
             "calibration_ber",
         ] {
             assert!(!ids.contains(&id), "{id} should not be tier-selectable");

@@ -388,6 +388,68 @@ pub fn record_net_faults(path: &str, label: &str, samples: usize) -> Result<NetP
     append_net(path, measure_net_faults(label, samples))
 }
 
+/// Label suffix marking the metro-scale (sharded multi-receiver)
+/// records inside the shared `BENCH_net.json` series — same label-only
+/// population split as [`WORKLOAD_LABEL_SUFFIX`].
+pub const METRO_LABEL_SUFFIX: &str = "+metro";
+
+/// Whether a net-series record belongs to the metro-scale population.
+pub fn is_metro_label(label: &str) -> bool {
+    label.ends_with(METRO_LABEL_SUFFIX)
+}
+
+/// The metro acceptance-bar geometry: 10⁶ tags sharded across a 4×4
+/// receiver grid with capture on — the deployment the ISSUE's scale
+/// target names, shared by the perf series and the CI identity test.
+pub fn metro_acceptance_deployment(n_tags: usize, n_slots: u64) -> fmbs_net::prelude::Deployment {
+    use fmbs_net::prelude::{Deployment, Receiver, Station};
+    Deployment::city(n_tags)
+        .slots(n_slots)
+        .stations([Station::at(10_000.0, 0.0)])
+        .receivers(Receiver::grid(4, 4, 40.0))
+        .capture(6.0)
+}
+
+/// Measures the metro acceptance-bar run — 10⁶ tags × 10⁴ slots sharded
+/// across 16 collision domains on every available core. Errs (instead
+/// of panicking) when the deployment fails build-time validation, with
+/// the typed error's hint attached.
+pub fn measure_net_metro(label: &str, samples: usize) -> Result<NetPerfRecord, String> {
+    use fmbs_core::sim::fast::FastSim as Fast;
+    use fmbs_net::prelude::{BerTable, BerTableSpec};
+    let (n_tags, n_slots) = (1_000_000usize, 10_000u64);
+    let table = std::sync::Arc::new(BerTable::calibrate(&Fast, &BerTableSpec::quick()));
+    let plan = metro_acceptance_deployment(n_tags, n_slots)
+        .build()
+        .map_err(|e| format!("invalid metro deployment: {e}\n  hint: {}", e.hint()))?;
+    let sim = plan.into_sim(table);
+    let mut best = f64::INFINITY;
+    let mut delivered = 0;
+    for _ in 0..samples.max(1) {
+        let t = Instant::now();
+        let run = sim.run();
+        best = best.min(t.elapsed().as_secs_f64());
+        delivered = run.stats.delivered;
+    }
+    Ok(NetPerfRecord {
+        unix_time: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        label: format!("{label}{METRO_LABEL_SUFFIX}"),
+        n_tags,
+        n_slots,
+        elapsed_s: best,
+        tag_slots_per_sec: n_tags as f64 * n_slots as f64 / best,
+        delivered,
+    })
+}
+
+/// Measures the metro run and appends to the shared net series file.
+pub fn record_net_metro(path: &str, label: &str, samples: usize) -> Result<NetPerfRecord, String> {
+    append_net(path, measure_net_metro(label, samples)?)
+}
+
 fn append_net(path: &str, rec: NetPerfRecord) -> Result<NetPerfRecord, String> {
     let mut series: NetPerfSeries = if std::path::Path::new(path).exists() {
         let text =
@@ -498,7 +560,9 @@ pub fn last_net_record(path: &str) -> Result<NetPerfRecord, String> {
         .series
         .iter()
         .rev()
-        .find(|r| !is_workload_label(&r.label) && !is_faults_label(&r.label))
+        .find(|r| {
+            !is_workload_label(&r.label) && !is_faults_label(&r.label) && !is_metro_label(&r.label)
+        })
         .cloned()
         .ok_or_else(|| format!("{path} has no saturated network records"))
 }
@@ -558,6 +622,22 @@ pub fn gate_net(baseline: &NetPerfRecord, measured: &NetPerfRecord, max_drop: f6
     )
 }
 
+/// Reads the last *metro-scale* record of the network series at
+/// `path`. `Ok(None)` means the file parses but no metro record exists
+/// yet (the population is new); callers seed the series instead of
+/// gating.
+pub fn last_net_metro_record(path: &str) -> Result<Option<NetPerfRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read baseline {path}: {e}"))?;
+    let series: NetPerfSeries = serde_json::from_str(&text)
+        .map_err(|e| format!("{path} is not a net perf series: {e:?}"))?;
+    Ok(series
+        .series
+        .iter()
+        .rev()
+        .find(|r| is_metro_label(&r.label))
+        .cloned())
+}
+
 /// Gates a fresh workload (trace-driven) measurement against a
 /// workload baseline record.
 pub fn gate_net_workload(
@@ -583,6 +663,22 @@ pub fn gate_net_faults(
 ) -> GateOutcome {
     compare(
         "faults tag-slots/s",
+        measured.tag_slots_per_sec,
+        &baseline.label,
+        baseline.tag_slots_per_sec,
+        max_drop,
+    )
+}
+
+/// Gates a fresh metro-scale measurement against a metro baseline
+/// record.
+pub fn gate_net_metro(
+    baseline: &NetPerfRecord,
+    measured: &NetPerfRecord,
+    max_drop: f64,
+) -> GateOutcome {
+    compare(
+        "metro tag-slots/s",
         measured.tag_slots_per_sec,
         &baseline.label,
         baseline.tag_slots_per_sec,
@@ -690,6 +786,7 @@ mod tests {
                 mk("ci+workload", 3.0),
                 mk("new", 2.0),
                 mk("ci+faults", 4.0),
+                mk("pr9+metro", 5.0),
             ],
         };
         std::fs::write(path, serde_json::to_string_pretty(&series).unwrap()).unwrap();
@@ -704,8 +801,14 @@ mod tests {
         );
         assert!(is_workload_label("ci+workload"));
         assert!(!is_workload_label("ci"));
+        assert_eq!(
+            last_net_metro_record(path).unwrap().unwrap().label,
+            "pr9+metro"
+        );
         assert!(is_faults_label("ci+faults"));
         assert!(!is_faults_label("ci+workload"));
+        assert!(is_metro_label("pr9+metro"));
+        assert!(!is_metro_label("pr9"));
         let _ = std::fs::remove_file(path);
     }
 

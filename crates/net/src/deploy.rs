@@ -62,7 +62,7 @@ pub struct TagSite {
 /// A synthesised deployment: per-tag sites plus the size of the channel
 /// plan.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct Deployment {
+pub struct SiteMap {
     /// One site per tag.
     pub sites: Vec<TagSite>,
     /// Number of distinct collision domains in use.
@@ -71,7 +71,7 @@ pub struct Deployment {
 
 /// A unit-interval sample derived from `(seed, tag, salt)` via the
 /// sweep engine's shared SplitMix64 mixer.
-fn unit(seed: u64, tag: u64, salt: u64) -> f64 {
+pub(crate) fn unit(seed: u64, tag: u64, salt: u64) -> f64 {
     let h = splitmix64(splitmix64(seed ^ (salt << 48)) ^ tag);
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
@@ -100,7 +100,7 @@ pub fn city_occupancy(host: Channel, min_shift_hz: f64) -> BandOccupancy {
     occ
 }
 
-impl Deployment {
+impl SiteMap {
     /// Synthesises `n_tags` sites on a disc of `cell_radius_ft` around
     /// the receiver: uniform-in-area placement, ±4 dB log-normal-ish
     /// shadowing around `mean_power_dbm`, channels from
@@ -152,7 +152,7 @@ impl Deployment {
                 }
             })
             .collect();
-        Deployment {
+        SiteMap {
             sites,
             n_channels: domains.len().max(1),
         }
@@ -166,7 +166,7 @@ mod tests {
     #[test]
     fn deployment_is_seed_deterministic() {
         let occ = city_occupancy(Channel(17), 600_000.0);
-        let a = Deployment::generate(
+        let a = SiteMap::generate(
             50,
             20.0,
             -40.0,
@@ -177,7 +177,7 @@ mod tests {
             40.0,
             7,
         );
-        let b = Deployment::generate(
+        let b = SiteMap::generate(
             50,
             20.0,
             -40.0,
@@ -198,7 +198,7 @@ mod tests {
     #[test]
     fn sites_stay_on_the_disc_and_in_band() {
         let occ = city_occupancy(Channel(17), 600_000.0);
-        let d = Deployment::generate(
+        let d = SiteMap::generate(
             200,
             25.0,
             -40.0,

@@ -28,7 +28,7 @@
 //! run seed and the tag id), so a draw's value depends only on how many
 //! draws that tag has made, never on global interleaving.
 
-use crate::deploy::{city_occupancy, Deployment, HarvestProfile};
+use crate::deploy::{city_occupancy, HarvestProfile, SiteMap};
 use crate::faults::{FaultSchedule, FaultSpec};
 use crate::link::BerTable;
 use fmbs_core::modem::Bitrate;
@@ -214,6 +214,12 @@ impl EventTrace {
     /// Whether the cap cut any events.
     pub fn truncated(&self) -> bool {
         self.dropped > 0
+    }
+
+    /// Folds drops counted elsewhere (e.g. in per-domain traces a metro
+    /// merge absorbed) into this trace's accounting.
+    pub(crate) fn note_dropped(&mut self, n: u64) {
+        self.dropped += n;
     }
 }
 
@@ -641,54 +647,151 @@ impl NetworkSim {
     pub fn run(&self) -> NetRun {
         fmbs_obs::span!(fmbs_obs::stages::NET_ENGINE);
         let cfg = &self.cfg;
-        let slot_secs = cfg.slot_secs();
-        // The fault plan is generated from the spec's own RNG stream, so
-        // tag draw sequences never depend on it; an empty schedule
-        // switches every fault-aware branch back to the pre-fault code
-        // paths (zero-fault invisibility).
-        let sched = cfg.faults.schedule(cfg.n_slots, cfg.n_tags);
-        let fx: Option<&FaultSchedule> = (!sched.is_empty()).then_some(&sched);
-        let rf = matches!(cfg.harvest, HarvestProfile::RfAmbient);
-        // Graceful degradation: the fallback rate and the airtime
-        // stretch (slots per fallback frame) are fixed per run.
-        let fb_plan: Option<(Bitrate, u64)> = cfg.arq.as_ref().and_then(|a| {
-            let fb = a
-                .fallback_bitrate
-                .or_else(|| Self::step_down(cfg.bitrate))?;
-            let stretch = (cfg.bitrate.bits_per_second() / fb.bits_per_second())
-                .ceil()
-                .max(1.0) as u64;
-            Some((fb, stretch))
-        });
-        let deployment = Deployment::generate(
+        let deployment = SiteMap::generate(
             cfg.n_tags,
             cfg.cell_radius_ft,
             cfg.mean_power_dbm,
             &cfg.occupancy,
             cfg.host,
             cfg.harvest,
-            slot_secs,
+            cfg.slot_secs(),
             cfg.storage_uj,
             cfg.seed,
         );
+        let mut d = DomainSim::new(
+            cfg.clone(),
+            &self.table,
+            self.packets.clone(),
+            &deployment.sites,
+            deployment.n_channels,
+        );
+        while let Some(slot) = d.peek_slot() {
+            d.gather(slot);
+            d.resolve(slot, None);
+        }
+        d.finish()
+    }
+}
 
-        let mut tags: Vec<TagState> = deployment
-            .sites
+/// Cross-domain inputs injected into one slot's resolution by the metro
+/// engine ([`crate::topology`]). The single-receiver path passes `None`
+/// and keeps the exact pre-metro draw order.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SlotExtras<'a> {
+    /// Capture effect: received backscatter power at the receiver per
+    /// *local* tag index (dBm), plus the capture margin in dB. In a
+    /// multi-tag slot the strongest signal wins the slot outright when
+    /// its advantage over the runner-up meets the margin.
+    pub capture: Option<(&'a [f64], f64)>,
+    /// Extra raw BER per local channel from co-channel attempts in
+    /// overlapping neighbour domains this slot (empty slice = none).
+    pub interference: Option<&'a [f64]>,
+}
+
+/// The capture-effect decision for one contended slot, as a pure
+/// function so its monotonicity is property-testable: among `attempts`
+/// (tag indices into `rx_dbm`, the received power at the receiver in
+/// dBm), the strongest transmitter captures the slot iff its advantage
+/// over the runner-up is at least `margin_db`. Returns the winning tag,
+/// or `None` when nobody captures (everyone collides). Raising
+/// `margin_db` can only turn a winner into `None` — never create one —
+/// so a higher margin never decreases the slot's collided count.
+pub fn capture_winner(attempts: &[u32], rx_dbm: &[f64], margin_db: f64) -> Option<u32> {
+    if attempts.len() < 2 || !margin_db.is_finite() {
+        return None;
+    }
+    let mut best: Option<(f64, u32)> = None;
+    let mut runner_up = f64::NEG_INFINITY;
+    for &tag in attempts {
+        let p = rx_dbm
+            .get(tag as usize)
+            .copied()
+            .unwrap_or(f64::NEG_INFINITY);
+        match best {
+            None => best = Some((p, tag)),
+            Some((bp, _)) if p > bp => {
+                runner_up = bp;
+                best = Some((p, tag));
+            }
+            Some(_) => {
+                if p > runner_up {
+                    runner_up = p;
+                }
+            }
+        }
+    }
+    let (bp, tag) = best?;
+    (bp - runner_up >= margin_db).then_some(tag)
+}
+
+/// One collision domain's complete engine state, stepped slot by slot.
+///
+/// The single-receiver [`NetworkSim::run`] drives exactly one of these
+/// (so the pre-metro figures stay bit-identical), and the metro engine
+/// in [`crate::topology`] drives one per receiver cell in lockstep,
+/// exchanging co-channel transmit counts at slot barriers. Tag indices
+/// are *local* to the domain; the metro layer owns the local→global
+/// mapping.
+pub(crate) struct DomainSim {
+    cfg: NetworkConfig,
+    packets: Arc<crate::link::PacketModel>,
+    sched: FaultSchedule,
+    rf: bool,
+    fb_plan: Option<(Bitrate, u64)>,
+    slot_secs: f64,
+    tags: Vec<TagState>,
+    q: EventQueue,
+    pending: Vec<Vec<u32>>,
+    touched: Vec<u16>,
+    stats: NetStats,
+    trace: EventTrace,
+    next_reset: usize,
+}
+
+impl DomainSim {
+    /// Builds the domain over `sites` (one per local tag) and performs
+    /// the initial scheduling — the same operation order the pre-metro
+    /// engine used, so a single-domain run is bit-identical to it.
+    pub(crate) fn new(
+        cfg: NetworkConfig,
+        table: &BerTable,
+        packets: Arc<crate::link::PacketModel>,
+        sites: &[crate::deploy::TagSite],
+        n_channels: usize,
+    ) -> Self {
+        let slot_secs = cfg.slot_secs();
+        // The fault plan is generated from the spec's own RNG stream, so
+        // tag draw sequences never depend on it; an empty schedule
+        // switches every fault-aware branch back to the pre-fault code
+        // paths (zero-fault invisibility).
+        let sched = cfg.faults.schedule(cfg.n_slots, cfg.n_tags);
+        let rf = matches!(cfg.harvest, HarvestProfile::RfAmbient);
+        // Graceful degradation: the fallback rate and the airtime
+        // stretch (slots per fallback frame) are fixed per run.
+        let fb_plan: Option<(Bitrate, u64)> = cfg.arq.as_ref().and_then(|a| {
+            let fb = a
+                .fallback_bitrate
+                .or_else(|| NetworkSim::step_down(cfg.bitrate))?;
+            let stretch = (cfg.bitrate.bits_per_second() / fb.bits_per_second())
+                .ceil()
+                .max(1.0) as u64;
+            Some((fb, stretch))
+        });
+
+        let tags: Vec<TagState> = sites
             .iter()
             .enumerate()
             .map(|(i, site)| {
-                let raw_ber = self
-                    .table
-                    .lookup(cfg.bitrate, site.power_dbm, site.distance_ft);
+                let raw_ber = table.lookup(cfg.bitrate, site.power_dbm, site.distance_ft);
                 // The fallback link: looked up directly when the table
                 // calibrates the lower rate, otherwise the slower rate's
                 // processing gain (10·log10 of the rate ratio) is folded
                 // into the power axis of the nominal-rate lookup.
                 let fb_raw_ber = match fb_plan {
-                    Some((fb, _)) if self.table.bitrates().contains(&fb) => {
-                        self.table.lookup(fb, site.power_dbm, site.distance_ft)
+                    Some((fb, _)) if table.bitrates().contains(&fb) => {
+                        table.lookup(fb, site.power_dbm, site.distance_ft)
                     }
-                    Some((_, stretch)) => self.table.lookup(
+                    Some((_, stretch)) => table.lookup(
                         cfg.bitrate,
                         site.power_dbm + 10.0 * (stretch as f64).log10(),
                         site.distance_ft,
@@ -698,10 +801,10 @@ impl NetworkSim {
                 TagState {
                     channel: site.channel,
                     storage_uj: site.storage_uj,
-                    success_p: self.packets.success_probability(raw_ber),
+                    success_p: packets.success_probability(raw_ber),
                     raw_ber,
                     fb_success_p: if fb_plan.is_some() {
-                        self.packets.success_probability(fb_raw_ber)
+                        packets.success_probability(fb_raw_ber)
                     } else {
                         0.0
                     },
@@ -725,24 +828,47 @@ impl NetworkSim {
             })
             .collect();
 
-        let mut q = EventQueue::new();
-        let mut stats = NetStats {
+        let stats = NetStats {
             n_tags: cfg.n_tags,
             n_slots: cfg.n_slots,
             slot_secs,
             ..NetStats::default()
         };
-        let mut trace = EventTrace::new(cfg.trace_cap);
+        let trace = EventTrace::new(cfg.trace_cap);
+        let mut d = DomainSim {
+            pending: vec![Vec::new(); n_channels],
+            touched: Vec::new(),
+            q: EventQueue::new(),
+            next_reset: 0,
+            cfg,
+            packets,
+            sched,
+            rf,
+            fb_plan,
+            slot_secs,
+            tags,
+            stats,
+            trace,
+        };
 
-        match &cfg.traffic {
+        let fx: Option<&FaultSchedule> = (!d.sched.is_empty()).then_some(&d.sched);
+        match &d.cfg.traffic {
             Traffic::Saturated => {
                 // Everybody desynchronises over an initial window so
                 // slot 0 is not a guaranteed pile-up.
-                let initial_window = 16u64.min(cfg.n_slots.max(1));
-                for (i, t) in tags.iter_mut().enumerate() {
+                let initial_window = 16u64.min(d.cfg.n_slots.max(1));
+                for (i, t) in d.tags.iter_mut().enumerate() {
                     let start = t.rng.gen_range(0..initial_window);
                     Self::schedule(
-                        t, i as u32, start, slot_secs, cfg, &mut q, &mut stats, fx, rf,
+                        t,
+                        i as u32,
+                        start,
+                        d.slot_secs,
+                        &d.cfg,
+                        &mut d.q,
+                        &mut d.stats,
+                        fx,
+                        d.rf,
                     );
                 }
             }
@@ -750,161 +876,385 @@ impl NetworkSim {
                 // Trace mode needs no desync draw: arrival times are the
                 // desynchroniser. Each tag wakes at its first arrival;
                 // out-of-horizon arrivals are never offered.
-                for (i, t) in tags.iter_mut().enumerate() {
+                for (i, t) in d.tags.iter_mut().enumerate() {
                     let queue = arrivals.per_tag.get(i).map_or(&[][..], Vec::as_slice);
-                    stats.offered +=
-                        queue.iter().take_while(|a| a.slot < cfg.n_slots).count() as u64;
+                    d.stats.offered +=
+                        queue.iter().take_while(|a| a.slot < d.cfg.n_slots).count() as u64;
                     if let Some(first) = queue.first() {
                         Self::schedule(
-                            t, i as u32, first.slot, slot_secs, cfg, &mut q, &mut stats, fx, rf,
+                            t,
+                            i as u32,
+                            first.slot,
+                            d.slot_secs,
+                            &d.cfg,
+                            &mut d.q,
+                            &mut d.stats,
+                            fx,
+                            d.rf,
                         );
                     }
                 }
             }
         }
+        d
+    }
 
-        // Per-channel attempt buckets for the slot being resolved.
-        // Resolving a slot schedules *future* events, so the loop must
-        // re-peek after every resolution — draining the heap first would
-        // drop the retries the last resolved slot produced.
-        let mut pending: Vec<Vec<u32>> = vec![Vec::new(); deployment.n_channels];
-        let mut touched: Vec<u16> = Vec::new();
-        let mut next_reset = 0usize;
-        while let Some(first) = q.peek() {
-            let slot = first.at;
-            // Apply due tag resets lazily, before any event of the slot
-            // batch acts: volatile state (backoff, ARQ counters, the
-            // packet in flight) is wiped and arrived-but-undelivered
-            // queue heads are abandoned. Reset order is the schedule's
-            // sorted (slot, tag) order — deterministic.
-            while sched
-                .resets
-                .get(next_reset)
-                .is_some_and(|&(at, _)| at <= slot)
-            {
-                let (at, tag) = sched.resets[next_reset];
-                next_reset += 1;
-                let t = &mut tags[tag as usize];
-                t.backoff_exp = 0;
-                t.pkt_attempts = 0;
-                t.consec_losses = 0;
-                t.consec_successes = 0;
-                t.fallback = false;
-                t.first_attempt = u64::MAX;
-                if cfg.record_trace {
-                    trace.push(TraceEvent {
-                        slot: at,
-                        tag,
-                        kind: TraceKind::Reset,
-                    });
+    /// The slot of the earliest queued event (`None` = domain drained).
+    pub(crate) fn peek_slot(&self) -> Option<u64> {
+        self.q.peek().map(|e| e.at)
+    }
+
+    /// Phase A of a slot: apply due tag resets, then drain every event
+    /// of `slot` into per-channel attempt buckets. Draws no randomness —
+    /// the metro engine publishes the resulting per-channel transmit
+    /// counts across domains before any resolution draw happens.
+    pub(crate) fn gather(&mut self, slot: u64) {
+        let fx: Option<&FaultSchedule> = (!self.sched.is_empty()).then_some(&self.sched);
+        // Apply due tag resets lazily, before any event of the slot
+        // batch acts: volatile state (backoff, ARQ counters, the
+        // packet in flight) is wiped and arrived-but-undelivered
+        // queue heads are abandoned. Reset order is the schedule's
+        // sorted (slot, tag) order — deterministic.
+        while self
+            .sched
+            .resets
+            .get(self.next_reset)
+            .is_some_and(|&(at, _)| at <= slot)
+        {
+            let (at, tag) = self.sched.resets[self.next_reset];
+            self.next_reset += 1;
+            let t = &mut self.tags[tag as usize];
+            t.backoff_exp = 0;
+            t.pkt_attempts = 0;
+            t.consec_losses = 0;
+            t.consec_successes = 0;
+            t.fallback = false;
+            t.first_attempt = u64::MAX;
+            if self.cfg.record_trace {
+                self.trace.push(TraceEvent {
+                    slot: at,
+                    tag,
+                    kind: TraceKind::Reset,
+                });
+            }
+            if let Traffic::Trace(arrivals) = &self.cfg.traffic {
+                let queue = arrivals
+                    .per_tag
+                    .get(tag as usize)
+                    .map_or(&[][..], Vec::as_slice);
+                while queue.get(t.next_unserved).is_some_and(|h| h.slot <= at) {
+                    t.next_unserved += 1;
+                    self.stats.abandoned += 1;
+                    if self.cfg.record_trace {
+                        self.trace.push(TraceEvent {
+                            slot: at,
+                            tag,
+                            kind: TraceKind::Abandon,
+                        });
+                    }
                 }
-                if let Traffic::Trace(arrivals) = &cfg.traffic {
-                    let queue = arrivals
-                        .per_tag
-                        .get(tag as usize)
-                        .map_or(&[][..], Vec::as_slice);
-                    while queue.get(t.next_unserved).is_some_and(|h| h.slot <= at) {
+            }
+        }
+        while self.q.peek().is_some_and(|e| e.at == slot) {
+            let ev = self.q.pop().expect("peeked event present");
+            if let Traffic::Trace(arrivals) = &self.cfg.traffic {
+                let t = &mut self.tags[ev.tag as usize];
+                let queue = arrivals
+                    .per_tag
+                    .get(ev.tag as usize)
+                    .map_or(&[][..], Vec::as_slice);
+                if self.cfg.drop_expired {
+                    // Shed head-of-line packets whose deadline has
+                    // already passed: a packet transmitted in its
+                    // deadline slot still counts on-time, so only
+                    // strictly later slots shed it.
+                    while queue
+                        .get(t.next_unserved)
+                        .is_some_and(|h| h.slot.saturating_add(h.deadline_slots as u64) < slot)
+                    {
                         t.next_unserved += 1;
-                        stats.abandoned += 1;
-                        if cfg.record_trace {
-                            trace.push(TraceEvent {
-                                slot: at,
-                                tag,
-                                kind: TraceKind::Abandon,
+                        self.stats.expired_dropped += 1;
+                        t.first_attempt = u64::MAX;
+                        t.pkt_attempts = 0;
+                        if self.cfg.record_trace {
+                            self.trace.push(TraceEvent {
+                                slot,
+                                tag: ev.tag,
+                                kind: TraceKind::Expired,
                             });
                         }
                     }
                 }
-            }
-            while q.peek().is_some_and(|e| e.at == slot) {
-                let ev = q.pop().expect("peeked event present");
-                if let Traffic::Trace(arrivals) = &cfg.traffic {
-                    let t = &mut tags[ev.tag as usize];
-                    let queue = arrivals
-                        .per_tag
-                        .get(ev.tag as usize)
-                        .map_or(&[][..], Vec::as_slice);
-                    if cfg.drop_expired {
-                        // Shed head-of-line packets whose deadline has
-                        // already passed: a packet transmitted in its
-                        // deadline slot still counts on-time, so only
-                        // strictly later slots shed it.
-                        while queue
-                            .get(t.next_unserved)
-                            .is_some_and(|h| h.slot.saturating_add(h.deadline_slots as u64) < slot)
-                        {
-                            t.next_unserved += 1;
-                            stats.expired_dropped += 1;
-                            t.first_attempt = u64::MAX;
-                            t.pkt_attempts = 0;
-                            if cfg.record_trace {
-                                trace.push(TraceEvent {
-                                    slot,
-                                    tag: ev.tag,
-                                    kind: TraceKind::Expired,
-                                });
-                            }
-                        }
-                    }
-                    match queue.get(t.next_unserved) {
-                        // Queue drained: the tag idles until (in this
-                        // trace) forever — no contention, no energy
-                        // spend.
-                        None => continue,
-                        // Head not arrived yet: sleep until it does.
-                        Some(h) if h.slot > slot => {
-                            Self::schedule(
-                                t, ev.tag, h.slot, slot_secs, cfg, &mut q, &mut stats, fx, rf,
-                            );
-                            continue;
-                        }
-                        // Head is waiting: contend for this slot.
-                        Some(_) => {}
-                    }
-                }
-                if fx.is_some() {
-                    // Under faults the recharge wait `schedule` computed
-                    // from the nominal harvest rate can undershoot
-                    // (outage or brownout windows harvest less): re-check
-                    // the store at attempt time and re-wait if short.
-                    let t = &mut tags[ev.tag as usize];
-                    Self::accrue(t, slot, slot_secs, fx, rf);
-                    if t.energy_uj < t.tx_cost_uj {
+                match queue.get(t.next_unserved) {
+                    // Queue drained: the tag idles until (in this
+                    // trace) forever — no contention, no energy
+                    // spend.
+                    None => continue,
+                    // Head not arrived yet: sleep until it does.
+                    Some(h) if h.slot > slot => {
                         Self::schedule(
                             t,
                             ev.tag,
-                            slot + 1,
-                            slot_secs,
-                            cfg,
-                            &mut q,
-                            &mut stats,
+                            h.slot,
+                            self.slot_secs,
+                            &self.cfg,
+                            &mut self.q,
+                            &mut self.stats,
                             fx,
-                            rf,
+                            self.rf,
                         );
                         continue;
                     }
+                    // Head is waiting: contend for this slot.
+                    Some(_) => {}
                 }
-                let ch = tags[ev.tag as usize].channel as usize;
-                if pending[ch].is_empty() {
-                    touched.push(ch as u16);
-                }
-                pending[ch].push(ev.tag);
             }
-            self.resolve_slot(
-                slot,
-                &mut pending,
-                &mut touched,
-                &mut tags,
-                slot_secs,
-                &mut q,
-                &mut stats,
-                &mut trace,
-                fx,
-                rf,
-                fb_plan,
-            );
+            if fx.is_some() {
+                // Under faults the recharge wait `schedule` computed
+                // from the nominal harvest rate can undershoot
+                // (outage or brownout windows harvest less): re-check
+                // the store at attempt time and re-wait if short.
+                let t = &mut self.tags[ev.tag as usize];
+                Self::accrue(t, slot, self.slot_secs, fx, self.rf);
+                if t.energy_uj < t.tx_cost_uj {
+                    Self::schedule(
+                        t,
+                        ev.tag,
+                        slot + 1,
+                        self.slot_secs,
+                        &self.cfg,
+                        &mut self.q,
+                        &mut self.stats,
+                        fx,
+                        self.rf,
+                    );
+                    continue;
+                }
+            }
+            let ch = self.tags[ev.tag as usize].channel as usize;
+            if self.pending[ch].is_empty() {
+                self.touched.push(ch as u16);
+            }
+            self.pending[ch].push(ev.tag);
         }
+    }
 
+    /// Per-channel transmit counts gathered for the slot being resolved
+    /// (the numbers the metro engine publishes at the slot barrier).
+    pub(crate) fn touched_counts(&self) -> impl Iterator<Item = (u16, u32)> + '_ {
+        self.touched
+            .iter()
+            .map(|&ch| (ch, self.pending[ch as usize].len() as u32))
+    }
+
+    /// Phase B of a slot: resolve every gathered attempt — capture,
+    /// link trials, backoff/ARQ — and schedule the follow-up events.
+    pub(crate) fn resolve(&mut self, slot: u64, extras: Option<&SlotExtras>) {
+        let fx: Option<&FaultSchedule> = (!self.sched.is_empty()).then_some(&self.sched);
+        let arq = self.cfg.arq.as_ref();
+        let fb_available = self.fb_plan.is_some();
+        let fb_stretch = self.fb_plan.map_or(1, |(_, s)| s);
+        let in_outage = fx.is_some_and(|f| f.outage_at(slot));
+        let burst = fx.filter(|f| f.burst_at(slot));
+        let burst_ber = burst.map_or(0.0, |f| f.burst_ber);
+        let mut touched = std::mem::take(&mut self.touched);
+        for &ch in touched.iter() {
+            let attempts = std::mem::take(&mut self.pending[ch as usize]);
+            // Co-channel interference from overlapping neighbour domains
+            // elevates this channel's raw BER through the same
+            // packet-survival curve interference bursts use.
+            let extra_ber = extras
+                .and_then(|e| e.interference)
+                .map_or(0.0, |v| v.get(ch as usize).copied().unwrap_or(0.0));
+            let solo = attempts.len() == 1;
+            // Capture effect: in a contended slot the strongest received
+            // signal wins outright when its advantage over the runner-up
+            // meets the capture margin; everyone else collides.
+            let captured: Option<u32> = if solo {
+                None
+            } else {
+                extras
+                    .and_then(|e| e.capture)
+                    .and_then(|(rx_dbm, margin_db)| capture_winner(&attempts, rx_dbm, margin_db))
+            };
+            for &tag in &attempts {
+                let t = &mut self.tags[tag as usize];
+                // Transmitting spends one packet of energy, delivered or
+                // not — the radio does not know it collided.
+                Self::accrue(t, slot, self.slot_secs, fx, self.rf);
+                t.energy_uj = (t.energy_uj - t.tx_cost_uj).max(0.0);
+                self.stats.attempts += 1;
+                // A fallback frame carries the same bits at the lower
+                // rate, so it occupies `fb_stretch` slots of airtime.
+                let airtime = if t.fallback { fb_stretch } else { 1 };
+                if arq.is_some() {
+                    if t.pkt_attempts > 0 {
+                        self.stats.retransmissions += 1;
+                    }
+                    if t.fallback {
+                        self.stats.rate_fallback_slots += airtime;
+                    }
+                }
+                if t.first_attempt == u64::MAX {
+                    t.first_attempt = slot;
+                }
+
+                // ARQ abandons surface only as a counter bump inside
+                // `arq_on_loss`; the delta turns them into trace events.
+                let abandoned_before = self.stats.abandoned;
+                let (outcome, next_earliest) = if solo || captured == Some(tag) {
+                    // The link the draw is tested against: the fallback
+                    // rate's BER if fallen back, elevated inside an
+                    // interference burst or by co-channel neighbour
+                    // domains, and hopeless during a station outage (no
+                    // carrier to backscatter).
+                    let p = if in_outage {
+                        0.0
+                    } else if burst.is_some() || extra_ber > 0.0 {
+                        let ber = if t.fallback { t.fb_raw_ber } else { t.raw_ber }
+                            + burst_ber
+                            + extra_ber;
+                        self.packets.success_probability(ber)
+                    } else if t.fallback {
+                        t.fb_success_p
+                    } else {
+                        t.success_p
+                    };
+                    if t.rng.gen::<f64>() < p {
+                        t.delivered += 1;
+                        self.stats.delivered += 1;
+                        self.stats.delivered_bits += self.cfg.packet_bits as u64;
+                        self.stats
+                            .latencies_slots
+                            .push((slot + 1).saturating_sub(t.first_attempt) as u32);
+                        t.backoff_exp = 0;
+                        t.first_attempt = u64::MAX;
+                        let mut done = slot + 1;
+                        if let Some(a) = arq {
+                            self.stats.acked += 1;
+                            t.pkt_attempts = 0;
+                            t.consec_losses = 0;
+                            t.consec_successes = t.consec_successes.saturating_add(1);
+                            if t.fallback && t.consec_successes >= a.recover_after {
+                                // Probe back up to the nominal rate.
+                                t.fallback = false;
+                                t.consec_successes = 0;
+                            }
+                            done = slot + airtime + a.ack_slots as u64;
+                        }
+                        let next = match &self.cfg.traffic {
+                            Traffic::Saturated => Some(done),
+                            Traffic::Trace(arrivals) => {
+                                // The delivered packet is the queue
+                                // head; record its sojourn (queueing
+                                // delay included) and advance. Wake for
+                                // the next head, or idle if drained.
+                                let queue = arrivals
+                                    .per_tag
+                                    .get(tag as usize)
+                                    .map_or(&[][..], Vec::as_slice);
+                                let head = queue[t.next_unserved];
+                                let sojourn = (slot + 1).saturating_sub(head.slot) as u32;
+                                self.stats.sojourn_slots.push(sojourn);
+                                // On-time iff the delivery slot is no
+                                // later than the packet's absolute
+                                // deadline (deadline == delivery slot
+                                // still counts).
+                                if slot <= head.slot.saturating_add(head.deadline_slots as u64) {
+                                    self.stats.on_time += 1;
+                                }
+                                t.next_unserved += 1;
+                                queue.get(t.next_unserved).map(|h| h.slot.max(done))
+                            }
+                        };
+                        (Outcome::Delivered, next)
+                    } else if let Some(a) = arq {
+                        self.stats.corrupt += 1;
+                        let next = Self::arq_on_loss(
+                            &self.cfg,
+                            a,
+                            t,
+                            tag,
+                            slot,
+                            airtime,
+                            fb_available,
+                            &mut self.stats,
+                        );
+                        (Outcome::Corrupt, next)
+                    } else {
+                        // A corrupted packet is a link loss, not
+                        // congestion: retry with a short jitter but no
+                        // backoff growth.
+                        self.stats.corrupt += 1;
+                        let jitter = t.rng.gen_range(0..2u64);
+                        (Outcome::Corrupt, Some(slot + 1 + jitter))
+                    }
+                } else if let Some(a) = arq {
+                    self.stats.collided += 1;
+                    let next = Self::arq_on_loss(
+                        &self.cfg,
+                        a,
+                        t,
+                        tag,
+                        slot,
+                        airtime,
+                        fb_available,
+                        &mut self.stats,
+                    );
+                    (Outcome::Collided, next)
+                } else {
+                    self.stats.collided += 1;
+                    t.backoff_exp = (t.backoff_exp + 1).min(self.cfg.max_backoff_exp);
+                    let window = 1u64 << t.backoff_exp;
+                    let delay = t.rng.gen_range(0..window);
+                    (Outcome::Collided, Some(slot + 1 + delay))
+                };
+                if self.cfg.record_trace {
+                    self.trace.push(TraceEvent {
+                        slot,
+                        tag,
+                        kind: TraceKind::Attempt {
+                            channel: ch,
+                            outcome,
+                        },
+                    });
+                    if self.stats.abandoned > abandoned_before {
+                        self.trace.push(TraceEvent {
+                            slot,
+                            tag,
+                            kind: TraceKind::Abandon,
+                        });
+                    }
+                }
+                if let Some(next_earliest) = next_earliest {
+                    Self::schedule(
+                        &mut self.tags[tag as usize],
+                        tag,
+                        next_earliest,
+                        self.slot_secs,
+                        &self.cfg,
+                        &mut self.q,
+                        &mut self.stats,
+                        fx,
+                        self.rf,
+                    );
+                }
+            }
+        }
+        touched.clear();
+        self.touched = touched;
+    }
+
+    /// Closes out the run: per-tag tallies, sorted latency/sojourn
+    /// series, queue-conservation accounting and the trace.
+    pub(crate) fn finish(self) -> NetRun {
+        let DomainSim {
+            cfg,
+            tags,
+            mut stats,
+            trace,
+            ..
+        } = self;
         stats.per_tag_delivered = tags.iter().map(|t| t.delivered).collect();
         stats.latencies_slots.sort_unstable();
         if let Traffic::Trace(arrivals) = &cfg.traffic {
@@ -1027,178 +1377,6 @@ impl NetworkSim {
             let delay = t.rng.gen_range(0..window);
             Some(resume + delay)
         }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn resolve_slot(
-        &self,
-        slot: u64,
-        pending: &mut [Vec<u32>],
-        touched: &mut Vec<u16>,
-        tags: &mut [TagState],
-        slot_secs: f64,
-        q: &mut EventQueue,
-        stats: &mut NetStats,
-        trace: &mut EventTrace,
-        fx: Option<&FaultSchedule>,
-        rf: bool,
-        fb_plan: Option<(Bitrate, u64)>,
-    ) {
-        let cfg = &self.cfg;
-        let arq = cfg.arq.as_ref();
-        let fb_available = fb_plan.is_some();
-        let fb_stretch = fb_plan.map_or(1, |(_, s)| s);
-        let in_outage = fx.is_some_and(|f| f.outage_at(slot));
-        let burst = fx.filter(|f| f.burst_at(slot));
-        for &ch in touched.iter() {
-            let attempts = std::mem::take(&mut pending[ch as usize]);
-            let solo = attempts.len() == 1;
-            for &tag in &attempts {
-                let t = &mut tags[tag as usize];
-                // Transmitting spends one packet of energy, delivered or
-                // not — the radio does not know it collided.
-                Self::accrue(t, slot, slot_secs, fx, rf);
-                t.energy_uj = (t.energy_uj - t.tx_cost_uj).max(0.0);
-                stats.attempts += 1;
-                // A fallback frame carries the same bits at the lower
-                // rate, so it occupies `fb_stretch` slots of airtime.
-                let airtime = if t.fallback { fb_stretch } else { 1 };
-                if arq.is_some() {
-                    if t.pkt_attempts > 0 {
-                        stats.retransmissions += 1;
-                    }
-                    if t.fallback {
-                        stats.rate_fallback_slots += airtime;
-                    }
-                }
-                if t.first_attempt == u64::MAX {
-                    t.first_attempt = slot;
-                }
-
-                // ARQ abandons surface only as a counter bump inside
-                // `arq_on_loss`; the delta turns them into trace events.
-                let abandoned_before = stats.abandoned;
-                let (outcome, next_earliest) = if solo {
-                    // The link the draw is tested against: the fallback
-                    // rate's BER if fallen back, elevated inside an
-                    // interference burst, and hopeless during a station
-                    // outage (no carrier to backscatter).
-                    let p = if in_outage {
-                        0.0
-                    } else if let Some(f) = burst {
-                        let ber = if t.fallback { t.fb_raw_ber } else { t.raw_ber } + f.burst_ber;
-                        self.packets.success_probability(ber)
-                    } else if t.fallback {
-                        t.fb_success_p
-                    } else {
-                        t.success_p
-                    };
-                    if t.rng.gen::<f64>() < p {
-                        t.delivered += 1;
-                        stats.delivered += 1;
-                        stats.delivered_bits += cfg.packet_bits as u64;
-                        stats
-                            .latencies_slots
-                            .push((slot + 1).saturating_sub(t.first_attempt) as u32);
-                        t.backoff_exp = 0;
-                        t.first_attempt = u64::MAX;
-                        let mut done = slot + 1;
-                        if let Some(a) = arq {
-                            stats.acked += 1;
-                            t.pkt_attempts = 0;
-                            t.consec_losses = 0;
-                            t.consec_successes = t.consec_successes.saturating_add(1);
-                            if t.fallback && t.consec_successes >= a.recover_after {
-                                // Probe back up to the nominal rate.
-                                t.fallback = false;
-                                t.consec_successes = 0;
-                            }
-                            done = slot + airtime + a.ack_slots as u64;
-                        }
-                        let next = match &cfg.traffic {
-                            Traffic::Saturated => Some(done),
-                            Traffic::Trace(arrivals) => {
-                                // The delivered packet is the queue
-                                // head; record its sojourn (queueing
-                                // delay included) and advance. Wake for
-                                // the next head, or idle if drained.
-                                let queue = arrivals
-                                    .per_tag
-                                    .get(tag as usize)
-                                    .map_or(&[][..], Vec::as_slice);
-                                let head = queue[t.next_unserved];
-                                let sojourn = (slot + 1).saturating_sub(head.slot) as u32;
-                                stats.sojourn_slots.push(sojourn);
-                                // On-time iff the delivery slot is no
-                                // later than the packet's absolute
-                                // deadline (deadline == delivery slot
-                                // still counts).
-                                if slot <= head.slot.saturating_add(head.deadline_slots as u64) {
-                                    stats.on_time += 1;
-                                }
-                                t.next_unserved += 1;
-                                queue.get(t.next_unserved).map(|h| h.slot.max(done))
-                            }
-                        };
-                        (Outcome::Delivered, next)
-                    } else if let Some(a) = arq {
-                        stats.corrupt += 1;
-                        let next =
-                            Self::arq_on_loss(cfg, a, t, tag, slot, airtime, fb_available, stats);
-                        (Outcome::Corrupt, next)
-                    } else {
-                        // A corrupted packet is a link loss, not
-                        // congestion: retry with a short jitter but no
-                        // backoff growth.
-                        stats.corrupt += 1;
-                        let jitter = t.rng.gen_range(0..2u64);
-                        (Outcome::Corrupt, Some(slot + 1 + jitter))
-                    }
-                } else if let Some(a) = arq {
-                    stats.collided += 1;
-                    let next =
-                        Self::arq_on_loss(cfg, a, t, tag, slot, airtime, fb_available, stats);
-                    (Outcome::Collided, next)
-                } else {
-                    stats.collided += 1;
-                    t.backoff_exp = (t.backoff_exp + 1).min(cfg.max_backoff_exp);
-                    let window = 1u64 << t.backoff_exp;
-                    let delay = t.rng.gen_range(0..window);
-                    (Outcome::Collided, Some(slot + 1 + delay))
-                };
-                if cfg.record_trace {
-                    trace.push(TraceEvent {
-                        slot,
-                        tag,
-                        kind: TraceKind::Attempt {
-                            channel: ch,
-                            outcome,
-                        },
-                    });
-                    if stats.abandoned > abandoned_before {
-                        trace.push(TraceEvent {
-                            slot,
-                            tag,
-                            kind: TraceKind::Abandon,
-                        });
-                    }
-                }
-                if let Some(next_earliest) = next_earliest {
-                    Self::schedule(
-                        &mut tags[tag as usize],
-                        tag,
-                        next_earliest,
-                        slot_secs,
-                        cfg,
-                        q,
-                        stats,
-                        fx,
-                        rf,
-                    );
-                }
-            }
-        }
-        touched.clear();
     }
 }
 

@@ -63,10 +63,11 @@ pub mod engine;
 pub mod faults;
 pub mod link;
 pub mod metrics;
+pub mod topology;
 
 /// Convenience re-exports covering the main API surface.
 pub mod prelude {
-    pub use crate::deploy::{city_occupancy, Deployment, HarvestProfile, TagSite};
+    pub use crate::deploy::{city_occupancy, HarvestProfile, SiteMap, TagSite};
     pub use crate::engine::{
         ArqConfig, Arrival, ArrivalTrace, Event, EventQueue, EventTrace, NetRun, NetStats,
         NetworkConfig, NetworkSim, Outcome, TraceEvent, TraceKind, Traffic,
@@ -74,4 +75,8 @@ pub mod prelude {
     pub use crate::faults::{recovery_time_slots, FaultKind, FaultSchedule, FaultSpec, Window};
     pub use crate::link::{BerTable, BerTableSpec, TableDelta, TableDeltaCell};
     pub use crate::metrics::{NetCollisionRate, NetFairness, NetGoodput, NetLatency, NetSpec};
+    pub use crate::topology::{
+        capture_winner, CityPlan, CitySim, CollisionDomain, Deployment, DeploymentError, MetroRun,
+        MetroTopology, Placement, Receiver, Station,
+    };
 }

@@ -118,6 +118,47 @@ impl NetSpec {
     }
 }
 
+/// The one-line migration shim from the [`crate::topology::Deployment`]
+/// builder to a sweepable flat spec. The field mapping is direct:
+///
+/// | `Deployment` builder     | `NetSpec` field |
+/// |--------------------------|-----------------|
+/// | `.link(table)`           | `table` (required here) |
+/// | `.harvest(..)`           | `harvest`       |
+/// | `.packet_bits(..)`       | `packet_bits` (+ re-measured `packets`) |
+/// | `.storage(..)`           | `storage_uj`    |
+/// | `.faults(..)`            | `faults`        |
+/// | `.arq(..)`               | `arq`           |
+///
+/// Geometry (`.receivers`/`.stations`/`.placement`/`.capture`) does not
+/// map: a `NetSpec` sweeps the classic single-receiver engine, where the
+/// scenario's own axes (`n_tags`, `distance_ft`, power) set the cell.
+/// Multi-receiver plans run through [`crate::topology::CitySim`]
+/// instead.
+///
+/// # Panics
+/// On an invalid deployment (the [`crate::topology::DeploymentError`]
+/// message is included) or when no `.link(..)` table was attached —
+/// `Deployment::build` is the non-panicking path.
+impl From<crate::topology::Deployment> for NetSpec {
+    fn from(d: crate::topology::Deployment) -> NetSpec {
+        if let Err(e) = d.build() {
+            panic!("invalid Deployment: {e}");
+        }
+        let table = d
+            .link_table()
+            .expect("Deployment -> NetSpec needs .link(table)");
+        let mut spec = NetSpec::new(table).with_harvest(d.harvest_profile());
+        if d.packet_bits_cfg() != spec.packet_bits {
+            spec = spec.with_packet_bits(d.packet_bits_cfg());
+        }
+        spec.storage_uj = d.storage_cfg();
+        spec.faults = d.fault_spec().clone();
+        spec.arq = d.arq_cfg().cloned();
+        spec
+    }
+}
+
 /// Aggregate network goodput in bits per second.
 #[derive(Debug, Clone)]
 pub struct NetGoodput(pub NetSpec);

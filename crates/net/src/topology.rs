@@ -1,0 +1,1294 @@
+//! Metro-scale deployment geometry and the sharded parallel engine.
+//!
+//! This module is the network tier's front door since PR 9: a typed
+//! [`Deployment`] builder replaces flat `NetworkConfig`/`NetSpec` field
+//! construction, validates every invariant at build time (one typed
+//! [`DeploymentError`] instead of three scattered failure modes), and
+//! compiles down to per-domain specs:
+//!
+//! * **Geometry** — FM [`Station`]s (position + transmit power),
+//!   [`Receiver`] cells, and tag [`Placement`] models (uniform over the
+//!   receiver discs, or clustered hotspots around them). Tags partition
+//!   into [`CollisionDomain`]s by nearest-receiver assignment.
+//! * **Spatial reuse** — each domain gets its own frequency plan from
+//!   [`fmbs_core::mac::assign_f_back`]; two domains on the same
+//!   `f_back` only interact when their receiver cells overlap, in which
+//!   case co-channel transmissions elevate each other's raw BER through
+//!   the calibrated packet-survival curve.
+//! * **Capture effect** — within a contended slot the strongest
+//!   received signal (ambient power at the tag minus the tag→receiver
+//!   free-space path loss from [`fmbs_channel::pathloss`]) wins the
+//!   slot outright when its advantage over the runner-up meets the
+//!   configured capture margin ([`capture_winner`] is the pure,
+//!   property-tested decision rule).
+//! * **Sharded engine** — one event queue per domain
+//!   ([`crate::engine`]'s `DomainSim`), stepped in lockstep with
+//!   cross-domain transmit counts exchanged at slot barriers, so
+//!   domains simulate on a worker pool with parallel == serial
+//!   bit-identity (same discipline the sweep engine proves).
+//!
+//! Single-receiver plans compile to the exact pre-metro engine path, so
+//! every pre-PR9 figure reproduces bit-for-bit; see
+//! [`crate::metrics::NetSpec`]'s `From<Deployment>` shim for the
+//! one-line migration of flat-spec call sites.
+
+use crate::deploy::{city_occupancy, unit, HarvestProfile, TagSite};
+use crate::engine::{
+    ArqConfig, ArrivalTrace, DomainSim, EventTrace, NetRun, NetStats, NetworkConfig, NetworkSim,
+    SlotExtras, TraceEvent, Traffic,
+};
+use crate::faults::{FaultKind, FaultSpec};
+use crate::link::{BerTable, PacketModel};
+use fmbs_channel::pathloss::free_space_path_loss_db;
+use fmbs_core::modem::Bitrate;
+use fmbs_core::power::{IcPowerModel, PAPER_OPERATING_POINT};
+use fmbs_core::sim::sweep::splitmix64;
+use fmbs_fm::band::{BandOccupancy, Channel, FM_CHANNEL_SPACING_HZ};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Barrier};
+
+pub use crate::engine::capture_winner;
+
+/// Feet per metre, for the geometry ↔ path-loss unit boundary.
+const FT_TO_M: f64 = 0.3048;
+
+/// An FM broadcast station: where it stands and how hard it transmits.
+/// Stations set the ambient power tags hear (and harvest): each tag
+/// takes the strongest station after the urban log-distance path loss
+/// of [`fmbs_channel::pathloss::LogDistanceModel::urban_fm`], plus
+/// deterministic per-tag shadowing. With no stations configured, the
+/// builder's flat `mean_power_dbm` is used instead (the pre-metro
+/// model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Station {
+    /// Position, feet east of the city origin.
+    pub x_ft: f64,
+    /// Position, feet north of the city origin.
+    pub y_ft: f64,
+    /// Effective radiated power in dBm (a 5 kW municipal transmitter is
+    /// ~67 dBm; the default suits a tag population 1–3 km out).
+    pub power_dbm: f64,
+}
+
+impl Station {
+    /// A station at `(x_ft, y_ft)` with the default 67 dBm ERP.
+    pub fn at(x_ft: f64, y_ft: f64) -> Self {
+        Station {
+            x_ft,
+            y_ft,
+            power_dbm: 67.0,
+        }
+    }
+
+    /// Overrides the transmit power (dBm).
+    pub fn power(mut self, power_dbm: f64) -> Self {
+        self.power_dbm = power_dbm;
+        self
+    }
+}
+
+/// One receiver cell: a disc every tag inside contends within.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Receiver {
+    /// Cell centre, feet east of the city origin.
+    pub x_ft: f64,
+    /// Cell centre, feet north of the city origin.
+    pub y_ft: f64,
+    /// Cell radius in feet: the builder rejects tags placed farther
+    /// than this from their nearest receiver.
+    pub radius_ft: f64,
+}
+
+impl Receiver {
+    /// A receiver cell at `(x_ft, y_ft)` with radius `radius_ft`.
+    pub fn at(x_ft: f64, y_ft: f64, radius_ft: f64) -> Self {
+        Receiver {
+            x_ft,
+            y_ft,
+            radius_ft,
+        }
+    }
+
+    /// A square grid of `nx × ny` receiver cells with centre-to-centre
+    /// pitch `pitch_ft`. The radius is `pitch_ft / √2`, the smallest
+    /// that still covers the whole grid square, so uniform placement
+    /// never produces uncovered tags.
+    pub fn grid(nx: usize, ny: usize, pitch_ft: f64) -> Vec<Receiver> {
+        let radius = pitch_ft / std::f64::consts::SQRT_2;
+        (0..ny)
+            .flat_map(|j| {
+                (0..nx).map(move |i| Receiver::at(i as f64 * pitch_ft, j as f64 * pitch_ft, radius))
+            })
+            .collect()
+    }
+
+    fn overlaps(&self, other: &Receiver) -> bool {
+        let dx = self.x_ft - other.x_ft;
+        let dy = self.y_ft - other.y_ft;
+        (dx * dx + dy * dy).sqrt() < self.radius_ft + other.radius_ft
+    }
+}
+
+/// How tags scatter over the receiver cells. Both models are pure
+/// functions of `(seed, tag)` — the deployment never depends on
+/// iteration order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Placement {
+    /// Uniform in area: a cell is picked with probability proportional
+    /// to its disc area, then the tag lands uniformly inside that disc.
+    UniformDisc,
+    /// Clustered hotspots: a cell is picked uniformly, then the tag
+    /// lands uniformly within `spread_ft` of its centre — dense knots
+    /// of tags around points of interest.
+    ClusteredHotspots {
+        /// Hotspot radius in feet (clamped to the cell radius).
+        spread_ft: f64,
+    },
+}
+
+/// Everything that can make a [`Deployment`] unbuildable, unified from
+/// what used to be three scattered failure modes: the channel plan's
+/// band-full `None` (silently mapped to a 0 Hz shift before), ARQ
+/// parameter nonsense (previously unchecked), and fault windows the
+/// schedule would silently clamp.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeploymentError {
+    /// No tags to deploy.
+    NoTags,
+    /// A zero-slot horizon simulates nothing.
+    NoSlots,
+    /// Every deployment needs at least one receiver cell.
+    NoReceivers,
+    /// The FM band has no free channel to assign backscatter shifts
+    /// from (`assign_f_back` would return all-`None`).
+    BandFull {
+        /// Channels already occupied in the configured band.
+        occupied: usize,
+    },
+    /// An ARQ parameter is out of its sane range.
+    ArqInvalid {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A fault window is empty or longer than the slot horizon (the
+    /// schedule would silently clamp it).
+    FaultWindow {
+        /// The offending fault class.
+        kind: FaultKind,
+        /// The configured window length in slots.
+        window_slots: u64,
+        /// The run's slot horizon.
+        horizon: u64,
+    },
+    /// A fault intensity parameter is out of range.
+    FaultParameter {
+        /// What was wrong.
+        reason: String,
+    },
+    /// The capture margin must be finite and non-negative dB.
+    CaptureMargin {
+        /// The rejected margin.
+        margin_db: f64,
+    },
+    /// The co-channel interference BER step must lie in [0, 1].
+    InterferenceBer {
+        /// The rejected per-transmitter BER elevation.
+        ber: f64,
+    },
+    /// A tag landed farther from its nearest receiver than that cell's
+    /// radius — the receiver layout does not cover the placement.
+    UncoveredTag {
+        /// The uncovered tag's index.
+        tag: u32,
+        /// Its distance to the nearest receiver, feet.
+        distance_ft: f64,
+        /// The nearest receiver's index.
+        receiver: usize,
+        /// That receiver's cell radius, feet.
+        radius_ft: f64,
+    },
+}
+
+impl DeploymentError {
+    /// A one-line remediation hint, for the CLI's exit-2 UX.
+    pub fn hint(&self) -> &'static str {
+        match self {
+            DeploymentError::NoTags => "deploy at least one tag: Deployment::city(n) with n >= 1",
+            DeploymentError::NoSlots => "simulate at least one slot: .slots(n) with n >= 1",
+            DeploymentError::NoReceivers => "add a receiver: .receivers([Receiver::at(0.0, 0.0, 16.0)])",
+            DeploymentError::BandFull { .. } => {
+                "free a channel in the occupancy map, or widen the band"
+            }
+            DeploymentError::ArqInvalid { .. } => "see ArqConfig's field docs for the valid ranges",
+            DeploymentError::FaultWindow { .. } => {
+                "shrink the fault window below the slot horizon (or raise .slots(..))"
+            }
+            DeploymentError::FaultParameter { .. } => {
+                "brownout_scale and burst_ber are fractions in [0, 1]"
+            }
+            DeploymentError::CaptureMargin { .. } => {
+                "pass a finite margin >= 0 dB to .capture(..), e.g. .capture(6.0)"
+            }
+            DeploymentError::InterferenceBer { .. } => {
+                "pass a fraction in [0, 1] to .co_channel_ber(..)"
+            }
+            DeploymentError::UncoveredTag { .. } => {
+                "grow the receiver radii or tighten the placement (Receiver::grid covers by construction)"
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for DeploymentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeploymentError::NoTags => write!(f, "deployment has no tags"),
+            DeploymentError::NoSlots => write!(f, "deployment has a zero-slot horizon"),
+            DeploymentError::NoReceivers => write!(f, "deployment has no receiver cells"),
+            DeploymentError::BandFull { occupied } => write!(
+                f,
+                "no free FM channel to assign backscatter shifts from ({occupied} occupied)"
+            ),
+            DeploymentError::ArqInvalid { reason } => write!(f, "invalid ARQ config: {reason}"),
+            DeploymentError::FaultWindow {
+                kind,
+                window_slots,
+                horizon,
+            } => write!(
+                f,
+                "{} fault window of {window_slots} slots does not fit the {horizon}-slot horizon",
+                kind.name()
+            ),
+            DeploymentError::FaultParameter { reason } => {
+                write!(f, "invalid fault parameter: {reason}")
+            }
+            DeploymentError::CaptureMargin { margin_db } => {
+                write!(f, "capture margin {margin_db} dB is not a finite non-negative value")
+            }
+            DeploymentError::InterferenceBer { ber } => {
+                write!(f, "co-channel BER step {ber} is outside [0, 1]")
+            }
+            DeploymentError::UncoveredTag {
+                tag,
+                distance_ft,
+                receiver,
+                radius_ft,
+            } => write!(
+                f,
+                "tag {tag} lands {distance_ft:.1} ft from receiver {receiver} (radius {radius_ft:.1} ft): receivers do not cover the placement"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeploymentError {}
+
+/// One collision domain of a compiled metro plan: the tags served by
+/// one receiver, their synthesised sites (local order), and the
+/// received backscatter power the capture effect compares.
+#[derive(Debug, Clone)]
+pub struct CollisionDomain {
+    /// The receiver cell this domain belongs to.
+    pub receiver: usize,
+    /// Global tag indices, in local order (`tags[i]` is local tag `i`).
+    pub tags: Vec<u32>,
+    /// Synthesised per-tag sites, in local order.
+    pub sites: Vec<TagSite>,
+    /// Received backscatter power at the receiver per local tag (dBm):
+    /// ambient power at the tag minus the tag→receiver free-space path
+    /// loss — what the capture margin is measured against.
+    pub rx_dbm: Vec<f64>,
+    /// Size of this domain's frequency plan (dense local channel ids).
+    pub n_channels: usize,
+    /// Local channel id → `f_back` key (Hz, truncated): the value that
+    /// matches co-channel domains across cells.
+    chan_keys: Vec<i64>,
+}
+
+/// The compiled multi-receiver geometry: collision domains plus, per
+/// (domain, local channel), the co-channel channels of *overlapping*
+/// neighbour domains — the spatial-reuse rule made into a lookup table.
+#[derive(Debug, Clone)]
+pub struct MetroTopology {
+    /// One domain per receiver (possibly empty of tags).
+    pub domains: Vec<CollisionDomain>,
+    /// `peers[d][c]` lists the `(domain, channel)` pairs that contend
+    /// with domain `d`'s local channel `c`: same `f_back`, overlapping
+    /// cells. Non-overlapping same-`f_back` domains reuse the spectrum
+    /// silently.
+    pub peers: Vec<Vec<Vec<(usize, u16)>>>,
+}
+
+impl MetroTopology {
+    /// Total co-channel contention edges (for diagnostics and tests).
+    pub fn peer_edges(&self) -> usize {
+        self.peers.iter().flat_map(|d| d.iter()).map(Vec::len).sum()
+    }
+}
+
+/// A validated, compiled deployment: the single-receiver core config
+/// plus (for multi-receiver plans) the sharded metro topology.
+#[derive(Debug, Clone)]
+pub struct CityPlan {
+    cfg: NetworkConfig,
+    topology: Option<MetroTopology>,
+    capture_margin_db: Option<f64>,
+    co_channel_ber: f64,
+    link: Option<Arc<BerTable>>,
+}
+
+impl CityPlan {
+    /// The engine configuration at the plan's core. Single-receiver
+    /// plans run exactly this through the pre-metro engine path.
+    pub fn network_config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Whether this plan shards across multiple receiver cells.
+    pub fn is_metro(&self) -> bool {
+        self.topology.is_some()
+    }
+
+    /// The compiled collision domains (empty for single-receiver plans).
+    pub fn domains(&self) -> &[CollisionDomain] {
+        self.topology.as_ref().map_or(&[], |t| &t.domains)
+    }
+
+    /// The compiled topology, when the plan is metro-scale.
+    pub fn topology(&self) -> Option<&MetroTopology> {
+        self.topology.as_ref()
+    }
+
+    /// The configured capture margin in dB (`None` = capture off).
+    pub fn capture_margin_db(&self) -> Option<f64> {
+        self.capture_margin_db
+    }
+
+    /// Builds the simulator over `table` (overrides any `.link(..)`).
+    pub fn into_sim(self, table: Arc<BerTable>) -> CitySim {
+        CitySim::new(self, table)
+    }
+
+    /// Builds the simulator over the table given to `.link(..)`.
+    ///
+    /// # Panics
+    /// When the deployment was built without `.link(..)`.
+    pub fn sim(self) -> CitySim {
+        let table = self
+            .link
+            .clone()
+            .expect("CityPlan::sim needs Deployment::link(table); or use into_sim(table)");
+        CitySim::new(self, table)
+    }
+}
+
+/// The redesigned deployment builder — the network tier's single entry
+/// point since PR 9 (see the [module docs](self) for the full model).
+///
+/// ```
+/// use fmbs_core::sim::fast::FastSim;
+/// use fmbs_net::prelude::*;
+/// use std::sync::Arc;
+///
+/// let table = Arc::new(BerTable::calibrate(&FastSim, &BerTableSpec::quick()));
+/// let run = Deployment::city(500)
+///     .slots(200)
+///     .receivers(Receiver::grid(2, 2, 400.0))
+///     .stations([Station::at(2000.0, 0.0)])
+///     .capture(6.0)
+///     .build()
+///     .expect("valid deployment")
+///     .into_sim(table)
+///     .run();
+/// assert_eq!(run.per_domain.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    n_tags: usize,
+    n_slots: u64,
+    bitrate: Bitrate,
+    packet_bits: u32,
+    cell_radius_ft: f64,
+    mean_power_dbm: f64,
+    host: Channel,
+    occupancy: BandOccupancy,
+    harvest: HarvestProfile,
+    storage_uj: f64,
+    seed: u64,
+    record_trace: bool,
+    trace_cap: usize,
+    traffic: Traffic,
+    drop_expired: bool,
+    faults: FaultSpec,
+    arq: Option<ArqConfig>,
+    stations: Vec<Station>,
+    receivers: Vec<Receiver>,
+    placement: Placement,
+    capture_margin_db: Option<f64>,
+    co_channel_ber: f64,
+    link: Option<Arc<BerTable>>,
+}
+
+impl Deployment {
+    /// A city deployment of `n_tags` tags with the tier's historical
+    /// defaults: one receiver cell of 16 ft, 1.6 kbps, 256-bit packets,
+    /// mains power, 1000 slots — exactly `NetworkConfig::new`'s world.
+    pub fn city(n_tags: usize) -> Self {
+        let base = NetworkConfig::new(n_tags, 1_000);
+        Deployment {
+            n_tags,
+            n_slots: base.n_slots,
+            bitrate: base.bitrate,
+            packet_bits: base.packet_bits,
+            cell_radius_ft: base.cell_radius_ft,
+            mean_power_dbm: base.mean_power_dbm,
+            host: base.host,
+            occupancy: base.occupancy,
+            harvest: base.harvest,
+            storage_uj: base.storage_uj,
+            seed: base.seed,
+            record_trace: base.record_trace,
+            trace_cap: base.trace_cap,
+            traffic: base.traffic,
+            drop_expired: base.drop_expired,
+            faults: base.faults,
+            arq: base.arq,
+            stations: Vec::new(),
+            receivers: vec![Receiver::at(0.0, 0.0, base.cell_radius_ft)],
+            placement: Placement::UniformDisc,
+            capture_margin_db: None,
+            co_channel_ber: 0.01,
+            link: None,
+        }
+    }
+
+    /// Sets the slot horizon.
+    pub fn slots(mut self, n_slots: u64) -> Self {
+        self.n_slots = n_slots;
+        self
+    }
+
+    /// Sets every tag's data rate.
+    pub fn bitrate(mut self, bitrate: Bitrate) -> Self {
+        self.bitrate = bitrate;
+        self
+    }
+
+    /// Sets the packet length in bits (and with it the slot duration).
+    pub fn packet_bits(mut self, bits: u32) -> Self {
+        self.packet_bits = bits;
+        self
+    }
+
+    /// Sets the mean ambient FM power (dBm) tags hear when no explicit
+    /// [`Station`]s are configured.
+    pub fn power(mut self, mean_power_dbm: f64) -> Self {
+        self.mean_power_dbm = mean_power_dbm;
+        self
+    }
+
+    /// Replaces the band occupancy the frequency plan is computed over.
+    pub fn occupancy(mut self, occupancy: BandOccupancy) -> Self {
+        self.occupancy = occupancy;
+        self
+    }
+
+    /// Rebuilds the default synthetic city occupancy around `host` with
+    /// the given minimum backscatter shift (guard ring).
+    pub fn host(mut self, host: Channel, min_shift_hz: f64) -> Self {
+        self.host = host;
+        self.occupancy = city_occupancy(host, min_shift_hz);
+        self
+    }
+
+    /// Sets what powers the tags.
+    pub fn harvest(mut self, harvest: HarvestProfile) -> Self {
+        self.harvest = harvest;
+        self
+    }
+
+    /// Sets per-tag energy storage in µJ.
+    pub fn storage(mut self, storage_uj: f64) -> Self {
+        self.storage_uj = storage_uj;
+        self
+    }
+
+    /// Sets the run seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Records the slot-level event trace (off by default).
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
+    /// Caps the recorded trace (see [`EventTrace::dropped`]).
+    pub fn trace_cap(mut self, cap: usize) -> Self {
+        self.trace_cap = cap;
+        self
+    }
+
+    /// Sets the traffic model (saturated, or a workload arrival trace).
+    pub fn traffic(mut self, traffic: Traffic) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Sheds queued packets whose deadline already passed.
+    pub fn drop_expired(mut self, on: bool) -> Self {
+        self.drop_expired = on;
+        self
+    }
+
+    /// Installs a deterministic fault plan.
+    pub fn faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Switches the link-layer ARQ on.
+    pub fn arq(mut self, arq: ArqConfig) -> Self {
+        self.arq = Some(arq);
+        self
+    }
+
+    /// Places the FM broadcast stations that set ambient power.
+    pub fn stations(mut self, stations: impl IntoIterator<Item = Station>) -> Self {
+        self.stations = stations.into_iter().collect();
+        self
+    }
+
+    /// Places the receiver cells. One receiver keeps the classic
+    /// single-cell engine; two or more shard the run into parallel
+    /// collision domains.
+    pub fn receivers(mut self, receivers: impl IntoIterator<Item = Receiver>) -> Self {
+        self.receivers = receivers.into_iter().collect();
+        if let [only] = self.receivers.as_slice() {
+            self.cell_radius_ft = only.radius_ft;
+        }
+        self
+    }
+
+    /// Sets the tag placement model (multi-receiver plans).
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Switches the capture effect on with the given margin in dB: in a
+    /// contended slot the strongest received signal wins outright when
+    /// its advantage over the runner-up is at least this.
+    pub fn capture(mut self, margin_db: f64) -> Self {
+        self.capture_margin_db = Some(margin_db);
+        self
+    }
+
+    /// Sets the raw-BER elevation each co-channel transmission in an
+    /// overlapping neighbour domain adds (default 0.01).
+    pub fn co_channel_ber(mut self, ber: f64) -> Self {
+        self.co_channel_ber = ber;
+        self
+    }
+
+    /// Attaches the calibrated link table, letting [`CityPlan::sim`]
+    /// and the `From<Deployment> for NetSpec` shim work without passing
+    /// it again.
+    pub fn link(mut self, table: Arc<BerTable>) -> Self {
+        self.link = Some(table);
+        self
+    }
+
+    /// The attached link table, if any.
+    pub fn link_table(&self) -> Option<Arc<BerTable>> {
+        self.link.clone()
+    }
+
+    /// The configured harvest profile (for the `NetSpec` shim).
+    pub fn harvest_profile(&self) -> HarvestProfile {
+        self.harvest
+    }
+
+    /// The configured packet length in bits.
+    pub fn packet_bits_cfg(&self) -> u32 {
+        self.packet_bits
+    }
+
+    /// The configured per-tag storage in µJ.
+    pub fn storage_cfg(&self) -> f64 {
+        self.storage_uj
+    }
+
+    /// The configured fault plan.
+    pub fn fault_spec(&self) -> &FaultSpec {
+        &self.faults
+    }
+
+    /// The configured ARQ, if any.
+    pub fn arq_cfg(&self) -> Option<&ArqConfig> {
+        self.arq.as_ref()
+    }
+
+    /// Validates every invariant and compiles the deployment into a
+    /// runnable [`CityPlan`] — the single place the band-full, ARQ and
+    /// fault-window failure modes surface, as one typed error.
+    pub fn build(&self) -> Result<CityPlan, DeploymentError> {
+        if self.n_tags == 0 {
+            return Err(DeploymentError::NoTags);
+        }
+        if self.n_slots == 0 {
+            return Err(DeploymentError::NoSlots);
+        }
+        if self.receivers.is_empty() {
+            return Err(DeploymentError::NoReceivers);
+        }
+        if self.occupancy.free_channels().is_empty() {
+            return Err(DeploymentError::BandFull {
+                occupied: self.occupancy.occupied_count(),
+            });
+        }
+        self.validate_arq()?;
+        self.validate_faults()?;
+        if let Some(m) = self.capture_margin_db {
+            if !m.is_finite() || m < 0.0 {
+                return Err(DeploymentError::CaptureMargin { margin_db: m });
+            }
+        }
+        if !(0.0..=1.0).contains(&self.co_channel_ber) {
+            return Err(DeploymentError::InterferenceBer {
+                ber: self.co_channel_ber,
+            });
+        }
+
+        let cfg = NetworkConfig {
+            n_tags: self.n_tags,
+            n_slots: self.n_slots,
+            bitrate: self.bitrate,
+            packet_bits: self.packet_bits,
+            cell_radius_ft: self.cell_radius_ft,
+            mean_power_dbm: self.mean_power_dbm,
+            host: self.host,
+            occupancy: self.occupancy.clone(),
+            harvest: self.harvest,
+            storage_uj: self.storage_uj,
+            max_backoff_exp: 8,
+            coding: true,
+            seed: self.seed,
+            record_trace: self.record_trace,
+            trace_cap: self.trace_cap,
+            traffic: self.traffic.clone(),
+            drop_expired: self.drop_expired,
+            faults: self.faults.clone(),
+            arq: self.arq.clone(),
+        };
+        let topology = if self.receivers.len() >= 2 {
+            Some(self.synthesize(&cfg)?)
+        } else {
+            None
+        };
+        Ok(CityPlan {
+            cfg,
+            topology,
+            capture_margin_db: self.capture_margin_db,
+            co_channel_ber: self.co_channel_ber,
+            link: self.link.clone(),
+        })
+    }
+
+    fn validate_arq(&self) -> Result<(), DeploymentError> {
+        let Some(a) = &self.arq else { return Ok(()) };
+        let fail = |reason: String| Err(DeploymentError::ArqInvalid { reason });
+        if a.ack_slots > 1024 {
+            return fail(format!("ack_slots {} exceeds 1024", a.ack_slots));
+        }
+        if a.max_retx > 1024 {
+            return fail(format!("max_retx {} exceeds 1024", a.max_retx));
+        }
+        if a.fallback_after == 0 {
+            return fail("fallback_after must be >= 1".into());
+        }
+        if a.recover_after == 0 {
+            return fail("recover_after must be >= 1".into());
+        }
+        if let Some(fb) = a.fallback_bitrate {
+            if fb.bits_per_second() >= self.bitrate.bits_per_second() {
+                return fail(format!(
+                    "fallback bitrate {:?} is not below the nominal {:?}",
+                    fb, self.bitrate
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_faults(&self) -> Result<(), DeploymentError> {
+        let f = &self.faults;
+        let windows = [
+            (FaultKind::Outage, f.outages, f.outage_slots as u64),
+            (FaultKind::Brownout, f.brownouts, f.brownout_slots as u64),
+            (FaultKind::Burst, f.bursts, f.burst_slots as u64),
+        ];
+        for (kind, count, window_slots) in windows {
+            if count > 0 && (window_slots == 0 || window_slots > self.n_slots) {
+                return Err(DeploymentError::FaultWindow {
+                    kind,
+                    window_slots,
+                    horizon: self.n_slots,
+                });
+            }
+        }
+        if !(0.0..=1.0).contains(&f.brownout_scale) {
+            return Err(DeploymentError::FaultParameter {
+                reason: format!("brownout_scale {} is outside [0, 1]", f.brownout_scale),
+            });
+        }
+        if !(0.0..=1.0).contains(&f.burst_ber) {
+            return Err(DeploymentError::FaultParameter {
+                reason: format!("burst_ber {} is outside [0, 1]", f.burst_ber),
+            });
+        }
+        Ok(())
+    }
+
+    /// Compiles the multi-receiver geometry: deterministic tag
+    /// placement, nearest-receiver domain assignment, per-domain
+    /// frequency plans and the co-channel overlap table.
+    fn synthesize(&self, cfg: &NetworkConfig) -> Result<MetroTopology, DeploymentError> {
+        let rx = &self.receivers;
+        let seed = self.seed;
+        let slot_secs = cfg.slot_secs();
+        let urban = fmbs_channel::pathloss::LogDistanceModel::urban_fm();
+        // Area-weighted cell choice for uniform placement.
+        let weights: Vec<f64> = rx.iter().map(|r| r.radius_ft * r.radius_ft).collect();
+        let total_w: f64 = weights.iter().sum();
+
+        let mut tags_of: Vec<Vec<u32>> = vec![Vec::new(); rx.len()];
+        let mut dist_of: Vec<Vec<f64>> = vec![Vec::new(); rx.len()];
+        let mut power_of: Vec<Vec<f64>> = vec![Vec::new(); rx.len()];
+        for i in 0..self.n_tags {
+            let pick = unit(seed, i as u64, 10);
+            let cell = match self.placement {
+                Placement::UniformDisc => {
+                    let mut acc = 0.0;
+                    let target = pick * total_w;
+                    let mut chosen = rx.len() - 1;
+                    for (c, w) in weights.iter().enumerate() {
+                        acc += w;
+                        if target < acc {
+                            chosen = c;
+                            break;
+                        }
+                    }
+                    chosen
+                }
+                Placement::ClusteredHotspots { .. } => {
+                    ((pick * rx.len() as f64) as usize).min(rx.len() - 1)
+                }
+            };
+            let spread = match self.placement {
+                Placement::UniformDisc => rx[cell].radius_ft,
+                Placement::ClusteredHotspots { spread_ft } => spread_ft.min(rx[cell].radius_ft),
+            };
+            let rad = spread * unit(seed, i as u64, 11).sqrt();
+            let ang = std::f64::consts::TAU * unit(seed, i as u64, 12);
+            let px = rx[cell].x_ft + rad * ang.cos();
+            let py = rx[cell].y_ft + rad * ang.sin();
+            // Nearest receiver wins the tag (ties to the lower index).
+            let (nearest, d2) = rx
+                .iter()
+                .enumerate()
+                .map(|(c, r)| {
+                    let dx = px - r.x_ft;
+                    let dy = py - r.y_ft;
+                    (c, dx * dx + dy * dy)
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+                .expect("receivers are non-empty");
+            let dist_ft = d2.sqrt();
+            if dist_ft > rx[nearest].radius_ft {
+                return Err(DeploymentError::UncoveredTag {
+                    tag: i as u32,
+                    distance_ft: dist_ft,
+                    receiver: nearest,
+                    radius_ft: rx[nearest].radius_ft,
+                });
+            }
+            let shadow = 8.0 * (unit(seed, i as u64, 13) - 0.5);
+            let power_dbm = if self.stations.is_empty() {
+                self.mean_power_dbm + shadow
+            } else {
+                self.stations
+                    .iter()
+                    .map(|st| {
+                        let dm = ((px - st.x_ft).hypot(py - st.y_ft) * FT_TO_M).max(1.0);
+                        st.power_dbm - urban.path_loss_db(dm).0
+                    })
+                    .fold(f64::NEG_INFINITY, f64::max)
+                    + shadow
+            };
+            tags_of[nearest].push(i as u32);
+            dist_of[nearest].push(dist_ft.max(1.0));
+            power_of[nearest].push(power_dbm);
+        }
+
+        // Per-domain frequency plans and site synthesis.
+        let mut domains = Vec::with_capacity(rx.len());
+        for (cell, tags) in tags_of.iter().enumerate() {
+            let shifts = fmbs_core::mac::assign_f_back(&self.occupancy, self.host, tags.len());
+            let mut chan_keys: Vec<i64> = Vec::new();
+            let mut sites = Vec::with_capacity(tags.len());
+            let mut rx_dbm = Vec::with_capacity(tags.len());
+            for (li, shift) in shifts.iter().enumerate() {
+                // Build already verified the band has free channels.
+                let f_back_hz = shift.expect("band checked non-full at build");
+                let key = f_back_hz as i64;
+                let channel = match chan_keys.iter().position(|&k| k == key) {
+                    Some(c) => c,
+                    None => {
+                        chan_keys.push(key);
+                        chan_keys.len() - 1
+                    }
+                } as u16;
+                let distance_ft = dist_of[cell][li];
+                let power_dbm = power_of[cell][li];
+                let draw_uw = IcPowerModel {
+                    f_back_hz: f_back_hz.abs().max(FM_CHANNEL_SPACING_HZ),
+                    ..PAPER_OPERATING_POINT
+                }
+                .total_uw();
+                let tx_cost_uj = draw_uw * slot_secs;
+                sites.push(TagSite {
+                    distance_ft,
+                    power_dbm,
+                    f_back_hz,
+                    channel,
+                    harvest_uw: self.harvest.harvest_uw(fmbs_channel::units::Dbm(power_dbm)),
+                    tx_cost_uj,
+                    storage_uj: self.storage_uj.max(2.0 * tx_cost_uj),
+                });
+                rx_dbm
+                    .push(power_dbm - free_space_path_loss_db(distance_ft * FT_TO_M, urban.f_hz).0);
+            }
+            domains.push(CollisionDomain {
+                receiver: cell,
+                tags: tags.clone(),
+                sites,
+                rx_dbm,
+                n_channels: chan_keys.len().max(1),
+                chan_keys,
+            });
+        }
+
+        // Spatial reuse: same f_back only contends across *overlapping*
+        // cells.
+        let mut peers: Vec<Vec<Vec<(usize, u16)>>> = domains
+            .iter()
+            .map(|d| vec![Vec::new(); d.n_channels])
+            .collect();
+        for a in 0..domains.len() {
+            for b in 0..domains.len() {
+                if a == b || !rx[domains[a].receiver].overlaps(&rx[domains[b].receiver]) {
+                    continue;
+                }
+                for (ca, key) in domains[a].chan_keys.iter().enumerate() {
+                    if let Some(cb) = domains[b].chan_keys.iter().position(|k| k == key) {
+                        peers[a][ca].push((b, cb as u16));
+                    }
+                }
+            }
+        }
+        Ok(MetroTopology { domains, peers })
+    }
+}
+
+/// One metro run's outputs: city-wide aggregate statistics, the
+/// per-domain breakdown, and the (optional) merged event trace with
+/// global tag ids.
+#[derive(Debug, Clone)]
+pub struct MetroRun {
+    /// City-wide aggregate statistics (global tag order).
+    pub stats: NetStats,
+    /// Per-domain statistics, in receiver order.
+    pub per_domain: Vec<NetStats>,
+    /// Merged slot-level trace: ascending by slot, domains in receiver
+    /// order within a slot, tag ids global.
+    pub trace: EventTrace,
+}
+
+/// The metro simulator: a compiled [`CityPlan`] plus the link table.
+/// Single-receiver plans delegate to the classic [`NetworkSim`] path
+/// bit-exactly; multi-receiver plans step one [`CollisionDomain`] per
+/// event queue in lockstep, on a worker pool, with parallel == serial
+/// bit-identity.
+#[derive(Debug, Clone)]
+pub struct CitySim {
+    plan: CityPlan,
+    table: Arc<BerTable>,
+    packets: Arc<PacketModel>,
+}
+
+impl CitySim {
+    /// Builds the simulator; the packet-survival curve is measured once
+    /// here and shared across every domain worker.
+    pub fn new(plan: CityPlan, table: Arc<BerTable>) -> Self {
+        let packets = Arc::new(PacketModel::for_frame(
+            plan.cfg.packet_bits,
+            plan.cfg.coding,
+        ));
+        CitySim {
+            plan,
+            table,
+            packets,
+        }
+    }
+
+    /// The compiled plan this simulator runs.
+    pub fn plan(&self) -> &CityPlan {
+        &self.plan
+    }
+
+    /// Runs on every available core. The result is bit-identical for
+    /// any worker count (property-tested), so parallelism is purely a
+    /// wall-clock lever.
+    pub fn run(&self) -> MetroRun {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.run_with_threads(threads)
+    }
+
+    /// Runs single-threaded — the reference the parallel path must
+    /// match bit-for-bit.
+    pub fn run_serial(&self) -> MetroRun {
+        self.run_with_threads(1)
+    }
+
+    /// Runs with an explicit worker count.
+    pub fn run_with_threads(&self, threads: usize) -> MetroRun {
+        fmbs_obs::span!(fmbs_obs::stages::NET_ENGINE);
+        let Some(topo) = &self.plan.topology else {
+            // Single receiver: the classic engine path, bit-exact with
+            // a pre-PR9 NetworkSim run of the same config.
+            let run = NetworkSim::with_packet_model(
+                self.plan.cfg.clone(),
+                self.table.clone(),
+                self.packets.clone(),
+            )
+            .run();
+            return MetroRun {
+                per_domain: vec![run.stats.clone()],
+                stats: run.stats,
+                trace: run.trace,
+            };
+        };
+        let nd = topo.domains.len();
+        let workers = threads.clamp(1, nd.max(1));
+
+        // Domains are dealt round-robin onto workers; every per-domain
+        // draw comes from that domain's private streams, so the deal
+        // only affects wall-clock, never results.
+        let mut buckets: Vec<Vec<(usize, DomainSim)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (d, dom) in topo.domains.iter().enumerate() {
+            let sim = DomainSim::new(
+                self.domain_cfg(d, dom),
+                &self.table,
+                self.packets.clone(),
+                &dom.sites,
+                dom.n_channels,
+            );
+            buckets[d % workers].push((d, sim));
+        }
+
+        // The slot-barrier exchange: every domain publishes its
+        // per-channel transmit counts (phase A, no randomness), then
+        // resolves with its overlapping co-channel neighbours' counts
+        // folded into the BER (phase B). Two barriers bound each slot.
+        let counts: Vec<Vec<AtomicU32>> = topo
+            .domains
+            .iter()
+            .map(|dom| (0..dom.n_channels).map(|_| AtomicU32::new(0)).collect())
+            .collect();
+        let barrier = Barrier::new(workers);
+        let n_slots = self.plan.cfg.n_slots;
+        let capture = self.plan.capture_margin_db;
+        let co_ber = self.plan.co_channel_ber;
+
+        let mut runs: Vec<(usize, NetRun)> = std::thread::scope(|s| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|mut bucket| {
+                    let counts = &counts;
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        let mut live: Vec<Vec<u16>> = bucket.iter().map(|_| Vec::new()).collect();
+                        let mut extra: Vec<Vec<f64>> = bucket
+                            .iter()
+                            .map(|(d, _)| vec![0.0; topo.domains[*d].n_channels])
+                            .collect();
+                        for slot in 0..n_slots {
+                            // Phase A: clear last slot's counts, gather
+                            // this slot's events, publish the counts.
+                            for (bi, (d, sim)) in bucket.iter_mut().enumerate() {
+                                for &ch in &live[bi] {
+                                    counts[*d][ch as usize].store(0, Ordering::Relaxed);
+                                }
+                                live[bi].clear();
+                                if sim.peek_slot() == Some(slot) {
+                                    sim.gather(slot);
+                                    for (ch, n) in sim.touched_counts() {
+                                        counts[*d][ch as usize].store(n, Ordering::Relaxed);
+                                        live[bi].push(ch);
+                                    }
+                                }
+                            }
+                            barrier.wait();
+                            // Phase B: fold neighbour counts into the
+                            // channel BER, resolve, reset the scratch.
+                            for (bi, (d, sim)) in bucket.iter_mut().enumerate() {
+                                if live[bi].is_empty() {
+                                    continue;
+                                }
+                                for &ch in &live[bi] {
+                                    let mut others = 0u32;
+                                    for &(pd, pch) in &topo.peers[*d][ch as usize] {
+                                        others += counts[pd][pch as usize].load(Ordering::Relaxed);
+                                    }
+                                    extra[bi][ch as usize] = others as f64 * co_ber;
+                                }
+                                let dom = &topo.domains[*d];
+                                let se = SlotExtras {
+                                    capture: capture.map(|m| (dom.rx_dbm.as_slice(), m)),
+                                    interference: Some(extra[bi].as_slice()),
+                                };
+                                sim.resolve(slot, Some(&se));
+                                for &ch in &live[bi] {
+                                    extra[bi][ch as usize] = 0.0;
+                                }
+                            }
+                            barrier.wait();
+                        }
+                        bucket
+                            .into_iter()
+                            .map(|(d, sim)| (d, sim.finish()))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("metro worker panicked"))
+                .collect()
+        });
+        // Deterministic merge: domain id order, global tag ids.
+        runs.sort_by_key(|&(d, _)| d);
+        self.merge(topo, runs)
+    }
+
+    /// The per-domain engine config: local tag count, a domain-mixed
+    /// seed (so tag streams never collide across domains), the local
+    /// slice of the arrival trace, and a domain-mixed fault stream.
+    fn domain_cfg(&self, d: usize, dom: &CollisionDomain) -> NetworkConfig {
+        let base = &self.plan.cfg;
+        let mut cfg = base.clone();
+        cfg.n_tags = dom.tags.len();
+        cfg.seed = splitmix64(base.seed ^ 0x4D45_5452_4F00 ^ ((d as u64) << 24));
+        if !cfg.faults.is_none() {
+            cfg.faults.seed = splitmix64(base.faults.seed ^ 0x00FA_17C4 ^ d as u64);
+        }
+        cfg.traffic = match &base.traffic {
+            Traffic::Saturated => Traffic::Saturated,
+            Traffic::Trace(arr) => Traffic::Trace(Arc::new(ArrivalTrace {
+                per_tag: dom
+                    .tags
+                    .iter()
+                    .map(|&g| arr.per_tag.get(g as usize).cloned().unwrap_or_default())
+                    .collect(),
+            })),
+        };
+        cfg
+    }
+
+    fn merge(&self, topo: &MetroTopology, runs: Vec<(usize, NetRun)>) -> MetroRun {
+        let cfg = &self.plan.cfg;
+        let mut stats = NetStats {
+            n_tags: cfg.n_tags,
+            n_slots: cfg.n_slots,
+            slot_secs: cfg.slot_secs(),
+            per_tag_delivered: vec![0; cfg.n_tags],
+            ..NetStats::default()
+        };
+        let mut trace = EventTrace::new(cfg.trace_cap);
+        let mut merged: Vec<TraceEvent> = Vec::new();
+        let mut per_domain = Vec::with_capacity(runs.len());
+        let mut dropped_in_domains = 0u64;
+        for (d, run) in runs {
+            let dom = &topo.domains[d];
+            stats.attempts += run.stats.attempts;
+            stats.delivered += run.stats.delivered;
+            stats.corrupt += run.stats.corrupt;
+            stats.collided += run.stats.collided;
+            stats.starved_slots += run.stats.starved_slots;
+            stats.delivered_bits += run.stats.delivered_bits;
+            stats.offered += run.stats.offered;
+            stats.on_time += run.stats.on_time;
+            stats.expired_dropped += run.stats.expired_dropped;
+            stats.still_queued += run.stats.still_queued;
+            stats.retransmissions += run.stats.retransmissions;
+            stats.acked += run.stats.acked;
+            stats.abandoned += run.stats.abandoned;
+            stats.rate_fallback_slots += run.stats.rate_fallback_slots;
+            for (li, &n) in run.stats.per_tag_delivered.iter().enumerate() {
+                stats.per_tag_delivered[dom.tags[li] as usize] = n;
+            }
+            stats
+                .latencies_slots
+                .extend_from_slice(&run.stats.latencies_slots);
+            stats
+                .sojourn_slots
+                .extend_from_slice(&run.stats.sojourn_slots);
+            if cfg.record_trace {
+                dropped_in_domains += run.trace.dropped();
+                merged.extend(run.trace.iter().map(|ev| TraceEvent {
+                    tag: dom.tags[ev.tag as usize],
+                    ..*ev
+                }));
+            }
+            per_domain.push(run.stats);
+        }
+        stats.latencies_slots.sort_unstable();
+        stats.sojourn_slots.sort_unstable();
+        if cfg.record_trace {
+            // Stable by slot: within a slot, domain order then each
+            // domain's emission order — the documented total order.
+            merged.sort_by_key(|ev| ev.slot);
+            for ev in merged {
+                trace.push(ev);
+            }
+            trace.note_dropped(dropped_in_domains);
+        }
+        MetroRun {
+            stats,
+            per_domain,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Arc<BerTable> {
+        Arc::new(BerTable::from_grid(
+            vec![-60.0, -20.0],
+            vec![1.0, 30.0],
+            vec![Bitrate::Kbps1_6],
+            vec![0.0, 2e-4, 1e-4, 2e-3],
+        ))
+    }
+
+    #[test]
+    fn single_receiver_plan_matches_classic_engine_bit_for_bit() {
+        let mut cfg = NetworkConfig::new(150, 300);
+        cfg.record_trace = true;
+        let classic = NetworkSim::new(cfg, table()).run();
+        let metro = Deployment::city(150)
+            .slots(300)
+            .record_trace(true)
+            .build()
+            .expect("valid")
+            .into_sim(table())
+            .run();
+        assert_eq!(classic.trace, metro.trace);
+        assert_eq!(classic.stats.delivered, metro.stats.delivered);
+        assert_eq!(classic.stats.latencies_slots, metro.stats.latencies_slots);
+    }
+
+    #[test]
+    fn metro_partition_is_total_and_covered() {
+        let plan = Deployment::city(2000)
+            .slots(10)
+            .receivers(Receiver::grid(3, 3, 300.0))
+            .build()
+            .expect("valid");
+        let mut seen = vec![false; 2000];
+        for dom in plan.domains() {
+            for &g in &dom.tags {
+                assert!(!seen[g as usize], "tag {g} in two domains");
+                seen[g as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every tag in exactly one domain");
+    }
+
+    #[test]
+    fn metro_parallel_matches_serial_bit_for_bit() {
+        let sim = Deployment::city(800)
+            .slots(120)
+            .receivers(Receiver::grid(2, 3, 250.0))
+            .capture(6.0)
+            .record_trace(true)
+            .build()
+            .expect("valid")
+            .into_sim(table());
+        let serial = sim.run_serial();
+        let par = sim.run_with_threads(4);
+        assert_eq!(serial.trace, par.trace);
+        assert_eq!(serial.stats.delivered, par.stats.delivered);
+        assert_eq!(serial.stats.attempts, par.stats.attempts);
+        assert_eq!(serial.stats.per_tag_delivered, par.stats.per_tag_delivered);
+    }
+
+    #[test]
+    fn build_rejects_bad_configs_with_typed_errors() {
+        assert_eq!(
+            Deployment::city(0).build().unwrap_err(),
+            DeploymentError::NoTags
+        );
+        assert_eq!(
+            Deployment::city(5).slots(0).build().unwrap_err(),
+            DeploymentError::NoSlots
+        );
+        assert!(matches!(
+            Deployment::city(5).capture(f64::NAN).build().unwrap_err(),
+            DeploymentError::CaptureMargin { .. }
+        ));
+        let mut full = BandOccupancy::empty();
+        for ch in Channel::all() {
+            full.set_occupied(ch, true);
+        }
+        assert!(matches!(
+            Deployment::city(5).occupancy(full).build().unwrap_err(),
+            DeploymentError::BandFull { .. }
+        ));
+        let bad_window = FaultSpec::none().with_outages(1, 10_000);
+        assert!(matches!(
+            Deployment::city(5)
+                .slots(100)
+                .faults(bad_window)
+                .build()
+                .unwrap_err(),
+            DeploymentError::FaultWindow { .. }
+        ));
+    }
+
+    #[test]
+    fn capture_reduces_collisions_under_contention() {
+        let base = Deployment::city(600)
+            .slots(200)
+            .receivers(Receiver::grid(2, 2, 200.0));
+        let off = base.clone().build().unwrap().into_sim(table()).run_serial();
+        let on = base
+            .capture(3.0)
+            .build()
+            .unwrap()
+            .into_sim(table())
+            .run_serial();
+        assert!(
+            on.stats.collision_rate() <= off.stats.collision_rate(),
+            "capture on {} vs off {}",
+            on.stats.collision_rate(),
+            off.stats.collision_rate()
+        );
+    }
+}

@@ -58,8 +58,8 @@ pub mod resilience;
 pub mod prelude {
     pub use crate::arrivals::{diurnal_factor, TraceSpec};
     pub use crate::metrics::{
-        DeadlineMissRate, OfferedVsGoodput, SloLatencyP99, SloLatencyP999, WorkloadSpec,
-        WorkloadStats,
+        domain_fairness, domain_slo_totals, DeadlineMissRate, OfferedVsGoodput, SloLatencyP99,
+        SloLatencyP999, WorkloadSpec, WorkloadStats,
     };
     pub use crate::policy::{Admitted, Policy};
     pub use crate::profile::{shape_of, MessageShape};

@@ -206,6 +206,37 @@ impl Metric for OfferedVsGoodput {
     }
 }
 
+/// Jain's fairness index over per-domain goodput of a metro run — 1
+/// when every receiver cell carries the same traffic, 1/n when one cell
+/// hogs the city. The multi-cell analogue of
+/// [`NetStats::jain_fairness`], which stays per-tag within a cell.
+pub fn domain_fairness(per_domain: &[NetStats]) -> f64 {
+    let goodputs: Vec<f64> = per_domain
+        .iter()
+        .filter(|s| s.n_tags > 0)
+        .map(NetStats::goodput_bps)
+        .collect();
+    if goodputs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = goodputs.iter().sum();
+    let sq_sum: f64 = goodputs.iter().map(|g| g * g).sum();
+    if sq_sum <= 0.0 {
+        return 1.0;
+    }
+    sum * sum / (goodputs.len() as f64 * sq_sum)
+}
+
+/// Aggregate deadline-aware SLO accounting over per-domain metro stats:
+/// `(total offered, total on-time)`. Domains report independently; the
+/// city-wide miss rate is `1 − on_time / offered` when anything was
+/// offered.
+pub fn domain_slo_totals(per_domain: &[NetStats]) -> (u64, u64) {
+    per_domain
+        .iter()
+        .fold((0, 0), |(o, t), s| (o + s.offered, t + s.on_time))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +306,22 @@ mod tests {
         assert!((0.0..=1.0).contains(&miss));
         let ratio = OfferedVsGoodput(spec()).evaluate(&FastSim, &s);
         assert!(ratio > 0.0 && ratio <= 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn domain_helpers_aggregate_metro_stats() {
+        let run = |n_tags: u32, load: f64| spec().run(&scenario(n_tags, load)).net;
+        let even = vec![run(40, 0.01), run(40, 0.01)];
+        assert!(
+            (domain_fairness(&even) - 1.0).abs() < 1e-12,
+            "identical cells are fair"
+        );
+        let skewed = vec![run(10, 0.002), run(700, 0.4)];
+        assert!(domain_fairness(&skewed) < domain_fairness(&even));
+        let (offered, on_time) = domain_slo_totals(&skewed);
+        assert_eq!(offered, skewed[0].offered + skewed[1].offered);
+        assert!(on_time <= offered);
+        assert_eq!(domain_fairness(&[]), 1.0);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! A city-scale deployment on the network tier: calibrate the link
 //! abstraction from the fast physics tier, drop 2,000 poster tags into a
-//! cell, and watch contention, energy and the link shape the network.
+//! cell, and watch contention, energy and the link shape the network —
+//! then shard the same city across a 2×2 receiver grid with capture and
+//! watch spatial reuse buy the density back.
 //!
 //! ```text
 //! cargo run --release --example city_deployment
@@ -16,7 +18,13 @@ fn main() {
 
     println!("tags   goodput(bps)  collision%  fairness  p95 latency(s)  starved slots");
     for n_tags in [10usize, 100, 500, 2_000] {
-        let run = NetworkSim::new(NetworkConfig::new(n_tags, 2_000), table.clone()).run();
+        let run = Deployment::city(n_tags)
+            .slots(2_000)
+            .link(table.clone())
+            .build()
+            .expect("a single-cell city is always valid")
+            .sim()
+            .run();
         let s = &run.stats;
         println!(
             "{:>5}  {:>12.0}  {:>10.1}  {:>8.3}  {:>14.2}  {:>13}",
@@ -31,13 +39,47 @@ fn main() {
 
     // The same 2,000-tag cell, now powered by street lighting at night:
     // harvesting-driven duty cycling caps what contention alone allowed.
-    let mut cfg = NetworkConfig::new(2_000, 2_000);
-    cfg.harvest = HarvestProfile::Solar(fmbs_core::harvest::Illumination::Streetlight);
-    cfg.storage_uj = 10.0;
-    let night = NetworkSim::new(cfg, table).run();
+    let night = Deployment::city(2_000)
+        .slots(2_000)
+        .harvest(HarvestProfile::Solar(
+            fmbs_core::harvest::Illumination::Streetlight,
+        ))
+        .storage(10.0)
+        .link(table.clone())
+        .build()
+        .expect("the night-time city is valid")
+        .sim()
+        .run();
     println!(
         "\n2000 tags on streetlight harvest: {:.0} bps ({} slots spent recharging)",
         night.stats.goodput_bps(),
         night.stats.starved_slots
     );
+
+    // Metro scale: the same 2,000 tags sharded across a 2×2 grid of
+    // receiver cells with a 6 dB capture margin. Tags contend only
+    // inside their own cell; the strongest of a colliding pair can
+    // still win the slot.
+    let metro = Deployment::city(2_000)
+        .slots(2_000)
+        .stations([Station::at(10_000.0, 0.0)])
+        .receivers(Receiver::grid(2, 2, 40.0))
+        .capture(6.0)
+        .link(table)
+        .build()
+        .expect("the metro city is valid")
+        .sim()
+        .run();
+    println!(
+        "2000 tags across 4 receiver cells: {:.0} bps, {:.1}% collisions",
+        metro.stats.goodput_bps(),
+        100.0 * metro.stats.collision_rate(),
+    );
+    for (i, dom) in metro.per_domain.iter().enumerate() {
+        println!(
+            "  cell {i}: {:>4} tags, {:>7.0} bps",
+            dom.n_tags,
+            dom.goodput_bps()
+        );
+    }
 }

@@ -42,13 +42,19 @@ fn main() {
 
     println!("retx budget   delivered/offered   retx overhead   recovery (slots)");
     for max_retx in [0u32, 1, 4, 8] {
-        let mut net = NetSpec::new(table.clone()).with_faults(faults.clone());
-        net.harvest = HarvestProfile::Solar(fmbs_core::harvest::Illumination::Streetlight);
-        net = net.with_arq(ArqConfig {
-            max_retx,
-            ..ArqConfig::default()
-        });
-        let spec = WorkloadSpec::new(net);
+        // The deployment is described through the builder and lowered to
+        // the flat spec the workload runner consumes.
+        let city = Deployment::city(64)
+            .harvest(HarvestProfile::Solar(
+                fmbs_core::harvest::Illumination::Streetlight,
+            ))
+            .faults(faults.clone())
+            .arq(ArqConfig {
+                max_retx,
+                ..ArqConfig::default()
+            })
+            .link(table.clone());
+        let spec = WorkloadSpec::new(NetSpec::from(city));
 
         let mut s = base;
         s.n_tags = 64;

@@ -23,11 +23,17 @@ fn main() {
     let table = Arc::new(BerTable::calibrate(&FastSim, &BerTableSpec::quick()));
 
     // Streetlight-harvested tags: duty cycling from the energy model
-    // shapes the tail even before contention does.
-    let mut net = NetSpec::new(table);
-    net.harvest = HarvestProfile::Solar(fmbs_core::harvest::Illumination::Streetlight);
-    net.storage_uj = 10.0;
-    let spec = WorkloadSpec::new(net);
+    // shapes the tail even before contention does. The deployment is
+    // described once through the builder (which validates it) and
+    // lowered to the flat spec the sweep runner consumes; the scenario
+    // axis below overrides tag density per run.
+    let city = Deployment::city(64)
+        .harvest(HarvestProfile::Solar(
+            fmbs_core::harvest::Illumination::Streetlight,
+        ))
+        .storage(10.0)
+        .link(table);
+    let spec = WorkloadSpec::new(NetSpec::from(city));
 
     // A day-shaped arrival curve compressed onto the simulated horizon:
     // sensor beacons at a modest per-tag load, densities rising until

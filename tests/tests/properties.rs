@@ -805,3 +805,120 @@ proptest! {
         }
     }
 }
+
+// Metro suite (§PR-9): the sharded multi-receiver engine behind the
+// `Deployment` builder. Partition totality and capture monotonicity are
+// cheap; the scale identity test below (outside proptest) carries the
+// million-tag acceptance bar.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every tag lands in exactly one collision domain — partition
+    /// totality over random receiver grids, pitches, placement models
+    /// and seeds — and the per-domain columns stay aligned.
+    #[test]
+    fn metro_partition_totality(
+        n_tags in 1usize..400,
+        nx in 1usize..4,
+        ny in 1usize..4,
+        pitch in 30.0f64..120.0,
+        clustered in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        use fmbs_net::prelude::{Deployment, Placement, Receiver};
+        let mut d = Deployment::city(n_tags)
+            .slots(10)
+            .seed(seed)
+            .receivers(Receiver::grid(nx, ny, pitch));
+        if clustered {
+            d = d.placement(Placement::ClusteredHotspots { spread_ft: 15.0 });
+        }
+        let plan = d.build();
+        prop_assert!(plan.is_ok(), "{:?}", plan.err());
+        let plan = plan.unwrap();
+        if nx * ny == 1 {
+            prop_assert!(!plan.is_metro());
+        } else {
+            prop_assert_eq!(plan.domains().len(), nx * ny);
+            let mut owners = vec![0u32; n_tags];
+            for dom in plan.domains() {
+                prop_assert_eq!(dom.tags.len(), dom.sites.len());
+                prop_assert_eq!(dom.tags.len(), dom.rx_dbm.len());
+                for &t in &dom.tags {
+                    owners[t as usize] += 1;
+                }
+            }
+            prop_assert!(owners.iter().all(|&c| c == 1), "{owners:?}");
+        }
+    }
+
+    /// Capture-margin monotonicity: raising the margin never *creates*
+    /// a winner — whenever the higher margin still elects one, it is the
+    /// very tag the lower margin elects, and it is the strongest
+    /// contender. So per slot, raising the margin can only move tags
+    /// from "captured" back to "collided", never the reverse.
+    #[test]
+    fn metro_capture_margin_monotone(
+        rx in prop::collection::vec(-90.0f64..-30.0, 2..24),
+        m1 in 0.0f64..12.0,
+        dm in 0.0f64..12.0,
+    ) {
+        use fmbs_net::prelude::capture_winner;
+        let attempts: Vec<u32> = (0..rx.len() as u32).collect();
+        let low = capture_winner(&attempts, &rx, m1);
+        let high = capture_winner(&attempts, &rx, m1 + dm);
+        if let Some(w) = high {
+            prop_assert_eq!(low, Some(w));
+            prop_assert!(rx.iter().all(|&p| rx[w as usize] >= p));
+        }
+        // A single attempt is a solo transmission, not a capture.
+        prop_assert_eq!(capture_winner(&attempts[..1], &rx, m1), None);
+    }
+}
+
+/// Acceptance §PR-9: the metro engine is deterministic at the ISSUE's
+/// tag scale — same seed twice is trace-identical and the parallel path
+/// matches serial bit-for-bit. The in-repo default runs 100k tags so
+/// `cargo test` stays quick; CI elevates to the full 10⁶ tags via the
+/// same `PROPTEST_CASES` override that deepens the chaos suite (any
+/// value set), at a reduced 40-slot horizon.
+#[test]
+fn metro_scale_same_seed_identity() {
+    use fmbs_net::prelude::{Deployment, Receiver, Station};
+    let n_tags = if std::env::var_os("PROPTEST_CASES").is_some() {
+        1_000_000
+    } else {
+        100_000
+    };
+    let sim = Deployment::city(n_tags)
+        .slots(40)
+        .stations([Station::at(10_000.0, 0.0)])
+        .receivers(Receiver::grid(4, 4, 40.0))
+        .capture(6.0)
+        .record_trace(true)
+        .trace_cap(50_000)
+        .link(shared_ber_table())
+        .build()
+        .expect("metro identity deployment is valid")
+        .sim();
+    let serial = sim.run_serial();
+    let parallel = sim.run_with_threads(4);
+    let rerun = sim.run_with_threads(4);
+    assert_eq!(
+        format!("{:?}", serial.stats),
+        format!("{:?}", parallel.stats),
+        "parallel diverged from serial"
+    );
+    assert_eq!(serial.trace.events, parallel.trace.events);
+    assert_eq!(serial.trace.dropped(), parallel.trace.dropped());
+    assert_eq!(
+        format!("{:?}", parallel.stats),
+        format!("{:?}", rerun.stats),
+        "same seed diverged across runs"
+    );
+    assert_eq!(parallel.trace.events, rerun.trace.events);
+    assert_eq!(serial.per_domain.len(), 16);
+    // At a million tags a 16-cell city is pure collision noise — which
+    // is the interesting regime — so sanity-check activity, not goodput.
+    assert!(serial.stats.attempts > 0, "the city never transmitted");
+}
