@@ -46,6 +46,19 @@
 //! repro --validate-manifest manifest.json
 //!                       # parse a manifest and assert it is canonical
 //!                       # (byte-identical under re-canonicalization)
+//! repro --campaign      # every figure x every corpus city under ONE
+//!                       # shared sweep cache; prints a cross-city
+//!                       # summary table and builds one deterministic
+//!                       # canonical manifest per city
+//! repro --campaign --corpus corpus/ network_capacity seattle
+//!                       # restrict the campaign: bare args may name
+//!                       # figures, families or corpus cities
+//! repro --campaign --check
+//!                       # diff every city manifest byte-for-byte
+//!                       # against goldens/campaign/ (quick grid) or
+//!                       # goldens/campaign_full/ (--full)
+//! repro --campaign --bless
+//!                       # rewrite the committed campaign manifests
 //! ```
 //!
 //! Experiment ids resolve through [`fmbs_bench::experiments::REGISTRY`]
@@ -54,12 +67,14 @@
 //! `--check` and `--bless` always use the Quick grid — goldens are
 //! quick-grid canonical JSON.
 
+use fmbs_bench::campaign;
 use fmbs_bench::check::{self, Tolerance};
 use fmbs_bench::experiments::{self, ExperimentSpec, Grid, REGISTRY};
 use fmbs_bench::manifest::{self, FigureEntry};
 use fmbs_bench::perf;
 use fmbs_bench::report::Experiment;
 use fmbs_core::sim::Tier;
+use fmbs_net::corpus::CityScenario;
 use fmbs_net::faults::FaultKind;
 use fmbs_obs::Collector;
 use std::sync::Arc;
@@ -86,6 +101,8 @@ struct Cli {
     trace_out: Option<String>,
     manifest: Option<String>,
     validate_manifest: Option<String>,
+    campaign: bool,
+    corpus: String,
     ids: Vec<String>,
 }
 
@@ -107,6 +124,8 @@ fn parse_cli() -> Cli {
         trace_out: None,
         manifest: None,
         validate_manifest: None,
+        campaign: false,
+        corpus: "corpus".into(),
         ids: Vec::new(),
     };
     let mut i = 0;
@@ -191,6 +210,11 @@ fn parse_cli() -> Cli {
                 cli.validate_manifest = Some(required_value(&args, i, "--validate-manifest"));
                 i += 1;
             }
+            "--campaign" => cli.campaign = true,
+            "--corpus" => {
+                cli.corpus = required_value(&args, i, "--corpus");
+                i += 1;
+            }
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag: {flag}");
                 std::process::exit(2);
@@ -212,16 +236,9 @@ fn resolve_specs(ids: &[String]) -> Vec<&'static ExperimentSpec> {
     }
     ids.iter()
         .flat_map(|id| {
-            if id == "calibration"
-                || id == "workload_slo"
-                || id == "fault_resilience"
-                || id == "metro_scale"
-            {
-                let prefix = format!("{id}_");
-                return REGISTRY
-                    .iter()
-                    .filter(|s| s.id.starts_with(&prefix))
-                    .collect::<Vec<_>>();
+            let family = experiments::family_specs(id);
+            if !family.is_empty() {
+                return family;
             }
             vec![experiments::spec_by_id(id).unwrap_or_else(|| {
                 eprintln!("unknown experiment id: {id}");
@@ -302,14 +319,13 @@ fn run_perf(path: &str, label: &str, gate: bool) {
     // Baselines are read from the committed repo-root series *before*
     // anything is appended: with the default path the fresh record lands
     // in the same file, and a gate reading it afterwards would compare
-    // the measurement against itself.
+    // the measurement against itself. The four network populations come
+    // out of one `net_baselines` parse, so BENCH_net.json is read
+    // exactly once and a malformed file is one error, not four.
     let baselines = gate.then(|| {
         (
             perf::last_sweep_record("BENCH_sweep.json"),
-            perf::last_net_record("BENCH_net.json"),
-            perf::last_net_workload_record("BENCH_net.json"),
-            perf::last_net_faults_record("BENCH_net.json"),
-            perf::last_net_metro_record("BENCH_net.json"),
+            perf::net_baselines("BENCH_net.json"),
         )
     });
     let rec = match perf::record_full(path, label, 3) {
@@ -392,62 +408,58 @@ fn run_perf(path: &str, label: &str, gate: bool) {
             std::process::exit(1);
         }
     };
-    if let Some((
-        sweep_baseline,
-        net_baseline,
-        workload_baseline,
-        faults_baseline,
-        metro_baseline,
-    )) = baselines
-    {
-        // The workload and faults populations are newer than the shared
-        // series file: a parseable file with no such record yet seeds
-        // the series instead of failing the gate.
-        let workload_outcome = match workload_baseline {
-            Ok(Some(b)) => Some(Ok(perf::gate_net_workload(
-                &b,
-                &workload_rec,
-                perf::MAX_PERF_DROP,
-            ))),
-            Ok(None) => {
-                println!("workload tag-slots/s: no committed baseline yet; seeding the series");
-                None
+    if let Some((sweep_baseline, net_baselines)) = baselines {
+        let mut outcomes: Vec<Result<perf::GateOutcome, String>> = Vec::new();
+        outcomes.push(sweep_baseline.map(|b| perf::gate_sweep(&b, &rec, perf::MAX_PERF_DROP)));
+        match net_baselines {
+            Ok(b) => {
+                // The saturated population exists since the series was
+                // first committed: missing means the file is broken.
+                outcomes.push(
+                    b.net
+                        .map(|base| perf::gate_net(&base, &net_rec, perf::MAX_PERF_DROP))
+                        .ok_or_else(|| {
+                            "BENCH_net.json has no saturated network records".to_string()
+                        }),
+                );
+                // The workload, faults and metro populations are newer
+                // than the shared series file: a parseable file with no
+                // such record yet seeds the series instead of failing
+                // the gate.
+                type GateFn =
+                    fn(&perf::NetPerfRecord, &perf::NetPerfRecord, f64) -> perf::GateOutcome;
+                let optional: [(
+                    &str,
+                    Option<perf::NetPerfRecord>,
+                    GateFn,
+                    &perf::NetPerfRecord,
+                ); 3] = [
+                    (
+                        "workload",
+                        b.workload,
+                        perf::gate_net_workload,
+                        &workload_rec,
+                    ),
+                    ("faults", b.faults, perf::gate_net_faults, &faults_rec),
+                    ("metro", b.metro, perf::gate_net_metro, &metro_rec),
+                ];
+                for (name, baseline, gate_fn, measured) in optional {
+                    match baseline {
+                        Some(base) => {
+                            outcomes.push(Ok(gate_fn(&base, measured, perf::MAX_PERF_DROP)));
+                        }
+                        None => println!(
+                            "{name} tag-slots/s: no committed baseline yet; seeding the series"
+                        ),
+                    }
+                }
             }
-            Err(e) => Some(Err(e)),
-        };
-        let faults_outcome = match faults_baseline {
-            Ok(Some(b)) => Some(Ok(perf::gate_net_faults(
-                &b,
-                &faults_rec,
-                perf::MAX_PERF_DROP,
-            ))),
-            Ok(None) => {
-                println!("faults tag-slots/s: no committed baseline yet; seeding the series");
-                None
-            }
-            Err(e) => Some(Err(e)),
-        };
-        let metro_outcome = match metro_baseline {
-            Ok(Some(b)) => Some(Ok(perf::gate_net_metro(
-                &b,
-                &metro_rec,
-                perf::MAX_PERF_DROP,
-            ))),
-            Ok(None) => {
-                println!("metro tag-slots/s: no committed baseline yet; seeding the series");
-                None
-            }
-            Err(e) => Some(Err(e)),
-        };
-        let outcomes = [
-            Some(sweep_baseline.map(|b| perf::gate_sweep(&b, &rec, perf::MAX_PERF_DROP))),
-            Some(net_baseline.map(|b| perf::gate_net(&b, &net_rec, perf::MAX_PERF_DROP))),
-            workload_outcome,
-            faults_outcome,
-            metro_outcome,
-        ];
+            // One parse, one message: the file-level failure is not
+            // repeated once per population.
+            Err(e) => outcomes.push(Err(e)),
+        }
         let mut failed = false;
-        for outcome in outcomes.into_iter().flatten() {
+        for outcome in outcomes {
             match outcome {
                 Ok(o) => {
                     println!("{}", o.render());
@@ -587,6 +599,198 @@ fn run_bless(specs: &[&'static ExperimentSpec], goldens_dir: &str) {
     }
 }
 
+/// Campaign goldens are grid-specific: the quick grid is the per-PR
+/// smoke surface, the full grid belongs to the scheduled CI job.
+fn campaign_goldens_dir(goldens_dir: &str, grid: Grid) -> String {
+    match grid {
+        Grid::Quick => format!("{goldens_dir}/campaign"),
+        Grid::Full => format!("{goldens_dir}/campaign_full"),
+    }
+}
+
+/// `--campaign`: the figure registry × the city corpus under one shared
+/// sweep cache, producing one deterministic canonical manifest per city
+/// plus a cross-city summary table.
+fn run_campaign_mode(cli: &Cli) {
+    // A campaign is a plain fast-tier regeneration of the whole grid;
+    // the orthogonal modes either perturb it (--profile adds clock
+    // reads, --tier/--fault change figure content) or belong to the
+    // per-figure path (--perf, --manifest, --trace-out).
+    let refused = [
+        ("--perf", cli.perf.is_some()),
+        ("--gate", cli.gate),
+        ("--profile", cli.profile),
+        ("--trace-out", cli.trace_out.is_some()),
+        ("--manifest", cli.manifest.is_some()),
+        ("--fault", cli.fault.is_some()),
+        ("--tier", cli.tier != Tier::Fast),
+    ];
+    for (flag, set) in refused {
+        if set {
+            eprintln!(
+                "{flag} does not combine with --campaign: a campaign is a plain fast-tier \
+                 regeneration of the figure x city grid",
+            );
+            std::process::exit(2);
+        }
+    }
+    if cli.check && cli.bless {
+        eprintln!("--check and --bless do not combine: pick one");
+        std::process::exit(2);
+    }
+    if (cli.check || cli.bless) && !cli.ids.is_empty() {
+        // A manifest embeds the full selected figure list, so a subset
+        // run can never byte-match a committed full-grid manifest.
+        eprintln!(
+            "--campaign --check/--bless does not take figure or city ids: campaign goldens \
+             record the full registry x corpus grid",
+        );
+        std::process::exit(2);
+    }
+    let all_cities = match fmbs_net::corpus::load_corpus(std::path::Path::new(&cli.corpus)) {
+        Ok(cities) => cities,
+        Err(e) => {
+            eprintln!("--campaign: {e}");
+            std::process::exit(2);
+        }
+    };
+    // Bare args may name figures, families or corpus cities; an unknown
+    // name gets near-misses drawn from all three namespaces.
+    let mut figure_ids: Vec<String> = Vec::new();
+    let mut city_ids: Vec<String> = Vec::new();
+    for id in &cli.ids {
+        if !experiments::family_specs(id).is_empty() || experiments::spec_by_id(id).is_some() {
+            figure_ids.push(id.clone());
+        } else if all_cities.iter().any(|c| c.id == *id) {
+            city_ids.push(id.clone());
+        } else {
+            eprintln!("unknown figure or city id: {id}");
+            let near = experiments::suggest_among(
+                id,
+                REGISTRY
+                    .iter()
+                    .map(|s| s.id)
+                    .chain(experiments::FAMILIES.iter().copied())
+                    .chain(all_cities.iter().map(|c| c.id.as_str())),
+                3,
+            );
+            if !near.is_empty() {
+                eprintln!("  did you mean: {}?", near.join(", "));
+            }
+            eprintln!(
+                "  (repro --list shows figure ids; {}/ holds the city corpus)",
+                cli.corpus,
+            );
+            std::process::exit(2);
+        }
+    }
+    let specs = resolve_specs(&figure_ids);
+    let cities: Vec<CityScenario> = if city_ids.is_empty() {
+        all_cities
+    } else {
+        all_cities
+            .into_iter()
+            .filter(|c| city_ids.contains(&c.id))
+            .collect()
+    };
+    let grid = if cli.full { Grid::Full } else { Grid::Quick };
+    eprintln!(
+        "campaign: {} figure(s) x {} city(ies) on the {} grid, one shared cache ...",
+        specs.len(),
+        cities.len(),
+        if cli.full { "full" } else { "quick" },
+    );
+    let run = campaign::run_campaign(grid, &cities, &specs, |line| eprintln!("{line}"));
+    // Every manifest must be canonical before anything is written or
+    // diffed: parse + re-render is byte identity.
+    for c in &run.cities {
+        let text = campaign::manifest_text(c);
+        let parsed: serde::Value = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("internal error: {} manifest is not valid JSON: {e}", c.id);
+            std::process::exit(1);
+        });
+        if check::canonical_value(&parsed) != text {
+            eprintln!(
+                "internal error: {} manifest is not canonical under re-canonicalization",
+                c.id,
+            );
+            std::process::exit(1);
+        }
+    }
+    let dir = campaign_goldens_dir(&cli.goldens_dir, grid);
+    let mut failures = 0usize;
+    // --json is orthogonal to --check/--bless here: the scheduled CI job
+    // diffs the goldens and exports the manifests in one regeneration.
+    if let Some(json_dir) = &cli.json_dir {
+        if let Err(e) = std::fs::create_dir_all(json_dir) {
+            eprintln!("create {json_dir}: {e}");
+            std::process::exit(1);
+        }
+        for c in &run.cities {
+            let path = format!("{json_dir}/campaign_{}.json", c.id);
+            match manifest::write(&path, &c.manifest) {
+                Ok(_) => match manifest::validate(&path) {
+                    Ok(()) => eprintln!("wrote {path} (validated canonical)"),
+                    Err(e) => {
+                        failures += 1;
+                        eprintln!("FAIL {e}");
+                    }
+                },
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("{e}");
+                }
+            }
+        }
+    }
+    if cli.bless {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("create {dir}: {e}");
+            std::process::exit(1);
+        }
+        for c in &run.cities {
+            let path = format!("{dir}/{}.json", c.id);
+            match manifest::write(&path, &c.manifest) {
+                Ok(_) => println!("blessed {path}"),
+                Err(e) => {
+                    failures += 1;
+                    eprintln!("bless {path} failed: {e}");
+                }
+            }
+        }
+    } else if cli.check {
+        for c in &run.cities {
+            let path = format!("{dir}/{}.json", c.id);
+            match std::fs::read_to_string(&path) {
+                Ok(golden) if golden == campaign::manifest_text(c) => {
+                    println!("ok   {} (campaign manifest matches {path})", c.id);
+                }
+                Ok(_) => {
+                    failures += 1;
+                    println!(
+                        "FAIL {}: campaign manifest differs from {path} (a figure digest \
+                         drifted; re-run `repro --campaign --bless` only for an intentional \
+                         physics change)",
+                        c.id,
+                    );
+                }
+                Err(e) => {
+                    failures += 1;
+                    println!(
+                        "FAIL {}: read {path}: {e} (run `repro --campaign --bless`?)",
+                        c.id
+                    );
+                }
+            }
+        }
+    }
+    print!("{}", campaign::summary_table(&run));
+    if failures > 0 {
+        eprintln!("--campaign: {failures} city manifest(s) FAILED");
+        std::process::exit(1);
+    }
+}
+
 /// Output paths must be creatable *before* minutes of regeneration run:
 /// a missing parent directory exits 2 up front with a clear message.
 fn require_writable_parent(flag: &str, path: &str) {
@@ -696,6 +900,14 @@ fn main() {
         for spec in REGISTRY {
             println!("{}", spec.id);
         }
+        return;
+    }
+    if !cli.campaign && cli.corpus != "corpus" {
+        eprintln!("--corpus only applies to --campaign runs");
+        std::process::exit(2);
+    }
+    if cli.campaign {
+        run_campaign_mode(&cli);
         return;
     }
     if cli.gate && cli.perf.is_none() {
@@ -816,10 +1028,10 @@ fn main() {
             let _obs = fmbs_obs::install(fig_collector.clone());
             match (cli.fault, cli.tier, spec.tiered) {
                 (Some(kind), _, _) if spec.id == "fault_resilience_goodput" => {
-                    experiments::fault_resilience_goodput_for(grid, Some(kind))
+                    experiments::fault_resilience_goodput_for(grid, Some(kind), None)
                 }
                 (Some(kind), _, _) if spec.id == "fault_resilience_recovery" => {
-                    experiments::fault_resilience_recovery_for(grid, Some(kind))
+                    experiments::fault_resilience_recovery_for(grid, Some(kind), None)
                 }
                 (_, Tier::Fast, _) | (_, _, None) => (spec.build)(grid),
                 (_, tier, Some(tiered)) => tiered(grid, tier),

@@ -24,8 +24,8 @@ use fmbs_core::sim::scenario::{AppProfile, ArrivalModel, Scenario, Workload};
 use fmbs_core::sim::sweep::{SweepBuilder, SweepResults};
 use fmbs_core::sim::Tier;
 use fmbs_net::prelude::{
-    ArqConfig, BerTable, BerTableSpec, Deployment, FaultKind, FaultSpec, NetCollisionRate,
-    NetGoodput, NetSpec, Receiver, Station,
+    ArqConfig, BerTable, BerTableSpec, CityScenario, Deployment, FaultKind, FaultSpec,
+    NetCollisionRate, NetGoodput, NetSpec, Receiver, Station,
 };
 use fmbs_survey::drive::DriveSurvey;
 use fmbs_survey::occupancy;
@@ -785,14 +785,48 @@ pub fn ablation(_grid: Grid) -> Experiment {
 /// so build-time validation (band, ARQ, fault windows) fronts each
 /// sweep. The builder's tag count is a placeholder here: a flat
 /// [`NetSpec`] takes its density from the scenario's `n_tags` axis.
-fn deployed(table: &Arc<BerTable>) -> Deployment {
-    Deployment::city(1).link(table.clone())
+/// City-parameterized deployment shim: a campaign city
+/// contributes its harvest profile and band plan through its corpus
+/// deployment; `None` is the flat pre-campaign world. Flat figures
+/// still take density from the scenario's `n_tags` axis and ambient
+/// power from the scenario itself (see [`bench_base`]).
+fn deployed_in(table: &Arc<BerTable>, city: Option<&CityScenario>) -> Deployment {
+    match city {
+        Some(c) => c.deployment().link(table.clone()),
+        None => Deployment::city(1).link(table.clone()),
+    }
+}
+
+/// The flat figures' base scenario, city-adjusted: a campaign city
+/// supplies the ambient FM power at the tags and the deployment seed
+/// every per-point seed derives from.
+fn bench_base(city: Option<&CityScenario>) -> Scenario {
+    let s = Scenario::bench(
+        city.map_or(-40.0, |c| c.mean_power_dbm),
+        16.0,
+        ProgramKind::News,
+    )
+    .with_workload(Workload::data(Bitrate::Kbps1_6, 256));
+    match city {
+        Some(c) => s.with_seed(c.seed),
+        None => s,
+    }
 }
 
 /// §8 at deployment scale — aggregate goodput and collision rate versus
 /// tag density, simulated on the `fmbs-net` network tier over a link
 /// abstraction calibrated from the fast physics tier.
 pub fn network_capacity(grid: Grid) -> Experiment {
+    network_capacity_for(grid, None)
+}
+
+/// Campaign entry point: [`network_capacity`] under a corpus city's
+/// ambient power, seed and harvest profile.
+pub fn network_capacity_city(grid: Grid, city: &CityScenario) -> Experiment {
+    network_capacity_for(grid, Some(city))
+}
+
+fn network_capacity_for(grid: Grid, city: Option<&CityScenario>) -> Experiment {
     use fmbs_net::prelude::HarvestProfile;
 
     let table_spec = match grid {
@@ -808,13 +842,15 @@ pub fn network_capacity(grid: Grid) -> Experiment {
         Grid::Quick => [256, 1_024],
         Grid::Full => [1_024, 4_096],
     };
-    let base = Scenario::bench(-40.0, 16.0, ProgramKind::News)
-        .with_workload(Workload::data(Bitrate::Kbps1_6, 256));
+    let base = bench_base(city);
 
     let goodput = SweepBuilder::new(base)
         .n_tags(n_tags.iter().copied())
         .mac_slot_counts(frames)
-        .run(&FastSim, &NetGoodput(NetSpec::from(deployed(&table))));
+        .run(
+            &FastSim,
+            &NetGoodput(NetSpec::from(deployed_in(&table, city))),
+        );
     let mut series: Vec<Series> = goodput
         .series_by(|v| v.scenario.mac_slots, |v| v.scenario.n_tags as f64)
         .into_iter()
@@ -826,7 +862,7 @@ pub fn network_capacity(grid: Grid) -> Experiment {
         .mac_slot_counts([frames[1]])
         .run(
             &FastSim,
-            &NetGoodput(NetSpec::from(deployed(&table).harvest(
+            &NetGoodput(NetSpec::from(deployed_in(&table, city).harvest(
                 HarvestProfile::Solar(fmbs_core::harvest::Illumination::Streetlight),
             ))),
         );
@@ -838,7 +874,10 @@ pub fn network_capacity(grid: Grid) -> Experiment {
     let collisions = SweepBuilder::new(base)
         .n_tags(n_tags.iter().copied())
         .mac_slot_counts([frames[1]])
-        .run(&FastSim, &NetCollisionRate(NetSpec::from(deployed(&table))));
+        .run(
+            &FastSim,
+            &NetCollisionRate(NetSpec::from(deployed_in(&table, city))),
+        );
     series.push(Series::new(
         "collision rate",
         collisions.series(|v| v.scenario.n_tags as f64),
@@ -885,10 +924,9 @@ fn workload_slots(grid: Grid) -> u32 {
     }
 }
 
-fn workload_base(grid: Grid, model: ArrivalModel) -> Scenario {
-    let mut s = Scenario::bench(-40.0, 16.0, ProgramKind::News)
-        .with_workload(Workload::data(Bitrate::Kbps1_6, 256))
-        .with_traffic(model, WORKLOAD_OFFERED_LOAD, AppProfile::SensorBeacon);
+fn workload_base_in(grid: Grid, model: ArrivalModel, city: Option<&CityScenario>) -> Scenario {
+    let mut s =
+        bench_base(city).with_traffic(model, WORKLOAD_OFFERED_LOAD, AppProfile::SensorBeacon);
     s.mac_slots = workload_slots(grid);
     s
 }
@@ -904,9 +942,18 @@ fn workload_table(grid: Grid) -> Arc<BerTable> {
 /// p99/p999 sojourn time versus tag density under each arrival model,
 /// plus the rate-cap policy's effect on the Poisson tail.
 pub fn workload_slo_latency(grid: Grid) -> Experiment {
+    workload_slo_latency_for(grid, None)
+}
+
+/// Campaign entry point: [`workload_slo_latency`] under a corpus city.
+pub fn workload_slo_latency_city(grid: Grid, city: &CityScenario) -> Experiment {
+    workload_slo_latency_for(grid, Some(city))
+}
+
+fn workload_slo_latency_for(grid: Grid, city: Option<&CityScenario>) -> Experiment {
     let table = workload_table(grid);
     let tags = workload_tags(grid);
-    let spec = || WorkloadSpec::new(NetSpec::from(deployed(&table)));
+    let spec = || WorkloadSpec::new(NetSpec::from(deployed_in(&table, city)));
 
     let mut series = Vec::new();
     for (model, name) in [
@@ -914,7 +961,7 @@ pub fn workload_slo_latency(grid: Grid) -> Experiment {
         (ArrivalModel::Diurnal, "diurnal"),
         (ArrivalModel::Mmpp, "mmpp"),
     ] {
-        let run = SweepBuilder::new(workload_base(grid, model))
+        let run = SweepBuilder::new(workload_base_in(grid, model, city))
             .n_tags(tags.iter().copied())
             .run(&FastSim, &SloLatencyP99(spec()));
         series.push(Series::new(
@@ -922,14 +969,14 @@ pub fn workload_slo_latency(grid: Grid) -> Experiment {
             run.series(|v| v.scenario.n_tags as f64),
         ));
     }
-    let p999 = SweepBuilder::new(workload_base(grid, ArrivalModel::Poisson))
+    let p999 = SweepBuilder::new(workload_base_in(grid, ArrivalModel::Poisson, city))
         .n_tags(tags.iter().copied())
         .run(&FastSim, &SloLatencyP999(spec()));
     series.push(Series::new(
         "p999 sojourn (s), poisson",
         p999.series(|v| v.scenario.n_tags as f64),
     ));
-    let capped = SweepBuilder::new(workload_base(grid, ArrivalModel::Poisson))
+    let capped = SweepBuilder::new(workload_base_in(grid, ArrivalModel::Poisson, city))
         .n_tags(tags.iter().copied())
         .run(
             &FastSim,
@@ -959,9 +1006,18 @@ pub fn workload_slo_latency(grid: Grid) -> Experiment {
 /// Deadline-miss rate and absorbed demand versus tag density under each
 /// admission policy (Poisson arrivals, sensor-beacon deadlines).
 pub fn workload_slo_miss(grid: Grid) -> Experiment {
+    workload_slo_miss_for(grid, None)
+}
+
+/// Campaign entry point: [`workload_slo_miss`] under a corpus city.
+pub fn workload_slo_miss_city(grid: Grid, city: &CityScenario) -> Experiment {
+    workload_slo_miss_for(grid, Some(city))
+}
+
+fn workload_slo_miss_for(grid: Grid, city: Option<&CityScenario>) -> Experiment {
     let table = workload_table(grid);
     let tags = workload_tags(grid);
-    let spec = || WorkloadSpec::new(NetSpec::from(deployed(&table)));
+    let spec = || WorkloadSpec::new(NetSpec::from(deployed_in(&table, city)));
 
     let mut series = Vec::new();
     for (policy, name) in [
@@ -974,7 +1030,7 @@ pub fn workload_slo_miss(grid: Grid) -> Experiment {
         ),
         (Policy::DeadlineAware, "deadline-aware"),
     ] {
-        let run = SweepBuilder::new(workload_base(grid, ArrivalModel::Poisson))
+        let run = SweepBuilder::new(workload_base_in(grid, ArrivalModel::Poisson, city))
             .n_tags(tags.iter().copied())
             .run(&FastSim, &DeadlineMissRate(spec().with_policy(policy)));
         series.push(Series::new(
@@ -982,7 +1038,7 @@ pub fn workload_slo_miss(grid: Grid) -> Experiment {
             run.series(|v| v.scenario.n_tags as f64),
         ));
     }
-    let absorbed = SweepBuilder::new(workload_base(grid, ArrivalModel::Poisson))
+    let absorbed = SweepBuilder::new(workload_base_in(grid, ArrivalModel::Poisson, city))
         .n_tags(tags.iter().copied())
         .run(&FastSim, &OfferedVsGoodput(spec()));
     series.push(Series::new(
@@ -1032,26 +1088,32 @@ pub fn fault_plan(kind: FaultKind) -> FaultSpec {
 }
 
 /// Shared deployment under test: streetlight-harvested tags (so
-/// brownouts actually starve something) with the default ARQ on.
-fn fault_workload(table: &Arc<BerTable>) -> WorkloadSpec {
-    WorkloadSpec::new(NetSpec::from(
-        deployed(table)
-            .harvest(fmbs_net::prelude::HarvestProfile::Solar(
-                fmbs_core::harvest::Illumination::Streetlight,
-            ))
-            .arq(ArqConfig::default()),
-    ))
+/// brownouts actually starve something) with the default ARQ on. A
+/// campaign city substitutes its own harvest profile — a mains-powered
+/// city *should* shrug off brownouts, and the figure shows it.
+fn fault_workload_in(table: &Arc<BerTable>, city: Option<&CityScenario>) -> WorkloadSpec {
+    let deployment = match city {
+        Some(_) => deployed_in(table, city),
+        None => deployed_in(table, None).harvest(fmbs_net::prelude::HarvestProfile::Solar(
+            fmbs_core::harvest::Illumination::Streetlight,
+        )),
+    };
+    WorkloadSpec::new(NetSpec::from(deployment.arq(ArqConfig::default())))
 }
 
 /// Delivery ratio and retransmission overhead versus tag density under
 /// each fault class (ARQ on throughout). `kind` narrows the fault
 /// series — the `repro --fault` path; `None` plots every class.
-pub fn fault_resilience_goodput_for(grid: Grid, kind: Option<FaultKind>) -> Experiment {
+pub fn fault_resilience_goodput_for(
+    grid: Grid,
+    kind: Option<FaultKind>,
+    city: Option<&CityScenario>,
+) -> Experiment {
     let table = workload_table(grid);
     let tags = workload_tags(grid);
     let kinds: Vec<FaultKind> = kind.map_or_else(|| FaultKind::ALL.to_vec(), |k| vec![k]);
     let sweep = |metric: &dyn Metric| {
-        SweepBuilder::new(workload_base(grid, ArrivalModel::Poisson))
+        SweepBuilder::new(workload_base_in(grid, ArrivalModel::Poisson, city))
             .n_tags(tags.iter().copied())
             .run(&FastSim, metric)
             .series(|v| v.scenario.n_tags as f64)
@@ -1059,10 +1121,10 @@ pub fn fault_resilience_goodput_for(grid: Grid, kind: Option<FaultKind>) -> Expe
 
     let mut series = vec![Series::new(
         "delivery ratio, no fault",
-        sweep(&DeliveryRatio(fault_workload(&table))),
+        sweep(&DeliveryRatio(fault_workload_in(&table, city))),
     )];
     for k in &kinds {
-        let mut spec = fault_workload(&table);
+        let mut spec = fault_workload_in(&table, city);
         spec.net.faults = fault_plan(*k);
         series.push(Series::new(
             format!("delivery ratio, {}", k.name()),
@@ -1074,10 +1136,10 @@ pub fn fault_resilience_goodput_for(grid: Grid, kind: Option<FaultKind>) -> Expe
     // the ARQ hardest (the restricted build mirrors its own kind).
     series.push(Series::new(
         "retx overhead, no fault",
-        sweep(&RetxOverhead(fault_workload(&table))),
+        sweep(&RetxOverhead(fault_workload_in(&table, city))),
     ));
     let stressor = kind.unwrap_or(FaultKind::Burst);
-    let mut spec = fault_workload(&table);
+    let mut spec = fault_workload_in(&table, city);
     spec.net.faults = fault_plan(stressor);
     series.push(Series::new(
         format!("retx overhead, {}", stressor.name()),
@@ -1100,7 +1162,13 @@ pub fn fault_resilience_goodput_for(grid: Grid, kind: Option<FaultKind>) -> Expe
 
 /// Registry entry point for the goodput figure (all fault classes).
 pub fn fault_resilience_goodput(grid: Grid) -> Experiment {
-    fault_resilience_goodput_for(grid, None)
+    fault_resilience_goodput_for(grid, None, None)
+}
+
+/// Campaign entry point: [`fault_resilience_goodput`] under a corpus
+/// city (every fault class, the city's own harvest profile).
+pub fn fault_resilience_goodput_city(grid: Grid, city: &CityScenario) -> Experiment {
+    fault_resilience_goodput_for(grid, None, Some(city))
 }
 
 /// Goodput recovery time after a fault window versus the ARQ
@@ -1109,7 +1177,11 @@ pub fn fault_resilience_goodput(grid: Grid) -> Experiment {
 /// far too jumpy to carry a trend). `kind` swaps the injected fault
 /// class (`repro --fault`; default station outage — resets have no
 /// window to recover from and report zero throughout).
-pub fn fault_resilience_recovery_for(grid: Grid, kind: Option<FaultKind>) -> Experiment {
+pub fn fault_resilience_recovery_for(
+    grid: Grid,
+    kind: Option<FaultKind>,
+    city: Option<&CityScenario>,
+) -> Experiment {
     let table = workload_table(grid);
     let kind = kind.unwrap_or(FaultKind::Outage);
     let budgets: [u32; 4] = [0, 1, 4, 8];
@@ -1120,9 +1192,9 @@ pub fn fault_resilience_recovery_for(grid: Grid, kind: Option<FaultKind>) -> Exp
     for b in budgets {
         let (mut r_mean, mut o_mean) = (0.0, 0.0);
         for n in cells {
-            let mut scenario = workload_base(grid, ArrivalModel::Poisson);
+            let mut scenario = workload_base_in(grid, ArrivalModel::Poisson, city);
             scenario.n_tags = n;
-            let mut spec = fault_workload(&table);
+            let mut spec = fault_workload_in(&table, city);
             spec.net.faults = fault_plan(kind);
             spec.net.arq = Some(ArqConfig {
                 max_retx: b,
@@ -1159,7 +1231,13 @@ pub fn fault_resilience_recovery_for(grid: Grid, kind: Option<FaultKind>) -> Exp
 
 /// Registry entry point for the recovery figure (station outage).
 pub fn fault_resilience_recovery(grid: Grid) -> Experiment {
-    fault_resilience_recovery_for(grid, None)
+    fault_resilience_recovery_for(grid, None, None)
+}
+
+/// Campaign entry point: [`fault_resilience_recovery`] under a corpus
+/// city (station outage, the city's own harvest profile).
+pub fn fault_resilience_recovery_city(grid: Grid, city: &CityScenario) -> Experiment {
+    fault_resilience_recovery_for(grid, None, Some(city))
 }
 
 // ------------------------------------------- metro-scale family
@@ -1176,6 +1254,35 @@ fn metro_tags(grid: Grid) -> Vec<usize> {
         Grid::Quick => vec![64, 256, 1_024, 4_096],
         Grid::Full => vec![64, 256, 1_024, 4_096, 16_384, 65_536],
     }
+}
+
+/// The campaign's metro density axis: multiples of the city's deployed
+/// tag count, so every city's figure brackets its own operating point.
+fn city_tag_axis(city: &CityScenario, grid: Grid) -> Vec<usize> {
+    let n = city.n_tags.max(4);
+    match grid {
+        Grid::Quick => vec![n / 4, n, n * 4],
+        Grid::Full => vec![n / 4, n / 2, n, n * 2, n * 4, n * 8],
+    }
+}
+
+/// A corpus city's metro deployment at a swept tag count: the city's
+/// full geometry (stations, receiver grid, placement, band plan,
+/// harvest, seed) with the horizon scaled by the grid the way
+/// [`metro_geometry`] scales its own.
+fn city_metro_deployment(
+    city: &CityScenario,
+    n_tags: usize,
+    grid: Grid,
+    table: &Arc<BerTable>,
+) -> Deployment {
+    let slots = match grid {
+        Grid::Quick => city.slots,
+        Grid::Full => city.slots * 4,
+    };
+    city.deployment_with_tags(n_tags)
+        .slots(slots)
+        .link(table.clone())
 }
 
 /// The shared metro geometry under test: an FM station ~3 km out
@@ -1260,6 +1367,70 @@ pub fn metro_scale_goodput(grid: Grid) -> Experiment {
     }
 }
 
+/// Campaign entry point: the metro goodput figure on a corpus city's
+/// *actual* receiver grid versus a single-cell baseline — what spatial
+/// reuse buys that city at densities around its deployed count.
+pub fn metro_scale_goodput_city(grid: Grid, city: &CityScenario) -> Experiment {
+    let table = workload_table(grid);
+    let tags = city_tag_axis(city, grid);
+    let (nx, ny) = (city.receiver_grid.nx, city.receiver_grid.ny);
+    let cells = nx * ny;
+    let pitch = city.receiver_grid.pitch_ft;
+
+    let mut series = Vec::new();
+    let mut fairness = Vec::new();
+    // Single-cell baseline first, then the city's own grid (skipped
+    // when the city *is* single-cell — no second series to compare).
+    let mut grids = vec![(1usize, 1usize)];
+    if cells > 1 {
+        grids.push((nx, ny));
+    }
+    for (gx, gy) in grids {
+        let g_cells = gx * gy;
+        let mut pts = Vec::new();
+        for &n in &tags {
+            let run = city_metro_deployment(city, n, grid, &table)
+                .receivers(Receiver::grid(gx, gy, pitch))
+                .capture(city.capture_margin_db)
+                .build()
+                .expect("corpus city deployment is valid")
+                .sim()
+                .run();
+            pts.push((n as f64, run.stats.goodput_bps()));
+            if g_cells == cells && cells > 1 {
+                fairness.push((n as f64, domain_fairness(&run.per_domain)));
+            }
+        }
+        let label = if g_cells == 1 {
+            "goodput (bps), 1 receiver cell".to_string()
+        } else {
+            format!("goodput (bps), {g_cells} receiver cells ({nx}x{ny} city grid)")
+        };
+        series.push(Series::new(label, pts));
+    }
+    if cells > 1 {
+        series.push(Series::new(
+            format!("domain fairness (Jain), {cells} cells"),
+            fairness,
+        ));
+    }
+
+    Experiment {
+        id: "metro_scale_goodput".into(),
+        title: format!(
+            "Metro-scale goodput vs tag density ({}: {nx}x{ny} receiver grid)",
+            city.id
+        ),
+        x_label: "deployed tags".into(),
+        y_label: "bps / index".into(),
+        series,
+        paper_expectation:
+            "the city's receiver grid outruns a single cell through spatial reuse of the \
+             channel plan at every density around the deployed operating point"
+                .into(),
+    }
+}
+
 /// Collision rate and goodput with the capture effect off versus a 6 dB
 /// capture margin, at 4 receiver cells — what physics rescues when the
 /// strongest colliding tag is decodable anyway.
@@ -1302,6 +1473,61 @@ pub fn metro_scale_capture(grid: Grid) -> Experiment {
             "under dense contention a 6 dB capture margin converts part of each collision into \
              a delivery for the strongest tag: the collision rate drops and goodput rises \
              relative to capture-off at the same density"
+                .into(),
+    }
+}
+
+/// Campaign entry point: the capture figure on a corpus city's receiver
+/// grid, capture off versus the city's configured margin.
+pub fn metro_scale_capture_city(grid: Grid, city: &CityScenario) -> Experiment {
+    let table = workload_table(grid);
+    let tags = city_tag_axis(city, grid);
+    let margin = city.capture_margin_db;
+
+    let mut collisions: Vec<Vec<(f64, f64)>> = vec![Vec::new(), Vec::new()];
+    let mut goodputs: Vec<Vec<(f64, f64)>> = vec![Vec::new(), Vec::new()];
+    for (i, m) in [None, Some(margin)].into_iter().enumerate() {
+        for &n in &tags {
+            let mut d = city_metro_deployment(city, n, grid, &table);
+            if let Some(m) = m {
+                d = d.capture(m);
+            }
+            let run = d
+                .build()
+                .expect("corpus city deployment is valid")
+                .sim()
+                .run();
+            collisions[i].push((n as f64, run.stats.collision_rate()));
+            goodputs[i].push((n as f64, run.stats.goodput_bps()));
+        }
+    }
+    let [coll_off, coll_on] = [collisions.remove(0), collisions.remove(0)];
+    let [good_off, good_on] = [goodputs.remove(0), goodputs.remove(0)];
+
+    Experiment {
+        id: "metro_scale_capture".into(),
+        title: format!(
+            "Capture effect under metro contention ({}: {} dB margin)",
+            city.id, margin
+        ),
+        x_label: "deployed tags".into(),
+        y_label: "rate / bps".into(),
+        series: vec![
+            Series::new("collision rate, capture off", coll_off),
+            Series::new(
+                format!("collision rate, {margin} dB capture margin"),
+                coll_on,
+            ),
+            Series::new("goodput (bps), capture off", good_off),
+            Series::new(
+                format!("goodput (bps), {margin} dB capture margin"),
+                good_on,
+            ),
+        ],
+        paper_expectation:
+            "the city's capture margin converts part of each collision into a delivery for \
+             the strongest tag: the collision rate drops and goodput rises relative to \
+             capture-off at the same density"
                 .into(),
     }
 }
@@ -2371,6 +2597,12 @@ pub struct ExperimentSpec {
     ///
     /// [`Simulator`]: fmbs_core::sim::Simulator
     pub tiered: Option<fn(Grid, Tier) -> Experiment>,
+    /// The corpus-parameterized builder behind `repro --campaign`:
+    /// present for figures whose measurement depends on a deployment
+    /// environment (the network/workload/fault/metro families). Figures
+    /// without one are city-invariant — the campaign builds them once
+    /// and reuses the result across every city.
+    pub city: Option<fn(Grid, &CityScenario) -> Experiment>,
     /// The figure's machine-checkable paper expectations
     /// (`repro --check` evaluates them on the Quick grid).
     pub checks: fn() -> Vec<Expectation>,
@@ -2382,189 +2614,245 @@ pub const REGISTRY: &[ExperimentSpec] = &[
         id: "fig2a",
         build: fig2a,
         tiered: None,
+        city: None,
         checks: checks_fig2a,
     },
     ExperimentSpec {
         id: "fig2b",
         build: fig2b,
         tiered: None,
+        city: None,
         checks: checks_fig2b,
     },
     ExperimentSpec {
         id: "fig4a",
         build: fig4a,
         tiered: None,
+        city: None,
         checks: checks_fig4a,
     },
     ExperimentSpec {
         id: "fig4b",
         build: fig4b,
         tiered: None,
+        city: None,
         checks: checks_fig4b,
     },
     ExperimentSpec {
         id: "fig5",
         build: fig5,
         tiered: None,
+        city: None,
         checks: checks_fig5,
     },
     ExperimentSpec {
         id: "fig6",
         build: fig6,
         tiered: Some(fig6_tier),
+        city: None,
         checks: checks_fig6,
     },
     ExperimentSpec {
         id: "fig7",
         build: fig7,
         tiered: Some(fig7_tier),
+        city: None,
         checks: checks_fig7,
     },
     ExperimentSpec {
         id: "fig8a",
         build: fig8a,
         tiered: Some(fig8a_tier),
+        city: None,
         checks: checks_fig8a,
     },
     ExperimentSpec {
         id: "fig8b",
         build: fig8b,
         tiered: Some(fig8b_tier),
+        city: None,
         checks: checks_fig8b,
     },
     ExperimentSpec {
         id: "fig8c",
         build: fig8c,
         tiered: Some(fig8c_tier),
+        city: None,
         checks: checks_fig8c,
     },
     ExperimentSpec {
         id: "fig9",
         build: fig9,
         tiered: Some(fig9_tier),
+        city: None,
         checks: checks_fig9,
     },
     ExperimentSpec {
         id: "fig10",
         build: fig10,
         tiered: Some(fig10_tier),
+        city: None,
         checks: checks_fig10,
     },
     ExperimentSpec {
         id: "fig11",
         build: fig11,
         tiered: Some(fig11_tier),
+        city: None,
         checks: checks_fig11,
     },
     ExperimentSpec {
         id: "fig12",
         build: fig12,
         tiered: Some(fig12_tier),
+        city: None,
         checks: checks_fig12,
     },
     ExperimentSpec {
         id: "fig13a",
         build: fig13a,
         tiered: Some(fig13a_tier),
+        city: None,
         checks: checks_fig13,
     },
     ExperimentSpec {
         id: "fig13b",
         build: fig13b,
         tiered: Some(fig13b_tier),
+        city: None,
         checks: checks_fig13,
     },
     ExperimentSpec {
         id: "fig14",
         build: fig14,
         tiered: Some(fig14_tier),
+        city: None,
         checks: checks_fig14,
     },
     ExperimentSpec {
         id: "fig17b",
         build: fig17,
         tiered: Some(fig17_tier),
+        city: None,
         checks: checks_fig17,
     },
     ExperimentSpec {
         id: "power",
         build: power_table,
         tiered: None,
+        city: None,
         checks: checks_power,
     },
     ExperimentSpec {
         id: "rates",
         build: rates_table,
         tiered: Some(rates_table_tier),
+        city: None,
         checks: checks_rates,
     },
     ExperimentSpec {
         id: "ablation",
         build: ablation,
         tiered: None,
+        city: None,
         checks: checks_ablation,
     },
     ExperimentSpec {
         id: "network_capacity",
         build: network_capacity,
         tiered: None,
+        city: Some(network_capacity_city),
         checks: checks_network_capacity,
     },
     ExperimentSpec {
         id: "workload_slo_latency",
         build: workload_slo_latency,
         tiered: None,
+        city: Some(workload_slo_latency_city),
         checks: checks_workload_slo_latency,
     },
     ExperimentSpec {
         id: "workload_slo_miss",
         build: workload_slo_miss,
         tiered: None,
+        city: Some(workload_slo_miss_city),
         checks: checks_workload_slo_miss,
     },
     ExperimentSpec {
         id: "fault_resilience_goodput",
         build: fault_resilience_goodput,
         tiered: None,
+        city: Some(fault_resilience_goodput_city),
         checks: checks_fault_resilience_goodput,
     },
     ExperimentSpec {
         id: "fault_resilience_recovery",
         build: fault_resilience_recovery,
         tiered: None,
+        city: Some(fault_resilience_recovery_city),
         checks: checks_fault_resilience_recovery,
     },
     ExperimentSpec {
         id: "metro_scale_goodput",
         build: metro_scale_goodput,
         tiered: None,
+        city: Some(metro_scale_goodput_city),
         checks: checks_metro_scale_goodput,
     },
     ExperimentSpec {
         id: "metro_scale_capture",
         build: metro_scale_capture,
         tiered: None,
+        city: Some(metro_scale_capture_city),
         checks: checks_metro_scale_capture,
     },
     ExperimentSpec {
         id: "calibration_ber",
         build: calibration_ber,
         tiered: None,
+        city: None,
         checks: checks_calibration_ber,
     },
     ExperimentSpec {
         id: "calibration_pesq",
         build: calibration_pesq,
         tiered: None,
+        city: None,
         checks: checks_calibration_pesq,
     },
     ExperimentSpec {
         id: "calibration_link",
         build: calibration_link,
         tiered: None,
+        city: None,
         checks: checks_calibration_link,
     },
 ];
+
+/// Family aliases the CLI accepts anywhere a figure id is accepted:
+/// each expands to every registry figure sharing the `{alias}_` prefix
+/// (`metro_scale` → `metro_scale_goodput` + `metro_scale_capture`, …).
+/// Centralised so id resolution and the near-miss suggestions never
+/// disagree about what a valid name is.
+pub const FAMILIES: &[&str] = &[
+    "calibration",
+    "workload_slo",
+    "fault_resilience",
+    "metro_scale",
+];
+
+/// The registry figures a family alias expands to (every id sharing the
+/// `{family}_` prefix), or an empty vec for a non-family name.
+pub fn family_specs(family: &str) -> Vec<&'static ExperimentSpec> {
+    if !FAMILIES.contains(&family) {
+        return Vec::new();
+    }
+    let prefix = format!("{family}_");
+    REGISTRY
+        .iter()
+        .filter(|s| s.id.starts_with(&prefix))
+        .collect()
+}
 
 /// Registry ids whose figures accept a simulation tier
 /// (`repro --tier physical <id>`).
@@ -2621,17 +2909,19 @@ fn levenshtein(a: &str, b: &str) -> usize {
     row[b.len()]
 }
 
-/// Shared near-miss scoring behind [`suggest_ids`] and
-/// [`suggest_tiers`]: candidates within a small edit distance or
-/// sharing a substring, closest first. Substring matches (e.g. `fig8`
-/// → `fig8a/b/c`) outrank pure edit distance; ties break on distance,
-/// then lexically.
-fn suggest_near(
+/// Shared near-miss scoring behind [`suggest_ids`], [`suggest_tiers`]
+/// and the campaign runner's city suggestions: candidates within a
+/// small edit distance or sharing a substring, closest first. Substring
+/// matches (e.g. `fig8` → `fig8a/b/c`) outrank pure edit distance; ties
+/// break on distance, then lexically. Public (unlike the fixed
+/// candidate sets' wrappers) so callers with runtime candidate lists —
+/// corpus city ids — get the exact same scoring.
+pub fn suggest_among<'a>(
     unknown: &str,
-    candidates: impl Iterator<Item = &'static str>,
+    candidates: impl Iterator<Item = &'a str>,
     max: usize,
-) -> Vec<&'static str> {
-    let mut scored: Vec<(bool, usize, &'static str)> = candidates
+) -> Vec<&'a str> {
+    let mut scored: Vec<(bool, usize, &'a str)> = candidates
         .map(|c| {
             let containment = c.contains(unknown) || unknown.contains(c);
             (!containment, levenshtein(unknown, c), c)
@@ -2642,10 +2932,28 @@ fn suggest_near(
     scored.into_iter().take(max).map(|(_, _, c)| c).collect()
 }
 
+fn suggest_near(
+    unknown: &str,
+    candidates: impl Iterator<Item = &'static str>,
+    max: usize,
+) -> Vec<&'static str> {
+    suggest_among(unknown, candidates, max)
+}
+
 /// Near-miss suggestions for an unknown experiment id: registry ids
-/// within a small edit distance or sharing a substring, closest first.
+/// *and family aliases* ([`FAMILIES`]) within a small edit distance or
+/// sharing a substring, closest first — so `metro` suggests
+/// `metro_scale` and `workload` suggests `workload_slo`, the names the
+/// CLI actually accepts.
 pub fn suggest_ids(unknown: &str, max: usize) -> Vec<&'static str> {
-    suggest_near(unknown, REGISTRY.iter().map(|spec| spec.id), max)
+    suggest_near(
+        unknown,
+        REGISTRY
+            .iter()
+            .map(|spec| spec.id)
+            .chain(FAMILIES.iter().copied()),
+        max,
+    )
 }
 
 /// Every experiment, in paper order.
@@ -2811,6 +3119,38 @@ mod tests {
         assert_eq!(suggest_ids("fig7", 1), vec!["fig7"]);
         assert!(suggest_ids("network", 3).contains(&"network_capacity"));
         assert!(suggest_ids("zzzzzzzzzzzz", 3).is_empty());
+    }
+
+    #[test]
+    fn suggest_ids_ranks_family_aliases() {
+        // The family aliases the CLI accepts must surface in "did you
+        // mean" — and, being the shortest containing name, rank first.
+        assert_eq!(suggest_ids("metro", 3)[0], "metro_scale");
+        assert_eq!(suggest_ids("workload", 3)[0], "workload_slo");
+        assert_eq!(suggest_ids("fault", 3)[0], "fault_resilience");
+        assert!(suggest_ids("calibratio", 3).contains(&"calibration"));
+    }
+
+    #[test]
+    fn every_family_alias_expands_to_figures() {
+        for family in FAMILIES {
+            let specs = family_specs(family);
+            assert!(!specs.is_empty(), "family {family} expands to nothing");
+            let prefix = format!("{family}_");
+            assert!(specs.iter().all(|s| s.id.starts_with(&prefix)));
+            // An alias must never shadow a real figure id.
+            assert!(spec_by_id(family).is_none(), "{family} is also an id");
+        }
+        assert!(family_specs("fig7").is_empty());
+    }
+
+    #[test]
+    fn suggest_among_accepts_runtime_candidates() {
+        // The campaign runner scores corpus city ids (owned strings at
+        // runtime) with the same function the static sets use.
+        let cities = ["seattle".to_string(), "spokane".to_string()];
+        let near = suggest_among("seatle", cities.iter().map(|s| s.as_str()), 2);
+        assert_eq!(near, vec!["seattle"]);
     }
 
     #[test]

@@ -547,23 +547,57 @@ pub fn last_sweep_record(path: &str) -> Result<PerfRecord, String> {
         .ok_or_else(|| format!("{path} has no records"))
 }
 
+/// The four baseline populations of one net series file, split by
+/// label suffix and read with a *single* parse — see [`net_baselines`].
+#[derive(Debug, Clone, Default)]
+pub struct NetBaselines {
+    /// Newest saturated clean record (no suffix), if any.
+    pub net: Option<NetPerfRecord>,
+    /// Newest trace-driven workload record ([`WORKLOAD_LABEL_SUFFIX`]).
+    pub workload: Option<NetPerfRecord>,
+    /// Newest fault-injection record ([`FAULTS_LABEL_SUFFIX`]).
+    pub faults: Option<NetPerfRecord>,
+    /// Newest metro-scale record ([`METRO_LABEL_SUFFIX`]).
+    pub metro: Option<NetPerfRecord>,
+}
+
+/// Reads and parses the network series at `path` once and splits the
+/// newest record of each label population out of it. This is what a
+/// `--perf --gate` run calls: the file is read exactly once, so a
+/// malformed series surfaces as *one* error instead of one per
+/// population (the per-population [`last_net_record`]-family accessors
+/// are thin views over this). Same read-before-append caveat as
+/// [`last_sweep_record`].
+pub fn net_baselines(path: &str) -> Result<NetBaselines, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read baseline {path}: {e}"))?;
+    let series: NetPerfSeries = serde_json::from_str(&text)
+        .map_err(|e| format!("{path} is not a net perf series: {e:?}"))?;
+    let mut baselines = NetBaselines::default();
+    for r in series.series.iter().rev() {
+        let slot = if is_workload_label(&r.label) {
+            &mut baselines.workload
+        } else if is_faults_label(&r.label) {
+            &mut baselines.faults
+        } else if is_metro_label(&r.label) {
+            &mut baselines.metro
+        } else {
+            &mut baselines.net
+        };
+        if slot.is_none() {
+            *slot = Some(r.clone());
+        }
+    }
+    Ok(baselines)
+}
+
 /// Reads the last *saturated clean* record of the network series at
 /// `path` (workload and fault-injection records share the file but are
 /// separate populations — see [`WORKLOAD_LABEL_SUFFIX`] /
 /// [`FAULTS_LABEL_SUFFIX`]; same read-before-append caveat as
 /// [`last_sweep_record`]).
 pub fn last_net_record(path: &str) -> Result<NetPerfRecord, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read baseline {path}: {e}"))?;
-    let series: NetPerfSeries = serde_json::from_str(&text)
-        .map_err(|e| format!("{path} is not a net perf series: {e:?}"))?;
-    series
-        .series
-        .iter()
-        .rev()
-        .find(|r| {
-            !is_workload_label(&r.label) && !is_faults_label(&r.label) && !is_metro_label(&r.label)
-        })
-        .cloned()
+    net_baselines(path)?
+        .net
         .ok_or_else(|| format!("{path} has no saturated network records"))
 }
 
@@ -571,15 +605,7 @@ pub fn last_net_record(path: &str) -> Result<NetPerfRecord, String> {
 /// `Ok(None)` means the file parses but no workload record exists yet
 /// (the population is new); callers seed the series instead of gating.
 pub fn last_net_workload_record(path: &str) -> Result<Option<NetPerfRecord>, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read baseline {path}: {e}"))?;
-    let series: NetPerfSeries = serde_json::from_str(&text)
-        .map_err(|e| format!("{path} is not a net perf series: {e:?}"))?;
-    Ok(series
-        .series
-        .iter()
-        .rev()
-        .find(|r| is_workload_label(&r.label))
-        .cloned())
+    Ok(net_baselines(path)?.workload)
 }
 
 /// Reads the last *fault-injection* record of the network series at
@@ -587,15 +613,7 @@ pub fn last_net_workload_record(path: &str) -> Result<Option<NetPerfRecord>, Str
 /// yet (the population is new); callers seed the series instead of
 /// gating.
 pub fn last_net_faults_record(path: &str) -> Result<Option<NetPerfRecord>, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read baseline {path}: {e}"))?;
-    let series: NetPerfSeries = serde_json::from_str(&text)
-        .map_err(|e| format!("{path} is not a net perf series: {e:?}"))?;
-    Ok(series
-        .series
-        .iter()
-        .rev()
-        .find(|r| is_faults_label(&r.label))
-        .cloned())
+    Ok(net_baselines(path)?.faults)
 }
 
 /// Gates a fresh sweep measurement against a baseline record (serial
@@ -627,15 +645,7 @@ pub fn gate_net(baseline: &NetPerfRecord, measured: &NetPerfRecord, max_drop: f6
 /// yet (the population is new); callers seed the series instead of
 /// gating.
 pub fn last_net_metro_record(path: &str) -> Result<Option<NetPerfRecord>, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read baseline {path}: {e}"))?;
-    let series: NetPerfSeries = serde_json::from_str(&text)
-        .map_err(|e| format!("{path} is not a net perf series: {e:?}"))?;
-    Ok(series
-        .series
-        .iter()
-        .rev()
-        .find(|r| is_metro_label(&r.label))
-        .cloned())
+    Ok(net_baselines(path)?.metro)
 }
 
 /// Gates a fresh workload (trace-driven) measurement against a
@@ -809,6 +819,50 @@ mod tests {
         assert!(!is_faults_label("ci+workload"));
         assert!(is_metro_label("pr9+metro"));
         assert!(!is_metro_label("pr9"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn net_baselines_parses_once_and_fails_once() {
+        let dir = std::env::temp_dir().join("fmbs_perf_baselines_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_net.json");
+        let path = path.to_str().unwrap();
+        // A malformed file yields a single error from the one shared
+        // parse; every thin wrapper reports that same failure rather
+        // than four differently-worded ones.
+        std::fs::write(path, "{ not json").unwrap();
+        let err = net_baselines(path).unwrap_err();
+        assert!(err.contains("not a net perf series"), "{err}");
+        assert_eq!(last_net_record(path).unwrap_err(), err);
+        assert_eq!(last_net_workload_record(path).unwrap_err(), err);
+        assert_eq!(last_net_faults_record(path).unwrap_err(), err);
+        assert_eq!(last_net_metro_record(path).unwrap_err(), err);
+        // One parse populates every population slot.
+        let mk = |label: &str| NetPerfRecord {
+            unix_time: 0,
+            label: label.into(),
+            n_tags: 10_000,
+            n_slots: 1_000,
+            elapsed_s: 1.0,
+            tag_slots_per_sec: 1.0,
+            delivered: 1,
+        };
+        let series = NetPerfSeries {
+            series: vec![
+                mk("a"),
+                mk("a+workload"),
+                mk("a+faults"),
+                mk("a+metro"),
+                mk("b"),
+            ],
+        };
+        std::fs::write(path, serde_json::to_string_pretty(&series).unwrap()).unwrap();
+        let baselines = net_baselines(path).unwrap();
+        assert_eq!(baselines.net.unwrap().label, "b");
+        assert_eq!(baselines.workload.unwrap().label, "a+workload");
+        assert_eq!(baselines.faults.unwrap().label, "a+faults");
+        assert_eq!(baselines.metro.unwrap().label, "a+metro");
         let _ = std::fs::remove_file(path);
     }
 

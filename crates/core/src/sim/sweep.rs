@@ -553,7 +553,9 @@ impl SweepBuilder {
     /// parallel engine must match it bit for bit).
     pub fn run_serial(&self, sim: &dyn Simulator, metric: &dyn Metric) -> SweepResults {
         let points = self.points();
-        let shared = self.cache.then(SweepCache::new);
+        // Adopt a cache already installed on this thread (a campaign
+        // run shares one across figures); otherwise make a fresh one.
+        let shared = self.cache.then(|| cache::active().unwrap_or_default());
         let _guard = cache::install(shared.clone());
         let points = points
             .iter()
@@ -602,7 +604,10 @@ impl SweepBuilder {
             return self.run_serial(sim, metric);
         }
 
-        let shared: Option<Arc<SweepCache>> = self.cache.then(SweepCache::new);
+        // As in `run_serial`: adopt the calling thread's installed
+        // cache if there is one, so campaign figures share hits.
+        let shared: Option<Arc<SweepCache>> =
+            self.cache.then(|| cache::active().unwrap_or_default());
         // Each worker profiles into its own child collector (timings and
         // counters only — no RNG is touched), merged back in worker
         // order after the scope so the aggregate is schedule-independent.

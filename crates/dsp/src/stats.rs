@@ -124,12 +124,24 @@ pub fn quantile_nearest_rank_counted(xs: &[f64], q: f64) -> (f64, usize) {
 
 /// An empirical cumulative distribution function.
 ///
+/// Construction and every accessor share
+/// [`quantile_nearest_rank_counted`]'s never-panic contract: an empty
+/// sample set builds an empty CDF whose summary accessors
+/// ([`Cdf::quantile`], [`Cdf::median`], [`Cdf::min`], [`Cdf::max`])
+/// all return `0.0` with zero support — callers that must distinguish
+/// "no samples" from "samples summarising to 0" check [`Cdf::is_empty`]
+/// (or [`Cdf::len`]) first, exactly like the `(value, n)` pair of the
+/// counted quantile.
+///
 /// # Example
 /// ```
 /// use fmbs_dsp::stats::Cdf;
 /// let cdf = Cdf::from_samples(&[1.0, 2.0, 3.0, 4.0]);
 /// assert_eq!(cdf.fraction_below(2.5), 0.5);
 /// assert_eq!(cdf.quantile(0.5), 2.5);
+/// let empty = Cdf::from_samples(&[]);
+/// assert!(empty.is_empty());
+/// assert_eq!(empty.quantile(0.5), 0.0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Cdf {
@@ -137,18 +149,13 @@ pub struct Cdf {
 }
 
 impl Cdf {
-    /// Builds the CDF from raw samples.
-    ///
-    /// # Panics
-    /// Panics if `samples` is empty or contains NaN.
+    /// Builds the CDF from raw samples. Never panics: an empty slice
+    /// builds an empty CDF (see the type docs for the empty-accessor
+    /// contract), and NaN samples — which have no position on a CDF
+    /// axis — are dropped.
     pub fn from_samples(samples: &[f64]) -> Self {
-        assert!(!samples.is_empty(), "CDF of empty sample set");
-        assert!(
-            samples.iter().all(|x| !x.is_nan()),
-            "CDF samples contain NaN"
-        );
-        let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| !x.is_nan()).collect();
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Cdf { sorted }
     }
 
@@ -157,43 +164,53 @@ impl Cdf {
         self.sorted.len()
     }
 
-    /// True when there are no samples (never, by construction).
+    /// True when there are no samples — the guard callers check before
+    /// treating the `0.0` the summary accessors return as a statistic.
     pub fn is_empty(&self) -> bool {
         self.sorted.is_empty()
     }
 
-    /// Fraction of samples strictly below `x`, in [0, 1].
+    /// Fraction of samples strictly below `x`, in [0, 1]; `0.0` with no
+    /// samples.
     pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
         let idx = self.sorted.partition_point(|&v| v < x);
         idx as f64 / self.sorted.len() as f64
     }
 
-    /// The `q`-quantile (q in [0, 1]) with linear interpolation.
+    /// The `q`-quantile with linear interpolation; `q` is clamped to
+    /// [0, 1] (matching [`quantile_nearest_rank`]) and an empty CDF
+    /// returns `0.0`. A single sample is every quantile.
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q));
-        let rank = q * (self.sorted.len() - 1) as f64;
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * (self.sorted.len() - 1) as f64;
         let lo = rank.floor() as usize;
         let hi = rank.ceil() as usize;
         let frac = rank - lo as f64;
         self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
     }
 
-    /// The median.
+    /// The median; `0.0` with no samples.
     pub fn median(&self) -> f64 {
         self.quantile(0.5)
     }
 
-    /// Minimum sample.
+    /// Minimum sample; `0.0` with no samples.
     pub fn min(&self) -> f64 {
-        self.sorted[0]
+        self.sorted.first().copied().unwrap_or(0.0)
     }
 
-    /// Maximum sample.
+    /// Maximum sample; `0.0` with no samples.
     pub fn max(&self) -> f64 {
-        *self.sorted.last().unwrap()
+        self.sorted.last().copied().unwrap_or(0.0)
     }
 
-    /// Emits `(x, F(x))` points suitable for plotting, one per sample.
+    /// Emits `(x, F(x))` points suitable for plotting, one per sample
+    /// (none for an empty CDF).
     pub fn points(&self) -> Vec<(f64, f64)> {
         let n = self.sorted.len();
         self.sorted
@@ -204,9 +221,18 @@ impl Cdf {
     }
 
     /// Emits the CDF evaluated at `k` evenly spaced x-values covering the
-    /// sample range — the form the benchmark harness prints.
+    /// sample range — the form the benchmark harness prints. An empty
+    /// CDF emits no points; a single sample emits `k` points pinned to
+    /// it.
+    ///
+    /// # Panics
+    /// Panics if `k < 2` (a programming error, not a data edge: one
+    /// evaluation point cannot cover a range).
     pub fn sampled_points(&self, k: usize) -> Vec<(f64, f64)> {
         assert!(k >= 2);
+        if self.sorted.is_empty() {
+            return Vec::new();
+        }
         let lo = self.min();
         let hi = self.max();
         (0..k)
@@ -297,9 +323,48 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
-    fn empty_cdf_panics() {
-        let _ = Cdf::from_samples(&[]);
+    fn empty_cdf_never_panics() {
+        // Regression: quantile used to underflow `len() - 1` and
+        // min/max indexed/unwrapped into the empty vec. The empty edge
+        // now mirrors quantile_nearest_rank_counted's (0.0, 0).
+        let cdf = Cdf::from_samples(&[]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.len(), 0);
+        assert_eq!(cdf.quantile(0.0), 0.0);
+        assert_eq!(cdf.quantile(0.5), 0.0);
+        assert_eq!(cdf.quantile(1.0), 0.0);
+        assert_eq!(cdf.median(), 0.0);
+        assert_eq!(cdf.min(), 0.0);
+        assert_eq!(cdf.max(), 0.0);
+        assert_eq!(cdf.fraction_below(1.0), 0.0);
+        assert!(cdf.points().is_empty());
+        assert!(cdf.sampled_points(3).is_empty());
+    }
+
+    #[test]
+    fn single_sample_cdf_is_degenerate_but_total() {
+        let cdf = Cdf::from_samples(&[42.0]);
+        assert_eq!(cdf.len(), 1);
+        // Every quantile is the one sample (rank math hits lo == hi == 0).
+        assert_eq!(cdf.quantile(0.0), 42.0);
+        assert_eq!(cdf.quantile(0.5), 42.0);
+        assert_eq!(cdf.quantile(1.0), 42.0);
+        assert_eq!(cdf.min(), 42.0);
+        assert_eq!(cdf.max(), 42.0);
+        assert_eq!(cdf.fraction_below(42.0), 0.0);
+        assert_eq!(cdf.fraction_below(43.0), 1.0);
+        // Zero-width range: every sampled point sits on the sample.
+        let pts = cdf.sampled_points(4);
+        assert_eq!(pts.len(), 4);
+        assert!(pts.iter().all(|&(x, f)| x == 42.0 && f == 1.0));
+    }
+
+    #[test]
+    fn cdf_quantile_clamps_and_nan_is_dropped() {
+        let cdf = Cdf::from_samples(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf.quantile(-0.5), 1.0);
+        assert_eq!(cdf.quantile(1.5), 3.0);
     }
 
     #[test]

@@ -28,6 +28,10 @@
 //!   resets ([`faults::FaultSpec`]); paired with the engine's
 //!   link-layer ARQ ([`engine::ArqConfig`]) for resilience studies.
 //!   A zero-count spec is bit-identical to no spec at all.
+//! * [`corpus`] — the city-scenario corpus: data-file deployments
+//!   (band occupancy, stations, receiver grids, harvest, placement)
+//!   loaded and validated into [`topology::Deployment`]s, the input to
+//!   `repro --campaign`.
 //! * [`metrics`] — network [`fmbs_core::sim::metric::Metric`]s
 //!   (goodput, collision rate, Jain fairness, latency percentiles) that
 //!   plug straight into [`fmbs_core::sim::sweep::SweepBuilder`], making
@@ -58,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod deploy;
 pub mod engine;
 pub mod faults;
@@ -67,6 +72,7 @@ pub mod topology;
 
 /// Convenience re-exports covering the main API surface.
 pub mod prelude {
+    pub use crate::corpus::{load_corpus, CityScenario, CorpusError, ReceiverGrid};
     pub use crate::deploy::{city_occupancy, HarvestProfile, SiteMap, TagSite};
     pub use crate::engine::{
         ArqConfig, Arrival, ArrivalTrace, Event, EventQueue, EventTrace, NetRun, NetStats,

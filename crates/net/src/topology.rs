@@ -44,6 +44,7 @@ use fmbs_core::modem::Bitrate;
 use fmbs_core::power::{IcPowerModel, PAPER_OPERATING_POINT};
 use fmbs_core::sim::sweep::splitmix64;
 use fmbs_fm::band::{BandOccupancy, Channel, FM_CHANNEL_SPACING_HZ};
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Barrier};
 
@@ -59,7 +60,7 @@ const FT_TO_M: f64 = 0.3048;
 /// deterministic per-tag shadowing. With no stations configured, the
 /// builder's flat `mean_power_dbm` is used instead (the pre-metro
 /// model).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Station {
     /// Position, feet east of the city origin.
     pub x_ft: f64,
@@ -88,7 +89,7 @@ impl Station {
 }
 
 /// One receiver cell: a disc every tag inside contends within.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Receiver {
     /// Cell centre, feet east of the city origin.
     pub x_ft: f64,
@@ -132,7 +133,7 @@ impl Receiver {
 /// How tags scatter over the receiver cells. Both models are pure
 /// functions of `(seed, tag)` — the deployment never depends on
 /// iteration order.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Placement {
     /// Uniform in area: a cell is picked with probability proportional
     /// to its disc area, then the tag lands uniformly inside that disc.

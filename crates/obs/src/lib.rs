@@ -106,6 +106,12 @@ pub mod stages {
     pub const FAULT_SCHEDULE: &str = "fault_schedule";
     /// Workload arrival-trace generation.
     pub const TRACE_GEN: &str = "workload_trace_gen";
+    /// One campaign city: every selected figure regenerated (or
+    /// reused) for that city (`repro --campaign`).
+    pub const CAMPAIGN_CITY: &str = "campaign_city";
+    /// One campaign figure build — a (figure × city) cell, or a
+    /// city-invariant figure built once for the whole campaign.
+    pub const CAMPAIGN_FIGURE: &str = "campaign_figure";
 }
 
 /// Aggregate wall-time of one named stage.
